@@ -1,0 +1,75 @@
+"""Ablation: threaded data path vs the §4.2 thread-bypass procedures.
+
+Live-runtime echo at two sizes per mode: the bypass variant trades the
+session overhead (Table I) for synchronous semantics.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench.runner import format_table
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.util.stats import trimmed_mean
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    built = {}
+    nodes = []
+    for mode in ("threaded", "bypass"):
+        a = Node(NodeConfig(name=f"bp-{mode}-a"))
+        b = Node(NodeConfig(name=f"bp-{mode}-b"))
+        b.accept_mode = mode
+        conn = a.connect(
+            b.address,
+            ConnectionConfig(interface="sci", flow_control="none",
+                             error_control="none", mode=mode),
+            peer_name="b",
+        )
+        peer = b.accept(timeout=5.0)
+        built[mode] = (conn, peer)
+        nodes += [a, b]
+    yield built
+    for node in nodes:
+        node.close()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def summary(pairs):
+    import time
+
+    rows = []
+    for mode, (conn, peer) in pairs.items():
+        for size in (1, 65536):
+            payload = b"x" * size
+            samples = []
+            for _ in range(30):
+                start = time.perf_counter()
+                conn.send(payload)
+                assert peer.recv(timeout=5.0) is not None
+                samples.append((time.perf_counter() - start) * 1e6)
+            rows.append((f"{mode}/{size}B", trimmed_mean(samples)))
+    emit(format_table(
+        "Threaded vs bypass one-way latency (us, live runtime)",
+        ("path/size", "us"),
+        rows,
+        col_width=12,
+    ))
+    return dict(rows)
+
+
+def test_bypass_cheaper_at_one_byte(summary):
+    assert summary["bypass/1B"] < summary["threaded/1B"]
+
+
+@pytest.mark.parametrize("mode", ["threaded", "bypass"])
+@pytest.mark.parametrize("size", [1, 65536])
+def test_one_way_latency(benchmark, pairs, mode, size):
+    conn, peer = pairs[mode]
+    payload = b"x" * size
+
+    def one_way():
+        conn.send(payload)
+        assert peer.recv(timeout=5.0) is not None
+
+    benchmark(one_way)

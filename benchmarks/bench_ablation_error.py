@@ -1,0 +1,33 @@
+"""Ablation: error control algorithms vs loss rate."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.ablations import error_control_sweep, format_error_sweep, _transfer_time
+
+KB = 1024
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep(request):
+    results = error_control_sweep()
+    emit(format_error_sweep(results))
+    return results
+
+
+def test_selective_repeat_wins_under_loss(sweep):
+    lossy = sweep[2e-3]
+    assert lossy["selective_repeat"]["time_ms"] <= lossy["go_back_n"]["time_ms"]
+    assert (
+        lossy["selective_repeat"]["retransmitted_sdus"]
+        < lossy["go_back_n"]["retransmitted_sdus"]
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["selective_repeat", "go_back_n", "none"])
+def test_transfer_256k_lossy(benchmark, algorithm):
+    benchmark(
+        lambda: _transfer_time(
+            256 * KB, error_control=algorithm, cell_loss_rate=2e-3, seed=11
+        )
+    )

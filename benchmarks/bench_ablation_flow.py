@@ -1,0 +1,33 @@
+"""Ablation: flow control algorithms on a burst workload."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.ablations import flow_control_sweep, format_flow_sweep, _transfer_time
+
+KB = 1024
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep(request):
+    results = flow_control_sweep()
+    emit(format_flow_sweep(results))
+    return results
+
+
+def test_all_deliver(sweep):
+    assert all(stats["delivered"] == 8 for stats in sweep.values())
+
+
+def test_control_traffic_is_the_price_of_feedback(sweep):
+    assert sweep["credit"]["control_pdus"] > sweep["rate"]["control_pdus"]
+
+
+@pytest.mark.parametrize("algorithm", ["credit", "window", "rate", "none"])
+def test_burst_8x64k(benchmark, algorithm):
+    options = {"rate_pps": 4000.0, "burst": 16.0} if algorithm == "rate" else {}
+    benchmark(
+        lambda: _transfer_time(
+            64 * KB, flow_control=algorithm, message_count=8, seed=17, **options
+        )
+    )

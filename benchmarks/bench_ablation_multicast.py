@@ -1,0 +1,23 @@
+"""Ablation: repetitive send vs spanning-tree multicast vs group size."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.ablations import format_multicast_sweep, multicast_completion, multicast_sweep
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep(request):
+    results = multicast_sweep()
+    emit(format_multicast_sweep(results))
+    return results
+
+
+def test_tree_scales_logarithmically(sweep):
+    assert sweep["spanning_tree"][64] < sweep["repetitive"][64] / 4
+
+
+@pytest.mark.parametrize("members", [8, 64])
+@pytest.mark.parametrize("algorithm", ["repetitive", "spanning_tree"])
+def test_multicast_completion(benchmark, members, algorithm):
+    benchmark(lambda: multicast_completion(members, algorithm))

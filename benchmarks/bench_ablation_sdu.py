@@ -1,0 +1,37 @@
+"""Ablation: SDU size vs loss (paper §3.2's stated trade-off)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.ablations import format_sdu_sweep, sdu_size_sweep, _transfer_time
+
+KB = 1024
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep(request):
+    results = sdu_size_sweep()
+    emit(format_sdu_sweep(results))
+    return results
+
+
+def test_tradeoff_holds(sweep):
+    clean, lossy = sweep[0.0], sweep[1e-3]
+    assert clean[64 * KB]["time_ms"] <= clean[4 * KB]["time_ms"]
+    assert lossy[4 * KB]["time_ms"] < lossy[64 * KB]["time_ms"]
+
+
+@pytest.mark.parametrize("sdu_kb", [4, 16, 64])
+def test_transfer_512k_clean(benchmark, sdu_kb):
+    benchmark(
+        lambda: _transfer_time(512 * KB, sdu_size=sdu_kb * KB)
+    )
+
+
+@pytest.mark.parametrize("sdu_kb", [4, 64])
+def test_transfer_512k_lossy(benchmark, sdu_kb):
+    benchmark(
+        lambda: _transfer_time(
+            512 * KB, sdu_size=sdu_kb * KB, cell_loss_rate=1e-3, seed=3
+        )
+    )

@@ -1,0 +1,33 @@
+"""Ablation: control/data separation on vs off (paper §2's core claim)."""
+
+import pytest
+
+from conftest import emit
+from repro.bench.ablations import format_separation_sweep, separation_sweep, _transfer_time
+
+KB = 1024
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sweep(request):
+    results = separation_sweep()
+    emit(format_separation_sweep(results))
+    return results
+
+
+def test_separation_pays_under_contention(sweep):
+    assert sweep["separated"]["time_ms"] < sweep["multiplexed"]["time_ms"]
+
+
+@pytest.mark.parametrize("shared", [False, True], ids=["separated", "multiplexed"])
+def test_bidirectional_burst(benchmark, shared):
+    benchmark(
+        lambda: _transfer_time(
+            64 * KB,
+            message_count=16,
+            seed=23,
+            bidirectional=True,
+            bandwidth_bps=25e6,
+            share_control_link=shared,
+        )
+    )

@@ -1,0 +1,33 @@
+"""Figure 10: user-level vs kernel-level thread package, Fig. 9 workload.
+
+Regenerates the full per-size table on the simulator and benchmarks the
+simulation itself at the two regimes the paper highlights.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import fig10
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure(request):
+    results = fig10.run()
+    emit(fig10.format_results(results))
+    return results
+
+
+def test_fig10_shape(figure):
+    assert fig10.crossover_size(figure) == 8192  # just above the 4K point
+
+
+def test_fig10_small_message_regime(benchmark, figure):
+    benchmark(
+        lambda: fig10.run(sizes=[1024])
+    )
+
+
+def test_fig10_large_message_regime(benchmark, figure):
+    benchmark(
+        lambda: fig10.run(sizes=[65536])
+    )

@@ -1,0 +1,42 @@
+"""Figure 11: NCS overhead ratio to the native socket.
+
+Primary series: the simulated Solaris curves (Qthread/Pthread), which
+reproduce the paper's 2.4-2.8x-decaying-to-1 shape.  Supplementary: the
+live loopback measurement (today's loopback baseline is memcpy-speed, so
+its ratio cannot decay the same way; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import fig11
+
+
+@pytest.fixture(scope="module", autouse=True)
+def simulated(request):
+    results = fig11.run_simulated()
+    emit(fig11.format_simulated(results))
+    return results
+
+
+@pytest.fixture(scope="module", autouse=True)
+def live(request):
+    results = fig11.run(sizes=[1, 1024, 16384, 65536], iterations=20)
+    emit(fig11.format_results(results))
+    return results
+
+
+def test_fig11_shape(simulated):
+    assert 2.0 < simulated["qthread"][1] < 3.0
+    assert simulated["qthread"][65536] < 1.1
+
+
+def test_fig11_live_overhead_exists(live):
+    # The threaded path must cost more than the raw socket at 1 byte.
+    assert live["threaded_ratio"][1] > 1.0
+    # And the bypass variant must cut that overhead (the §4.2 argument).
+    assert live["bypass_ratio"][1] < live["threaded_ratio"][1] * 1.05
+
+
+def test_fig11_simulated_generation(benchmark, simulated):
+    benchmark(fig11.run_simulated)

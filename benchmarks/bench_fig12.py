@@ -1,0 +1,35 @@
+"""Figure 12: echo roundtrips over simulated ATM, same-platform pairs.
+
+Regenerates both panels (SUN-4 and RS6000), asserts the paper's
+orderings, and benchmarks one 64 KB echo per system per platform.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import fig12
+from repro.simnet.platforms import PLATFORMS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def panels(request):
+    results = {}
+    for platform in ("sun4", "rs6000"):
+        results[platform] = fig12.run(platform)
+        emit(fig12.format_results(results[platform], platform))
+    return results
+
+
+@pytest.mark.parametrize("platform", ["sun4", "rs6000"])
+def test_fig12_ordering(panels, platform):
+    assert (
+        fig12.ordering_at(panels[platform], 65536)
+        == fig12.PAPER_ORDER_64K[platform]
+    )
+
+
+@pytest.mark.parametrize("system", ["NCS", "p4", "MPI", "PVM"])
+@pytest.mark.parametrize("platform", ["sun4", "rs6000"])
+def test_echo_64k(benchmark, system, platform):
+    profile = PLATFORMS[platform]
+    benchmark(lambda: fig12.roundtrip(system, profile, profile, 65536))

@@ -1,0 +1,33 @@
+"""Figure 13: echo roundtrips, heterogeneous SUN-4 <-> RS6000 pair.
+
+Regenerates the conversion-dominated panel (MPI's collapse, NCS's
+immunity) and benchmarks the 64 KB heterogeneous echo per system.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import fig12, fig13
+from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
+
+
+@pytest.fixture(scope="module", autouse=True)
+def figure(request):
+    results = fig13.run()
+    emit(fig13.format_results(results))
+    return results
+
+
+def test_fig13_ordering(figure):
+    assert fig13.ordering_at(figure, 65536) == fig13.PAPER_ORDER_64K
+
+
+def test_fig13_mpi_collapse(figure):
+    assert figure["MPI"][65536] / figure["NCS"][65536] > 8
+
+
+@pytest.mark.parametrize("system", ["NCS", "p4", "MPI", "PVM"])
+def test_heterogeneous_echo_64k(benchmark, system):
+    benchmark(
+        lambda: fig12.roundtrip(system, SUN4_SUNOS55, RS6000_AIX41, 65536)
+    )

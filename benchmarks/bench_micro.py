@@ -1,0 +1,83 @@
+"""Microbenchmarks of the substrates under everything else.
+
+Not a paper table — engineering telemetry for the library itself:
+framing, CRC, AAL5 SAR, engine throughput, thread-package switch costs.
+"""
+
+import pytest
+
+from repro.atm.aal5 import aal5_reassemble, aal5_segment
+from repro.errorcontrol import make_error_control
+from repro.protocol.headers import Sdu
+from repro.protocol.segmentation import Reassembler, segment_message
+from repro.threadpkg import make_thread_package
+from repro.util.crc import crc32_aal5
+
+PAYLOAD_64K = bytes(range(256)) * 256
+
+
+def test_crc32_64k(benchmark):
+    benchmark(lambda: crc32_aal5(PAYLOAD_64K))
+
+
+def test_segment_64k(benchmark):
+    benchmark(lambda: segment_message(1, 1, PAYLOAD_64K, 4096))
+
+
+def test_frame_encode_decode(benchmark):
+    sdu = segment_message(1, 1, PAYLOAD_64K, 4096)[0]
+
+    def roundtrip():
+        assert Sdu.decode(sdu.encode()).payload == sdu.payload
+
+    benchmark(roundtrip)
+
+
+def test_reassemble_64k(benchmark):
+    sdus = segment_message(1, 1, PAYLOAD_64K, 4096)
+    counter = iter(range(10**9))
+
+    def reassemble():
+        msg_id = next(counter)
+        fresh = segment_message(1, msg_id, PAYLOAD_64K, 4096)
+        reassembler = Reassembler()
+        out = None
+        for sdu in fresh:
+            out = reassembler.add(sdu)
+        assert out == PAYLOAD_64K
+
+    benchmark(reassemble)
+
+
+def test_aal5_sar_8k(benchmark):
+    frame = PAYLOAD_64K[:8192]
+
+    def sar():
+        assert aal5_reassemble(aal5_segment(frame, 0, 32)) == frame
+
+    benchmark(sar)
+
+
+def test_selective_repeat_clean_exchange(benchmark):
+    counter = iter(range(1, 10**9))
+
+    def exchange():
+        msg_id = next(counter)
+        sender, receiver = make_error_control("selective_repeat", 1, 4096)
+        effects = sender.send(msg_id, PAYLOAD_64K, 0.0)
+        ack = None
+        for sdu in effects.transmits:
+            result = receiver.on_sdu(sdu, 0.0)
+            if result.controls:
+                ack = result.controls[-1]
+        done = sender.on_control(ack, 0.0)
+        assert done.completed == [msg_id]
+
+    benchmark(exchange)
+
+
+@pytest.mark.parametrize("kind", ["kernel", "user"])
+def test_thread_package_context_switch(benchmark, kind):
+    pkg = make_thread_package(kind)
+    benchmark(lambda: pkg.context_switch_cost_probe(rounds=100))
+    pkg.shutdown()

@@ -1,0 +1,67 @@
+"""Table I: cost decomposition of a 1-byte NCS_send via the Send Thread.
+
+Regenerates the session-overhead vs data-transfer split on the live
+runtime, and benchmarks the 1-byte send on both the threaded path and
+the §4.2 bypass path.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import table1
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+
+@pytest.fixture(scope="module", autouse=True)
+def table(request):
+    results = table1.run(iterations=150, interface="sci")
+    emit(table1.format_results(results))
+    return results
+
+
+@pytest.fixture(scope="module")
+def live_pair():
+    pairs = {}
+    nodes = []
+    for mode in ("threaded", "bypass"):
+        a = Node(NodeConfig(name=f"b1-{mode}-a"))
+        b = Node(NodeConfig(name=f"b1-{mode}-b"))
+        b.accept_mode = mode
+        conn = a.connect(
+            b.address,
+            ConnectionConfig(interface="sci", flow_control="none",
+                             error_control="none", mode=mode),
+            peer_name="b",
+        )
+        peer = b.accept(timeout=5.0)
+        pairs[mode] = (conn, peer)
+        nodes += [a, b]
+    yield pairs
+    for node in nodes:
+        node.close()
+
+
+def test_table1_structure(table):
+    """Session overhead is real and decomposed into its stages."""
+    assert table["session overhead total"] > 0
+    assert table["total"] > 0
+
+
+def test_one_byte_send_threaded(benchmark, table, live_pair):
+    conn, peer = live_pair["threaded"]
+
+    def send_one():
+        conn.send(b"x")
+        assert peer.recv(timeout=5.0) == b"x"
+
+    benchmark(send_one)
+
+
+def test_one_byte_send_bypass(benchmark, live_pair):
+    conn, peer = live_pair["bypass"]
+
+    def send_one():
+        conn.send(b"x")
+        assert peer.recv(timeout=5.0) == b"x"
+
+    benchmark(send_one)

@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Each bench module regenerates one table or figure from the paper (the
+full series prints to stdout once per session) and registers
+pytest-benchmark timings for its representative operations.
+"""
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table/figure, visibly separated."""
+    print("\n" + "=" * 78)
+    print(text)
+    print("=" * 78)

@@ -1,0 +1,77 @@
+"""The paper's Figure 3 scenario: heterogeneous clusters, per-cluster
+interfaces.
+
+Three homogeneous "clusters" (here: groups of nodes sharing an HPI
+fabric) each use the interface their platform supports best — HPI
+inside the tightly-coupled cluster, SCI between clusters — and group
+communication spans all of it.
+
+Run:  python examples/clusters.py
+"""
+
+from repro import ConnectionConfig, Node, NodeConfig
+from repro.interfaces.hpi import HpiFabric
+from repro.multicast import GroupManager
+
+
+def main() -> None:
+    # Cluster 1: two nodes on one HPI fabric (same "backplane").
+    fabric1 = HpiFabric("cluster-1")
+    c1_head = Node(NodeConfig(name="c1-head", hpi_fabric=fabric1))
+    c1_work = Node(NodeConfig(name="c1-work", hpi_fabric=fabric1))
+
+    # Cluster 2: likewise.
+    fabric2 = HpiFabric("cluster-2")
+    c2_head = Node(NodeConfig(name="c2-head", hpi_fabric=fabric2))
+    c2_work = Node(NodeConfig(name="c2-work", hpi_fabric=fabric2))
+
+    # Intra-cluster traffic rides the High Performance Interface.
+    hpi = ConnectionConfig(interface="hpi", flow_control="none",
+                           error_control="none")
+    intra1 = c1_head.connect(c1_work.address, hpi, peer_name="c1-work")
+    c1_accepted = c1_work.accept(timeout=5.0)
+    intra2 = c2_head.connect(c2_work.address, hpi, peer_name="c2-work")
+    c2_accepted = c2_work.accept(timeout=5.0)
+
+    intra1.send(b"cluster-1 local work unit", wait=True)
+    intra2.send(b"cluster-2 local work unit", wait=True)
+    print("c1 intra-cluster (HPI):", c1_accepted.recv(timeout=5.0))
+    print("c2 intra-cluster (HPI):", c2_accepted.recv(timeout=5.0))
+
+    # Inter-cluster traffic uses the portable Socket interface.
+    sci = ConnectionConfig(interface="sci")
+    inter = c1_head.connect(c2_head.address, sci, peer_name="c2-head")
+    inter_accepted = c2_head.accept(timeout=5.0)
+    inter.send(b"cross-cluster result exchange", wait=True)
+    print("inter-cluster (SCI):", inter_accepted.recv(timeout=5.0))
+
+    # Group communication across the whole environment.
+    managers = {
+        node.name: GroupManager(node)
+        for node in (c1_head, c1_work, c2_head, c2_work)
+    }
+    managers["c1-head"].create("all-heads-and-workers")
+    for name in ("c1-work", "c2-head", "c2-work"):
+        managers[name].join("all-heads-and-workers", c1_head.address)
+
+    managers["c1-head"].multicast(
+        "all-heads-and-workers", b"global barrier follows", wait=True
+    )
+    for name in ("c1-work", "c2-head", "c2-work"):
+        message = managers[name].recv("all-heads-and-workers", timeout=5.0)
+        print(f"{name} received multicast:", message)
+
+    # Cross-fabric HPI must be refused: the trap interface only works
+    # inside one tightly-coupled cluster (that's the point of Fig. 3).
+    try:
+        c1_head.connect(c2_head.address, hpi, peer_name="c2-head", timeout=3.0)
+        print("ERROR: cross-cluster HPI should have been rejected")
+    except Exception as exc:
+        print(f"cross-cluster HPI correctly rejected: {exc}")
+
+    for node in (c1_head, c1_work, c2_head, c2_work):
+        node.close()
+
+
+if __name__ == "__main__":
+    main()

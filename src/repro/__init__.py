@@ -1,0 +1,77 @@
+"""repro — a full reproduction of NCS, the NYNET Communication System.
+
+A multithreaded message-passing system for high-performance distributed
+computing (Park, Lee, Hariri; Syracuse University, 1998), rebuilt as a
+production-quality Python library:
+
+* :class:`Node` / :class:`Connection` — the live runtime: separated
+  control and data planes, per-connection Send/Receive threads, and
+  runtime-selectable flow control, error control, and communication
+  interface per connection;
+* :class:`ConnectionConfig` — the per-connection QOS contract;
+* :class:`GroupManager` — group membership, repetitive and
+  spanning-tree multicast, barriers;
+* ``NCS_send`` / ``NCS_recv`` — the paper's procedural primitives;
+* :mod:`repro.simnet` + :mod:`repro.baselines` — the deterministic
+  discrete-event substrate and p4/PVM/MPI models used to regenerate the
+  paper's evaluation (Figures 10-13, Table I).
+
+Quickstart::
+
+    from repro import Node, ConnectionConfig
+
+    server = Node("server")
+    client = Node("client")
+    conn = client.connect(server.address, ConnectionConfig(interface="sci"))
+    peer = server.accept(timeout=5)
+    conn.send(b"hello", wait=True)
+    assert peer.recv(timeout=5) == b"hello"
+"""
+
+from repro.core import (
+    Connection,
+    ConnectionClosedError,
+    ConnectionConfig,
+    ConnectRejectedError,
+    ConnectTimeoutError,
+    FailureDetector,
+    NcsError,
+    Node,
+    NodeConfig,
+    SendFailedError,
+    SendHandle,
+    SendStatus,
+)
+from repro.core.primitives import (
+    NCS_recv,
+    NCS_send,
+    NCS_thread_sleep,
+    NCS_thread_spawn,
+    NCS_thread_yield,
+)
+from repro.multicast import Collective, GroupManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Collective",
+    "Connection",
+    "ConnectionClosedError",
+    "ConnectionConfig",
+    "ConnectRejectedError",
+    "ConnectTimeoutError",
+    "FailureDetector",
+    "GroupManager",
+    "NCS_recv",
+    "NCS_send",
+    "NCS_thread_sleep",
+    "NCS_thread_spawn",
+    "NCS_thread_yield",
+    "NcsError",
+    "Node",
+    "NodeConfig",
+    "SendFailedError",
+    "SendHandle",
+    "SendStatus",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""ATM substrate: cells, AAL5, virtual circuits, switching, QOS.
+
+NCS is "architecturally compatible with the ATM technology" — control
+and data separation, per-connection QOS — and its evaluation ran over an
+ATM LAN.  This package implements the protocol machinery that testbed
+provided in hardware:
+
+* 53-byte cells with VPI/VCI/PTI/CLP/HEC headers;
+* AAL5 segmentation-and-reassembly with padding, trailer and CRC-32
+  (the checksum layer §3.2 relies on for error *detection*);
+* virtual-circuit tables and an output-queued cell switch;
+* UNI-style signaling that allocates VCs along a switched path;
+* QOS classes and GCRA (leaky bucket) traffic policing.
+"""
+
+from repro.atm.cell import CELL_SIZE, PAYLOAD_SIZE, AtmCell
+from repro.atm.aal5 import (
+    Aal5Error,
+    MAX_CPCS_SDU,
+    aal5_reassemble,
+    aal5_segment,
+    cells_for_frame,
+)
+from repro.atm.vc import VcIdentifier, VcTable, VirtualCircuit
+from repro.atm.qos import GcraPolicer, QosClass, TrafficContract
+from repro.atm.switch import AtmSwitch, SwitchPort
+from repro.atm.signaling import AtmNetwork, HostNic, SignalingError, allocate_path
+
+__all__ = [
+    "Aal5Error",
+    "AtmCell",
+    "AtmNetwork",
+    "AtmSwitch",
+    "HostNic",
+    "CELL_SIZE",
+    "GcraPolicer",
+    "MAX_CPCS_SDU",
+    "PAYLOAD_SIZE",
+    "QosClass",
+    "SignalingError",
+    "SwitchPort",
+    "TrafficContract",
+    "VcIdentifier",
+    "VcTable",
+    "VirtualCircuit",
+    "aal5_reassemble",
+    "aal5_segment",
+    "allocate_path",
+    "cells_for_frame",
+]

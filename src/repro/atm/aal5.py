@@ -1,0 +1,91 @@
+"""AAL5: segmentation and reassembly with trailer CRC-32.
+
+The CPCS-PDU is the user frame padded so that payload + 8-byte trailer
+is a multiple of 48; the trailer carries CPCS-UU, CPI, the 16-bit
+length, and the CRC-32 over everything before it.  The final cell is
+marked by the PTI AUU bit.  A lost or corrupted cell makes the CRC fail
+at reassembly — this is the error *detection* the paper assigns to AAL5
+(§3.2), leaving *recovery* to NCS's error control threads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from repro.atm.cell import PAYLOAD_SIZE, AtmCell, PTI_USER_DATA, PTI_USER_DATA_LAST
+from repro.util.crc import crc32_aal5
+
+TRAILER_SIZE = 8
+#: CPCS-SDU length field is 16 bits.
+MAX_CPCS_SDU = 65535
+
+
+class Aal5Error(Exception):
+    """Reassembly failure: CRC mismatch, bad length, missing last cell."""
+
+
+def _build_cpcs_pdu(frame: bytes) -> bytes:
+    if len(frame) > MAX_CPCS_SDU:
+        raise Aal5Error(
+            f"frame of {len(frame)} bytes exceeds the AAL5 maximum "
+            f"of {MAX_CPCS_SDU} (single CPCS-PDU)"
+        )
+    content = len(frame) + TRAILER_SIZE
+    pad = (-content) % PAYLOAD_SIZE
+    padded = frame + b"\x00" * pad
+    # Trailer: CPCS-UU (0), CPI (0), Length, CRC-32.  The CRC covers the
+    # payload, padding, and the first 4 trailer bytes.
+    head = padded + struct.pack("!BBH", 0, 0, len(frame))
+    crc = crc32_aal5(head)
+    return head + struct.pack("!I", crc)
+
+
+def aal5_segment(frame: bytes, vpi: int, vci: int, clp: int = 0) -> List[AtmCell]:
+    """Cellify ``frame`` onto VC (vpi, vci); last cell gets the AUU bit."""
+    pdu = _build_cpcs_pdu(frame)
+    cells = []
+    total = len(pdu) // PAYLOAD_SIZE
+    for index in range(total):
+        chunk = pdu[index * PAYLOAD_SIZE : (index + 1) * PAYLOAD_SIZE]
+        pti = PTI_USER_DATA_LAST if index == total - 1 else PTI_USER_DATA
+        cells.append(AtmCell(vpi=vpi, vci=vci, pti=pti, clp=clp, payload=chunk))
+    return cells
+
+
+def aal5_reassemble(cells: Iterable[AtmCell]) -> bytes:
+    """Rebuild the frame from an in-order cell sequence.
+
+    Raises :class:`Aal5Error` if the last-cell mark is absent, the CRC
+    fails (lost/corrupted cell), or the length field is inconsistent.
+    """
+    cells = list(cells)
+    if not cells:
+        raise Aal5Error("no cells to reassemble")
+    if not cells[-1].is_last_of_frame:
+        raise Aal5Error("final cell lacks the AUU end-of-frame mark")
+    for cell in cells[:-1]:
+        if cell.is_last_of_frame:
+            raise Aal5Error("AUU mark on a non-final cell (interleaved frames?)")
+    pdu = b"".join(cell.payload for cell in cells)
+    if len(pdu) < TRAILER_SIZE:
+        raise Aal5Error("CPCS-PDU shorter than its trailer")
+    (crc_expected,) = struct.unpack("!I", pdu[-4:])
+    if crc32_aal5(pdu[:-4]) != crc_expected:
+        raise Aal5Error("CRC-32 mismatch: frame damaged in transit")
+    _uu, _cpi, length = struct.unpack("!BBH", pdu[-8:-4])
+    if length > len(pdu) - TRAILER_SIZE:
+        raise Aal5Error(f"length field {length} exceeds PDU capacity")
+    return pdu[:length]
+
+
+def cells_for_frame(frame_size: int) -> int:
+    """How many cells a frame of ``frame_size`` bytes occupies.
+
+    The per-frame tax (padding + trailer + 5-byte headers per 48 bytes)
+    is what makes small-message efficiency on ATM interesting.
+    """
+    if frame_size < 0:
+        raise ValueError("frame_size must be >= 0")
+    content = frame_size + TRAILER_SIZE
+    return (content + PAYLOAD_SIZE - 1) // PAYLOAD_SIZE

@@ -1,0 +1,97 @@
+"""The ATM cell: 5-byte header + 48-byte payload.
+
+UNI cell header layout (bits, most significant first):
+
+    GFC(4) VPI(8) VCI(16) PTI(3) CLP(1) HEC(8)
+
+The PTI's least significant usable bit (AUU) marks the last cell of an
+AAL5 frame — the "control bit ... designates whether the SDU is the last
+SDU" has its hardware analogue right here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CELL_SIZE = 53
+HEADER_SIZE = 5
+PAYLOAD_SIZE = 48
+
+#: PTI values (user data): bit2=0 user data, bit1=congestion, bit0=AUU
+PTI_USER_DATA = 0b000
+PTI_USER_DATA_LAST = 0b001  # AUU=1: end of AAL5 CPCS-PDU
+
+
+class CellError(ValueError):
+    """Malformed cell (wrong size, bad header)."""
+
+
+def _hec(header4: bytes) -> int:
+    """Header Error Control: CRC-8 over the first 4 header bytes,
+    polynomial x^8+x^2+x+1 (0x07), XORed with the ITU coset 0x55."""
+    crc = 0
+    for byte in header4:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc ^ 0x55
+
+
+@dataclass(frozen=True)
+class AtmCell:
+    """One ATM cell."""
+
+    vpi: int
+    vci: int
+    pti: int
+    clp: int
+    payload: bytes  # exactly 48 bytes
+
+    def __post_init__(self):
+        if not 0 <= self.vpi < 256:
+            raise CellError(f"VPI out of range: {self.vpi}")
+        if not 0 <= self.vci < 65536:
+            raise CellError(f"VCI out of range: {self.vci}")
+        if not 0 <= self.pti < 8:
+            raise CellError(f"PTI out of range: {self.pti}")
+        if self.clp not in (0, 1):
+            raise CellError(f"CLP must be 0 or 1: {self.clp}")
+        if len(self.payload) != PAYLOAD_SIZE:
+            raise CellError(
+                f"cell payload must be exactly {PAYLOAD_SIZE} bytes, "
+                f"got {len(self.payload)}"
+            )
+
+    @property
+    def is_last_of_frame(self) -> bool:
+        """AUU bit: this cell ends an AAL5 CPCS-PDU."""
+        return bool(self.pti & 0b001)
+
+    def encode(self) -> bytes:
+        """Serialize to the 53-byte UNI wire format (GFC=0)."""
+        gfc = 0
+        b0 = (gfc << 4) | (self.vpi >> 4)
+        b1 = ((self.vpi & 0x0F) << 4) | (self.vci >> 12)
+        b2 = (self.vci >> 4) & 0xFF
+        b3 = ((self.vci & 0x0F) << 4) | (self.pti << 1) | self.clp
+        header4 = bytes((b0, b1, b2, b3))
+        return header4 + bytes((_hec(header4),)) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AtmCell":
+        """Parse a 53-byte cell; raises CellError on bad size or HEC."""
+        if len(data) != CELL_SIZE:
+            raise CellError(f"cell must be {CELL_SIZE} bytes, got {len(data)}")
+        header4, hec, payload = data[:4], data[4], data[5:]
+        if _hec(header4) != hec:
+            raise CellError("HEC mismatch: corrupted cell header")
+        b0, b1, b2, b3 = header4
+        vpi = ((b0 & 0x0F) << 4) | (b1 >> 4)
+        vci = ((b1 & 0x0F) << 12) | (b2 << 4) | (b3 >> 4)
+        pti = (b3 >> 1) & 0x07
+        clp = b3 & 0x01
+        return cls(vpi=vpi, vci=vci, pti=pti, clp=clp, payload=payload)
+
+    def rerouted(self, vpi: int, vci: int) -> "AtmCell":
+        """Copy with translated VPI/VCI (what a switch does per hop)."""
+        return AtmCell(vpi=vpi, vci=vci, pti=self.pti, clp=self.clp, payload=self.payload)

@@ -1,0 +1,81 @@
+"""ATM QOS classes and GCRA traffic policing.
+
+Per-VC QOS is the ATM feature NCS's architecture mirrors.  The Generic
+Cell Rate Algorithm (the "continuous-state leaky bucket" of ITU I.371)
+decides, per arriving cell, whether it conforms to the traffic contract;
+non-conforming cells are tagged (CLP=1) or dropped at the policer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class QosClass(enum.Enum):
+    """ATM service categories."""
+
+    CBR = "cbr"  # constant bit rate: audio
+    VBR = "vbr"  # variable bit rate: video
+    ABR = "abr"  # available bit rate: flow-controlled data
+    UBR = "ubr"  # unspecified: best effort
+
+
+@dataclass(frozen=True)
+class TrafficContract:
+    """Negotiated traffic parameters for one VC.
+
+    ``pcr`` is the peak cell rate (cells/s); ``cdvt`` the cell delay
+    variation tolerance (seconds) — together they parameterize GCRA.
+    """
+
+    pcr: float
+    cdvt: float = 250e-6
+
+    def __post_init__(self):
+        if self.pcr <= 0:
+            raise ValueError(f"peak cell rate must be > 0, got {self.pcr}")
+        if self.cdvt < 0:
+            raise ValueError(f"CDVT must be >= 0, got {self.cdvt}")
+
+
+class GcraPolicer:
+    """GCRA(T, tau) virtual-scheduling policer.
+
+    ``conforms(arrival_time)`` implements the standard algorithm: a cell
+    arriving before TAT - tau is non-conforming; otherwise TAT advances
+    by the emission interval T = 1/PCR.
+    """
+
+    def __init__(self, contract: TrafficContract):
+        self.contract = contract
+        self.emission_interval = 1.0 / contract.pcr
+        self.tau = contract.cdvt
+        self._tat: Optional[float] = None  # theoretical arrival time
+        self.conforming = 0
+        self.non_conforming = 0
+
+    #: Comparison slack for accumulated floating-point drift (a cell
+    #: arriving "exactly" on schedule must never be judged early).
+    _EPSILON = 1e-12
+
+    def conforms(self, arrival_time: float) -> bool:
+        """Judge one cell; updates policer state only when conforming."""
+        if self._tat is None or arrival_time >= self._tat - self._EPSILON:
+            self._tat = max(
+                arrival_time, self._tat if self._tat is not None else arrival_time
+            ) + self.emission_interval
+            self.conforming += 1
+            return True
+        if arrival_time >= self._tat - self.tau - self._EPSILON:
+            self._tat += self.emission_interval
+            self.conforming += 1
+            return True
+        self.non_conforming += 1
+        return False
+
+    def reset(self) -> None:
+        self._tat = None
+        self.conforming = 0
+        self.non_conforming = 0

@@ -1,0 +1,223 @@
+"""UNI-style signaling: build VCs across a switched ATM network.
+
+:class:`AtmNetwork` wires hosts and switches into a topology (networkx
+graph), and :func:`allocate_path` installs per-hop VPI/VCI translations
+along the shortest path — the "signaling or management" control activity
+the paper's architecture keeps separate from the data path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.atm.aal5 import Aal5Error, aal5_reassemble, aal5_segment
+from repro.atm.cell import AtmCell
+from repro.atm.qos import QosClass, TrafficContract
+from repro.atm.switch import AtmSwitch
+from repro.atm.vc import VcIdentifier, VirtualCircuit
+
+
+class SignalingError(Exception):
+    """VC establishment failed (no path, resource exhaustion)."""
+
+
+@dataclass
+class HostNic:
+    """A host's ATM adapter: cellifies outgoing frames, reassembles
+    incoming cells per VC, and hands complete frames to a callback."""
+
+    name: str
+    network: "AtmNetwork"
+    on_frame: Optional[Callable[[int, int, bytes], None]] = None
+    #: NIC line rate; cells leave one serialization time apart so a big
+    #: frame cannot instantaneously flood a switch queue.
+    rate_bps: float = 155.52e6
+    #: (vpi, vci) -> accumulated cells of the in-progress frame
+    _partial: Dict[Tuple[int, int], List[AtmCell]] = field(default_factory=dict)
+    #: NIC transmit serialization horizon (absolute sim time).
+    _tx_free_at: float = 0.0
+    frames_sent: int = 0
+    frames_received: int = 0
+    frames_crc_failed: int = 0
+
+    def send_frame(self, vpi: int, vci: int, frame: bytes) -> None:
+        """AAL5-segment and inject into the attached switch port."""
+        from repro.atm.cell import CELL_SIZE
+
+        switch, port = self.network.host_attachment(self.name)
+        delay = self.network.host_wire_delay(self.name)
+        cell_time = CELL_SIZE * 8 / self.rate_bps
+        now = self.network.sim.now
+        start = max(now, self._tx_free_at)
+        for index, cell in enumerate(aal5_segment(frame, vpi, vci)):
+            at = start + (index + 1) * cell_time + delay
+            self.network.sim.schedule(at - now, switch.inject, port, cell)
+        self._tx_free_at = at - delay
+        self.frames_sent += 1
+
+    def deliver_cell(self, cell: AtmCell) -> None:
+        """Called by the network when a cell reaches this host."""
+        key = (cell.vpi, cell.vci)
+        self._partial.setdefault(key, []).append(cell)
+        if not cell.is_last_of_frame:
+            return
+        cells = self._partial.pop(key)
+        try:
+            frame = aal5_reassemble(cells)
+        except Aal5Error:
+            self.frames_crc_failed += 1
+            return
+        self.frames_received += 1
+        if self.on_frame is not None:
+            self.on_frame(cell.vpi, cell.vci, frame)
+
+
+class AtmNetwork:
+    """Hosts + switches + wires, with automatic port assignment."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.graph = nx.Graph()
+        self.switches: Dict[str, AtmSwitch] = {}
+        self.hosts: Dict[str, HostNic] = {}
+        self._ports: Dict[str, "itertools.count"] = {}
+        #: host name -> (switch, port, wire_delay)
+        self._host_links: Dict[str, Tuple[AtmSwitch, int, float]] = {}
+        #: (switch name, switch name) -> (port on first, port on second)
+        self._switch_links: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self._vc_ids = itertools.count(1)
+        #: Host-side VCI allocation (distinct per destination host so a
+        #: NIC never interleaves two frames on one circuit).
+        self._host_vcis: Dict[str, "itertools.count"] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_switch(self, name: str, port_count: int = 16, **kwargs) -> AtmSwitch:
+        if name in self.switches or name in self.hosts:
+            raise SignalingError(f"duplicate network element {name!r}")
+        switch = AtmSwitch(self.sim, name, port_count, **kwargs)
+        self.switches[name] = switch
+        self._ports[name] = itertools.count()
+        self.graph.add_node(name, kind="switch")
+        return switch
+
+    def add_host(self, name: str) -> HostNic:
+        if name in self.switches or name in self.hosts:
+            raise SignalingError(f"duplicate network element {name!r}")
+        nic = HostNic(name, self)
+        self.hosts[name] = nic
+        self.graph.add_node(name, kind="host")
+        return nic
+
+    def link(self, a: str, b: str, delay: float = 10e-6) -> None:
+        """Wire two elements (host-switch or switch-switch)."""
+        if a in self.hosts and b in self.switches:
+            self._link_host(a, b, delay)
+        elif b in self.hosts and a in self.switches:
+            self._link_host(b, a, delay)
+        elif a in self.switches and b in self.switches:
+            self._link_switches(a, b, delay)
+        else:
+            raise SignalingError(
+                f"cannot link {a!r}-{b!r}: host-host wires are not ATM"
+            )
+        self.graph.add_edge(a, b, delay=delay)
+
+    def _link_host(self, host: str, switch_name: str, delay: float) -> None:
+        switch = self.switches[switch_name]
+        port = next(self._ports[switch_name])
+        self._host_links[host] = (switch, port, delay)
+        switch.attach(port, self.hosts[host].deliver_cell, wire_delay=delay)
+
+    def _link_switches(self, a: str, b: str, delay: float) -> None:
+        switch_a, switch_b = self.switches[a], self.switches[b]
+        port_a = next(self._ports[a])
+        port_b = next(self._ports[b])
+        self._switch_links[(a, b)] = (port_a, port_b)
+        self._switch_links[(b, a)] = (port_b, port_a)
+        switch_a.attach(port_a, lambda cell: switch_b.inject(port_b, cell), delay)
+        switch_b.attach(port_b, lambda cell: switch_a.inject(port_a, cell), delay)
+
+    def host_attachment(self, host: str) -> Tuple[AtmSwitch, int]:
+        switch, port, _delay = self._host_links[host]
+        return switch, port
+
+    def alloc_host_vci(self, host: str) -> int:
+        """Next free VCI for circuits terminating at ``host`` (>= 32)."""
+        counter = self._host_vcis.setdefault(host, itertools.count(32))
+        return next(counter)
+
+    def host_wire_delay(self, host: str) -> float:
+        return self._host_links[host][2]
+
+    # -- signaling ----------------------------------------------------------
+
+    def setup_vc(
+        self,
+        src: str,
+        dst: str,
+        qos: QosClass = QosClass.UBR,
+        contract: Optional[TrafficContract] = None,
+    ) -> VirtualCircuit:
+        return allocate_path(self, src, dst, qos=qos, contract=contract)
+
+
+def allocate_path(
+    network: AtmNetwork,
+    src: str,
+    dst: str,
+    qos: QosClass = QosClass.UBR,
+    contract: Optional[TrafficContract] = None,
+) -> VirtualCircuit:
+    """Install a unidirectional VC from host ``src`` to host ``dst``.
+
+    Walks the shortest path, picking a free VCI per hop and installing
+    the (in port, vpi, vci) -> (out port, vpi, vci) translation at every
+    switch.  Returns the circuit; the source sends on ``hops[0]``'s
+    inbound identifier and the destination receives on the final
+    outbound identifier.
+    """
+    if src not in network.hosts or dst not in network.hosts:
+        raise SignalingError(f"both endpoints must be hosts: {src!r}, {dst!r}")
+    try:
+        path = nx.shortest_path(network.graph, src, dst)
+    except nx.NetworkXNoPath:
+        raise SignalingError(f"no route from {src!r} to {dst!r}") from None
+    switch_names = path[1:-1]
+    if not switch_names:
+        raise SignalingError("hosts must be joined through at least one switch")
+    circuit = VirtualCircuit(vc_id=next(network._vc_ids), qos=qos, contract=contract)
+
+    # Entry identifier on the first switch, as stamped by the source NIC.
+    first_switch, first_port = network.host_attachment(src)
+    src_vci = first_switch.vc_table.free_vci(first_port)
+    circuit.src_vpi_vci = (0, src_vci)
+    in_ident = VcIdentifier(first_port, 0, src_vci)
+
+    for position, name in enumerate(switch_names):
+        switch = network.switches[name]
+        last_hop = position + 1 >= len(switch_names)
+        if last_hop:
+            dst_switch, dst_port = network.host_attachment(dst)
+            if dst_switch is not switch:
+                raise SignalingError(
+                    f"routing inconsistency: {dst!r} not attached to {name!r}"
+                )
+            out_vci = network.alloc_host_vci(dst)
+            out_ident = VcIdentifier(dst_port, 0, out_vci)
+            circuit.dst_vpi_vci = (0, out_vci)
+        else:
+            next_name = switch_names[position + 1]
+            out_port = network._switch_links[(name, next_name)][0]
+            in_port_next = network._switch_links[(next_name, name)][0]
+            out_vci = network.switches[next_name].vc_table.free_vci(in_port_next)
+            out_ident = VcIdentifier(out_port, 0, out_vci)
+        switch.vc_table.install(in_ident, out_ident)
+        circuit.hops.append((name, in_ident, out_ident))
+        if not last_hop:
+            in_ident = VcIdentifier(in_port_next, 0, out_vci)
+    return circuit

@@ -1,0 +1,116 @@
+"""Output-queued ATM cell switch (simnet-driven).
+
+Cells arriving on an input port are translated through the VC table and
+queued on the output port, which serializes them at line rate onto the
+attached wire.  A full output queue drops cells (CLP=1 first is not
+modeled; drops are tail drops) — the cell-loss source that, through
+AAL5's CRC, becomes the frame loss NCS error control recovers from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.atm.cell import CELL_SIZE, AtmCell
+from repro.atm.vc import VcTable, VcTableError
+
+#: OC-3 / TAXI-class line rate used in the paper's NYNET testbed era.
+DEFAULT_PORT_RATE_BPS = 155.52e6
+DEFAULT_QUEUE_CAPACITY = 512
+
+
+@dataclass
+class SwitchPort:
+    """One output port: line rate, bounded cell queue, attached wire."""
+
+    index: int
+    rate_bps: float = DEFAULT_PORT_RATE_BPS
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY
+    #: Propagation delay of the attached wire (seconds).
+    wire_delay: float = 0.0
+    #: Delivery callback at the far end of the wire.
+    sink: Optional[Callable[[AtmCell], None]] = None
+    queue: deque = field(default_factory=deque)
+    busy: bool = False
+    cells_forwarded: int = 0
+    cells_dropped: int = 0
+
+    @property
+    def cell_time(self) -> float:
+        """Serialization time of one 53-byte cell at line rate."""
+        return CELL_SIZE * 8 / self.rate_bps
+
+
+class AtmSwitch:
+    """A named cell switch with ``port_count`` bidirectional ports."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        port_count: int,
+        port_rate_bps: float = DEFAULT_PORT_RATE_BPS,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ):
+        self.sim = sim
+        self.name = name
+        self.vc_table = VcTable()
+        self.ports: Dict[int, SwitchPort] = {
+            index: SwitchPort(
+                index, rate_bps=port_rate_bps, queue_capacity=queue_capacity
+            )
+            for index in range(port_count)
+        }
+        self.cells_unknown_vc = 0
+
+    def attach(
+        self,
+        port: int,
+        sink: Callable[[AtmCell], None],
+        wire_delay: float = 0.0,
+    ) -> None:
+        """Connect ``port``'s output side to a delivery callback."""
+        self.ports[port].sink = sink
+        self.ports[port].wire_delay = wire_delay
+
+    def inject(self, port: int, cell: AtmCell) -> None:
+        """A cell arrives on input ``port``."""
+        try:
+            out_port, vpi, vci = self.vc_table.lookup(port, cell.vpi, cell.vci)
+        except VcTableError:
+            self.cells_unknown_vc += 1
+            return
+        self._enqueue(self.ports[out_port], cell.rerouted(vpi, vci))
+
+    def _enqueue(self, port: SwitchPort, cell: AtmCell) -> None:
+        if len(port.queue) >= port.queue_capacity:
+            port.cells_dropped += 1
+            return
+        port.queue.append(cell)
+        if not port.busy:
+            port.busy = True
+            self.sim.schedule(port.cell_time, self._drain, port)
+
+    def _drain(self, port: SwitchPort) -> None:
+        """One cell finished serializing; put it on the wire, continue."""
+        if not port.queue:
+            port.busy = False
+            return
+        cell = port.queue.popleft()
+        port.cells_forwarded += 1
+        if port.sink is not None:
+            self.sim.schedule(port.wire_delay, port.sink, cell)
+        if port.queue:
+            self.sim.schedule(port.cell_time, self._drain, port)
+        else:
+            port.busy = False
+
+    def stats(self) -> dict:
+        return {
+            "forwarded": sum(p.cells_forwarded for p in self.ports.values()),
+            "dropped": sum(p.cells_dropped for p in self.ports.values()),
+            "unknown_vc": self.cells_unknown_vc,
+            "vcs": len(self.vc_table),
+        }

@@ -1,0 +1,92 @@
+"""Virtual circuits and per-switch VC translation tables.
+
+An ATM connection is a chain of per-hop (port, VPI, VCI) translations
+installed by signaling.  NCS's "each connection can be configured to
+meet the QOS requirements of that connection" maps straight onto one VC
+per NCS connection, with the QOS contract attached here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.atm.qos import QosClass, TrafficContract
+
+
+@dataclass(frozen=True)
+class VcIdentifier:
+    """A VC as seen on one port: (port, vpi, vci)."""
+
+    port: int
+    vpi: int
+    vci: int
+
+
+@dataclass
+class VirtualCircuit:
+    """An end-to-end circuit with its negotiated QOS."""
+
+    vc_id: int
+    qos: QosClass = QosClass.UBR
+    contract: Optional[TrafficContract] = None
+    #: hop list: (switch name, in VcIdentifier, out VcIdentifier)
+    hops: list = field(default_factory=list)
+    #: (vpi, vci) the source host stamps on outgoing cells.
+    src_vpi_vci: Tuple[int, int] = (0, 0)
+    #: (vpi, vci) cells carry when delivered to the destination host.
+    dst_vpi_vci: Tuple[int, int] = (0, 0)
+
+
+class VcTableError(KeyError):
+    """Lookup or installation failure in a VC table."""
+
+
+class VcTable:
+    """Per-switch translation: (in port, vpi, vci) -> (out port, vpi, vci)."""
+
+    def __init__(self):
+        self._table: Dict[Tuple[int, int, int], Tuple[int, int, int]] = {}
+
+    def install(
+        self,
+        inbound: VcIdentifier,
+        outbound: VcIdentifier,
+    ) -> None:
+        key = (inbound.port, inbound.vpi, inbound.vci)
+        if key in self._table:
+            raise VcTableError(f"VC already installed on {inbound}")
+        self._table[key] = (outbound.port, outbound.vpi, outbound.vci)
+
+    def remove(self, inbound: VcIdentifier) -> None:
+        key = (inbound.port, inbound.vpi, inbound.vci)
+        if key not in self._table:
+            raise VcTableError(f"no VC installed on {inbound}")
+        del self._table[key]
+
+    def lookup(self, port: int, vpi: int, vci: int) -> Tuple[int, int, int]:
+        """Translate an arriving cell's circuit; raises if unknown."""
+        try:
+            return self._table[(port, vpi, vci)]
+        except KeyError:
+            raise VcTableError(
+                f"no VC for cell on port {port} vpi {vpi} vci {vci}"
+            ) from None
+
+    def has(self, port: int, vpi: int, vci: int) -> bool:
+        return (port, vpi, vci) in self._table
+
+    def entries(self) -> Dict[Tuple[int, int, int], Tuple[int, int, int]]:
+        return dict(self._table)
+
+    def free_vci(self, port: int, vpi: int = 0, start: int = 32) -> int:
+        """Lowest unused VCI on (port, vpi); VCIs < 32 are reserved."""
+        vci = start
+        while self.has(port, vpi, vci):
+            vci += 1
+            if vci > 65535:
+                raise VcTableError(f"no free VCI on port {port}")
+        return vci
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,47 @@
+"""Models of the message-passing systems NCS is benchmarked against.
+
+The paper compares NCS point-to-point primitives with p4, PVM and MPI
+(§4.3, Figures 12-13).  The original systems are mid-90s C codebases
+tied to SunOS/AIX; what the comparison actually exercises is their
+*architecture*:
+
+* **p4** — direct TCP between processes, with a user-space buffer copy
+  on each side; XDR conversion when the machines differ;
+* **PVM 3** — messages routed through pvmd daemons (two extra IPC hops
+  and scheduling delays) with XDR packing by default — but PVM's packer
+  was comparatively tuned;
+* **MPI (MPICH-over-p4)** — p4 underneath plus envelope matching, an
+  extra bounce-buffer copy, a rendezvous handshake for large messages,
+  and full XDR in both directions on heterogeneous pairs;
+* **NCS** — the ACI path: single copy, control traffic on separate
+  connections, no data conversion.
+
+Each model composes per-byte/per-message costs from the platform
+profiles; per-system efficiency factors are calibrated so the published
+curves regenerate (see ``repro.simnet.platforms`` for the calibration
+rationale).
+"""
+
+from repro.baselines.base import MessagePassingModel, echo_roundtrip, one_way_process
+from repro.baselines.mpi import MpiModel
+from repro.baselines.ncs_model import NcsModel
+from repro.baselines.p4 import P4Model
+from repro.baselines.pvm import PvmModel
+
+SYSTEMS = {
+    "NCS": NcsModel,
+    "p4": P4Model,
+    "MPI": MpiModel,
+    "PVM": PvmModel,
+}
+
+__all__ = [
+    "MessagePassingModel",
+    "MpiModel",
+    "NcsModel",
+    "P4Model",
+    "PvmModel",
+    "SYSTEMS",
+    "echo_roundtrip",
+    "one_way_process",
+]

@@ -1,0 +1,129 @@
+"""Common structure for message-passing system models.
+
+A model answers three questions about moving ``size`` bytes from host A
+to host B: how much CPU the sender burns, how much the receiver burns,
+and what actually crosses the wire (frames and handshakes).  The
+discrete-event executor then plays those answers against shared links
+and CPUs, so queueing and serialization interact exactly once, in one
+place, for every system.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator
+
+from repro.simnet.host import SimHost
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import Link
+from repro.simnet.platforms import PlatformProfile, heterogeneous
+
+#: Size of a control/handshake frame (request-to-send etc.).
+HANDSHAKE_BYTES = 64
+
+
+class MessagePassingModel(ABC):
+    """Cost/structure model of one message-passing system."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def send_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        """Sender-side CPU seconds to get ``size`` bytes onto the wire."""
+
+    @abstractmethod
+    def recv_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        """Receiver-side CPU seconds from wire to user buffer."""
+
+    def wire_size(self, size: int) -> int:
+        """Bytes handed to the link (payload + system framing)."""
+        return size + 64  # default: one modest header/trailer per message
+
+    def handshake_rtts(self, size: int) -> int:
+        """Control round-trips that must precede the data transfer."""
+        return 0
+
+    def conversion_passes(self, size: int) -> tuple[int, int]:
+        """(sender, receiver) data-conversion passes on heterogeneous
+        pairs.  Zero for systems that ship raw bytes."""
+        return (0, 0)
+
+    #: Multiplier on platform XDR cost (packer implementation quality).
+    conversion_efficiency: float = 1.0
+
+    # -- derived helpers -----------------------------------------------------
+
+    def conversion_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> tuple[float, float]:
+        """(sender, receiver) conversion CPU seconds for this transfer."""
+        if not heterogeneous(sender, receiver):
+            return (0.0, 0.0)
+        send_passes, recv_passes = self.conversion_passes(size)
+        return (
+            size * sender.xdr_per_byte_s * send_passes * self.conversion_efficiency,
+            size * receiver.xdr_per_byte_s * recv_passes * self.conversion_efficiency,
+        )
+
+
+def one_way_process(
+    sim: Simulator,
+    model: MessagePassingModel,
+    sender: SimHost,
+    receiver: SimHost,
+    forward: Link,
+    backward: Link,
+    size: int,
+) -> Generator:
+    """Simulation process: one message, sender application to receiver
+    application.  Yields until the receiver has the data in its buffer."""
+    conv_send, conv_recv = model.conversion_cpu(
+        size, sender.platform, receiver.platform
+    )
+    # Handshakes (e.g. MPI rendezvous): a control frame each way, with a
+    # sliver of CPU at both ends per leg.
+    for _ in range(model.handshake_rtts(size)):
+        arrived = sim.event()
+        yield sender.compute(sender.platform.per_message_s / 2)
+        forward.transfer_size(HANDSHAKE_BYTES, arrived.succeed)
+        yield arrived
+        yield receiver.compute(receiver.platform.per_message_s / 2)
+        returned = sim.event()
+        backward.transfer_size(HANDSHAKE_BYTES, returned.succeed)
+        yield returned
+    # Sender-side software: protocol processing plus any conversion.
+    yield sender.compute(model.send_cpu(size, sender.platform, receiver.platform) + conv_send)
+    delivered = sim.event()
+    forward.transfer_size(model.wire_size(size), delivered.succeed)
+    yield delivered
+    # Receiver-side software.
+    yield receiver.compute(
+        model.recv_cpu(size, sender.platform, receiver.platform) + conv_recv
+    )
+
+
+def echo_roundtrip(
+    sim: Simulator,
+    model: MessagePassingModel,
+    host_a: SimHost,
+    host_b: SimHost,
+    link_ab: Link,
+    link_ba: Link,
+    size: int,
+) -> float:
+    """The paper's echo benchmark (§4.3): client sends, server echoes.
+
+    Returns the roundtrip time in (virtual) seconds.
+    """
+    start = sim.now
+
+    def _echo() -> Generator:
+        yield from one_way_process(sim, model, host_a, host_b, link_ab, link_ba, size)
+        yield from one_way_process(sim, model, host_b, host_a, link_ba, link_ab, size)
+
+    sim.run_process(_echo(), name=f"echo-{model.name}-{size}")
+    return sim.now - start

@@ -1,0 +1,53 @@
+"""Model of MPI — the era's MPICH running over its p4 device.
+
+Structure: everything p4 does, plus the MPI layer's envelope matching
+and a bounce-buffer copy, plus the eager/rendezvous protocol switch —
+messages above the eager threshold pay a request-to-send/clear-to-send
+control round-trip before any data moves.  On heterogeneous pairs MPICH
+converts in both directions through a staging buffer, the costliest
+conversion path of the four systems; that is the curve that reaches the
+top of Figure 13.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MessagePassingModel
+from repro.simnet.platforms import PlatformProfile
+
+MPI_ENVELOPE = 64
+#: MPICH-over-p4 default eager/rendezvous switch point.
+EAGER_THRESHOLD = 16 * 1024
+
+
+class MpiModel(MessagePassingModel):
+    name = "MPI"
+
+    #: XDR through an extra staging buffer.
+    conversion_efficiency = 1.6
+
+    def send_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        return (
+            sender.per_message_s * 1.5        # MPI + p4 bookkeeping
+            + sender.copy_cost(size)          # user buffer -> p4 buffer
+            + sender.tcp_cost(size)
+        )
+
+    def recv_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        return (
+            receiver.per_message_s
+            + receiver.tcp_cost(size)
+            + receiver.copy_cost(size, copies=2)  # p4 buffer -> staging -> user
+        )
+
+    def wire_size(self, size: int) -> int:
+        return size + MPI_ENVELOPE
+
+    def handshake_rtts(self, size: int) -> int:
+        return 1 if size > EAGER_THRESHOLD else 0
+
+    def conversion_passes(self, size: int) -> tuple[int, int]:
+        return (1, 1)

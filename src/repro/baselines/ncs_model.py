@@ -1,0 +1,73 @@
+"""Simulator model of NCS itself (the ACI fast path).
+
+Structure: the user buffer is segmented in place (headers only), copied
+once into the adapter, and cells carry it with AAL5 framing; on the
+receiver one copy moves the reassembled frame into the user buffer.
+Control information (credits, ACK bitmaps) rides separate control
+connections and therefore does not appear on the data path at all —
+that absence is the architectural point.  No data conversion ever: NCS
+ships raw bytes regardless of platform pairing.
+"""
+
+from __future__ import annotations
+
+from repro.atm.aal5 import cells_for_frame
+from repro.atm.cell import CELL_SIZE
+from repro.baselines.base import MessagePassingModel
+from repro.protocol.headers import HEADER_SIZE
+from repro.protocol.segmentation import DEFAULT_SDU_SIZE
+from repro.simnet.platforms import PlatformProfile
+
+
+class NcsModel(MessagePassingModel):
+    """NCS over the ATM Communication Interface."""
+
+    name = "NCS"
+
+    def __init__(self, sdu_size: int = DEFAULT_SDU_SIZE, threaded: bool = True):
+        self.sdu_size = sdu_size
+        #: threaded data path adds the Table I session overhead per
+        #: message; the bypass variant (§4.2) removes it.
+        self.threaded = threaded
+
+    def _sdus(self, size: int) -> int:
+        return max(1, -(-size // self.sdu_size))
+
+    def _session_overhead(self, platform: PlatformProfile) -> float:
+        """Table I session costs: queueing + two context switches + small
+        fixed work, on the user-level thread package."""
+        if not self.threaded:
+            return 0.0
+        return 2 * platform.ctx_switch_user_s + 4 * platform.sync_user_s
+
+    def send_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        sdus = self._sdus(size)
+        return (
+            self._session_overhead(sender)
+            + sender.per_message_s / 2         # connection/timer bookkeeping
+            + sender.syscall_s * sdus          # one adapter trap per SDU
+            + sender.copy_cost(size)           # single copy into the adapter
+            + size * sender.aci_per_byte_s     # ATM driver traversal
+            + sdus * 6e-6                      # header generation per SDU
+        )
+
+    def recv_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        sdus = self._sdus(size)
+        return (
+            self._session_overhead(receiver)
+            + receiver.per_message_s / 2
+            + receiver.syscall_s * sdus
+            + receiver.copy_cost(size)         # single copy to the user buffer
+            + size * receiver.aci_per_byte_s   # ATM driver traversal
+            + sdus * 4e-6                      # reassembly bookkeeping
+        )
+
+    def wire_size(self, size: int) -> int:
+        """Payload + per-SDU headers, cellified with AAL5 framing."""
+        sdus = self._sdus(size)
+        framed = size + sdus * HEADER_SIZE
+        return cells_for_frame(framed) * CELL_SIZE

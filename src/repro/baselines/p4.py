@@ -1,0 +1,52 @@
+"""Model of p4 (Butler & Lusk, Argonne).
+
+Structure: direct TCP sockets between processes.  ``p4_send`` copies the
+user message into an internal message buffer (header prepended), then
+writes it through the kernel TCP stack; the receiver reads into a p4
+buffer and copies out to the user.  On heterogeneous pairs p4 XDR-packs
+at the sender (receiver reads the converted stream).
+
+This cost structure is what Figure 12 reflects: on the RS6000's lean
+AIX stack p4 is the fastest of the four; on SunOS its two extra copies
+atop an expensive TCP path make it degrade with message size.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MessagePassingModel
+from repro.simnet.platforms import PlatformProfile
+
+#: p4 message header on the wire.
+P4_HEADER = 40
+
+
+class P4Model(MessagePassingModel):
+    name = "p4"
+
+    #: p4's XDR path is the stock one.
+    conversion_efficiency = 1.4
+
+    def send_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        return (
+            sender.per_message_s
+            + sender.copy_cost(size)       # user buffer -> p4 buffer
+            + sender.tcp_cost(size)        # kernel TCP traversal
+        )
+
+    def recv_cpu(
+        self, size: int, sender: PlatformProfile, receiver: PlatformProfile
+    ) -> float:
+        return (
+            receiver.per_message_s / 2
+            + receiver.tcp_cost(size)
+            + receiver.copy_cost(size)     # p4 buffer -> user buffer
+        )
+
+    def wire_size(self, size: int) -> int:
+        return size + P4_HEADER
+
+    def conversion_passes(self, size: int) -> tuple[int, int]:
+        # Sender packs to XDR; the receiver consumes the canonical form.
+        return (1, 0)

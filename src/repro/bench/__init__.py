@@ -1,0 +1,21 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> dict`` returning structured results
+and a ``format_*`` helper that prints the same rows/series the paper
+reports.  The ``benchmarks/`` tree wraps these in pytest-benchmark
+entries; ``EXPERIMENTS.md`` records paper-vs-measured.
+
+* :mod:`repro.bench.table1` — Table I: 1-byte send cost decomposition;
+* :mod:`repro.bench.fig10` — Figure 10: user- vs kernel-level thread
+  package under the Figure 9 overlap workload;
+* :mod:`repro.bench.fig11` — Figure 11: NCS-over-native-socket overhead
+  ratio (live measurement);
+* :mod:`repro.bench.fig12` — Figure 12: echo roundtrips, same platform;
+* :mod:`repro.bench.fig13` — Figure 13: echo roundtrips, heterogeneous;
+* :mod:`repro.bench.ablations` — design-choice sweeps (SDU size, flow/
+  error algorithms, control/data separation, multicast, bypass).
+"""
+
+from repro.bench.runner import MESSAGE_SIZES, format_table, size_label
+
+__all__ = ["MESSAGE_SIZES", "format_table", "size_label"]

@@ -1,0 +1,97 @@
+"""Figure 12: point-to-point echo over ATM, same-platform pairs.
+
+NCS vs p4 vs MPI vs PVM, message sizes 1 byte-64 KB, on two simulated
+testbeds: SUN-4↔SUN-4 (SunOS 5.5) and RS6000↔RS6000 (AIX 4.1).  The
+paper's findings the reproduction must preserve:
+
+* SUN-4: NCS fastest; MPI and p4 degrade with message size; PVM in
+  between;
+* RS6000: p4 fastest with NCS close behind; PVM clearly worst;
+* below ~1 KB all four are nearly indistinguishable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import SYSTEMS, echo_roundtrip
+from repro.bench.runner import ECHO_SIZES, format_table, size_label
+from repro.simnet.host import SimHost
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import AtmLinkModel
+from repro.simnet.platforms import PLATFORMS, PlatformProfile
+
+#: Paper-published orderings at 64 KB (fastest first).
+PAPER_ORDER_64K = {
+    "sun4": ["NCS", "PVM", "p4", "MPI"],
+    "rs6000": ["p4", "NCS", "MPI", "PVM"],
+}
+
+
+def roundtrip(
+    system: str,
+    platform_a: PlatformProfile,
+    platform_b: PlatformProfile,
+    size: int,
+) -> float:
+    """One echo roundtrip (virtual seconds) on a fresh simulated testbed."""
+    sim = Simulator()
+    host_a = SimHost(sim, "a", platform_a)
+    host_b = SimHost(sim, "b", platform_b)
+    link_ab = AtmLinkModel(sim)
+    link_ba = AtmLinkModel(sim)
+    model = SYSTEMS[system]()
+    return echo_roundtrip(sim, model, host_a, host_b, link_ab, link_ba, size)
+
+
+def run(
+    platform: str = "sun4",
+    sizes: List[int] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Roundtrip milliseconds per system per size, one platform pair."""
+    sizes = sizes or ECHO_SIZES
+    profile = PLATFORMS[platform]
+    results: Dict[str, Dict[int, float]] = {}
+    for system in SYSTEMS:
+        results[system] = {
+            size: roundtrip(system, profile, profile, size) * 1e3
+            for size in sizes
+        }
+    return results
+
+
+def ordering_at(results: Dict[str, Dict[int, float]], size: int) -> List[str]:
+    return sorted(results, key=lambda system: results[system][size])
+
+
+def format_results(results: Dict[str, Dict[int, float]], platform: str) -> str:
+    sizes = sorted(next(iter(results.values())))
+    systems = list(results)
+    rows = [
+        tuple([size_label(size)] + [results[system][size] for system in systems])
+        for size in sizes
+    ]
+    table = format_table(
+        f"Figure 12 reproduction: echo roundtrip (ms) over simulated ATM, "
+        f"{PLATFORMS[platform].name} pair",
+        tuple(["size"] + systems),
+        rows,
+        col_width=10,
+    )
+    measured = ordering_at(results, max(sizes))
+    expected = PAPER_ORDER_64K[platform]
+    return table + (
+        f"\n64K ordering measured: {measured}"
+        f"\n64K ordering paper:    {expected}"
+        f"\nshape {'PRESERVED' if measured == expected else 'DIVERGES'}"
+    )
+
+
+def main() -> None:
+    for platform in ("sun4", "rs6000"):
+        print(format_results(run(platform), platform))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 13: point-to-point echo over ATM, heterogeneous pair.
+
+SUN-4 ↔ RS6000: the configuration where data conversion (XDR) decides
+everything.  Paper findings to preserve: NCS (no conversion) fastest by
+a wide margin; PVM (tuned packer) second; p4 poor; MPI collapses as the
+message grows (the ~450 ms-at-64 KB curve).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import SYSTEMS
+from repro.bench.runner import ECHO_SIZES, format_table, size_label
+from repro.bench.fig12 import roundtrip
+from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
+
+PAPER_ORDER_64K = ["NCS", "PVM", "p4", "MPI"]
+
+
+def run(sizes: List[int] = None) -> Dict[str, Dict[int, float]]:
+    """Roundtrip milliseconds per system per size, SUN-4 ↔ RS6000."""
+    sizes = sizes or ECHO_SIZES
+    results: Dict[str, Dict[int, float]] = {}
+    for system in SYSTEMS:
+        results[system] = {
+            size: roundtrip(system, SUN4_SUNOS55, RS6000_AIX41, size) * 1e3
+            for size in sizes
+        }
+    return results
+
+
+def ordering_at(results: Dict[str, Dict[int, float]], size: int) -> List[str]:
+    return sorted(results, key=lambda system: results[system][size])
+
+
+def format_results(results: Dict[str, Dict[int, float]]) -> str:
+    sizes = sorted(next(iter(results.values())))
+    systems = list(results)
+    rows = [
+        tuple([size_label(size)] + [results[system][size] for system in systems])
+        for size in sizes
+    ]
+    table = format_table(
+        "Figure 13 reproduction: echo roundtrip (ms), SUN-4 <-> RS6000",
+        tuple(["size"] + systems),
+        rows,
+        col_width=10,
+    )
+    measured = ordering_at(results, max(sizes))
+    return table + (
+        f"\n64K ordering measured: {measured}"
+        f"\n64K ordering paper:    {PAPER_ORDER_64K}"
+        f"\nshape {'PRESERVED' if measured == PAPER_ORDER_64K else 'DIVERGES'}"
+    )
+
+
+def main() -> None:
+    print(format_results(run()))
+
+
+if __name__ == "__main__":
+    main()

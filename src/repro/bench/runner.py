@@ -1,0 +1,50 @@
+"""Shared benchmark plumbing: the paper's size ladder and table printing."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+#: The x-axis of Figures 10-12: 1 byte to 64 KB.
+MESSAGE_SIZES = [1, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+
+#: The coarser ladder of Figures 12/13 ("1 1K 4K 8K 16K 32K 64K").
+ECHO_SIZES = [1, 1024, 4096, 8192, 16384, 32768, 65536]
+
+
+def size_label(size: int) -> str:
+    """Render a message size the way the paper's axes do (1K, 64K...)."""
+    if size >= 1024 and size % 1024 == 0:
+        return f"{size // 1024}K"
+    return str(size)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence],
+    col_width: int = 10,
+) -> str:
+    """Plain-text table matching the repo's bench output style."""
+    rows = [tuple(row) for row in rows]
+    label_width = max(
+        [len(str(columns[0]))] + [len(str(row[0])) for row in rows], default=8
+    ) + 2
+    lines = [title, "-" * len(title)]
+    header = str(columns[0]).ljust(label_width) + "".join(
+        str(c).rjust(col_width) for c in columns[1:]
+    )
+    lines.append(header)
+    for row in rows:
+        rendered = str(row[0]).ljust(label_width)
+        for cell in row[1:]:
+            if isinstance(cell, float):
+                rendered += f"{cell:{col_width}.3f}"
+            else:
+                rendered += str(cell).rjust(col_width)
+        lines.append(rendered)
+    return "\n".join(lines)
+
+
+def series_ordering(series: Dict[str, float]) -> List[str]:
+    """Names sorted fastest-first — the 'who wins' shape check."""
+    return sorted(series, key=series.get)

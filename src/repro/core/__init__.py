@@ -1,0 +1,36 @@
+"""NCS core: nodes, connections, and the NCS_send/NCS_recv primitives.
+
+This is the paper's primary contribution assembled from the substrates:
+a multithreaded message-passing node with separated control and data
+planes, per-connection data transfer threads, runtime-selectable flow
+control, error control and communication interfaces, and a thread-bypass
+"procedure" variant of the primitives (§4.2).
+"""
+
+from repro.core.config import ConnectionConfig, NodeConfig
+from repro.core.errors import (
+    ConnectionClosedError,
+    ConnectRejectedError,
+    ConnectTimeoutError,
+    NcsError,
+    SendFailedError,
+)
+from repro.core.handles import SendHandle, SendStatus
+from repro.core.connection import Connection
+from repro.core.heartbeat import FailureDetector
+from repro.core.node import Node
+
+__all__ = [
+    "Connection",
+    "FailureDetector",
+    "ConnectionClosedError",
+    "ConnectionConfig",
+    "ConnectRejectedError",
+    "ConnectTimeoutError",
+    "NcsError",
+    "Node",
+    "NodeConfig",
+    "SendFailedError",
+    "SendHandle",
+    "SendStatus",
+]

@@ -1,0 +1,120 @@
+"""Per-connection and per-node configuration.
+
+The heart of the paper's flexibility claim: *every* connection chooses
+its own flow control algorithm, error control algorithm, communication
+interface, SDU size and QOS knobs at establishment time, and the
+primitives behave identically afterwards ("the underlying operations are
+transparent to users", §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errorcontrol import ALGORITHMS as EC_ALGORITHMS
+from repro.flowcontrol import ALGORITHMS as FC_ALGORITHMS
+from repro.interfaces import INTERFACES
+from repro.interfaces.aci import ACI_MAX_SDU
+from repro.protocol.segmentation import DEFAULT_SDU_SIZE, validate_sdu_size
+
+
+@dataclass(frozen=True)
+class ConnectionConfig:
+    """Everything negotiated at connection setup.
+
+    Defaults follow the paper: credit-based flow control, selective
+    repeat error control, 4 KB SDUs.  ``mode`` selects the threaded data
+    path (default) or the §4.2 thread-bypass procedures.
+    """
+
+    flow_control: str = "credit"
+    error_control: str = "selective_repeat"
+    interface: str = "sci"
+    sdu_size: int = DEFAULT_SDU_SIZE
+    mode: str = "threaded"  # "threaded" | "bypass"
+
+    # Flow control knobs.
+    initial_credits: int = 4
+    max_credits: int = 64
+    window_size: int = 8
+    rate_pps: float = 1000.0
+    rate_burst: float = 8.0
+
+    # Error control knobs.
+    retransmit_timeout: float = 0.2
+    max_retries: int = 8
+    gbn_window: int = 16
+
+    # Fault injection on the outgoing data path (testing / media modeling).
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self):
+        if self.flow_control not in FC_ALGORITHMS:
+            raise ValueError(
+                f"unknown flow control {self.flow_control!r}; "
+                f"choose from {FC_ALGORITHMS}"
+            )
+        if self.error_control not in EC_ALGORITHMS:
+            raise ValueError(
+                f"unknown error control {self.error_control!r}; "
+                f"choose from {EC_ALGORITHMS}"
+            )
+        if self.interface not in INTERFACES:
+            raise ValueError(
+                f"unknown interface {self.interface!r}; choose from {INTERFACES}"
+            )
+        if self.mode not in ("threaded", "bypass"):
+            raise ValueError(f"mode must be 'threaded' or 'bypass', got {self.mode!r}")
+        validate_sdu_size(self.sdu_size)
+        if self.interface == "aci" and self.sdu_size > ACI_MAX_SDU:
+            raise ValueError(
+                f"ACI caps SDUs at {ACI_MAX_SDU} bytes (ATM API restriction, "
+                f"paper §3.2); requested {self.sdu_size}"
+            )
+        if self.initial_credits < 1:
+            raise ValueError("initial_credits must be >= 1")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be > 0")
+
+    def with_overrides(self, **changes) -> "ConnectionConfig":
+        """A copy with some fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    #: Canonical presets from the paper's multimedia scenario (Fig. 2).
+    @classmethod
+    def media_stream(cls, interface: str = "aci", rate_pps: float = 2000.0) -> "ConnectionConfig":
+        """Audio/video: no flow control, no error control, low latency."""
+        return cls(
+            flow_control="none",
+            error_control="none",
+            interface=interface,
+            rate_pps=rate_pps,
+        )
+
+    @classmethod
+    def reliable_data(cls, interface: str = "sci") -> "ConnectionConfig":
+        """Data stream: reliable, credit-controlled transfer."""
+        return cls(
+            flow_control="credit",
+            error_control="selective_repeat",
+            interface=interface,
+        )
+
+
+@dataclass
+class NodeConfig:
+    """Node-level settings."""
+
+    name: str
+    host: str = "127.0.0.1"
+    control_port: int = 0  # 0 = ephemeral
+    thread_package: str = "kernel"  # "kernel" | "user"
+    #: HPI fabric shared with cluster peers (None = module default).
+    hpi_fabric: object = None
+    #: Timer thread tick (drives retransmission + rate pacing).
+    timer_tick: float = 0.005
+    #: Enable the internal event tracer.
+    trace: bool = False

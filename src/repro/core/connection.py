@@ -1,0 +1,525 @@
+"""A configured NCS connection: engines, data-transfer threads, primitives.
+
+One ``Connection`` object lives at each end.  In the default *threaded*
+mode it owns three threads, mirroring the paper's data plane:
+
+* the **protocol thread** hosts the sender-side Error Control and Flow
+  Control engines (the paper's EC/FC threads for this connection),
+  driven by an event channel carrying send requests, control PDUs and
+  timer ticks;
+* the **Send Thread** drains the flow-controlled transmit queue onto the
+  data connection (Table I's context-switch boundary sits between
+  ``NCS_send`` and this thread);
+* the **Receive Thread** pulls frames off the data connection and runs
+  the receiver-side FC/EC engines, emitting credits and ACK bitmaps onto
+  the *control* connection and completed messages into the receive
+  queue.  On the user-level thread package it polls ``try_recv`` and
+  yields, never blocking the process (§4.1).
+
+In *bypass* mode (§4.2's procedure variant) no per-connection threads
+exist: the same engines run inline inside ``send``/``recv``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Optional
+
+from repro.core.config import ConnectionConfig
+from repro.core.errors import ConnectionClosedError
+from repro.core.handles import SendHandle, SendStatus
+from repro.errorcontrol import make_error_control
+from repro.flowcontrol import make_flow_control
+from repro.interfaces.base import (
+    CommInterface,
+    FaultInjector,
+    FaultyInterface,
+    InterfaceClosed,
+)
+from repro.protocol.effects import Effects
+from repro.protocol.headers import HeaderError, Sdu
+from repro.protocol.pdus import (
+    AckPdu,
+    ClosePdu,
+    ControlPdu,
+    CreditPdu,
+    CumAckPdu,
+)
+
+_STOP = object()
+
+
+class Connection:
+    """One end of an established NCS point-to-point connection."""
+
+    def __init__(
+        self,
+        node,
+        conn_id: int,
+        peer_name: str,
+        peer_link,
+        config: ConnectionConfig,
+        interface: CommInterface,
+    ):
+        self.node = node
+        self.conn_id = conn_id
+        self.peer_name = peer_name
+        self.peer_link = peer_link
+        self.config = config
+        if config.loss_rate or config.corrupt_rate:
+            interface = FaultyInterface(
+                interface,
+                FaultInjector(
+                    loss_rate=config.loss_rate,
+                    corrupt_rate=config.corrupt_rate,
+                    seed=config.fault_seed,
+                ),
+            )
+        self.interface = interface
+        self._pkg = node.pkg
+        self._clock = node.clock
+
+        ec_options = {
+            "retransmit_timeout": config.retransmit_timeout,
+            "max_retries": config.max_retries,
+        }
+        if config.error_control == "go_back_n":
+            ec_options["window"] = config.gbn_window
+        self.ec_sender, self.ec_receiver = make_error_control(
+            config.error_control, conn_id, config.sdu_size, **ec_options
+        )
+        fc_options = {}
+        if config.flow_control == "credit":
+            fc_options = {
+                "initial_credits": config.initial_credits,
+                "max_credits": config.max_credits,
+            }
+        elif config.flow_control == "window":
+            fc_options = {"window_size": config.window_size}
+        elif config.flow_control == "rate":
+            fc_options = {"rate_pps": config.rate_pps, "burst": config.rate_burst}
+        self.fc_sender, self.fc_receiver = make_flow_control(
+            config.flow_control, conn_id, **fc_options
+        )
+
+        self._msg_ids = itertools.count(1)
+        self._handles: dict[int, SendHandle] = {}
+        self._handles_lock = threading.Lock()
+        self.recv_queue = self._pkg.channel()
+        self._closed = False
+        self._peer_closed = False
+
+        #: Next deadline at which the sender EC needs a timer callback.
+        self._ec_timer_at: Optional[float] = None
+        #: Next time rate-based flow control can release more packets.
+        self._fc_ready_at: Optional[float] = None
+        #: Receiver-side GC deadline (unreliable connections).
+        self._recv_gc_at: Optional[float] = None
+
+        # Statistics.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.frames_malformed = 0
+
+        if config.mode == "threaded":
+            self._proto_chan = self._pkg.channel()
+            self._send_chan = self._pkg.channel()
+            self._threads = [
+                self._pkg.spawn(self._proto_loop, name=f"proto-{conn_id}"),
+                self._pkg.spawn(self._send_loop, name=f"send-{conn_id}"),
+                self._pkg.spawn(self._recv_loop, name=f"recv-{conn_id}"),
+            ]
+        else:
+            # Bypass: engines run inline; one lock serializes sender-side
+            # engine access across app thread / control reader / timer.
+            self._engine_lock = threading.Lock()
+            self._recv_lock = threading.Lock()
+            self._proto_chan = None
+            self._send_chan = None
+            self._threads = []
+
+    # ------------------------------------------------------------------
+    # Public primitives
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        payload: bytes,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+        instrument: Optional[dict] = None,
+    ) -> SendHandle:
+        """NCS_send(): transmit ``payload`` on this connection.
+
+        Returns a :class:`SendHandle`; with ``wait=True`` blocks until the
+        error control engine confirms delivery (or raises on failure).
+        ``instrument`` (a dict) collects per-stage timestamps for the
+        Table I overhead decomposition.
+        """
+        if instrument is not None:
+            instrument["entry"] = time.perf_counter_ns()
+        if self._closed:
+            raise ConnectionClosedError(f"connection {self.conn_id} is closed")
+        msg_id = next(self._msg_ids)
+        handle = SendHandle(msg_id, len(payload))
+        with self._handles_lock:
+            self._handles[msg_id] = handle
+        self.messages_sent += 1
+        if self.config.mode == "threaded":
+            if instrument is not None:
+                # Stamp before the put: the protocol thread may dequeue
+                # the instant the request lands.
+                instrument["queued"] = time.perf_counter_ns()
+            self._proto_chan.put(("send", msg_id, payload, instrument))
+        else:
+            self._bypass_send(msg_id, payload, instrument)
+        if instrument is not None:
+            instrument["exit"] = time.perf_counter_ns()
+        if wait:
+            if not handle.wait(timeout):
+                raise TimeoutError(
+                    f"send of message {msg_id} not confirmed within {timeout}s"
+                )
+        return handle
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """NCS_recv(): next complete message, or None on timeout."""
+        if self.config.mode == "bypass":
+            return self._bypass_recv(timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = 0.05
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    return None
+            try:
+                return self.recv_queue.get(timeout=remaining)
+            except TimeoutError:
+                if self._closed or self._peer_closed:
+                    if self.recv_queue.empty():
+                        raise ConnectionClosedError(
+                            f"connection {self.conn_id} closed with no pending data"
+                        ) from None
+
+    def try_recv(self) -> Optional[bytes]:
+        """Non-blocking NCS_recv variant."""
+        if self.config.mode == "bypass":
+            self._bypass_pump_once(blocking=False)
+        ok, item = self.recv_queue.try_get()
+        return item if ok else None
+
+    def close(self, notify_peer: bool = True) -> None:
+        """Tear the connection down and stop its threads."""
+        if self._closed:
+            return
+        self._closed = True
+        if notify_peer and not self._peer_closed:
+            try:
+                self.node.control_send(self.peer_link, ClosePdu(self.conn_id))
+            except Exception:
+                pass  # best effort: peer may already be gone
+        if self._proto_chan is not None:
+            self._proto_chan.put((_STOP,))
+            self._send_chan.put(_STOP)
+        # Give the data threads a moment to drain, then cut the interface.
+        for handle in self._threads:
+            handle.join(timeout=1.0)
+        self.interface.close()
+        self.node._forget_connection(self.conn_id)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Counters from the connection and its engines."""
+        stats = {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "frames_malformed": self.frames_malformed,
+            "fc_queued": self.fc_sender.queued(),
+        }
+        for attr in ("retransmitted_sdus", "full_retransmits"):
+            if hasattr(self.ec_sender, attr):
+                stats[attr] = getattr(self.ec_sender, attr)
+        for attr in ("acks_sent", "corrupted_count", "duplicate_count",
+                     "dropped_messages", "discarded_out_of_order"):
+            if hasattr(self.ec_receiver, attr):
+                stats[attr] = getattr(self.ec_receiver, attr)
+        if isinstance(self.interface, FaultyInterface):
+            stats["injected_drops"] = self.interface.injector.dropped
+            stats["injected_corruptions"] = self.interface.injector.corrupted
+        return stats
+
+    # ------------------------------------------------------------------
+    # Control-plane entry points (called from node threads)
+    # ------------------------------------------------------------------
+
+    def on_control_pdu(self, pdu: ControlPdu) -> None:
+        """Route an inbound control PDU for this connection."""
+        if isinstance(pdu, ClosePdu):
+            self._peer_closed = True
+            return
+        if self.config.mode == "threaded":
+            if not self._closed:
+                self._proto_chan.put(("control", pdu))
+        else:
+            with self._engine_lock:
+                self._apply_sender_control(pdu, self._clock.now())
+
+    def on_timer_tick(self, now: float) -> None:
+        """Called by the node timer thread at each tick."""
+        if self._closed:
+            return
+        due = (
+            (self._ec_timer_at is not None and now >= self._ec_timer_at)
+            or (self._fc_ready_at is not None and now >= self._fc_ready_at)
+        )
+        if not due:
+            return
+        if self.config.mode == "threaded":
+            self._proto_chan.put(("timer", now))
+        else:
+            with self._engine_lock:
+                self._run_ec_timer(now, transmit_inline=True)
+
+    # ------------------------------------------------------------------
+    # Threaded mode: protocol / send / receive loops
+    # ------------------------------------------------------------------
+
+    def _proto_loop(self) -> None:
+        """Hosts the sender-side EC and FC engines."""
+        while True:
+            try:
+                event = self._proto_chan.get(timeout=0.1)
+            except TimeoutError:
+                if self._closed:
+                    return
+                continue
+            if event[0] is _STOP:
+                return
+            now = self._clock.now()
+            kind = event[0]
+            if kind == "send":
+                _, msg_id, payload, instrument = event
+                if instrument is not None:
+                    instrument["dequeued"] = time.perf_counter_ns()
+                effects = self.ec_sender.send(msg_id, payload, now)
+                if instrument is not None:
+                    instrument["segmented"] = time.perf_counter_ns()
+                self._ec_timer_at = effects.timer_at
+                self._dispatch_sender_effects(
+                    effects, now, transmit_inline=False, instrument=instrument
+                )
+            elif kind == "control":
+                self._apply_sender_control(event[1], now)
+            elif kind == "timer":
+                self._run_ec_timer(now, transmit_inline=False)
+
+    def _send_loop(self) -> None:
+        """The paper's Send Thread: transmit flow-released SDUs."""
+        while True:
+            try:
+                item = self._send_chan.get(timeout=0.1)
+            except TimeoutError:
+                if self._closed:
+                    return
+                continue
+            if item is _STOP:
+                return
+            sdu, instrument = item
+            if instrument is not None:
+                instrument["send_thread_dequeued"] = time.perf_counter_ns()
+            try:
+                self.interface.send(sdu.encode())
+            except InterfaceClosed:
+                return
+            if instrument is not None:
+                instrument["transmitted"] = time.perf_counter_ns()
+
+    def _recv_loop(self) -> None:
+        """The paper's Receive Thread: poll-and-yield on the user-level
+        package, blocking-with-timeout on the kernel package."""
+        poll_mode = self._pkg.kind == "user"
+        while not self._closed:
+            try:
+                if poll_mode:
+                    frame = self.interface.try_recv()
+                    if frame is None:
+                        self._maybe_recv_gc()
+                        self._pkg.yield_control()
+                        continue
+                else:
+                    frame = self.interface.recv(timeout=0.05)
+                    if frame is None:
+                        self._maybe_recv_gc()
+                        continue
+            except InterfaceClosed:
+                return
+            self._process_frame(frame)
+
+    def _process_frame(self, frame: bytes) -> None:
+        """Receiver path shared by threaded and bypass modes."""
+        try:
+            sdu = Sdu.decode(frame)
+        except HeaderError:
+            self.frames_malformed += 1
+            return
+        now = self._clock.now()
+        # Fig. 4 steps 8-9: Receive Thread activates the Flow Control
+        # Thread, which returns credit over the control connection...
+        for pdu in self.fc_receiver.on_sdu(sdu, now):
+            self.node.control_send(self.peer_link, pdu)
+        # ...then the Error Control Thread reassembles and acknowledges.
+        effects = self.ec_receiver.on_sdu(sdu, now)
+        self._recv_gc_at = effects.timer_at
+        for pdu in effects.controls:
+            self.node.control_send(self.peer_link, pdu)
+        for message in effects.deliveries:
+            self.messages_received += 1
+            self.recv_queue.put(message)
+
+    def _maybe_recv_gc(self) -> None:
+        if self._recv_gc_at is None:
+            return
+        now = self._clock.now()
+        if now >= self._recv_gc_at:
+            effects = self.ec_receiver.on_timer(now)
+            self._recv_gc_at = effects.timer_at
+            for message in effects.deliveries:
+                # Ordered delivery released messages held behind a gap.
+                self.messages_received += 1
+                self.recv_queue.put(message)
+
+    # ------------------------------------------------------------------
+    # Shared sender-side effect dispatch
+    # ------------------------------------------------------------------
+
+    def _run_ec_timer(self, now: float, transmit_inline: bool) -> None:
+        """Timer tick for the sender engines.
+
+        While flow control still gates queued SDUs, an acknowledgment
+        was never possible, so retransmission deadlines are deferred
+        rather than fired (the paper starts the timer only after the
+        last packet reaches the Send Thread).  The flow pump still runs
+        so stalled credit/window/rate controllers make progress.
+        """
+        if self.fc_sender.queued() > 0:
+            self.ec_sender.defer(now)
+            self._pump_flow(now, transmit_inline)
+            return
+        effects = self.ec_sender.on_timer(now)
+        self._ec_timer_at = effects.timer_at
+        self._dispatch_sender_effects(effects, now, transmit_inline=transmit_inline)
+
+    def _apply_sender_control(self, pdu: ControlPdu, now: float) -> None:
+        """Feed a control PDU to the right sender-side engine."""
+        if isinstance(pdu, CreditPdu):
+            self.fc_sender.on_control(pdu, now)
+            self._pump_flow(now, transmit_inline=self.config.mode == "bypass")
+            return
+        if isinstance(pdu, (AckPdu, CumAckPdu)):
+            effects = self.ec_sender.on_control(pdu, now)
+            self._ec_timer_at = effects.timer_at
+            self._dispatch_sender_effects(
+                effects, now, transmit_inline=self.config.mode == "bypass"
+            )
+
+    def _dispatch_sender_effects(
+        self,
+        effects: Effects,
+        now: float,
+        transmit_inline: bool,
+        instrument: Optional[dict] = None,
+    ) -> None:
+        if effects.transmits:
+            self.fc_sender.offer(effects.transmits)
+        for pdu in effects.controls:
+            self.node.control_send(self.peer_link, pdu)
+        for msg_id in effects.completed:
+            self._resolve_handle(msg_id, SendStatus.COMPLETED)
+        for msg_id in effects.failed:
+            self._resolve_handle(msg_id, SendStatus.FAILED)
+        self._pump_flow(now, transmit_inline, instrument)
+
+    def _pump_flow(
+        self,
+        now: float,
+        transmit_inline: bool,
+        instrument: Optional[dict] = None,
+    ) -> None:
+        """Release whatever flow control currently allows (Fig. 7 step 3)."""
+        released = self.fc_sender.pull(now)
+        if instrument is not None:
+            instrument["flow_released"] = time.perf_counter_ns()
+        for sdu in released:
+            if transmit_inline:
+                try:
+                    self.interface.send(sdu.encode())
+                except InterfaceClosed:
+                    return
+            else:
+                self._send_chan.put((sdu, instrument))
+        self._fc_ready_at = self.fc_sender.next_ready_time(now)
+
+    def _resolve_handle(self, msg_id: int, status: SendStatus) -> None:
+        with self._handles_lock:
+            handle = self._handles.pop(msg_id, None)
+        if handle is not None:
+            handle._resolve(status)
+
+    # ------------------------------------------------------------------
+    # Bypass mode (§4.2): threads replaced by procedures
+    # ------------------------------------------------------------------
+
+    def _bypass_send(
+        self, msg_id: int, payload: bytes, instrument: Optional[dict]
+    ) -> None:
+        now = self._clock.now()
+        with self._engine_lock:
+            effects = self.ec_sender.send(msg_id, payload, now)
+            if instrument is not None:
+                instrument["segmented"] = time.perf_counter_ns()
+            self._ec_timer_at = effects.timer_at
+            self._dispatch_sender_effects(
+                effects, now, transmit_inline=True, instrument=instrument
+            )
+        if instrument is not None:
+            instrument["transmitted"] = time.perf_counter_ns()
+
+    def _bypass_recv(self, timeout: Optional[float]) -> Optional[bytes]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            ok, item = self.recv_queue.try_get()
+            if ok:
+                return item
+            if self._closed or self._peer_closed:
+                raise ConnectionClosedError(
+                    f"connection {self.conn_id} closed with no pending data"
+                )
+            remaining = 0.05
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    return None
+            self._bypass_pump_once(blocking=True, timeout=remaining)
+
+    def _bypass_pump_once(
+        self, blocking: bool, timeout: float = 0.05
+    ) -> None:
+        """Pull and process one frame inline (the procedure variant)."""
+        with self._recv_lock:
+            try:
+                if blocking:
+                    frame = self.interface.recv(timeout=timeout)
+                else:
+                    frame = self.interface.try_recv()
+            except InterfaceClosed:
+                self._peer_closed = True
+                return
+            if frame is not None:
+                self._process_frame(frame)
+            self._maybe_recv_gc()

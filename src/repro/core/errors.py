@@ -1,0 +1,31 @@
+"""Exception hierarchy for the NCS runtime."""
+
+from __future__ import annotations
+
+
+class NcsError(Exception):
+    """Base class for all NCS runtime errors."""
+
+
+class ConnectTimeoutError(NcsError):
+    """Connection establishment did not complete within the deadline."""
+
+
+class ConnectRejectedError(NcsError):
+    """The peer's Master Thread declined the connection request."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"connection rejected by peer: {reason}")
+        self.reason = reason
+
+
+class ConnectionClosedError(NcsError):
+    """Operation on a connection that is closed (locally or by peer)."""
+
+
+class SendFailedError(NcsError):
+    """A reliable send exhausted its retransmission budget."""
+
+    def __init__(self, msg_id: int):
+        super().__init__(f"message {msg_id} could not be delivered")
+        self.msg_id = msg_id

@@ -1,0 +1,54 @@
+"""Send-completion handles.
+
+``NCS_send`` on a reliable connection returns immediately with a handle;
+the message is complete when the final all-clear acknowledgment bitmap
+arrives.  Handles use OS events rather than package primitives so that
+application code outside the node's thread package can wait on them.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Optional
+
+from repro.core.errors import SendFailedError
+
+
+class SendStatus(enum.Enum):
+    PENDING = "pending"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class SendHandle:
+    """Tracks one outgoing message through the error control engine."""
+
+    def __init__(self, msg_id: int, size: int):
+        self.msg_id = msg_id
+        self.size = size
+        self._event = threading.Event()
+        self._status = SendStatus.PENDING
+
+    @property
+    def status(self) -> SendStatus:
+        return self._status
+
+    def _resolve(self, status: SendStatus) -> None:
+        self._status = status
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until completion/failure.  Raises on failure; returns
+        False on timeout, True on success."""
+        if not self._event.wait(timeout):
+            return False
+        if self._status is SendStatus.FAILED:
+            raise SendFailedError(self.msg_id)
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"SendHandle(msg_id={self.msg_id}, status={self._status.value})"

@@ -1,0 +1,166 @@
+"""Heartbeat-based peer failure detection over the control plane.
+
+The paper credits the separated control path with enabling "dynamic
+group communications and fault tolerance capability" (§2, SCI
+discussion).  This module supplies the fault-tolerance half: a
+:class:`FailureDetector` periodically probes monitored peers with
+:class:`~repro.protocol.pdus.HeartbeatPdu` requests on the control
+links; every NCS node answers probes automatically (see
+``Node._route_pdu``), and a peer whose replies stop for
+``suspect_after`` seconds is reported failed.
+
+Request/reply discrimination rides the sequence number's top bit so the
+single PDU type serves both directions without replies re-triggering
+replies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.protocol.pdus import HeartbeatPdu
+
+REPLY_BIT = 0x80000000
+
+
+def is_reply(pdu: HeartbeatPdu) -> bool:
+    return bool(pdu.sequence & REPLY_BIT)
+
+
+def make_reply(node_name: str, request: HeartbeatPdu) -> HeartbeatPdu:
+    return HeartbeatPdu(node_name, request.sequence | REPLY_BIT)
+
+
+class PeerStatus:
+    """Monitoring state for one peer."""
+
+    __slots__ = ("address", "last_reply_at", "suspected", "probes", "replies")
+
+    def __init__(self, address: Tuple[str, int], now: float):
+        self.address = address
+        self.last_reply_at = now
+        self.suspected = False
+        self.probes = 0
+        self.replies = 0
+
+
+class FailureDetector:
+    """Probe monitored peers; report suspects and recoveries.
+
+    ``on_failure(address)`` fires once when a peer goes silent past
+    ``suspect_after``; ``on_recovery(address)`` fires if it speaks again.
+    """
+
+    def __init__(
+        self,
+        node,
+        interval: float = 0.05,
+        suspect_after: float = 0.3,
+        on_failure: Optional[Callable[[Tuple[str, int]], None]] = None,
+        on_recovery: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ):
+        if suspect_after <= interval:
+            raise ValueError(
+                "suspect_after must exceed the probe interval "
+                f"({suspect_after} <= {interval})"
+            )
+        self.node = node
+        self.interval = interval
+        self.suspect_after = suspect_after
+        self.on_failure = on_failure
+        self.on_recovery = on_recovery
+        self._peers: Dict[Tuple[str, int], PeerStatus] = {}
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self._running = True
+        node.heartbeat_reply_handler = self._on_reply
+        self._thread = node.pkg.spawn(
+            self._probe_loop, name=f"{node.name}-hbdetector"
+        )
+
+    # ------------------------------------------------------------------
+
+    def monitor(self, peer: Tuple[str, int]) -> None:
+        """Start probing ``peer`` (a node's control address)."""
+        with self._lock:
+            self._peers.setdefault(
+                peer, PeerStatus(peer, self.node.clock.now())
+            )
+
+    def unmonitor(self, peer: Tuple[str, int]) -> None:
+        with self._lock:
+            self._peers.pop(peer, None)
+
+    def status(self, peer: Tuple[str, int]) -> Optional[PeerStatus]:
+        with self._lock:
+            return self._peers.get(peer)
+
+    def alive_peers(self) -> list:
+        with self._lock:
+            return [
+                status.address
+                for status in self._peers.values()
+                if not status.suspected
+            ]
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        while self._running and not self.node._closed:
+            self.node.pkg.sleep(self.interval)
+            now = self.node.clock.now()
+            with self._lock:
+                targets = list(self._peers.values())
+            for status in targets:
+                self._probe(status)
+                self._judge(status, now)
+
+    def _probe(self, status: PeerStatus) -> None:
+        self._sequence = (self._sequence + 1) & 0x7FFFFFFF
+        try:
+            link = self.node.control_link(status.address)
+        except OSError:
+            return  # dial failure counts as silence; _judge handles it
+        status.probes += 1
+        self.node.control_send(
+            link, HeartbeatPdu(self.node.name, self._sequence)
+        )
+
+    def _judge(self, status: PeerStatus, now: float) -> None:
+        silent_for = now - status.last_reply_at
+        if not status.suspected and silent_for > self.suspect_after:
+            status.suspected = True
+            if self.on_failure is not None:
+                self.on_failure(status.address)
+
+    def _on_reply(self, pdu: HeartbeatPdu, link) -> None:
+        """Called by the node's control reader for heartbeat replies."""
+        try:
+            address = link.peer_address()
+        except OSError:
+            return
+        now = self.node.clock.now()
+        with self._lock:
+            # Replies come back on the link we dialed; match by the
+            # dialed address the link is cached under.
+            for status in self._peers.values():
+                if self._link_matches(status.address, address):
+                    status.replies += 1
+                    status.last_reply_at = now
+                    if status.suspected:
+                        status.suspected = False
+                        if self.on_recovery is not None:
+                            self.on_recovery(status.address)
+                    break
+
+    def _link_matches(
+        self, monitored: Tuple[str, int], link_peer: Tuple[str, int]
+    ) -> bool:
+        # The reply link's peer port is the peer's *listening* port when
+        # we dialed it, which is exactly the monitored address.
+        return monitored == link_peer

@@ -1,0 +1,532 @@
+"""The NCS node: Master Thread, control plane, and connection signaling.
+
+One ``Node`` per participating process.  Its control plane mirrors the
+paper's Fig. 1:
+
+* an **accept loop** plus per-peer **control links** (TCP) carry *all*
+  control information — signaling, ACK bitmaps, credits — so data
+  connections stay pure data (separation of control and data);
+* the **Control Send Thread** serializes outbound control PDUs;
+* per-link **Control Receive Threads** parse inbound PDUs and route them
+  to the Master Thread (signaling) or to the owning connection's engines
+  (ACKs, credits);
+* the **Master Thread** performs connection management: it validates
+  connect requests, spawns the data-plane endpoint for the negotiated
+  interface, and registers the new connection — "data transfer threads
+  ... are spawned on a per-connection basis by the Master Thread";
+* a **timer thread** ticks retransmission timers and rate pacing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.config import ConnectionConfig, NodeConfig
+from repro.core.connection import Connection
+from repro.core.errors import (
+    ConnectRejectedError,
+    ConnectTimeoutError,
+    NcsError,
+)
+from repro.interfaces.aci import aci_open
+from repro.interfaces.base import InterfaceClosed
+from repro.interfaces.hpi import DEFAULT_FABRIC, HpiFabric
+from repro.interfaces.sci import SciInterface, SciListener, sci_connect
+from repro.protocol.pdus import (
+    AckPdu,
+    BarrierPdu,
+    ClosePdu,
+    ConnectAcceptPdu,
+    ConnectRejectPdu,
+    ConnectRequestPdu,
+    ControlPdu,
+    CreditPdu,
+    CumAckPdu,
+    GroupInfoPdu,
+    GroupJoinPdu,
+    GroupLeavePdu,
+    HeartbeatPdu,
+    PduDecodeError,
+    decode_control_pdu,
+)
+from repro.threadpkg import make_thread_package
+from repro.util.clock import MonotonicClock
+from repro.util.trace import Tracer
+
+_STOP = object()
+
+#: Result of an accept handler: True/None accept, False/str reject,
+#: ConnectionConfig accept-with-overrides.
+AcceptDecision = Union[bool, None, str, ConnectionConfig]
+
+
+class _PendingConnect:
+    """Initiator-side state while waiting for Accept/Reject."""
+
+    __slots__ = ("event", "accept", "reject_reason")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.accept: Optional[ConnectAcceptPdu] = None
+        self.reject_reason: Optional[str] = None
+
+
+class Node:
+    """An NCS endpoint: control plane plus any number of connections."""
+
+    def __init__(self, config: Union[NodeConfig, str]):
+        if isinstance(config, str):
+            config = NodeConfig(name=config)
+        self.config = config
+        self.name = config.name
+        self.pkg = make_thread_package(config.thread_package)
+        self.clock = MonotonicClock()
+        self.tracer = Tracer(self.clock, enabled=config.trace)
+        self.hpi_fabric: HpiFabric = config.hpi_fabric or DEFAULT_FABRIC
+
+        self._listener = SciListener(config.host, config.control_port)
+        self.host = self._listener.host
+        self.control_port = self._listener.port
+
+        self._closed = False
+        self._connections: Dict[int, Connection] = {}
+        self._conn_lock = threading.Lock()
+        self._pending: Dict[int, _PendingConnect] = {}
+        self._links: Dict[Tuple[str, int], SciInterface] = {}
+        self._links_lock = threading.Lock()
+
+        #: Optional connection admission policy (see AcceptDecision).
+        self.accept_handler: Optional[
+            Callable[[ConnectRequestPdu], AcceptDecision]
+        ] = None
+        #: Mode applied to connections we accept ("threaded" | "bypass").
+        self.accept_mode = "threaded"
+        #: Queue of connections accepted from peers.
+        self.accepted_queue = self.pkg.channel()
+        #: Hook for the multicast/group layer (installed by GroupManager).
+        self.group_pdu_handler: Optional[Callable[[ControlPdu, object], None]] = None
+        #: Optional interceptor for accepted connections; returns True to
+        #: consume the connection (keeps it off ``accepted_queue``).  The
+        #: group layer uses this to claim its forwarding connections.
+        self.accept_router: Optional[
+            Callable[[ConnectRequestPdu, Connection], bool]
+        ] = None
+        #: Installed by a FailureDetector to receive heartbeat replies.
+        self.heartbeat_reply_handler: Optional[
+            Callable[[HeartbeatPdu, object], None]
+        ] = None
+
+        self._ctrl_chan = self.pkg.channel()
+        self._master_chan = self.pkg.channel()
+        self._threads = [
+            self.pkg.spawn(self._accept_loop, name=f"{self.name}-accept"),
+            self.pkg.spawn(self._ctrl_send_loop, name=f"{self.name}-ctrlsend"),
+            self.pkg.spawn(self._master_loop, name=f"{self.name}-master"),
+            self.pkg.spawn(self._timer_loop, name=f"{self.name}-timer"),
+        ]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Control-plane (host, port) other nodes dial to reach us."""
+        return (self.host, self.control_port)
+
+    def connect(
+        self,
+        peer: Tuple[str, int],
+        config: Optional[ConnectionConfig] = None,
+        timeout: float = 5.0,
+        peer_name: str = "",
+    ) -> Connection:
+        """Establish a connection with the paper's per-connection QOS.
+
+        ``config`` carries the flow/error algorithms, interface, SDU size
+        and knobs; the peer's Master Thread builds matching engines from
+        the request PDU.
+        """
+        if self._closed:
+            raise NcsError("node is closed")
+        config = config or ConnectionConfig()
+        link = self._get_link(peer)
+        conn_id = self._new_conn_id()
+        endpoint = None
+        src_data_port = 0
+        if config.interface == "aci":
+            endpoint = aci_open(self.host)
+            src_data_port = endpoint.port
+        elif config.interface == "hpi":
+            src_data_port, endpoint = self.hpi_fabric.offer()
+
+        pending = _PendingConnect()
+        self._pending[conn_id] = pending
+        request = ConnectRequestPdu(
+            connection_id=conn_id,
+            src_node=self.name,
+            dst_node=peer_name,
+            src_data_port=src_data_port,
+            flow_control=config.flow_control,
+            error_control=config.error_control,
+            interface=config.interface,
+            sdu_size=config.sdu_size,
+            initial_credits=config.initial_credits,
+            window_size=config.window_size,
+            rate_pps=config.rate_pps,
+        )
+        self.control_send(link, request)
+        try:
+            if not pending.event.wait(timeout):
+                raise ConnectTimeoutError(
+                    f"no reply from {peer} within {timeout}s"
+                )
+            if pending.reject_reason is not None:
+                raise ConnectRejectedError(pending.reject_reason)
+            accept = pending.accept
+        finally:
+            self._pending.pop(conn_id, None)
+
+        if config.interface == "sci":
+            interface = sci_connect(peer[0], accept.data_port)
+        elif config.interface == "aci":
+            endpoint.bind_peer(peer[0], accept.data_port)
+            interface = endpoint
+        else:  # hpi
+            interface = endpoint
+
+        connection = Connection(
+            self, conn_id, peer_name or f"{peer[0]}:{peer[1]}", link, config, interface
+        )
+        with self._conn_lock:
+            self._connections[conn_id] = connection
+        self.tracer.emit("node", "connected", conn_id=conn_id, peer=peer)
+        return connection
+
+    def accept(self, timeout: Optional[float] = None) -> Optional[Connection]:
+        """Next connection established by a remote initiator."""
+        try:
+            return self.accepted_queue.get(timeout=timeout)
+        except TimeoutError:
+            return None
+
+    def connections(self) -> list:
+        with self._conn_lock:
+            return list(self._connections.values())
+
+    def control_send(self, link, pdu: ControlPdu) -> None:
+        """Queue a PDU for the Control Send Thread."""
+        self._ctrl_chan.put((link, pdu))
+
+    def control_link(self, peer: Tuple[str, int]):
+        """Control link to ``peer``, dialing one if needed (group layer
+        and other services send their control PDUs over these)."""
+        return self._get_link(peer)
+
+    def close(self) -> None:
+        """Tear down every connection and stop the control plane."""
+        if self._closed:
+            return
+        self._closed = True
+        for connection in self.connections():
+            connection.close()
+        self._ctrl_chan.put(_STOP)
+        self._master_chan.put((_STOP, None))
+        self._listener.close()
+        with self._links_lock:
+            links = list(self._links.values())
+            self._links.clear()
+        for link in links:
+            link.close()
+        for handle in self._threads:
+            handle.join(timeout=1.0)
+        self.pkg.shutdown()
+
+    def __enter__(self) -> "Node":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Link management
+    # ------------------------------------------------------------------
+
+    def _get_link(self, peer: Tuple[str, int]) -> SciInterface:
+        with self._links_lock:
+            link = self._links.get(peer)
+            if link is not None and not link.closed:
+                return link
+        link = sci_connect(peer[0], peer[1])
+        with self._links_lock:
+            self._links[peer] = link
+        self.pkg.spawn(self._link_reader, link, name=f"{self.name}-ctrlrecv")
+        return link
+
+    def _accept_loop(self) -> None:
+        # On the user-level package a blocking accept would stall every
+        # thread in the process (§4.1), so poll and sleep cooperatively.
+        poll_mode = self.pkg.kind == "user"
+        while not self._closed:
+            try:
+                link = self._listener.accept(timeout=0.0 if poll_mode else 0.2)
+            except InterfaceClosed:
+                return
+            except OSError:
+                if self._closed:
+                    return
+                continue
+            if link is None:
+                if poll_mode:
+                    self.pkg.sleep(0.002)
+                continue
+            self.pkg.spawn(self._link_reader, link, name=f"{self.name}-ctrlrecv")
+
+    def _ctrl_send_loop(self) -> None:
+        """The paper's Control Send Thread."""
+        while True:
+            try:
+                item = self._ctrl_chan.get(timeout=0.1)
+            except TimeoutError:
+                if self._closed:
+                    return
+                continue
+            if item is _STOP:
+                return
+            link, pdu = item
+            try:
+                link.send(pdu.encode())
+            except InterfaceClosed:
+                continue  # peer gone; connection teardown handles the rest
+
+    def _link_reader(self, link: SciInterface) -> None:
+        """A Control Receive Thread: parse and route inbound PDUs."""
+        poll_mode = self.pkg.kind == "user"
+        while not self._closed:
+            try:
+                if poll_mode:
+                    frame = link.try_recv()
+                    if frame is None:
+                        self.pkg.yield_control()
+                        continue
+                else:
+                    frame = link.recv(timeout=0.1)
+                    if frame is None:
+                        continue
+            except InterfaceClosed:
+                return
+            try:
+                pdu = decode_control_pdu(frame)
+            except PduDecodeError:
+                self.tracer.emit("node", "malformed_control", size=len(frame))
+                continue
+            self._route_pdu(pdu, link)
+
+    def _route_pdu(self, pdu: ControlPdu, link) -> None:
+        if isinstance(pdu, (AckPdu, CumAckPdu, CreditPdu, ClosePdu)):
+            with self._conn_lock:
+                connection = self._connections.get(pdu.connection_id)
+            if connection is not None:
+                connection.on_control_pdu(pdu)
+            return
+        if isinstance(pdu, ConnectAcceptPdu):
+            pending = self._pending.get(pdu.connection_id)
+            if pending is not None:
+                pending.accept = pdu
+                pending.event.set()
+            return
+        if isinstance(pdu, ConnectRejectPdu):
+            pending = self._pending.get(pdu.connection_id)
+            if pending is not None:
+                pending.reject_reason = pdu.reason
+                pending.event.set()
+            return
+        if isinstance(
+            pdu, (GroupJoinPdu, GroupLeavePdu, GroupInfoPdu, BarrierPdu)
+        ):
+            if self.group_pdu_handler is not None:
+                self.group_pdu_handler(pdu, link)
+            return
+        if isinstance(pdu, HeartbeatPdu):
+            from repro.core.heartbeat import is_reply, make_reply
+
+            if is_reply(pdu):
+                if self.heartbeat_reply_handler is not None:
+                    self.heartbeat_reply_handler(pdu, link)
+            else:
+                # Every node answers probes; fault tolerance needs no
+                # opt-in at the probed end.
+                self.control_send(link, make_reply(self.name, pdu))
+            return
+        if isinstance(pdu, ConnectRequestPdu):
+            self._master_chan.put((pdu, link))
+            return
+
+    # ------------------------------------------------------------------
+    # Master Thread
+    # ------------------------------------------------------------------
+
+    def _master_loop(self) -> None:
+        while True:
+            try:
+                pdu, link = self._master_chan.get(timeout=0.1)
+            except TimeoutError:
+                if self._closed:
+                    return
+                continue
+            if pdu is _STOP:
+                return
+            if isinstance(pdu, ConnectRequestPdu):
+                self._handle_connect_request(pdu, link)
+
+    def _handle_connect_request(self, request: ConnectRequestPdu, link) -> None:
+        conn_id = request.connection_id
+        with self._conn_lock:
+            duplicate = conn_id in self._connections
+        if duplicate:
+            self.control_send(
+                link, ConnectRejectPdu(conn_id, "connection id already in use")
+            )
+            return
+        decision: AcceptDecision = True
+        if self.accept_handler is not None:
+            decision = self.accept_handler(request)
+        if decision is False:
+            self.control_send(link, ConnectRejectPdu(conn_id, "refused by policy"))
+            return
+        if isinstance(decision, str):
+            self.control_send(link, ConnectRejectPdu(conn_id, decision))
+            return
+        if isinstance(decision, ConnectionConfig):
+            config = decision
+        else:
+            try:
+                config = ConnectionConfig(
+                    flow_control=request.flow_control,
+                    error_control=request.error_control,
+                    interface=request.interface,
+                    sdu_size=request.sdu_size,
+                    mode=self.accept_mode,
+                    initial_credits=request.initial_credits,
+                    window_size=request.window_size,
+                    rate_pps=request.rate_pps,
+                )
+            except ValueError as exc:
+                self.control_send(link, ConnectRejectPdu(conn_id, str(exc)))
+                return
+
+        if config.interface == "sci":
+            # Accept the initiator's data dial on a fresh ephemeral port;
+            # finish asynchronously so the Master Thread never blocks.
+            data_listener = SciListener(self.host)
+            self.control_send(
+                link, ConnectAcceptPdu(conn_id, data_listener.port)
+            )
+            self.pkg.spawn(
+                self._finish_sci_accept,
+                request,
+                link,
+                config,
+                data_listener,
+                name=f"{self.name}-finish",
+            )
+            return
+        if config.interface == "aci":
+            endpoint = aci_open(self.host)
+            peer_host = link.peer_address()[0]
+            endpoint.bind_peer(peer_host, request.src_data_port)
+            self._register_accepted(request, link, config, endpoint)
+            self.control_send(link, ConnectAcceptPdu(conn_id, endpoint.port))
+            return
+        # hpi
+        try:
+            endpoint = self.hpi_fabric.claim(request.src_data_port)
+        except KeyError:
+            self.control_send(
+                link,
+                ConnectRejectPdu(
+                    conn_id, "HPI offer not found (nodes on different fabrics?)"
+                ),
+            )
+            return
+        self._register_accepted(request, link, config, endpoint)
+        self.control_send(link, ConnectAcceptPdu(conn_id, 0))
+
+    def _finish_sci_accept(
+        self,
+        request: ConnectRequestPdu,
+        link,
+        config: ConnectionConfig,
+        data_listener: SciListener,
+    ) -> None:
+        try:
+            if self.pkg.kind == "user":
+                # Poll cooperatively; a blocking accept would stall the
+                # whole user-level package.
+                interface = None
+                deadline = self.clock.now() + 5.0
+                while interface is None and self.clock.now() < deadline:
+                    interface = data_listener.accept(timeout=0.0)
+                    if interface is None:
+                        self.pkg.sleep(0.002)
+            else:
+                interface = data_listener.accept(timeout=5.0)
+        finally:
+            data_listener.close()
+        if interface is None:
+            self.tracer.emit(
+                "node", "accept_data_timeout", conn_id=request.connection_id
+            )
+            return
+        self._register_accepted(request, link, config, interface)
+
+    def _register_accepted(
+        self, request: ConnectRequestPdu, link, config: ConnectionConfig, interface
+    ) -> None:
+        connection = Connection(
+            self,
+            request.connection_id,
+            request.src_node,
+            link,
+            config,
+            interface,
+        )
+        with self._conn_lock:
+            self._connections[request.connection_id] = connection
+        consumed = False
+        if self.accept_router is not None:
+            consumed = bool(self.accept_router(request, connection))
+        if not consumed:
+            self.accepted_queue.put(connection)
+        self.tracer.emit(
+            "node", "accepted", conn_id=request.connection_id, peer=request.src_node
+        )
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _timer_loop(self) -> None:
+        while not self._closed:
+            self.pkg.sleep(self.config.timer_tick)
+            now = self.clock.now()
+            for connection in self.connections():
+                connection.on_timer_tick(now)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _new_conn_id(self) -> int:
+        while True:
+            conn_id = random.getrandbits(32)
+            with self._conn_lock:
+                taken = conn_id in self._connections
+            if not taken and conn_id not in self._pending:
+                return conn_id
+
+    def _forget_connection(self, conn_id: int) -> None:
+        with self._conn_lock:
+            self._connections.pop(conn_id, None)

@@ -1,0 +1,46 @@
+"""Paper-style procedural primitives.
+
+The original NCS API is procedural (``NCS_send``, ``NCS_recv``,
+``NCS_thread_yield`` ...).  These thin wrappers give examples and ported
+code that exact surface over the object API; new code should prefer the
+methods on :class:`~repro.core.connection.Connection` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.connection import Connection
+from repro.core.handles import SendHandle
+
+
+def NCS_send(
+    connection: Connection,
+    payload: bytes,
+    wait: bool = False,
+    timeout: Optional[float] = None,
+) -> SendHandle:
+    """Transmit ``payload`` on ``connection`` (paper Fig. 4 steps 1-4)."""
+    return connection.send(payload, wait=wait, timeout=timeout)
+
+
+def NCS_recv(
+    connection: Connection, timeout: Optional[float] = None
+) -> Optional[bytes]:
+    """Receive the next message (paper Fig. 4 steps 5-10)."""
+    return connection.recv(timeout)
+
+
+def NCS_thread_spawn(node, fn, *args, name: str = "compute"):
+    """Spawn a Compute Thread on the node's thread package."""
+    return node.pkg.spawn(fn, *args, name=name)
+
+
+def NCS_thread_yield(node) -> None:
+    """Yield the processor to other ready threads (§4.1)."""
+    node.pkg.yield_control()
+
+
+def NCS_thread_sleep(node, seconds: float) -> None:
+    """Sleep cooperatively on the node's thread package."""
+    node.pkg.sleep(seconds)

@@ -1,0 +1,71 @@
+"""Error control algorithms (paper §3.2).
+
+NCS supports several error control algorithms, selected per connection at
+runtime; each is "implemented as a thread" in the paper's architecture.
+Here each is a sans-I/O engine the Error Control Thread (or the bypass
+procedure, or the simulator) drives:
+
+* ``selective_repeat`` — the paper's default (Fig. 5/6): bitmap ACKs on
+  the control connection, selective retransmission, timeout retransmits
+  the whole message;
+* ``go_back_n`` — cumulative ACKs, in-order-only acceptance, timeout
+  rewinds to the window base;
+* ``none`` — no acknowledgments; for media streams that tolerate loss.
+"""
+
+from repro.errorcontrol.base import (
+    ReceiverErrorControl,
+    SenderErrorControl,
+    TransmissionFailed,
+)
+from repro.errorcontrol.go_back_n import GoBackNReceiver, GoBackNSender
+from repro.errorcontrol.null import NullReceiver, NullSender
+from repro.errorcontrol.selective_repeat import (
+    SelectiveRepeatReceiver,
+    SelectiveRepeatSender,
+)
+
+ALGORITHMS = ("selective_repeat", "go_back_n", "none")
+
+__all__ = [
+    "ALGORITHMS",
+    "GoBackNReceiver",
+    "GoBackNSender",
+    "NullReceiver",
+    "NullSender",
+    "ReceiverErrorControl",
+    "SelectiveRepeatReceiver",
+    "SelectiveRepeatSender",
+    "SenderErrorControl",
+    "TransmissionFailed",
+    "make_error_control",
+]
+
+
+def make_error_control(
+    name: str,
+    connection_id: int,
+    sdu_size: int,
+    **options,
+) -> tuple[SenderErrorControl, ReceiverErrorControl]:
+    """Build the (sender, receiver) engine pair for algorithm ``name``."""
+    if name == "selective_repeat":
+        return (
+            SelectiveRepeatSender(connection_id, sdu_size, **options),
+            SelectiveRepeatReceiver(connection_id),
+        )
+    if name == "go_back_n":
+        return (
+            GoBackNSender(connection_id, sdu_size, **options),
+            GoBackNReceiver(connection_id),
+        )
+    if name in ("none", "null"):
+        options.pop("retransmit_timeout", None)
+        options.pop("max_retries", None)
+        return (
+            NullSender(connection_id, sdu_size),
+            NullReceiver(connection_id, **options),
+        )
+    raise ValueError(
+        f"unknown error control algorithm {name!r}; choose from {ALGORITHMS}"
+    )

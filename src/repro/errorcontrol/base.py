@@ -1,0 +1,76 @@
+"""Common interface for error control engines.
+
+A *sender* engine owns segmentation, retransmission state and timers for
+outgoing messages; a *receiver* engine owns reassembly and
+acknowledgment generation for incoming SDUs.  Both are pure state
+machines: every entry point takes the current time and returns
+:class:`~repro.protocol.effects.Effects`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.protocol.effects import Effects
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu
+
+
+class TransmissionFailed(Exception):
+    """A message exhausted its retransmission budget."""
+
+    def __init__(self, msg_id: int, attempts: int):
+        super().__init__(
+            f"message {msg_id} abandoned after {attempts} transmission attempts"
+        )
+        self.msg_id = msg_id
+        self.attempts = attempts
+
+
+class SenderErrorControl(ABC):
+    """Sender-side error control engine for one connection."""
+
+    name: str
+
+    @abstractmethod
+    def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
+        """Segment ``payload`` and request its (initial) transmission."""
+
+    @abstractmethod
+    def on_control(self, pdu: ControlPdu, now: float) -> Effects:
+        """Process an ACK (or other control PDU addressed to the sender)."""
+
+    @abstractmethod
+    def on_timer(self, now: float) -> Effects:
+        """Fire any expired retransmission timers."""
+
+    def defer(self, now: float) -> None:
+        """Push every retransmission deadline out by one timeout.
+
+        The runtime calls this instead of ``on_timer`` while the flow
+        controller still holds queued SDUs: the paper's timer starts
+        after the last packet is handed to the Send Thread, so a message
+        whose tail is still gated by credits cannot be "timed out" — an
+        ACK was never possible yet.
+        """
+
+    @abstractmethod
+    def inflight_count(self) -> int:
+        """Messages handed to ``send`` but not yet completed or failed."""
+
+    def idle(self) -> bool:
+        return self.inflight_count() == 0
+
+
+class ReceiverErrorControl(ABC):
+    """Receiver-side error control engine for one connection."""
+
+    name: str
+
+    @abstractmethod
+    def on_sdu(self, sdu: Sdu, now: float) -> Effects:
+        """Process one arriving SDU: reassemble, acknowledge, deliver."""
+
+    def on_timer(self, now: float) -> Effects:
+        """Periodic housekeeping (unreliable engines GC stale state)."""
+        return Effects()

@@ -1,0 +1,185 @@
+"""Go-back-N error control — the paper's alternative reliable algorithm.
+
+Classic go-back-N over the SDUs of each message: the sender keeps a
+window of unacknowledged SDUs; the receiver accepts only the next
+in-order sequence number and answers every arrival with a cumulative
+acknowledgment (next expected seqno); a timeout rewinds transmission to
+the window base.  Compared with selective repeat this wastes
+retransmission bandwidth under loss — which is exactly why the paper
+makes the algorithm selectable per connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errorcontrol.base import ReceiverErrorControl, SenderErrorControl
+from repro.errorcontrol.ordered import OrderedDelivery
+from repro.protocol.effects import Effects
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu, CumAckPdu
+from repro.protocol.segmentation import segment_message
+
+DEFAULT_WINDOW = 16
+DEFAULT_RETRANSMIT_TIMEOUT = 0.2
+DEFAULT_MAX_RETRIES = 8
+
+
+@dataclass
+class _GbnMessage:
+    msg_id: int
+    sdus: list
+    base: int = 0  # lowest unacknowledged seqno
+    next_seq: int = 0  # next seqno never yet sent
+    deadline: float = 0.0
+    attempts: int = 1
+
+
+class GoBackNSender(SenderErrorControl):
+    """Sender half of go-back-N."""
+
+    name = "go_back_n"
+
+    def __init__(
+        self,
+        connection_id: int,
+        sdu_size: int,
+        window: int = DEFAULT_WINDOW,
+        retransmit_timeout: float = DEFAULT_RETRANSMIT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.connection_id = connection_id
+        self.sdu_size = sdu_size
+        self.window = window
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retries = max_retries
+        self._outgoing: Dict[int, _GbnMessage] = {}
+        self.retransmitted_sdus = 0
+
+    def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
+        if msg_id in self._outgoing:
+            raise ValueError(f"msg_id {msg_id} already in flight")
+        sdus = segment_message(self.connection_id, msg_id, payload, self.sdu_size)
+        state = _GbnMessage(msg_id=msg_id, sdus=sdus)
+        self._outgoing[msg_id] = state
+        return self._fill_window(state, now)
+
+    def _fill_window(self, state: _GbnMessage, now: float) -> Effects:
+        effects = Effects()
+        while (
+            state.next_seq < len(state.sdus)
+            and state.next_seq - state.base < self.window
+        ):
+            effects.transmits.append(state.sdus[state.next_seq])
+            state.next_seq += 1
+        state.deadline = now + self.retransmit_timeout
+        effects.timer_at = self._next_deadline()
+        return effects
+
+    def on_control(self, pdu: ControlPdu, now: float) -> Effects:
+        if not isinstance(pdu, CumAckPdu) or pdu.connection_id != self.connection_id:
+            return Effects(timer_at=self._next_deadline())
+        state = self._outgoing.get(pdu.msg_id)
+        if state is None:
+            return Effects(timer_at=self._next_deadline())
+        if pdu.next_expected > state.base:
+            state.base = pdu.next_expected
+            state.attempts = 1  # forward progress resets the retry budget
+        if state.base >= len(state.sdus):
+            del self._outgoing[pdu.msg_id]
+            return Effects(completed=[pdu.msg_id], timer_at=self._next_deadline())
+        return self._fill_window(state, now)
+
+    def on_timer(self, now: float) -> Effects:
+        effects = Effects()
+        for msg_id in list(self._outgoing):
+            state = self._outgoing[msg_id]
+            if state.deadline > now:
+                continue
+            state.attempts += 1
+            if state.attempts > self.max_retries:
+                del self._outgoing[msg_id]
+                effects.failed.append(msg_id)
+                continue
+            # Rewind: retransmit everything from the base.
+            resend = state.sdus[state.base : state.next_seq]
+            self.retransmitted_sdus += len(resend)
+            effects.transmits.extend(resend)
+            state.deadline = now + self.retransmit_timeout
+        effects.timer_at = self._next_deadline()
+        return effects
+
+    def defer(self, now: float) -> None:
+        for state in self._outgoing.values():
+            state.deadline = max(state.deadline, now + self.retransmit_timeout)
+
+    def inflight_count(self) -> int:
+        return len(self._outgoing)
+
+    def _next_deadline(self) -> Optional[float]:
+        if not self._outgoing:
+            return None
+        return min(state.deadline for state in self._outgoing.values())
+
+
+class GoBackNReceiver(ReceiverErrorControl):
+    """Receiver half of go-back-N: in-order acceptance, cumulative ACKs."""
+
+    name = "go_back_n"
+
+    def __init__(self, connection_id: int, delivery_gap_timeout: float = 2.0):
+        self.connection_id = connection_id
+        #: msg_id -> (next expected seqno, ordered fragments)
+        self._incoming: Dict[int, tuple[int, list]] = {}
+        self._completed: "dict[int, None]" = {}
+        self._ordering = OrderedDelivery(gap_timeout=delivery_gap_timeout)
+        self.acks_sent = 0
+        self.discarded_out_of_order = 0
+
+    COMPLETED_MEMORY = 1024
+
+    def on_sdu(self, sdu: Sdu, now: float) -> Effects:
+        header = sdu.header
+        if header.connection_id != self.connection_id:
+            return Effects()
+        effects = Effects()
+        if header.msg_id in self._completed:
+            # Late retransmission of a finished message: re-ACK completion.
+            effects.controls.append(self._ack(header.msg_id, header.total_sdus))
+            return effects
+        next_expected, fragments = self._incoming.get(header.msg_id, (0, []))
+        if header.seqno == next_expected and sdu.payload_intact():
+            fragments.append(sdu.payload)
+            next_expected += 1
+        else:
+            self.discarded_out_of_order += 1
+        if next_expected >= header.total_sdus:
+            self._incoming.pop(header.msg_id, None)
+            self._completed[header.msg_id] = None
+            while len(self._completed) > self.COMPLETED_MEMORY:
+                self._completed.pop(next(iter(self._completed)))
+            effects.deliveries.extend(
+                self._ordering.push(header.msg_id, b"".join(fragments), now)
+            )
+            effects.timer_at = self._ordering.next_deadline(now)
+        else:
+            self._incoming[header.msg_id] = (next_expected, fragments)
+        effects.controls.append(self._ack_value(header.msg_id, next_expected))
+        return effects
+
+    def on_timer(self, now: float) -> Effects:
+        """Release messages stuck behind an abandoned predecessor."""
+        effects = Effects()
+        effects.deliveries.extend(self._ordering.release_stale(now))
+        effects.timer_at = self._ordering.next_deadline(now)
+        return effects
+
+    def _ack(self, msg_id: int, total_sdus: int) -> CumAckPdu:
+        return self._ack_value(msg_id, total_sdus)
+
+    def _ack_value(self, msg_id: int, next_expected: int) -> CumAckPdu:
+        self.acks_sent += 1
+        return CumAckPdu(self.connection_id, msg_id, next_expected)

@@ -1,0 +1,70 @@
+"""In-order message delivery for reliable connections.
+
+Message ids on a connection direction are assigned from a contiguous
+counter, so the receiver can restore send order even when selective
+retransmission lets a later message finish reassembly first.  Completed
+messages are held until every earlier id has been delivered.
+
+The one hazard is head-of-line blocking behind a message the *sender
+abandoned* (retry budget exhausted): the receiver cannot distinguish
+"slow" from "gone", so a held message older than ``gap_timeout`` forces
+the gap closed and delivery resumes from the next available id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class OrderedDelivery:
+    """Reorder buffer keyed by per-connection message id."""
+
+    def __init__(self, gap_timeout: float = 2.0, first_msg_id: int = 1):
+        self.gap_timeout = gap_timeout
+        self._next_id = first_msg_id
+        #: msg_id -> (payload, completion time)
+        self._held: Dict[int, Tuple[bytes, float]] = {}
+        self.gaps_forced = 0
+
+    @property
+    def next_expected(self) -> int:
+        return self._next_id
+
+    @property
+    def held_count(self) -> int:
+        return len(self._held)
+
+    def push(self, msg_id: int, payload: bytes, now: float) -> List[bytes]:
+        """Accept a completed message; return whatever is now deliverable."""
+        if msg_id < self._next_id:
+            return []  # stale duplicate of an already-delivered message
+        self._held[msg_id] = (payload, now)
+        return self._drain()
+
+    def _drain(self) -> List[bytes]:
+        ready: List[bytes] = []
+        while self._next_id in self._held:
+            payload, _when = self._held.pop(self._next_id)
+            ready.append(payload)
+            self._next_id += 1
+        return ready
+
+    def release_stale(self, now: float) -> List[bytes]:
+        """Force past a gap whose successor has waited ``gap_timeout``."""
+        if not self._held:
+            return []
+        oldest = min(when for _payload, when in self._held.values())
+        # Epsilon: a timer firing "exactly" at the deadline must count.
+        if now - oldest < self.gap_timeout - 1e-9:
+            return []
+        # The sender abandoned everything below the smallest held id.
+        self._next_id = min(self._held)
+        self.gaps_forced += 1
+        return self._drain()
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """When ``release_stale`` next needs a look (None if empty)."""
+        if not self._held:
+            return None
+        oldest = min(when for _payload, when in self._held.values())
+        return oldest + self.gap_timeout

@@ -1,0 +1,87 @@
+"""Flow control algorithms (paper §3.3).
+
+NCS supports several flow control algorithms selected per connection at
+runtime: the default **credit-based** window scheme of Fig. 7/8 (with the
+dynamic credit adjustment of §3.3), a static sliding **window**, a
+**rate-based** token bucket, and **none** for connections (audio/video)
+that must not be throttled.
+"""
+
+from repro.flowcontrol.base import ReceiverFlowControl, SenderFlowControl
+from repro.flowcontrol.credit import CreditReceiver, CreditSender
+from repro.flowcontrol.null import NullFlowReceiver, NullFlowSender
+from repro.flowcontrol.rate import RateReceiver, RateSender
+from repro.flowcontrol.window import WindowReceiver, WindowSender
+
+ALGORITHMS = ("credit", "window", "rate", "none")
+
+__all__ = [
+    "ALGORITHMS",
+    "CreditReceiver",
+    "CreditSender",
+    "NullFlowReceiver",
+    "NullFlowSender",
+    "RateReceiver",
+    "RateSender",
+    "ReceiverFlowControl",
+    "SenderFlowControl",
+    "WindowReceiver",
+    "WindowSender",
+    "make_flow_control",
+]
+
+
+def make_flow_control(
+    name: str,
+    connection_id: int,
+    **options,
+) -> tuple[SenderFlowControl, ReceiverFlowControl]:
+    """Build the (sender, receiver) engine pair for algorithm ``name``."""
+    if name == "credit":
+        recv_opts = {
+            k: options.pop(k)
+            for k in ("adjust_interval", "max_credits")
+            if k in options
+        }
+        sender_opts = {
+            k: options.pop(k) for k in ("resync_timeout",) if k in options
+        }
+        initial = options.pop("initial_credits", None)
+        sender = CreditSender(
+            connection_id,
+            **({"initial_credits": initial} if initial is not None else {}),
+            **sender_opts,
+        )
+        receiver = CreditReceiver(
+            connection_id,
+            **({"initial_credits": initial} if initial is not None else {}),
+            **recv_opts,
+        )
+        _reject_extras(name, options)
+        return sender, receiver
+    if name == "window":
+        window = options.pop("window_size", None)
+        kwargs = {"window_size": window} if window is not None else {}
+        _reject_extras(name, options)
+        return WindowSender(connection_id, **kwargs), WindowReceiver(
+            connection_id, **kwargs
+        )
+    if name == "rate":
+        kwargs = {
+            k: options.pop(k) for k in ("rate_pps", "burst") if k in options
+        }
+        _reject_extras(name, options)
+        return RateSender(connection_id, **kwargs), RateReceiver(connection_id)
+    if name in ("none", "null"):
+        _reject_extras(name, options)
+        return NullFlowSender(connection_id), NullFlowReceiver(connection_id)
+    raise ValueError(
+        f"unknown flow control algorithm {name!r}; choose from {ALGORITHMS}"
+    )
+
+
+def _reject_extras(name: str, options: dict) -> None:
+    if options:
+        raise TypeError(
+            f"flow control {name!r} got unexpected options: {sorted(options)}"
+        )

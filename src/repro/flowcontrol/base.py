@@ -1,0 +1,59 @@
+"""Common interface for flow control engines.
+
+The sender engine sits between the error control engine and the Send
+Thread: SDUs are *offered* to it, and the Send Thread *pulls* whatever
+the algorithm currently allows on the wire (paper Fig. 7: the Flow
+Control Thread "determines the appropriate number of packets to
+transmit" and feeds the Send Thread's queue).  The receiver engine
+observes arriving SDUs and produces control-plane PDUs (credit grants)
+for the sender.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu
+
+
+class SenderFlowControl(ABC):
+    """Sender-side flow control engine for one connection."""
+
+    name: str
+
+    @abstractmethod
+    def offer(self, sdus: List[Sdu]) -> None:
+        """Queue SDUs for transmission (from the error control engine)."""
+
+    @abstractmethod
+    def pull(self, now: float) -> List[Sdu]:
+        """SDUs the algorithm permits on the wire right now (consumes
+        credits / window slots / tokens)."""
+
+    @abstractmethod
+    def on_control(self, pdu: ControlPdu, now: float) -> None:
+        """Absorb a credit / window-update PDU from the receiver."""
+
+    @abstractmethod
+    def queued(self) -> int:
+        """SDUs offered but not yet released by the algorithm."""
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        """Earliest time ``pull`` may release more (rate-based pacing);
+        None when release depends only on peer feedback or the queue."""
+        return None
+
+    def idle(self) -> bool:
+        return self.queued() == 0
+
+
+class ReceiverFlowControl(ABC):
+    """Receiver-side flow control engine for one connection."""
+
+    name: str
+
+    @abstractmethod
+    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+        """Observe an arriving SDU; return credit PDUs to send back."""

@@ -1,0 +1,51 @@
+"""Null flow control: every offered packet is immediately transmittable.
+
+The paper's prescription for latency-critical media connections: "the
+performance of these applications can be maximized by removing the
+overheads associated with flow control ... in connections that do not
+need these capabilities" (§2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.flowcontrol.base import ReceiverFlowControl, SenderFlowControl
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu
+
+
+class NullFlowSender(SenderFlowControl):
+    name = "none"
+
+    def __init__(self, connection_id: int):
+        self.connection_id = connection_id
+        self._queue: deque = deque()
+
+    def offer(self, sdus: List[Sdu]) -> None:
+        self._queue.extend(sdus)
+
+    def pull(self, now: float) -> List[Sdu]:
+        released = list(self._queue)
+        self._queue.clear()
+        return released
+
+    def on_control(self, pdu: ControlPdu, now: float) -> None:
+        return None
+
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+class NullFlowReceiver(ReceiverFlowControl):
+    name = "none"
+
+    def __init__(self, connection_id: int):
+        self.connection_id = connection_id
+        self.packets_seen = 0
+
+    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+        if sdu.header.connection_id == self.connection_id:
+            self.packets_seen += 1
+        return []

@@ -1,0 +1,91 @@
+"""Rate-based flow control: open-loop pacing via a token bucket.
+
+The third family from §3.3.  No feedback from the receiver: the sender
+simply paces packets at ``rate_pps`` with a burst allowance.  This is the
+natural choice for constant-bit-rate media streams over ATM CBR virtual
+circuits, where the network contract (not the peer) defines the rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.flowcontrol.base import ReceiverFlowControl, SenderFlowControl
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu
+from repro.util.clock import Clock
+from repro.util.tokenbucket import TokenBucket
+
+DEFAULT_RATE_PPS = 1000.0
+DEFAULT_BURST = 8.0
+
+
+class _ExternalClock(Clock):
+    """Adapter: the engine's ``now`` argument drives the token bucket."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    def set(self, now: float) -> None:
+        # The bucket only ever reads after a set; keep monotonicity lazily.
+        self._now = max(self._now, now)
+
+    def now(self) -> float:
+        return self._now
+
+
+class RateSender(SenderFlowControl):
+    """Sender half: one token per packet, refilled at ``rate_pps``."""
+
+    name = "rate"
+
+    def __init__(
+        self,
+        connection_id: int,
+        rate_pps: float = DEFAULT_RATE_PPS,
+        burst: float = DEFAULT_BURST,
+    ):
+        self.connection_id = connection_id
+        self._clock = _ExternalClock()
+        self._bucket = TokenBucket(rate_pps, burst, clock=self._clock)
+        self._queue: deque = deque()
+
+    def offer(self, sdus: List[Sdu]) -> None:
+        self._queue.extend(sdus)
+
+    def pull(self, now: float) -> List[Sdu]:
+        self._clock.set(now)
+        released: List[Sdu] = []
+        while self._queue and self._bucket.try_consume(1.0):
+            released.append(self._queue.popleft())
+        return released
+
+    def on_control(self, pdu: ControlPdu, now: float) -> None:
+        # Open loop: the receiver has no say.
+        return None
+
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def next_ready_time(self, now: float) -> Optional[float]:
+        if not self._queue:
+            return None
+        self._clock.set(now)
+        wait = self._bucket.time_until_available(1.0)
+        return now + wait
+
+
+class RateReceiver(ReceiverFlowControl):
+    """Receiver half: purely passive."""
+
+    name = "rate"
+
+    def __init__(self, connection_id: int):
+        self.connection_id = connection_id
+        self.packets_seen = 0
+
+    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+        if sdu.header.connection_id == self.connection_id:
+            self.packets_seen += 1
+        return []

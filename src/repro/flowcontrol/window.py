@@ -1,0 +1,99 @@
+"""Static sliding-window flow control.
+
+The fixed-window member of the paper's algorithm menu: at most
+``window_size`` packets outstanding; the receiver acknowledges each
+arrival with a one-slot window update (mechanically a credit of 1, but
+with no dynamic growth — the working window never changes size).
+Useful as the predictable baseline against which the credit scheme's
+adaptivity is measured in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.flowcontrol.base import ReceiverFlowControl, SenderFlowControl
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu, CreditPdu
+
+DEFAULT_WINDOW_SIZE = 8
+
+
+class WindowSender(SenderFlowControl):
+    """Sender half: never exceed ``window_size`` unacknowledged packets."""
+
+    name = "window"
+
+    #: A full window with no acknowledgments for this long is assumed
+    #: lost in transit (unreliable interface) and the window reopens.
+    STALL_RECOVERY_TIMEOUT = 0.25
+
+    def __init__(self, connection_id: int, window_size: int = DEFAULT_WINDOW_SIZE):
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.connection_id = connection_id
+        self.window_size = window_size
+        self._outstanding = 0
+        self._queue: deque = deque()
+        self._stalled_since: float | None = None
+        self.stall_recoveries = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def offer(self, sdus: List[Sdu]) -> None:
+        self._queue.extend(sdus)
+
+    def pull(self, now: float) -> List[Sdu]:
+        if self._queue and self._outstanding >= self.window_size:
+            if self._stalled_since is None:
+                self._stalled_since = now
+            elif now - self._stalled_since >= self.STALL_RECOVERY_TIMEOUT - 1e-9:
+                # (epsilon guards float rounding: the wake-up timer can
+                # fire at a timestamp that rounds a hair below the deadline)
+                # Packets (or their window updates) died on an unreliable
+                # wire; reopen the window rather than deadlock.
+                self._outstanding = 0
+                self.stall_recoveries += 1
+                self._stalled_since = None
+        released: List[Sdu] = []
+        while self._queue and self._outstanding < self.window_size:
+            released.append(self._queue.popleft())
+            self._outstanding += 1
+        if released or not self._queue:
+            self._stalled_since = None
+        return released
+
+    def on_control(self, pdu: ControlPdu, now: float) -> None:
+        if isinstance(pdu, CreditPdu) and pdu.connection_id == self.connection_id:
+            self._outstanding = max(0, self._outstanding - pdu.credits)
+            self._stalled_since = None
+
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def next_ready_time(self, now: float):
+        """When stalled, ask to be pumped again at the recovery deadline."""
+        if self._queue and self._outstanding >= self.window_size:
+            since = self._stalled_since if self._stalled_since is not None else now
+            return since + self.STALL_RECOVERY_TIMEOUT
+        return None
+
+
+class WindowReceiver(ReceiverFlowControl):
+    """Receiver half: one window-slot update per packet consumed."""
+
+    name = "window"
+
+    def __init__(self, connection_id: int, window_size: int = DEFAULT_WINDOW_SIZE):
+        self.connection_id = connection_id
+        self.window_size = window_size
+        self.packets_seen = 0
+
+    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+        if sdu.header.connection_id != self.connection_id:
+            return []
+        self.packets_seen += 1
+        return [CreditPdu(self.connection_id, 1)]

@@ -1,0 +1,49 @@
+"""Application communication interfaces (paper §2).
+
+NCS offers three interfaces so each homogeneous cluster runs over
+whatever its platform supports best (Fig. 3):
+
+* **SCI** — Socket Communication Interface: TCP, maximally portable,
+  inherits TCP's own flow/error control (so NCS's can be bypassed);
+* **ACI** — ATM Communication Interface: datagram service modeled on a
+  native ATM API — *unreliable*, per-VC QOS, with an SDU size cap the
+  way Fore's API capped SDUs — which is precisely where NCS's
+  selectable error/flow control earns its keep;
+* **HPI** — High Performance Interface: an in-process "trap" fabric
+  modeling the modified-device-driver path for tightly-coupled
+  homogeneous clusters.
+
+All present the same frame-oriented :class:`CommInterface` so the data
+transfer threads are interface-agnostic, and all support non-blocking
+``try_recv`` for the user-level thread package's poll-and-yield rule.
+"""
+
+from repro.interfaces.base import (
+    CommInterface,
+    FaultInjector,
+    FaultyInterface,
+    InterfaceClosed,
+)
+from repro.interfaces.loopback import LoopbackPair, QueueInterface
+from repro.interfaces.sci import SciInterface, SciListener, sci_pair
+from repro.interfaces.aci import ACI_MAX_SDU, AciInterface, aci_pair
+from repro.interfaces.hpi import HpiFabric
+
+INTERFACES = ("sci", "aci", "hpi")
+
+__all__ = [
+    "ACI_MAX_SDU",
+    "AciInterface",
+    "CommInterface",
+    "FaultInjector",
+    "FaultyInterface",
+    "HpiFabric",
+    "INTERFACES",
+    "InterfaceClosed",
+    "LoopbackPair",
+    "QueueInterface",
+    "SciInterface",
+    "SciListener",
+    "aci_pair",
+    "sci_pair",
+]

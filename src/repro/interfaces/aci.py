@@ -1,0 +1,128 @@
+"""ACI — ATM Communication Interface.
+
+Models a native ATM adaptation-layer API as a *datagram* service over
+UDP: frame-preserving, connection-associated, and — crucially —
+**unreliable**, because "the ATM API does not define the flow control
+and error control schemes" (§2).  This is the interface where NCS's
+per-connection error/flow control algorithms do real work, and the one
+the benchmarking section runs over.
+
+Two ATM realities are modeled explicitly:
+
+* an SDU size cap, the way Fore Systems' API restricted user messages
+  (§3.2) — here 32 KB per frame (also under the UDP datagram ceiling);
+* optional loss/corruption via :class:`FaultInjector`, standing in for
+  cell loss on a congested VC (AAL5's CRC turns damaged cells into
+  damaged frames, which our per-SDU payload CRC detects the same way).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.interfaces.base import (
+    CommInterface,
+    FaultInjector,
+    FaultyInterface,
+    InterfaceClosed,
+)
+
+#: Frame cap modeling the ATM API's SDU restriction (paper §3.2).
+ACI_MAX_SDU = 32 * 1024
+#: Headroom for NCS headers on top of the SDU payload.
+_MAX_FRAME = ACI_MAX_SDU + 512
+
+
+class AciInterface(CommInterface):
+    """One end of a UDP "virtual circuit"."""
+
+    name = "aci"
+    max_frame = _MAX_FRAME
+    reliable = False
+
+    def __init__(self, sock: socket.socket, peer: Optional[tuple] = None):
+        self._sock = sock
+        self._peer = peer
+        self._closed = False
+        self._lock = threading.Lock()
+        self.sent_frames = 0
+        self.received_frames = 0
+        self.host, self.port = sock.getsockname()[:2]
+
+    def bind_peer(self, host: str, port: int) -> None:
+        """Fix the remote end of the VC (both sides do this at setup)."""
+        self._peer = (host, port)
+
+    def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        if self._peer is None:
+            raise RuntimeError("ACI endpoint has no peer bound yet")
+        self.check_frame_size(frame)
+        try:
+            self._sock.sendto(frame, self._peer)
+        except OSError as exc:
+            raise InterfaceClosed(f"datagram send failed: {exc}") from exc
+        self.sent_frames += 1
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        if self._closed:
+            raise InterfaceClosed("recv on closed interface")
+        try:
+            self._sock.settimeout(timeout)
+            frame, _addr = self._sock.recvfrom(_MAX_FRAME + 64)
+        except socket.timeout:
+            return None
+        except OSError as exc:
+            if self._closed:
+                raise InterfaceClosed("recv on closed interface") from exc
+            raise InterfaceClosed(f"datagram recv failed: {exc}") from exc
+        self.received_frames += 1
+        return frame
+
+    def try_recv(self) -> Optional[bytes]:
+        if self._closed:
+            raise InterfaceClosed("recv on closed interface")
+        try:
+            self._sock.settimeout(0.0)
+            frame, _addr = self._sock.recvfrom(_MAX_FRAME + 64)
+        except (BlockingIOError, socket.timeout):
+            return None
+        except OSError as exc:
+            if self._closed:
+                raise InterfaceClosed("recv on closed interface") from exc
+            raise InterfaceClosed(f"datagram recv failed: {exc}") from exc
+        self.received_frames += 1
+        return frame
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def aci_open(host: str = "127.0.0.1", port: int = 0) -> AciInterface:
+    """Create an unconnected ACI endpoint on an ephemeral UDP port."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind((host, port))
+    return AciInterface(sock)
+
+
+def aci_pair(
+    injector: Optional[FaultInjector] = None,
+) -> tuple[CommInterface, CommInterface]:
+    """A bound pair over loopback, optionally lossy in the a→b direction."""
+    a = aci_open()
+    b = aci_open()
+    a.bind_peer(b.host, b.port)
+    b.bind_peer(a.host, a.port)
+    if injector is not None:
+        return FaultyInterface(a, injector), b
+    return a, b

@@ -1,0 +1,134 @@
+"""Frame-oriented interface abstraction plus fault injection.
+
+The data transfer threads speak only this API; which wire (TCP socket,
+UDP datagram, in-process queue) sits underneath is fixed per connection
+at setup time — the paper's "communication interface configured for this
+connection".
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+
+class InterfaceClosed(Exception):
+    """The interface was closed (locally or by the peer)."""
+
+
+class CommInterface(ABC):
+    """A bidirectional, frame-preserving transport endpoint."""
+
+    #: Interface family name ("sci", "aci", "hpi", "loopback").
+    name: str = "abstract"
+    #: Largest frame the interface can carry (None = unlimited).
+    max_frame: Optional[int] = None
+    #: Whether the interface itself guarantees delivery (TCP does; the
+    #: ATM datagram service does not).  NCS consults this to warn when a
+    #: "none" error control rides an unreliable interface.
+    reliable: bool = True
+
+    @abstractmethod
+    def send(self, frame: bytes) -> None:
+        """Transmit one frame (blocking until handed to the transport)."""
+
+    @abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Receive one frame; None on timeout."""
+
+    @abstractmethod
+    def try_recv(self) -> Optional[bytes]:
+        """Non-blocking receive; None if nothing is pending.
+
+        This is the primitive behind the user-level Receive Thread's
+        poll-then-``thread_yield`` loop (§4.1).
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the endpoint; further sends raise InterfaceClosed."""
+
+    @property
+    @abstractmethod
+    def closed(self) -> bool: ...
+
+    def check_frame_size(self, frame: bytes) -> None:
+        if self.max_frame is not None and len(frame) > self.max_frame:
+            raise ValueError(
+                f"{self.name} frame of {len(frame)} bytes exceeds the "
+                f"interface maximum of {self.max_frame}"
+            )
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic loss/corruption model for unreliable interfaces.
+
+    ``loss_rate`` and ``corrupt_rate`` are independent per-frame
+    probabilities drawn from a seeded RNG, so tests and benches replay
+    identical fault sequences.
+    """
+
+    loss_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0,1], got {self.loss_rate}")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError(
+                f"corrupt_rate must be in [0,1], got {self.corrupt_rate}"
+            )
+        self._rng = random.Random(self.seed)
+        self.dropped = 0
+        self.corrupted = 0
+
+    def apply(self, frame: bytes) -> Optional[bytes]:
+        """Return the (possibly damaged) frame, or None if dropped."""
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return None
+        if self.corrupt_rate and self._rng.random() < self.corrupt_rate and frame:
+            self.corrupted += 1
+            damaged = bytearray(frame)
+            # Flip one bit somewhere beyond the first byte when possible
+            # so the header magic usually survives and the payload CRC
+            # (the AAL5-style check) is what catches the damage.
+            index = self._rng.randrange(len(damaged) // 2, len(damaged)) if len(damaged) > 1 else 0
+            damaged[index] ^= 1 << self._rng.randrange(8)
+            return bytes(damaged)
+        return frame
+
+
+class FaultyInterface(CommInterface):
+    """Decorator injecting faults on the send side of any interface."""
+
+    reliable = False
+
+    def __init__(self, inner: CommInterface, injector: FaultInjector):
+        self._inner = inner
+        self.injector = injector
+        self.name = inner.name
+        self.max_frame = inner.max_frame
+
+    def send(self, frame: bytes) -> None:
+        survivor = self.injector.apply(frame)
+        if survivor is None:
+            return  # dropped "on the wire"
+        self._inner.send(survivor)
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        return self._inner.recv(timeout)
+
+    def try_recv(self) -> Optional[bytes]:
+        return self._inner.try_recv()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed

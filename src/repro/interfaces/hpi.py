@@ -1,0 +1,64 @@
+"""HPI — High Performance Interface.
+
+The paper's HPI is "built by modifying system software such as device
+driver or firmware", targeting tightly-coupled *homogeneous* clusters —
+the lowest-latency path, unavailable across platforms.  The closest
+synthetic equivalent in a single Python process is a trap straight into
+a shared-memory queue pair: no socket, no syscall, no copy beyond the
+frame bytes themselves.
+
+An :class:`HpiFabric` is the "cluster backplane": nodes that share a
+fabric instance can establish HPI connections with each other, and only
+with each other — crossing fabrics (like crossing clusters in Fig. 3)
+requires falling back to SCI, exactly the heterogeneous-cluster pattern
+the paper draws.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.interfaces.loopback import LoopbackPair, QueueInterface
+
+
+class HpiFabric:
+    """In-process registry of HPI queue-pair endpoints.
+
+    Connection setup protocol mirrors the socket flow: the acceptor
+    *offers* an endpoint under a fabric-unique port number (returned in
+    its ConnectAccept), and the initiator *claims* the other end.
+    """
+
+    def __init__(self, name: str = "fabric"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._ports = itertools.count(1)
+        self._offers: Dict[int, QueueInterface] = {}
+
+    def offer(self) -> Tuple[int, QueueInterface]:
+        """Create a pair; park one end under a new port, return the other."""
+        pair = LoopbackPair()
+        pair.a.name = "hpi"
+        pair.b.name = "hpi"
+        with self._lock:
+            port = next(self._ports)
+            self._offers[port] = pair.b
+        return port, pair.a
+
+    def claim(self, port: int) -> QueueInterface:
+        """Take the parked end of a previously offered pair."""
+        with self._lock:
+            endpoint = self._offers.pop(port, None)
+        if endpoint is None:
+            raise KeyError(f"no HPI offer parked under port {port}")
+        return endpoint
+
+    def pending_offers(self) -> int:
+        with self._lock:
+            return len(self._offers)
+
+
+#: Default fabric for single-process applications (examples, tests).
+DEFAULT_FABRIC = HpiFabric("default")

@@ -1,0 +1,102 @@
+"""In-memory queue-pair interface.
+
+The substrate for HPI (and for interface-agnostic unit tests): two
+endpoints joined by a pair of thread-safe deques.  Frame-preserving,
+reliable, and fast — the closest Python analogue to the paper's
+modified-device-driver "trap" path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.interfaces.base import CommInterface, InterfaceClosed
+
+
+class _SharedState:
+    """Queues and liveness shared by the two ends of a pair."""
+
+    def __init__(self):
+        self.queues = (deque(), deque())
+        self.cond = threading.Condition()
+        self.open_ends = 2
+
+
+class QueueInterface(CommInterface):
+    """One end of an in-memory pair; ``side`` picks its receive queue."""
+
+    name = "loopback"
+    max_frame = None
+    reliable = True
+
+    def __init__(self, state: _SharedState, side: int):
+        self._state = state
+        self._side = side
+        self._closed = False
+        self.sent_frames = 0
+        self.received_frames = 0
+
+    def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        self.check_frame_size(frame)
+        with self._state.cond:
+            if self._state.open_ends < 2:
+                raise InterfaceClosed("peer endpoint is closed")
+            # Our peer reads from the queue indexed by the *other* side.
+            self._state.queues[1 - self._side].append(bytes(frame))
+            self.sent_frames += 1
+            self._state.cond.notify_all()
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state.cond:
+            queue = self._state.queues[self._side]
+            while not queue:
+                if self._closed:
+                    raise InterfaceClosed("recv on closed interface")
+                if self._state.open_ends < 2 and not queue:
+                    return None  # peer gone, nothing buffered
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._state.cond.wait(remaining if remaining is not None else 0.1)
+            self.received_frames += 1
+            return queue.popleft()
+
+    def try_recv(self) -> Optional[bytes]:
+        with self._state.cond:
+            queue = self._state.queues[self._side]
+            if queue:
+                self.received_frames += 1
+                return queue.popleft()
+            return None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._state.cond:
+            self._state.open_ends -= 1
+            self._state.cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class LoopbackPair:
+    """Factory producing the two joined :class:`QueueInterface` ends."""
+
+    def __init__(self):
+        state = _SharedState()
+        self.a = QueueInterface(state, 0)
+        self.b = QueueInterface(state, 1)
+
+    def endpoints(self) -> tuple[QueueInterface, QueueInterface]:
+        return self.a, self.b

@@ -1,0 +1,182 @@
+"""SCI — Socket Communication Interface (TCP).
+
+The portability interface: length-prefixed frames over a TCP stream.
+TCP's built-in flow and error control come along for the ride, which is
+exactly the trade-off the paper notes ("we have to use the inherent flow
+control, error control algorithms in TCP/IP ... and thus cannot fully
+exploit the features of NCS").
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.interfaces.base import CommInterface, InterfaceClosed
+
+_LEN_FMT = "!I"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+#: Upper bound on a framed SDU; rejects stream desync garbage early.
+MAX_FRAME = 1 << 24
+
+
+class SciInterface(CommInterface):
+    """One end of a TCP frame stream."""
+
+    name = "sci"
+    max_frame = MAX_FRAME
+    reliable = True
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._recv_buffer = b""
+        self._closed = False
+        self.sent_frames = 0
+        self.received_frames = 0
+
+    def peer_address(self) -> tuple:
+        """The remote (host, port) of the underlying TCP stream."""
+        return self._sock.getpeername()[:2]
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        self.check_frame_size(frame)
+        header = struct.pack(_LEN_FMT, len(frame))
+        with self._send_lock:
+            try:
+                self._sock.sendall(header + frame)
+            except OSError as exc:
+                raise InterfaceClosed(f"peer connection lost: {exc}") from exc
+        self.sent_frames += 1
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        with self._recv_lock:
+            return self._recv_frame(timeout)
+
+    def try_recv(self) -> Optional[bytes]:
+        # Zero timeout => non-blocking poll (the user-level thread rule).
+        with self._recv_lock:
+            return self._recv_frame(0.0)
+
+    def _recv_frame(self, timeout: Optional[float]) -> Optional[bytes]:
+        if self._closed:
+            raise InterfaceClosed("recv on closed interface")
+        length_bytes = self._read_exact(_LEN_SIZE, timeout)
+        if length_bytes is None:
+            return None
+        (length,) = struct.unpack(_LEN_FMT, length_bytes)
+        if length > MAX_FRAME:
+            raise InterfaceClosed(f"insane frame length {length}: stream desync")
+        # The header committed us to a frame; finish it without timeout so
+        # the stream cannot desynchronize on a partial read.
+        frame = self._read_exact(length, None)
+        if frame is None:
+            raise InterfaceClosed("peer closed mid-frame")
+        self.received_frames += 1
+        return frame
+
+    def _read_exact(self, count: int, timeout: Optional[float]) -> Optional[bytes]:
+        """Read exactly ``count`` bytes, buffering partial data across
+        timeouts so a slow sender never desynchronizes the stream."""
+        while len(self._recv_buffer) < count:
+            try:
+                self._sock.settimeout(timeout)
+                chunk = self._sock.recv(65536)
+            except (socket.timeout, BlockingIOError):
+                # timeout covers timed waits; BlockingIOError covers the
+                # timeout=0 non-blocking poll used by try_recv.
+                return None
+            except OSError as exc:
+                if self._closed:
+                    raise InterfaceClosed("recv on closed interface") from exc
+                raise InterfaceClosed(f"peer connection lost: {exc}") from exc
+            if not chunk:
+                if self._recv_buffer:
+                    raise InterfaceClosed("peer closed mid-frame")
+                raise InterfaceClosed("peer closed the connection")
+            self._recv_buffer += chunk
+        data = self._recv_buffer[:count]
+        self._recv_buffer = self._recv_buffer[count:]
+        return data
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class SciListener:
+    """TCP accept socket handing out :class:`SciInterface` endpoints."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = None) -> Optional[SciInterface]:
+        """Accept one connection; ``timeout=0`` polls without blocking."""
+        try:
+            self._sock.settimeout(timeout)
+            conn, _addr = self._sock.accept()
+        except (socket.timeout, BlockingIOError):
+            return None
+        except OSError as exc:
+            if self._closed:
+                raise InterfaceClosed("listener closed") from exc
+            raise
+        return SciInterface(conn)
+
+    def close(self) -> None:
+        self._closed = True
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def sci_connect(host: str, port: int, timeout: float = 5.0) -> SciInterface:
+    """Dial a listener and wrap the stream."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SciInterface(sock)
+
+
+def sci_pair() -> tuple[SciInterface, SciInterface]:
+    """A connected pair over loopback (tests and HPI-less quickstarts)."""
+    listener = SciListener()
+    dialer_result = {}
+
+    def _dial():
+        dialer_result["iface"] = sci_connect(listener.host, listener.port)
+
+    thread = threading.Thread(target=_dial, daemon=True)
+    thread.start()
+    accepted = listener.accept(timeout=5.0)
+    thread.join(timeout=5.0)
+    listener.close()
+    if accepted is None or "iface" not in dialer_result:
+        raise RuntimeError("failed to establish loopback SCI pair")
+    return dialer_result["iface"], accepted

@@ -1,0 +1,40 @@
+"""Group communication services (paper §2).
+
+NCS "supports ... multicasting algorithms (e.g., repetitive send/receive
+or a multicast spanning tree)", selected per group at runtime, with
+dynamic membership maintained over the control plane (Fig. 2's
+"Control Information (e.g., Membership information)").
+
+* :class:`GroupManager` — per-node group service: membership, multicast
+  send/receive, barrier synchronization;
+* ``algorithm="repetitive"`` — the origin sends the message point-to-
+  point to every member in turn;
+* ``algorithm="spanning_tree"`` — members form a deterministic k-ary
+  tree rooted at the origin and forward along tree edges, so the origin
+  pays O(k) sends instead of O(n).
+"""
+
+from repro.multicast.collective import (
+    Collective,
+    fold_concat,
+    fold_max_u64,
+    fold_sum_u64,
+)
+from repro.multicast.envelope import MulticastEnvelope
+from repro.multicast.group import GroupManager, GroupView
+from repro.multicast.tree import spanning_tree_children, tree_depth
+
+MULTICAST_ALGORITHMS = ("repetitive", "spanning_tree")
+
+__all__ = [
+    "Collective",
+    "GroupManager",
+    "GroupView",
+    "MULTICAST_ALGORITHMS",
+    "MulticastEnvelope",
+    "fold_concat",
+    "fold_max_u64",
+    "fold_sum_u64",
+    "spanning_tree_children",
+    "tree_depth",
+]

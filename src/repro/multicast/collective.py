@@ -1,0 +1,195 @@
+"""Collective operations over NCS groups.
+
+The paper lists "group communication, synchronization" among NCS's
+communication services; the barrier lives in
+:class:`~repro.multicast.group.GroupManager`, and this module builds the
+standard collectives on top of the multicast/unicast primitives:
+
+* ``broadcast`` — root to all (spanning tree by default);
+* ``gather`` — all to root, results tagged by member;
+* ``scatter`` — root sends each member its own piece;
+* ``reduce`` — gather + fold at the root;
+* ``allreduce`` — reduce + broadcast of the result.
+
+Epoch discipline matches the barrier: the Nth call of an operation on
+each member forms the Nth global instance of that operation, so members
+call collectives in lockstep (the SPMD convention every MPI program
+follows).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.multicast.group import GroupError, GroupManager
+
+
+class Collective:
+    """Collective operations bound to one :class:`GroupManager`."""
+
+    def __init__(self, manager: GroupManager):
+        self.manager = manager
+        self._lock = threading.Lock()
+        #: (group, op) -> local epoch counter
+        self._epochs: Dict[Tuple[str, str], int] = {}
+
+    def _next_epoch(self, group: str, op: str) -> int:
+        with self._lock:
+            epoch = self._epochs.get((group, op), 0) + 1
+            self._epochs[(group, op)] = epoch
+            return epoch
+
+    def _wire(self, group: str, op: str, epoch: int) -> str:
+        return f"{group}#{op}:{epoch}"
+
+    # ------------------------------------------------------------------
+
+    def broadcast(
+        self,
+        group: str,
+        payload: Optional[bytes] = None,
+        root: Optional[str] = None,
+        algorithm: str = "spanning_tree",
+        timeout: float = 10.0,
+    ) -> bytes:
+        """Root's ``payload`` reaches every member; all return it.
+
+        The root passes ``payload``; every other member passes None.
+        ``root`` defaults to the group coordinator.
+        """
+        manager = self.manager
+        view = manager.view(group)
+        root = root or view.coordinator
+        epoch = self._next_epoch(group, "bcast")
+        wire = self._wire(group, "bcast", epoch)
+        if manager.me == root:
+            if payload is None:
+                raise GroupError("the broadcast root must supply a payload")
+            manager.multicast(
+                group, payload, algorithm=algorithm, wait=True,
+                timeout=timeout, wire_group=wire,
+            )
+            return payload
+        result = manager.recv_tagged(wire, timeout=timeout)
+        if result is None:
+            raise GroupError(f"broadcast epoch {epoch} on {group!r} timed out")
+        _origin, data = result
+        return data
+
+    def gather(
+        self,
+        group: str,
+        payload: bytes,
+        root: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> Optional[Dict[str, bytes]]:
+        """Every member contributes; the root returns {member: payload},
+        everyone else returns None."""
+        manager = self.manager
+        view = manager.view(group)
+        root = root or view.coordinator
+        epoch = self._next_epoch(group, "gather")
+        wire = self._wire(group, "gather", epoch)
+        if manager.me == root:
+            results = {manager.me: payload}
+            expected = len(view.members) - 1
+            for _ in range(expected):
+                item = manager.recv_tagged(wire, timeout=timeout)
+                if item is None:
+                    raise GroupError(
+                        f"gather epoch {epoch} on {group!r}: only "
+                        f"{len(results) - 1}/{expected} contributions arrived"
+                    )
+                origin, data = item
+                results[origin] = data
+            return results
+        manager.unicast(group, root, payload, wire_group=wire)
+        return None
+
+    def scatter(
+        self,
+        group: str,
+        chunks: Optional[Dict[str, bytes]] = None,
+        root: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> bytes:
+        """The root distributes ``chunks[member]`` to each member; every
+        member (root included) returns its own piece."""
+        manager = self.manager
+        view = manager.view(group)
+        root = root or view.coordinator
+        epoch = self._next_epoch(group, "scatter")
+        wire = self._wire(group, "scatter", epoch)
+        if manager.me == root:
+            if chunks is None:
+                raise GroupError("the scatter root must supply the chunks")
+            missing = set(view.members) - set(chunks)
+            if missing:
+                raise GroupError(f"scatter missing chunks for {sorted(missing)}")
+            for member in view.others(manager.me):
+                manager.unicast(group, member, chunks[member], wire_group=wire)
+            return chunks[manager.me]
+        item = manager.recv_tagged(wire, timeout=timeout)
+        if item is None:
+            raise GroupError(f"scatter epoch {epoch} on {group!r} timed out")
+        _origin, data = item
+        return data
+
+    def reduce(
+        self,
+        group: str,
+        payload: bytes,
+        fold: Callable[[List[bytes]], bytes],
+        root: Optional[str] = None,
+        timeout: float = 10.0,
+    ) -> Optional[bytes]:
+        """Fold every member's contribution at the root.
+
+        ``fold`` receives the contributions ordered by member id (a
+        deterministic order every member can predict).  Root returns the
+        folded value; others return None.
+        """
+        manager = self.manager
+        view = manager.view(group)
+        root = root or view.coordinator
+        gathered = self.gather(group, payload, root=root, timeout=timeout)
+        if gathered is None:
+            return None
+        ordered = [gathered[member] for member in sorted(gathered)]
+        return fold(ordered)
+
+    def allreduce(
+        self,
+        group: str,
+        payload: bytes,
+        fold: Callable[[List[bytes]], bytes],
+        timeout: float = 10.0,
+    ) -> bytes:
+        """reduce at the coordinator, then broadcast of the result."""
+        manager = self.manager
+        view = manager.view(group)
+        root = view.coordinator
+        reduced = self.reduce(group, payload, fold, root=root, timeout=timeout)
+        if manager.me == root:
+            return self.broadcast(group, reduced, root=root, timeout=timeout)
+        return self.broadcast(group, None, root=root, timeout=timeout)
+
+
+# -- common folds ------------------------------------------------------------
+
+
+def fold_concat(parts: List[bytes]) -> bytes:
+    """Concatenate contributions in member order."""
+    return b"".join(parts)
+
+
+def fold_sum_u64(parts: List[bytes]) -> bytes:
+    """Sum contributions interpreted as big-endian u64 (8 bytes each)."""
+    total = sum(int.from_bytes(p, "big") for p in parts)
+    return (total & (2**64 - 1)).to_bytes(8, "big")
+
+
+def fold_max_u64(parts: List[bytes]) -> bytes:
+    """Maximum of contributions interpreted as big-endian u64."""
+    return max(int.from_bytes(p, "big") for p in parts).to_bytes(8, "big")

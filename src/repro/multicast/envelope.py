@@ -1,0 +1,59 @@
+"""Wire envelope for multicast data messages.
+
+Multicast payloads travel over ordinary NCS point-to-point connections;
+the envelope adds what forwarding needs: the group, the origin member
+(the tree root), and the membership version the origin used (so a
+forwarder with a stale view can detect the mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.codec import ByteReader, ByteWriter
+
+_MAGIC = 0x4D  # 'M'
+
+
+class EnvelopeError(ValueError):
+    """Raised when an inbound frame is not a valid multicast envelope."""
+
+
+@dataclass(frozen=True)
+class MulticastEnvelope:
+    """One multicast message in flight."""
+
+    group: str
+    origin: str  # member id ("host:port") of the sender
+    version: int  # membership version at the origin
+    #: True when receivers must forward along the spanning tree; False
+    #: for repetitive send (the origin reaches everyone directly).
+    forward: bool
+    payload: bytes
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.u8(_MAGIC)
+        writer.lp_str(self.group)
+        writer.lp_str(self.origin)
+        writer.u32(self.version)
+        writer.u8(1 if self.forward else 0)
+        writer.lp_bytes(self.payload)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MulticastEnvelope":
+        reader = ByteReader(data)
+        try:
+            magic = reader.u8()
+            if magic != _MAGIC:
+                raise EnvelopeError(f"bad envelope magic 0x{magic:02X}")
+            return cls(
+                group=reader.lp_str(),
+                origin=reader.lp_str(),
+                version=reader.u32(),
+                forward=bool(reader.u8()),
+                payload=reader.lp_bytes(),
+            )
+        except ValueError as exc:
+            raise EnvelopeError(str(exc)) from exc

@@ -1,0 +1,436 @@
+"""Group membership, multicast, and barrier synchronization.
+
+One :class:`GroupManager` per node.  Membership is coordinator-based:
+the creator of a group is its coordinator; joins/leaves go to the
+coordinator over the control plane, and every change pushes a
+:class:`~repro.protocol.pdus.GroupInfoPdu` snapshot to all members —
+the "Control Information (e.g., Membership information)" flowing between
+participants in the paper's Fig. 2.
+
+Multicast *data* travels over ordinary NCS point-to-point connections
+(lazily established between member pairs), using either algorithm from
+the paper: repetitive send/receive, or store-and-forward down the
+deterministic spanning tree of :mod:`repro.multicast.tree`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ConnectionConfig
+from repro.core.connection import Connection
+from repro.core.errors import NcsError
+from repro.multicast.envelope import EnvelopeError, MulticastEnvelope
+from repro.multicast.tree import spanning_tree_children
+from repro.protocol.pdus import (
+    BarrierPdu,
+    GroupInfoPdu,
+    GroupJoinPdu,
+    GroupLeavePdu,
+)
+
+#: dst_node prefix marking a connection as group-layer traffic.
+GROUP_PEER_PREFIX = "#group"
+
+
+class GroupError(NcsError):
+    """Group-layer failure (unknown group, join timeout, ...)."""
+
+
+@dataclass
+class GroupView:
+    """A member's current picture of one group."""
+
+    name: str
+    version: int
+    members: List[str]
+    coordinator: str
+
+    def others(self, me: str) -> List[str]:
+        return [m for m in self.members if m != me]
+
+
+@dataclass
+class _CoordinatorState:
+    """Book-keeping held only at the group's coordinator."""
+
+    members: List[str] = field(default_factory=list)
+    version: int = 0
+    #: barrier epoch -> set of members that have arrived
+    arrivals: Dict[int, set] = field(default_factory=dict)
+
+
+class GroupManager:
+    """Per-node group communication service."""
+
+    def __init__(
+        self,
+        node,
+        data_config: Optional[ConnectionConfig] = None,
+        fanout: int = 2,
+    ):
+        self.node = node
+        self.me = f"{node.host}:{node.control_port}"
+        self.fanout = fanout
+        self.data_config = data_config or ConnectionConfig(interface="sci")
+        self._views: Dict[str, GroupView] = {}
+        self._coordinating: Dict[str, _CoordinatorState] = {}
+        self._queues: Dict[str, object] = {}  # group -> pkg.channel
+        self._data_conns: Dict[str, Connection] = {}
+        self._lock = threading.Lock()
+        self._membership_events: Dict[str, threading.Event] = {}
+        #: group -> local barrier epoch counter
+        self._barrier_epochs: Dict[str, int] = {}
+        self._barrier_events: Dict[Tuple[str, int], threading.Event] = {}
+        node.group_pdu_handler = self._on_group_pdu
+        node.accept_router = self._route_accepted
+        self.multicasts_sent = 0
+        self.envelopes_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def create(self, group: str) -> GroupView:
+        """Create ``group`` with this node as coordinator and member."""
+        with self._lock:
+            if group in self._views:
+                raise GroupError(f"group {group!r} already exists locally")
+            state = _CoordinatorState(members=[self.me], version=1)
+            self._coordinating[group] = state
+            view = GroupView(group, 1, [self.me], self.me)
+            self._views[group] = view
+            self._ensure_queue(group)
+            return view
+
+    def join(
+        self,
+        group: str,
+        coordinator: Tuple[str, int],
+        timeout: float = 5.0,
+    ) -> GroupView:
+        """Join a group managed by the node at ``coordinator``."""
+        event = threading.Event()
+        with self._lock:
+            self._membership_events[group] = event
+            self._ensure_queue(group)
+        link = self.node.control_link(coordinator)
+        self.node.control_send(link, GroupJoinPdu(group, self.me))
+        if not event.wait(timeout):
+            raise GroupError(f"join of group {group!r} timed out")
+        return self.view(group)
+
+    def leave(self, group: str) -> None:
+        """Leave a remote group (coordinators cannot leave their group)."""
+        view = self.view(group)
+        if view.coordinator == self.me:
+            raise GroupError("the coordinator cannot leave its own group")
+        host, port = view.coordinator.rsplit(":", 1)
+        link = self.node.control_link((host, int(port)))
+        self.node.control_send(link, GroupLeavePdu(group, self.me))
+        with self._lock:
+            self._views.pop(group, None)
+
+    def view(self, group: str) -> GroupView:
+        with self._lock:
+            view = self._views.get(group)
+        if view is None:
+            raise GroupError(f"not a member of group {group!r}")
+        return view
+
+    # ------------------------------------------------------------------
+    # Multicast
+    # ------------------------------------------------------------------
+
+    def multicast(
+        self,
+        group: str,
+        payload: bytes,
+        algorithm: str = "spanning_tree",
+        wait: bool = False,
+        timeout: Optional[float] = 10.0,
+        wire_group: Optional[str] = None,
+    ) -> None:
+        """Send ``payload`` to every other member of ``group``.
+
+        ``algorithm`` is per-call, mirroring the paper's runtime
+        selection: "repetitive" sends point-to-point to each member;
+        "spanning_tree" sends to this node's tree children, who forward.
+        ``wire_group`` (internal) lets collectives route replies into a
+        dedicated delivery queue while using the real group's membership.
+        """
+        view = self.view(group)
+        wire = wire_group or group
+        if algorithm == "repetitive":
+            targets = view.others(self.me)
+            envelope = MulticastEnvelope(wire, self.me, view.version, False, payload)
+        elif algorithm == "spanning_tree":
+            targets = spanning_tree_children(
+                view.members, origin=self.me, me=self.me, fanout=self.fanout
+            )
+            envelope = MulticastEnvelope(wire, self.me, view.version, True, payload)
+        else:
+            raise ValueError(
+                f"unknown multicast algorithm {algorithm!r}; "
+                "choose 'repetitive' or 'spanning_tree'"
+            )
+        frame = envelope.encode()
+        handles = []
+        for member in targets:
+            connection = self._data_conn(member)
+            handles.append(connection.send(frame))
+        self.multicasts_sent += 1
+        if wait:
+            for handle in handles:
+                handle.wait(timeout)
+
+    def unicast(
+        self,
+        group: str,
+        member: str,
+        payload: bytes,
+        wire_group: Optional[str] = None,
+    ) -> None:
+        """Send ``payload`` to one specific member of ``group``
+        (the building block of gather/scatter)."""
+        view = self.view(group)
+        envelope = MulticastEnvelope(
+            wire_group or group, self.me, view.version, False, payload
+        )
+        self._data_conn(member).send(envelope.encode())
+
+    def recv(self, group: str, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Next multicast payload delivered to this member."""
+        queue = self._ensure_queue(group)
+        try:
+            return queue.get(timeout=timeout)
+        except TimeoutError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Barrier synchronization
+    # ------------------------------------------------------------------
+
+    def barrier(self, group: str, timeout: float = 10.0) -> None:
+        """Block until every member of ``group`` has called barrier().
+
+        Epochs are implicit: the Nth barrier() call on each member forms
+        the Nth global barrier, so members must call it in lockstep.
+        """
+        view = self.view(group)
+        with self._lock:
+            epoch = self._barrier_epochs.get(group, 0) + 1
+            self._barrier_epochs[group] = epoch
+            event = threading.Event()
+            self._barrier_events[(group, epoch)] = event
+        arrive = BarrierPdu(group, epoch, 0, self.me)
+        if view.coordinator == self.me:
+            self._coordinator_barrier_arrive(arrive)
+        else:
+            host, port = view.coordinator.rsplit(":", 1)
+            link = self.node.control_link((host, int(port)))
+            self.node.control_send(link, arrive)
+        if not event.wait(timeout):
+            raise GroupError(
+                f"barrier epoch {epoch} of group {group!r} timed out"
+            )
+        with self._lock:
+            self._barrier_events.pop((group, epoch), None)
+
+    # ------------------------------------------------------------------
+    # Control-plane handling (installed as node.group_pdu_handler)
+    # ------------------------------------------------------------------
+
+    def _on_group_pdu(self, pdu, link) -> None:
+        if isinstance(pdu, GroupJoinPdu):
+            self._coordinator_add(pdu.group, pdu.member)
+        elif isinstance(pdu, GroupLeavePdu):
+            self._coordinator_remove(pdu.group, pdu.member)
+        elif isinstance(pdu, GroupInfoPdu):
+            self._apply_membership(pdu)
+        elif isinstance(pdu, BarrierPdu):
+            if pdu.phase == 0:
+                self._coordinator_barrier_arrive(pdu)
+            else:
+                self._barrier_release(pdu)
+
+    def _coordinator_add(self, group: str, member: str) -> None:
+        with self._lock:
+            state = self._coordinating.get(group)
+            if state is None:
+                return
+            if member not in state.members:
+                state.members.append(member)
+                state.version += 1
+        self._push_membership(group)
+
+    def _coordinator_remove(self, group: str, member: str) -> None:
+        with self._lock:
+            state = self._coordinating.get(group)
+            if state is None or member not in state.members:
+                return
+            state.members.remove(member)
+            state.version += 1
+        self._push_membership(group)
+
+    def _push_membership(self, group: str) -> None:
+        with self._lock:
+            state = self._coordinating[group]
+            snapshot = GroupInfoPdu(group, state.version, tuple(state.members))
+        self._apply_membership(snapshot)  # coordinator updates itself
+        for member in snapshot.members:
+            if member == self.me:
+                continue
+            host, port = member.rsplit(":", 1)
+            link = self.node.control_link((host, int(port)))
+            self.node.control_send(link, snapshot)
+
+    def _apply_membership(self, pdu: GroupInfoPdu) -> None:
+        with self._lock:
+            view = self._views.get(pdu.group)
+            coordinator = view.coordinator if view is not None else (
+                self.me if pdu.group in self._coordinating else None
+            )
+            if coordinator is None:
+                # First snapshot after our join: the pusher coordinates.
+                coordinator = pdu.members[0] if pdu.members else self.me
+            self._views[pdu.group] = GroupView(
+                pdu.group, pdu.version, list(pdu.members), coordinator
+            )
+            self._ensure_queue(pdu.group)
+            event = self._membership_events.get(pdu.group)
+        if event is not None and self.me in pdu.members:
+            event.set()
+
+    def _coordinator_barrier_arrive(self, pdu: BarrierPdu) -> None:
+        with self._lock:
+            state = self._coordinating.get(pdu.group)
+            if state is None:
+                return
+            arrived = state.arrivals.setdefault(pdu.epoch, set())
+            arrived.add(pdu.member)
+            complete = len(arrived) >= len(state.members)
+            members = list(state.members)
+            if complete:
+                state.arrivals.pop(pdu.epoch, None)
+        if not complete:
+            return
+        release = BarrierPdu(pdu.group, pdu.epoch, 1, self.me)
+        self._barrier_release(release)  # coordinator releases itself
+        for member in members:
+            if member == self.me:
+                continue
+            host, port = member.rsplit(":", 1)
+            link = self.node.control_link((host, int(port)))
+            self.node.control_send(link, release)
+
+    def _barrier_release(self, pdu: BarrierPdu) -> None:
+        with self._lock:
+            event = self._barrier_events.get((pdu.group, pdu.epoch))
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------
+    # Data-plane plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure_queue(self, group: str):
+        queue = self._queues.get(group)
+        if queue is None:
+            queue = self.node.pkg.channel()
+            self._queues[group] = queue
+        return queue
+
+    def _data_conn(self, member: str) -> Connection:
+        with self._lock:
+            connection = self._data_conns.get(member)
+        if connection is not None and not connection.closed:
+            return connection
+        host, port = member.rsplit(":", 1)
+        connection = self.node.connect(
+            (host, int(port)),
+            self.data_config,
+            peer_name=f"{GROUP_PEER_PREFIX}:{self.me}",
+        )
+        with self._lock:
+            self._data_conns[member] = connection
+        self.node.pkg.spawn(
+            self._pump, connection, name=f"{self.node.name}-mcastpump"
+        )
+        return connection
+
+    def _route_accepted(self, request, connection: Connection) -> bool:
+        """Claim inbound group-layer connections (node.accept_router)."""
+        if not request.dst_node.startswith(GROUP_PEER_PREFIX):
+            return False
+        # The initiator embeds its member id after the prefix.
+        peer_member = request.dst_node[len(GROUP_PEER_PREFIX) + 1 :]
+        with self._lock:
+            self._data_conns.setdefault(peer_member, connection)
+        self.node.pkg.spawn(
+            self._pump, connection, name=f"{self.node.name}-mcastpump"
+        )
+        return True
+
+    def _pump(self, connection: Connection) -> None:
+        """Receive loop for one group data connection."""
+        while not connection.closed:
+            try:
+                frame = connection.recv(timeout=0.2)
+            except NcsError:
+                return
+            if frame is None:
+                continue
+            try:
+                envelope = MulticastEnvelope.decode(frame)
+            except EnvelopeError:
+                continue
+            self._handle_envelope(envelope)
+
+    def _handle_envelope(self, envelope: MulticastEnvelope) -> None:
+        # Collective operations address pseudo-groups ("team#gather:3"):
+        # membership and forwarding come from the base group, delivery
+        # goes to the pseudo-group's own queue tagged with the origin.
+        base_group, _sep, _op = envelope.group.partition("#")
+        queue = self._ensure_queue(envelope.group)
+        if _sep:
+            queue.put((envelope.origin, envelope.payload))
+        else:
+            queue.put(envelope.payload)
+        if not envelope.forward:
+            return
+        with self._lock:
+            view = self._views.get(base_group)
+        if view is None:
+            return
+        try:
+            children = spanning_tree_children(
+                view.members, origin=envelope.origin, me=self.me, fanout=self.fanout
+            )
+        except ValueError:
+            return  # stale membership: origin or we left the group
+        frame = envelope.encode()
+        for child in children:
+            self._data_conn(child).send(frame)
+            self.envelopes_forwarded += 1
+
+    def recv_tagged(
+        self, wire_group: str, timeout: Optional[float] = None
+    ) -> Optional[tuple]:
+        """Next (origin, payload) pair from a collective pseudo-group."""
+        queue = self._ensure_queue(wire_group)
+        try:
+            return queue.get(timeout=timeout)
+        except TimeoutError:
+            return None
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop group state (connections are owned by the node)."""
+        with self._lock:
+            self._views.clear()
+            self._coordinating.clear()
+            self._data_conns.clear()

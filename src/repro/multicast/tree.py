@@ -1,0 +1,78 @@
+"""Deterministic multicast spanning tree.
+
+All members share the same sorted membership list, so each can compute
+the same tree locally with no extra coordination: the list is rotated to
+put the origin at index 0, then a k-ary heap layout assigns children.
+Every member therefore knows its own children for any origin, which is
+all that store-and-forward multicast needs.
+
+``networkx`` validates the construction in tests (the edge set really is
+a spanning tree: connected, acyclic, n-1 edges).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+DEFAULT_FANOUT = 2
+
+
+def _rotated(members: Sequence[str], origin: str) -> List[str]:
+    ordered = sorted(members)
+    if origin not in ordered:
+        raise ValueError(f"origin {origin!r} is not a group member")
+    pivot = ordered.index(origin)
+    return ordered[pivot:] + ordered[:pivot]
+
+
+def spanning_tree_children(
+    members: Sequence[str],
+    origin: str,
+    me: str,
+    fanout: int = DEFAULT_FANOUT,
+) -> List[str]:
+    """Members ``me`` must forward to, in the tree rooted at ``origin``."""
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    order = _rotated(members, origin)
+    if me not in order:
+        raise ValueError(f"member {me!r} is not in the group")
+    index = order.index(me)
+    first_child = fanout * index + 1
+    return [
+        order[child]
+        for child in range(first_child, min(first_child + fanout, len(order)))
+    ]
+
+
+def tree_parent(
+    members: Sequence[str], origin: str, me: str, fanout: int = DEFAULT_FANOUT
+) -> str | None:
+    """The member that forwards to ``me`` (None for the origin itself)."""
+    order = _rotated(members, origin)
+    index = order.index(me)
+    if index == 0:
+        return None
+    return order[(index - 1) // fanout]
+
+
+def tree_depth(member_count: int, fanout: int = DEFAULT_FANOUT) -> int:
+    """Depth of the k-ary tree over ``member_count`` members.
+
+    The latency advantage over repetitive send: O(log_k n) forwarding
+    hops instead of the origin's O(n) serial sends.
+    """
+    if member_count <= 0:
+        return 0
+    if fanout == 1:
+        return member_count - 1
+    # Index of the last member in heap layout determines the depth.
+    depth = 0
+    boundary = 1  # members with depth <= depth
+    per_level = 1
+    while boundary < member_count:
+        per_level *= fanout
+        boundary += per_level
+        depth += 1
+    return depth

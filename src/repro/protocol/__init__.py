@@ -1,0 +1,68 @@
+"""NCS wire protocol: SDU framing, control PDUs, segmentation.
+
+Everything in this package is *sans-I/O*: pure data structures and state
+machines with no sockets, threads, or clocks.  The live threaded runtime
+(`repro.core`) and the discrete-event simulator (`repro.simnet`) both
+drive these objects, which is how one protocol implementation backs both
+real execution and the paper's deterministic evaluation.
+"""
+
+from repro.protocol.headers import (
+    HEADER_SIZE,
+    PduType,
+    Sdu,
+    SduHeader,
+)
+from repro.protocol.pdus import (
+    AckPdu,
+    BarrierPdu,
+    ClosePdu,
+    ConnectAcceptPdu,
+    ConnectRejectPdu,
+    ConnectRequestPdu,
+    ControlPdu,
+    CreditPdu,
+    CumAckPdu,
+    GroupInfoPdu,
+    GroupJoinPdu,
+    GroupLeavePdu,
+    HeartbeatPdu,
+    decode_control_pdu,
+)
+from repro.protocol.segmentation import (
+    DEFAULT_SDU_SIZE,
+    MAX_SDU_SIZE,
+    MIN_SDU_SIZE,
+    Reassembler,
+    ReassemblyState,
+    segment_message,
+    validate_sdu_size,
+)
+
+__all__ = [
+    "AckPdu",
+    "BarrierPdu",
+    "ClosePdu",
+    "ConnectAcceptPdu",
+    "ConnectRejectPdu",
+    "ConnectRequestPdu",
+    "ControlPdu",
+    "CreditPdu",
+    "CumAckPdu",
+    "DEFAULT_SDU_SIZE",
+    "GroupInfoPdu",
+    "GroupJoinPdu",
+    "GroupLeavePdu",
+    "HEADER_SIZE",
+    "HeartbeatPdu",
+    "MAX_SDU_SIZE",
+    "MIN_SDU_SIZE",
+    "PduType",
+    "Reassembler",
+    "ReassemblyState",
+    "Sdu",
+    "SduHeader",
+    "decode_control_pdu",
+    "segment_message",
+    "validate_sdu_size",
+]

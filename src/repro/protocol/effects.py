@@ -1,0 +1,57 @@
+"""Effect records returned by the sans-I/O protocol engines.
+
+Error- and flow-control engines never touch sockets or timers; every
+entry point returns an :class:`Effects` describing what the caller (the
+threaded runtime or the simulator) should now do: SDUs to put on the data
+connection, PDUs to put on the control connection, messages to deliver to
+the application, completion/failure notifications, and the next timer
+deadline to arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocol.headers import Sdu
+from repro.protocol.pdus import ControlPdu
+
+
+@dataclass
+class Effects:
+    """Aggregated side effects requested by a protocol engine."""
+
+    #: SDUs to transmit on the data connection, in order.
+    transmits: List[Sdu] = field(default_factory=list)
+    #: PDUs to transmit on the control connection, in order.
+    controls: List[ControlPdu] = field(default_factory=list)
+    #: Fully reassembled messages to hand to the application, in order.
+    deliveries: List[bytes] = field(default_factory=list)
+    #: msg_ids whose transmission completed (sender side).
+    completed: List[int] = field(default_factory=list)
+    #: msg_ids abandoned after exhausting retries (sender side).
+    failed: List[int] = field(default_factory=list)
+    #: Absolute time at which the engine next needs an ``on_timer`` call
+    #: (None = no timer needed).  Callers re-arm after every entry point.
+    timer_at: Optional[float] = None
+
+    def merge(self, other: "Effects") -> "Effects":
+        """Append ``other``'s effects onto this one (returns self)."""
+        self.transmits.extend(other.transmits)
+        self.controls.extend(other.controls)
+        self.deliveries.extend(other.deliveries)
+        self.completed.extend(other.completed)
+        self.failed.extend(other.failed)
+        if other.timer_at is not None:
+            if self.timer_at is None or other.timer_at < self.timer_at:
+                self.timer_at = other.timer_at
+        return self
+
+    def empty(self) -> bool:
+        return not (
+            self.transmits
+            or self.controls
+            or self.deliveries
+            or self.completed
+            or self.failed
+        )

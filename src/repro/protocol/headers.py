@@ -1,0 +1,176 @@
+"""SDU framing: the data-plane packet format.
+
+The paper attaches to every Service Data Unit a *sequence number* and a
+*control bit* that marks the final SDU of a message (Fig. 5).  This
+header carries exactly those, plus the connection/message identifiers the
+Compute Thread supplies to ``NCS_send`` ("destination process id,
+destination thread id, session id") and a payload CRC so the unreliable
+ACI path can detect corruption the way AAL5's trailer CRC does.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.util.crc import crc32_aal5
+
+#: Wire magic: "NC" — rejects cross-protocol garbage early.
+MAGIC = 0x4E43
+VERSION = 1
+
+#: struct layout: magic, version, flags, connection_id, msg_id, seqno,
+#: total_sdus, payload_len, payload_crc
+_HEADER_FMT = "!HBBIIIIII"
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+_FLAG_END = 0x01
+
+
+class PduType(enum.IntEnum):
+    """Discriminates every frame on either connection type."""
+
+    DATA = 1
+    ACK = 2
+    CUM_ACK = 3
+    CREDIT = 4
+    CONNECT_REQUEST = 5
+    CONNECT_ACCEPT = 6
+    CONNECT_REJECT = 7
+    CLOSE = 8
+    GROUP_JOIN = 9
+    GROUP_LEAVE = 10
+    GROUP_INFO = 11
+    BARRIER = 12
+    HEARTBEAT = 13
+
+
+class HeaderError(ValueError):
+    """Raised when an incoming frame fails header validation."""
+
+
+@dataclass(frozen=True)
+class SduHeader:
+    """Per-SDU header (paper Fig. 5: sequence number + end-of-message bit).
+
+    ``total_sdus`` is carried for receiver bitmap sizing; the end bit
+    remains authoritative for "last SDU", exactly as in the paper.
+    """
+
+    connection_id: int
+    msg_id: int
+    seqno: int
+    total_sdus: int
+    payload_len: int
+    payload_crc: int
+    end_bit: bool
+
+    def encode(self) -> bytes:
+        flags = _FLAG_END if self.end_bit else 0
+        return struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            VERSION,
+            flags,
+            self.connection_id,
+            self.msg_id,
+            self.seqno,
+            self.total_sdus,
+            self.payload_len,
+            self.payload_crc,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SduHeader":
+        if len(data) < HEADER_SIZE:
+            raise HeaderError(
+                f"short header: {len(data)} bytes < {HEADER_SIZE}"
+            )
+        magic, version, flags, conn_id, msg_id, seqno, total, plen, pcrc = (
+            struct.unpack_from(_HEADER_FMT, data)
+        )
+        if magic != MAGIC:
+            raise HeaderError(f"bad magic 0x{magic:04X}")
+        if version != VERSION:
+            raise HeaderError(f"unsupported protocol version {version}")
+        return cls(
+            connection_id=conn_id,
+            msg_id=msg_id,
+            seqno=seqno,
+            total_sdus=total,
+            payload_len=plen,
+            payload_crc=pcrc,
+            end_bit=bool(flags & _FLAG_END),
+        )
+
+
+@dataclass(frozen=True)
+class Sdu:
+    """A framed Service Data Unit: header plus payload bytes."""
+
+    header: SduHeader
+    payload: bytes
+
+    @classmethod
+    def build(
+        cls,
+        connection_id: int,
+        msg_id: int,
+        seqno: int,
+        total_sdus: int,
+        payload: bytes,
+        end_bit: bool,
+    ) -> "Sdu":
+        header = SduHeader(
+            connection_id=connection_id,
+            msg_id=msg_id,
+            seqno=seqno,
+            total_sdus=total_sdus,
+            payload_len=len(payload),
+            payload_crc=crc32_aal5(payload),
+            end_bit=end_bit,
+        )
+        return cls(header, payload)
+
+    def encode(self) -> bytes:
+        """Serialize for the wire: header immediately followed by payload."""
+        return self.header.encode() + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Sdu":
+        """Parse a frame; raises :class:`HeaderError` on malformed input."""
+        header = SduHeader.decode(data)
+        payload = data[HEADER_SIZE : HEADER_SIZE + header.payload_len]
+        if len(payload) != header.payload_len:
+            raise HeaderError(
+                f"truncated payload: header says {header.payload_len}, "
+                f"frame carries {len(payload)}"
+            )
+        return cls(header, payload)
+
+    def payload_intact(self) -> bool:
+        """Recompute the payload CRC; False means in-transit corruption."""
+        return crc32_aal5(self.payload) == self.header.payload_crc
+
+    @property
+    def wire_size(self) -> int:
+        return HEADER_SIZE + len(self.payload)
+
+    def corrupted_copy(self) -> "Sdu":
+        """Return a copy with one payload bit flipped (fault injection)."""
+        if not self.payload:
+            # No payload bits to damage; corrupt the CRC expectation instead.
+            bad_header = SduHeader(
+                self.header.connection_id,
+                self.header.msg_id,
+                self.header.seqno,
+                self.header.total_sdus,
+                self.header.payload_len,
+                self.header.payload_crc ^ 1,
+                self.header.end_bit,
+            )
+            return Sdu(bad_header, self.payload)
+        damaged = bytearray(self.payload)
+        damaged[0] ^= 0x80
+        return Sdu(self.header, bytes(damaged))

@@ -1,0 +1,344 @@
+"""Control-plane PDUs.
+
+Everything that travels on a *control connection*: acknowledgment bitmaps
+and credits (the paper's Fig. 5/7 control traffic), connection signaling
+(the Master Thread's connection management), and group membership for the
+multicast service.  Keeping these off the data connections is the
+separation-of-control-and-data principle the architecture is built
+around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Type
+
+from repro.protocol.headers import PduType
+from repro.util.bitmap import AckBitmap
+from repro.util.codec import ByteReader, ByteWriter
+
+
+class PduDecodeError(ValueError):
+    """Raised when a control frame cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ControlPdu:
+    """Base class for control-plane messages."""
+
+    #: Wire discriminator; every concrete subclass assigns one.
+    TYPE: ClassVar[PduType]
+
+    def encode(self) -> bytes:
+        writer = ByteWriter()
+        writer.u8(int(self.TYPE))
+        self._encode_body(writer)
+        return writer.getvalue()
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "ControlPdu":
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[int, Type[ControlPdu]] = {}
+
+
+def _register(cls: Type[ControlPdu]) -> Type[ControlPdu]:
+    _REGISTRY[int(cls.TYPE)] = cls
+    return cls
+
+
+def decode_control_pdu(data: bytes) -> ControlPdu:
+    """Parse any control PDU from its wire form."""
+    if not data:
+        raise PduDecodeError("empty control frame")
+    reader = ByteReader(data)
+    type_tag = reader.u8()
+    cls = _REGISTRY.get(type_tag)
+    if cls is None:
+        raise PduDecodeError(f"unknown control PDU type {type_tag}")
+    try:
+        return cls._decode_body(reader)
+    except ValueError as exc:
+        raise PduDecodeError(f"malformed {cls.__name__}: {exc}") from exc
+
+
+@_register
+@dataclass(frozen=True)
+class AckPdu(ControlPdu):
+    """Selective-repeat acknowledgment: the receiver's full bitmap.
+
+    A set bit marks an SDU still missing/in-error (paper Fig. 5: "1 =
+    Error"); an all-clear bitmap completes the message at the sender.
+    """
+
+    TYPE = PduType.ACK
+    connection_id: int
+    msg_id: int
+    bitmap: AckBitmap
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.u32(self.msg_id)
+        writer.u32(self.bitmap.size)
+        writer.lp_bytes(self.bitmap.to_bytes())
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "AckPdu":
+        connection_id = reader.u32()
+        msg_id = reader.u32()
+        size = reader.u32()
+        bitmap = AckBitmap.from_bytes(reader.lp_bytes(), size)
+        return cls(connection_id, msg_id, bitmap)
+
+
+@_register
+@dataclass(frozen=True)
+class CumAckPdu(ControlPdu):
+    """Go-back-N cumulative acknowledgment: next expected sequence number."""
+
+    TYPE = PduType.CUM_ACK
+    connection_id: int
+    msg_id: int
+    next_expected: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.u32(self.msg_id)
+        writer.u32(self.next_expected)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "CumAckPdu":
+        return cls(reader.u32(), reader.u32(), reader.u32())
+
+
+@_register
+@dataclass(frozen=True)
+class CreditPdu(ControlPdu):
+    """Credit grant from receiver to sender (paper Fig. 7 step 5).
+
+    ``credits`` is the number of additional packets the receiver has
+    buffers for; the dynamic credit policy grows it for active
+    connections (§3.3 "active connections get more credits").
+    """
+
+    TYPE = PduType.CREDIT
+    connection_id: int
+    credits: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.u32(self.credits)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "CreditPdu":
+        return cls(reader.u32(), reader.u32())
+
+
+@_register
+@dataclass(frozen=True)
+class ConnectRequestPdu(ControlPdu):
+    """Connection setup carrying the requested per-connection QOS
+    configuration: flow/error algorithms, interface, SDU size, initial
+    credits — the paper's "connection can be configured to meet the QOS
+    requirements of that connection"."""
+
+    TYPE = PduType.CONNECT_REQUEST
+    connection_id: int
+    src_node: str
+    dst_node: str
+    src_data_port: int
+    flow_control: str
+    error_control: str
+    interface: str
+    sdu_size: int
+    initial_credits: int
+    window_size: int
+    rate_pps: float
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.lp_str(self.src_node)
+        writer.lp_str(self.dst_node)
+        writer.u32(self.src_data_port)
+        writer.lp_str(self.flow_control)
+        writer.lp_str(self.error_control)
+        writer.lp_str(self.interface)
+        writer.u32(self.sdu_size)
+        writer.u32(self.initial_credits)
+        writer.u32(self.window_size)
+        writer.f64(self.rate_pps)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "ConnectRequestPdu":
+        return cls(
+            connection_id=reader.u32(),
+            src_node=reader.lp_str(),
+            dst_node=reader.lp_str(),
+            src_data_port=reader.u32(),
+            flow_control=reader.lp_str(),
+            error_control=reader.lp_str(),
+            interface=reader.lp_str(),
+            sdu_size=reader.u32(),
+            initial_credits=reader.u32(),
+            window_size=reader.u32(),
+            rate_pps=reader.f64(),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class ConnectAcceptPdu(ControlPdu):
+    """Positive signaling reply; carries the acceptor's data-plane port."""
+
+    TYPE = PduType.CONNECT_ACCEPT
+    connection_id: int
+    data_port: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.u32(self.data_port)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "ConnectAcceptPdu":
+        return cls(reader.u32(), reader.u32())
+
+
+@_register
+@dataclass(frozen=True)
+class ConnectRejectPdu(ControlPdu):
+    """Negative signaling reply with a human-readable reason."""
+
+    TYPE = PduType.CONNECT_REJECT
+    connection_id: int
+    reason: str
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+        writer.lp_str(self.reason)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "ConnectRejectPdu":
+        return cls(reader.u32(), reader.lp_str())
+
+
+@_register
+@dataclass(frozen=True)
+class ClosePdu(ControlPdu):
+    """Orderly connection teardown."""
+
+    TYPE = PduType.CLOSE
+    connection_id: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "ClosePdu":
+        return cls(reader.u32())
+
+
+@_register
+@dataclass(frozen=True)
+class GroupJoinPdu(ControlPdu):
+    """Ask the group coordinator to add a member."""
+
+    TYPE = PduType.GROUP_JOIN
+    group: str
+    member: str
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.group)
+        writer.lp_str(self.member)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "GroupJoinPdu":
+        return cls(reader.lp_str(), reader.lp_str())
+
+
+@_register
+@dataclass(frozen=True)
+class GroupLeavePdu(ControlPdu):
+    """Ask the group coordinator to remove a member."""
+
+    TYPE = PduType.GROUP_LEAVE
+    group: str
+    member: str
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.group)
+        writer.lp_str(self.member)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "GroupLeavePdu":
+        return cls(reader.lp_str(), reader.lp_str())
+
+
+@_register
+@dataclass(frozen=True)
+class GroupInfoPdu(ControlPdu):
+    """Membership snapshot pushed to every member on change (the control
+    information of Fig. 2: "e.g., Membership information")."""
+
+    TYPE = PduType.GROUP_INFO
+    group: str
+    version: int
+    members: tuple
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.group)
+        writer.u32(self.version)
+        writer.u32(len(self.members))
+        for member in self.members:
+            writer.lp_str(member)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "GroupInfoPdu":
+        group = reader.lp_str()
+        version = reader.u32()
+        count = reader.u32()
+        members = tuple(reader.lp_str() for _ in range(count))
+        return cls(group, version, members)
+
+
+@_register
+@dataclass(frozen=True)
+class BarrierPdu(ControlPdu):
+    """Barrier synchronization token (arrive / release phases)."""
+
+    TYPE = PduType.BARRIER
+    group: str
+    epoch: int
+    phase: int  # 0 = arrive, 1 = release
+    member: str
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.group)
+        writer.u32(self.epoch)
+        writer.u8(self.phase)
+        writer.lp_str(self.member)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "BarrierPdu":
+        return cls(reader.lp_str(), reader.u32(), reader.u8(), reader.lp_str())
+
+
+@_register
+@dataclass(frozen=True)
+class HeartbeatPdu(ControlPdu):
+    """Liveness probe on the control connection."""
+
+    TYPE = PduType.HEARTBEAT
+    node: str
+    sequence: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.node)
+        writer.u32(self.sequence)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "HeartbeatPdu":
+        return cls(reader.lp_str(), reader.u32())

@@ -1,0 +1,188 @@
+"""Segmentation and reassembly.
+
+Paper §3.2: the user message is segmented into packets of the
+user-chosen SDU size (4 KB–64 KB, default 4 KB — the Fore ATM API caps
+SDUs at 4 KB and a single AAL5 frame at 64 KB); each packet gets a
+sequence number and an end-of-message bit; the receiver reassembles and
+tracks a per-SDU status bitmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.protocol.headers import Sdu
+from repro.util.bitmap import AckBitmap
+
+#: SDU size bounds from §3.2.  The default matches the Fore API limit.
+MIN_SDU_SIZE = 4 * 1024
+MAX_SDU_SIZE = 64 * 1024
+DEFAULT_SDU_SIZE = 4 * 1024
+
+
+def validate_sdu_size(sdu_size: int) -> int:
+    """Check an SDU size against the paper's 4 KB–64 KB envelope."""
+    if not MIN_SDU_SIZE <= sdu_size <= MAX_SDU_SIZE:
+        raise ValueError(
+            f"SDU size must be within [{MIN_SDU_SIZE}, {MAX_SDU_SIZE}] bytes "
+            f"(paper §3.2), got {sdu_size}"
+        )
+    return sdu_size
+
+
+def segment_message(
+    connection_id: int,
+    msg_id: int,
+    payload: bytes,
+    sdu_size: int,
+) -> list[Sdu]:
+    """Split ``payload`` into framed SDUs.
+
+    A zero-length message still produces one (empty, end-bit) SDU so the
+    receiver has something to acknowledge.
+    """
+    validate_sdu_size(sdu_size)
+    chunks = [payload[i : i + sdu_size] for i in range(0, len(payload), sdu_size)]
+    if not chunks:
+        chunks = [b""]
+    total = len(chunks)
+    return [
+        Sdu.build(
+            connection_id=connection_id,
+            msg_id=msg_id,
+            seqno=seqno,
+            total_sdus=total,
+            payload=chunk,
+            end_bit=(seqno == total - 1),
+        )
+        for seqno, chunk in enumerate(chunks)
+    ]
+
+
+@dataclass
+class ReassemblyState:
+    """Receiver-side state for one in-flight message."""
+
+    msg_id: int
+    total_sdus: int
+    bitmap: AckBitmap
+    fragments: Dict[int, bytes] = field(default_factory=dict)
+    #: Clock reading when the first SDU arrived; used by garbage collection.
+    started_at: float = 0.0
+
+    def complete(self) -> bool:
+        return self.bitmap.all_received()
+
+    def assemble(self) -> bytes:
+        """Rebuild the original message; only valid once complete."""
+        if not self.complete():
+            missing = self.bitmap.pending()
+            raise RuntimeError(
+                f"message {self.msg_id} incomplete, missing SDUs {missing}"
+            )
+        return b"".join(self.fragments[i] for i in range(self.total_sdus))
+
+
+class DuplicateSduError(Exception):
+    """An SDU arrived twice with different payloads (protocol violation)."""
+
+
+class Reassembler:
+    """Collects SDUs back into messages, per connection direction.
+
+    ``add`` returns the completed message bytes when the final missing
+    SDU arrives, else None.  Corrupted SDUs (CRC mismatch) are counted
+    and *not* merged — they stay pending in the bitmap, which is what
+    drives selective retransmission.
+    """
+
+    #: How many recently completed message ids to remember so late
+    #: retransmissions (e.g. after a lost ACK) are recognized as
+    #: duplicates instead of starting a phantom reassembly.
+    COMPLETED_MEMORY = 1024
+
+    def __init__(self, gc_timeout: Optional[float] = None):
+        self._inflight: Dict[int, ReassemblyState] = {}
+        self._completed: "dict[int, None]" = {}  # insertion-ordered set
+        self._gc_timeout = gc_timeout
+        self.corrupted_count = 0
+        self.duplicate_count = 0
+
+    def state_of(self, msg_id: int) -> Optional[ReassemblyState]:
+        """In-flight reassembly state for ``msg_id`` (None if unknown)."""
+        return self._inflight.get(msg_id)
+
+    def add(self, sdu: Sdu, now: float = 0.0) -> Optional[bytes]:
+        """Merge one SDU; return the whole message if now complete."""
+        header = sdu.header
+        if header.msg_id in self._completed:
+            self.duplicate_count += 1  # late retransmit of a finished message
+            return None
+        state = self._inflight.get(header.msg_id)
+        if state is None:
+            state = ReassemblyState(
+                msg_id=header.msg_id,
+                total_sdus=header.total_sdus,
+                bitmap=AckBitmap(header.total_sdus, all_set=True),
+                started_at=now,
+            )
+            self._inflight[header.msg_id] = state
+        if header.total_sdus != state.total_sdus:
+            raise DuplicateSduError(
+                f"msg {header.msg_id}: inconsistent total_sdus "
+                f"({header.total_sdus} vs {state.total_sdus})"
+            )
+        if not sdu.payload_intact():
+            # Leave the bitmap bit set: the SDU is "received in error"
+            # (paper Fig. 5) and will be selectively retransmitted.
+            self.corrupted_count += 1
+            return None
+        if not state.bitmap.is_pending(header.seqno):
+            self.duplicate_count += 1  # benign duplicate (retransmit race)
+            return None
+        state.fragments[header.seqno] = sdu.payload
+        state.bitmap.mark_received(header.seqno)
+        if state.complete():
+            del self._inflight[header.msg_id]
+            self._completed[header.msg_id] = None
+            while len(self._completed) > self.COMPLETED_MEMORY:
+                self._completed.pop(next(iter(self._completed)))
+            return state.assemble()
+        return None
+
+    def bitmap_for(self, msg_id: int, total_sdus: int) -> AckBitmap:
+        """Current ACK bitmap for ``msg_id``.
+
+        If the message already completed (state dropped), every bit is
+        clear; if it was never seen, every bit is set.
+        """
+        state = self._inflight.get(msg_id)
+        if state is not None:
+            return AckBitmap.from_bytes(state.bitmap.to_bytes(), total_sdus)
+        # Unknown: either fully delivered (all clear) or never started.
+        # The caller distinguishes via its own delivery bookkeeping; default
+        # to all-clear for completed messages, which `add` guarantees by
+        # removing finished state.
+        return AckBitmap(total_sdus, all_set=False)
+
+    def gc(self, now: float) -> list[int]:
+        """Drop in-flight messages older than ``gc_timeout``; return ids.
+
+        Used by unreliable (no-error-control) connections so a lost SDU
+        cannot leak reassembly state forever.
+        """
+        if self._gc_timeout is None:
+            return []
+        stale = [
+            msg_id
+            for msg_id, state in self._inflight.items()
+            if now - state.started_at > self._gc_timeout
+        ]
+        for msg_id in stale:
+            del self._inflight[msg_id]
+        return stale
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)

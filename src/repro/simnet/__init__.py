@@ -1,0 +1,44 @@
+"""Deterministic discrete-event network simulator.
+
+The paper's evaluation ran on 1996 hardware (SUN-4/SunOS 5.5 and
+RS6000/AIX 4.1 workstations on an ATM LAN).  This package substitutes a
+discrete-event simulator with calibrated platform cost models, so the
+figures regenerate deterministically on any host:
+
+* :mod:`repro.simnet.kernel` — event loop, virtual clock, generator
+  processes, waitable events;
+* :mod:`repro.simnet.link` — serializing links with bandwidth,
+  propagation delay, and seeded loss (plain or ATM-cell-accurate);
+* :mod:`repro.simnet.host` — hosts charging CPU time from a platform
+  profile;
+* :mod:`repro.simnet.platforms` — the SUN-4 and RS6000 cost profiles
+  plus heterogeneity (byte order ⇒ XDR conversion);
+* :mod:`repro.simnet.ncs_sim` — the *real* NCS sans-I/O engines
+  (selective repeat, credits, ...) running over simulated links in
+  virtual time.
+"""
+
+from repro.simnet.kernel import SimEvent, SimProcess, Simulator
+from repro.simnet.link import AtmLinkModel, Link
+from repro.simnet.host import SimHost
+from repro.simnet.platforms import (
+    PLATFORMS,
+    PlatformProfile,
+    RS6000_AIX41,
+    SUN4_SUNOS55,
+    heterogeneous,
+)
+
+__all__ = [
+    "AtmLinkModel",
+    "Link",
+    "PLATFORMS",
+    "PlatformProfile",
+    "RS6000_AIX41",
+    "SUN4_SUNOS55",
+    "SimEvent",
+    "SimHost",
+    "SimProcess",
+    "Simulator",
+    "heterogeneous",
+]

@@ -1,0 +1,136 @@
+"""NCS protocol engines over the *switched* ATM fabric.
+
+:mod:`repro.simnet.ncs_sim` runs the engines over point-to-point link
+models; this module replaces the link with the real thing — the
+:class:`~repro.atm.signaling.AtmNetwork` of cell switches, VC tables and
+AAL5 NICs — so protocol behaviour can be studied under genuine switch
+congestion: bounded output queues tail-drop cells, AAL5's CRC turns each
+dropped cell into a lost frame, and NCS error control recovers.
+
+This is the configuration closest to the paper's actual testbed: NCS
+endpoints on hosts attached to ATM switches, sharing ports with
+competing traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.atm.signaling import AtmNetwork
+from repro.atm.vc import VirtualCircuit
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import Link
+from repro.simnet.ncs_sim import SimNcsEndpoint
+
+
+class AtmVcLink:
+    """Adapter: the ncs_sim "link" interface over one signaled VC.
+
+    ``transfer`` hands the frame to the source host's NIC, which
+    AAL5-segments it into cells and injects them into the fabric; the
+    destination NIC reassembles and calls the deliver callback.  Frames
+    damaged by switch drops vanish at the destination's AAL5 CRC —
+    exactly the loss semantics NCS error control was built for.
+    """
+
+    def __init__(self, network: AtmNetwork, src: str, dst: str):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.vc: VirtualCircuit = network.setup_vc(src, dst)
+        self.frames_sent = 0
+        #: (vci) -> deliver callback, installed on first transfer
+        self._deliver = None
+        self._install_dispatch()
+
+    def _install_dispatch(self) -> None:
+        nic = self.network.hosts[self.dst]
+        previous = nic.on_frame
+        my_vci = self.vc.dst_vpi_vci[1]
+
+        def dispatch(vpi: int, vci: int, frame: bytes) -> None:
+            if vci == my_vci and self._deliver is not None:
+                self._deliver(frame)
+            elif previous is not None:
+                previous(vpi, vci, frame)
+
+        nic.on_frame = dispatch
+
+    def transfer(self, frame: bytes, deliver) -> float:
+        self._deliver = deliver  # endpoints always pass the same callback
+        self.network.hosts[self.src].send_frame(*self.vc.src_vpi_vci, frame)
+        self.frames_sent += 1
+        return self.network.sim.now
+
+
+def build_switched_pair(
+    sim: Simulator,
+    switch_queue_capacity: int = 256,
+    host_link_delay: float = 5e-6,
+    trunk_delay: float = 20e-6,
+    **endpoint_options,
+) -> Tuple[SimNcsEndpoint, SimNcsEndpoint, AtmNetwork]:
+    """Two NCS endpoints on hosts across a two-switch ATM fabric.
+
+    Control connections ride clean point-to-point links (the NCS
+    separation: signaling/feedback on their own circuits), data frames
+    cross the switched fabric and compete for its queues.
+    """
+    network = AtmNetwork(sim)
+    network.add_host("host-a")
+    network.add_host("host-b")
+    network.add_switch("switch-1", queue_capacity=switch_queue_capacity)
+    network.add_switch("switch-2", queue_capacity=switch_queue_capacity)
+    network.link("host-a", "switch-1", delay=host_link_delay)
+    network.link("switch-1", "switch-2", delay=trunk_delay)
+    network.link("host-b", "switch-2", delay=host_link_delay)
+
+    a = SimNcsEndpoint(sim, "a", **endpoint_options)
+    b = SimNcsEndpoint(sim, "b", **endpoint_options)
+    a.data_out = AtmVcLink(network, "host-a", "host-b")
+    b.data_out = AtmVcLink(network, "host-b", "host-a")
+    a.ctrl_out = Link(sim)
+    b.ctrl_out = Link(sim)
+    a.peer, b.peer = b, a
+    return a, b, network
+
+
+class CrossTrafficSource:
+    """Background UBR traffic hammering the fabric's trunk.
+
+    A host that blasts ``frame_size``-byte frames at ``rate_fps`` over
+    its own VC, filling switch output queues so the measured NCS
+    connection experiences genuine congestive cell loss.
+    """
+
+    def __init__(
+        self,
+        network: AtmNetwork,
+        src: str,
+        dst: str,
+        frame_size: int = 8192,
+        rate_fps: float = 2000.0,
+    ):
+        self.network = network
+        self.vc = network.setup_vc(src, dst)
+        self.src = src
+        self.frame_size = frame_size
+        self.interval = 1.0 / rate_fps
+        self.frames_injected = 0
+        self._running = False
+
+    def start(self, duration: float) -> None:
+        self._running = True
+        self.network.sim.schedule(0.0, self._tick, self.network.sim.now + duration)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self, until: float) -> None:
+        if not self._running or self.network.sim.now >= until:
+            return
+        self.network.hosts[self.src].send_frame(
+            *self.vc.src_vpi_vci, bytes(self.frame_size)
+        )
+        self.frames_injected += 1
+        self.network.sim.schedule(self.interval, self._tick, until)

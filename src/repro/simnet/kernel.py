@@ -1,0 +1,184 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free engine in the style of SimPy: *processes* are
+generator coroutines that yield either a float (relative delay) or a
+:class:`SimEvent` (wait until triggered); the kernel advances a virtual
+clock strictly monotonically through a binary-heap event queue.  Same
+seed and same process structure ⇒ byte-identical traces, which is what
+makes every benchmark figure reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.util.clock import VirtualClock
+
+
+class SimError(RuntimeError):
+    """Kernel misuse (bad yield value, dead process, ...)."""
+
+
+class SimEvent:
+    """A one-shot waitable carrying an optional value."""
+
+    __slots__ = ("sim", "_value", "_triggered", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._triggered = False
+        self._waiters: List["SimProcess"] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, resuming all waiters at the current time."""
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._value = value
+        for process in self._waiters:
+            self.sim._schedule_resume(process, value)
+        self._waiters.clear()
+
+    def _add_waiter(self, process: "SimProcess") -> None:
+        if self._triggered:
+            self.sim._schedule_resume(process, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class SimProcess:
+    """A running generator coroutine inside the simulator."""
+
+    __slots__ = ("sim", "gen", "name", "alive", "result", "done_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.done_event = SimEvent(sim)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done_event.succeed(stop.value)
+            return
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimError(f"process {self.name} yielded negative delay {yielded}")
+            self.sim._schedule_resume(self, None, delay=float(yielded))
+        elif isinstance(yielded, SimEvent):
+            yielded._add_waiter(self)
+        else:
+            raise SimError(
+                f"process {self.name} yielded {type(yielded).__name__}; "
+                "yield a delay (float) or a SimEvent"
+            )
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered callback heap."""
+
+    def __init__(self):
+        self.clock = VirtualClock()
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), callback, args)
+        )
+
+    def spawn(self, gen: Generator, name: str = "process") -> SimProcess:
+        """Start a generator process; it first runs at the current time."""
+        process = SimProcess(self, gen, name)
+        self._schedule_resume(process, None)
+        return process
+
+    def _schedule_resume(
+        self, process: SimProcess, value: Any, delay: float = 0.0
+    ) -> None:
+        self.schedule(delay, process._step, value)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Execute events until the queue drains, ``until`` passes, or
+        ``max_events`` fire (runaway guard).  Returns the final time."""
+        executed = 0
+        while self._heap:
+            timestamp, _seq, callback, args = self._heap[0]
+            if until is not None and timestamp > until:
+                self.clock.advance_to(until)
+                return self.now
+            heapq.heappop(self._heap)
+            self.clock.advance_to(timestamp)
+            callback(*args)
+            executed += 1
+            self.events_executed += 1
+            if executed >= max_events:
+                raise SimError(
+                    f"exceeded {max_events} events; runaway simulation?"
+                )
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "main", **run_kwargs) -> Any:
+        """Spawn ``gen``, run to quiescence, return the process result."""
+        process = self.spawn(gen, name)
+        self.run(**run_kwargs)
+        if process.alive:
+            raise SimError(f"process {name} did not finish (deadlock?)")
+        return process.result
+
+    def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that fires when every input event has fired."""
+        events = list(events)
+        combined = self.event()
+        remaining = {"count": len(events)}
+        if not events:
+            combined.succeed([])
+            return combined
+        results: List[Any] = [None] * len(events)
+
+        def _make_waiter(index: int, event: SimEvent):
+            def waiter():
+                results[index] = (yield event)
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    combined.succeed(results)
+
+            return waiter()
+
+        for index, event in enumerate(events):
+            self.spawn(_make_waiter(index, event), name="all_of")
+        return combined

@@ -1,0 +1,133 @@
+"""Simulated links: serialization, propagation, seeded loss.
+
+Two flavours:
+
+* :class:`Link` — a plain serializing pipe (bandwidth + propagation +
+  per-frame Bernoulli loss);
+* :class:`AtmLinkModel` — frame transfer costed the way the NYNET ATM
+  LAN costs it: the frame rides ``cells_for_frame(n)`` 53-byte cells
+  (AAL5 padding/trailer included), loss happens per *cell*, and one lost
+  cell kills the whole frame (AAL5 CRC failure at reassembly) — exactly
+  the failure unit NCS error control sees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.atm.aal5 import cells_for_frame
+from repro.atm.cell import CELL_SIZE
+from repro.simnet.kernel import Simulator
+
+
+class Link:
+    """Unidirectional serializing link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 155.52e6,
+        prop_delay: float = 50e-6,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._busy_until = 0.0
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+
+    def wire_bytes(self, frame_size: int) -> int:
+        """Bytes actually occupying the wire for a frame (subclasses add
+        protocol overhead)."""
+        return frame_size
+
+    def _dropped(self, frame_size: int) -> bool:
+        return self.loss_rate > 0 and self._rng.random() < self.loss_rate
+
+    def transfer(
+        self,
+        frame: bytes,
+        deliver: Callable[[bytes], None],
+    ) -> float:
+        """Queue ``frame`` for transmission; ``deliver`` fires at the far
+        end after serialization + propagation (unless lost).  Returns the
+        time serialization finishes (for sender-blocking models)."""
+        size = self.wire_bytes(len(frame))
+        start = max(self.sim.now, self._busy_until)
+        tx_done = start + size * 8 / self.bandwidth_bps
+        self._busy_until = tx_done
+        self.frames_sent += 1
+        self.bytes_sent += size
+        if self._dropped(len(frame)):
+            self.frames_dropped += 1
+        else:
+            self.sim.schedule(tx_done + self.prop_delay - self.sim.now, deliver, frame)
+        return tx_done
+
+    def transfer_size(
+        self,
+        frame_size: int,
+        deliver: Callable[[], None],
+    ) -> float:
+        """Size-only variant for cost models that never materialize
+        payload bytes (keeps 64 KB sweeps allocation-free)."""
+        size = self.wire_bytes(frame_size)
+        start = max(self.sim.now, self._busy_until)
+        tx_done = start + size * 8 / self.bandwidth_bps
+        self._busy_until = tx_done
+        self.frames_sent += 1
+        self.bytes_sent += size
+        if self._dropped(frame_size):
+            self.frames_dropped += 1
+        else:
+            self.sim.schedule(tx_done + self.prop_delay - self.sim.now, deliver)
+        return tx_done
+
+
+class AtmLinkModel(Link):
+    """Link whose unit of transfer (and of loss) is the ATM cell."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 155.52e6,
+        prop_delay: float = 50e-6,
+        cell_loss_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(sim, bandwidth_bps, prop_delay, loss_rate=0.0, seed=seed)
+        if not 0.0 <= cell_loss_rate < 1.0:
+            raise ValueError(
+                f"cell_loss_rate must be in [0,1), got {cell_loss_rate}"
+            )
+        self.cell_loss_rate = cell_loss_rate
+        self.cells_sent = 0
+        self.cells_dropped = 0
+
+    def wire_bytes(self, frame_size: int) -> int:
+        return cells_for_frame(frame_size) * CELL_SIZE
+
+    def _dropped(self, frame_size: int) -> bool:
+        """One lost cell destroys the whole AAL5 frame (CRC failure)."""
+        cells = cells_for_frame(frame_size)
+        self.cells_sent += cells
+        if self.cell_loss_rate == 0.0:
+            return False
+        survived = True
+        for _ in range(cells):
+            if self._rng.random() < self.cell_loss_rate:
+                self.cells_dropped += 1
+                survived = False
+        if not survived:
+            self.frames_dropped  # (incremented by caller)
+        return not survived

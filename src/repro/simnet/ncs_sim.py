@@ -1,0 +1,223 @@
+"""The *real* NCS protocol engines running in virtual time.
+
+Everything in :mod:`repro.errorcontrol` and :mod:`repro.flowcontrol` is
+sans-I/O, so the exact code the live runtime executes can be driven by
+the discrete-event kernel instead: SDUs ride simulated (optionally
+lossy, ATM-cell-accurate) links, control PDUs ride loss-free control
+links, and retransmission timers are simulator events.  Same seeds ⇒
+identical protocol traces, which the SDU-size and algorithm-ablation
+benches and the loss-recovery property tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.errorcontrol import make_error_control
+from repro.flowcontrol import make_flow_control
+from repro.protocol.effects import Effects
+from repro.protocol.headers import HeaderError, Sdu
+from repro.protocol.pdus import ControlPdu, CreditPdu, decode_control_pdu
+from repro.simnet.kernel import SimEvent, Simulator
+from repro.simnet.link import Link
+
+
+class SimNcsEndpoint:
+    """One end of a simulated NCS connection.
+
+    Wire up two endpoints with :func:`connect_pair`, then call ``send``;
+    the returned event fires when the error control engine confirms
+    delivery (for reliable algorithms) or immediately on transmission
+    (for ``error_control="none"``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        conn_id: int = 1,
+        sdu_size: int = 4096,
+        error_control: str = "selective_repeat",
+        flow_control: str = "credit",
+        retransmit_timeout: float = 0.05,
+        max_retries: int = 12,
+        **fc_options,
+    ):
+        self.sim = sim
+        self.name = name
+        self.conn_id = conn_id
+        ec_options = {}
+        if error_control in ("selective_repeat", "go_back_n"):
+            ec_options = {
+                "retransmit_timeout": retransmit_timeout,
+                "max_retries": max_retries,
+            }
+        self.ec_sender, self.ec_receiver = make_error_control(
+            error_control, conn_id, sdu_size, **ec_options
+        )
+        self.fc_sender, self.fc_receiver = make_flow_control(
+            flow_control, conn_id, **fc_options
+        )
+        self.data_out: Optional[Link] = None
+        self.ctrl_out: Optional[Link] = None
+        self.peer: Optional["SimNcsEndpoint"] = None
+        self.delivered: List[bytes] = []
+        #: Virtual time of the most recent completed delivery.
+        self.last_delivery_at: Optional[float] = None
+        self._completion: Dict[int, SimEvent] = {}
+        self._failure: Dict[int, SimEvent] = {}
+        self._msg_ids = itertools.count(1)
+        self._timer_seq = 0
+        self._pending_deadline: Optional[float] = None
+        self._recv_timer_seq = 0
+        self.sdus_transmitted = 0
+        self.control_pdus_sent = 0
+        self.failed_msgs: List[int] = []
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, payload: bytes) -> SimEvent:
+        """Queue one message; the event fires at confirmed delivery."""
+        msg_id = next(self._msg_ids)
+        done = self.sim.event()
+        self._completion[msg_id] = done
+        effects = self.ec_sender.send(msg_id, payload, self.sim.now)
+        self._dispatch(effects)
+        return done
+
+    # -- effect plumbing --------------------------------------------------------
+
+    def _dispatch(self, effects: Effects) -> None:
+        if effects.transmits:
+            self.fc_sender.offer(effects.transmits)
+        for pdu in effects.controls:
+            self._send_control(pdu)
+        for msg_id in effects.completed:
+            event = self._completion.pop(msg_id, None)
+            if event is not None and not event.triggered:
+                event.succeed(self.sim.now)
+        for msg_id in effects.failed:
+            self.failed_msgs.append(msg_id)
+            event = self._completion.pop(msg_id, None)
+            if event is not None and not event.triggered:
+                event.succeed(None)  # None value signals failure
+        self._pump_flow()
+        self._arm_timer(effects.timer_at)
+
+    def _pump_flow(self) -> None:
+        released = self.fc_sender.pull(self.sim.now)
+        for sdu in released:
+            self.sdus_transmitted += 1
+            self.data_out.transfer(sdu.encode(), self.peer._on_data_frame)
+        ready_at = self.fc_sender.next_ready_time(self.sim.now)
+        if ready_at is not None:
+            self._arm_timer(ready_at)
+
+    def _send_control(self, pdu: ControlPdu) -> None:
+        self.control_pdus_sent += 1
+        self.ctrl_out.transfer(pdu.encode(), self.peer._on_ctrl_frame)
+
+    # -- timers -------------------------------------------------------------
+
+    def _arm_timer(self, deadline: Optional[float]) -> None:
+        if deadline is None:
+            return
+        if (
+            self._pending_deadline is not None
+            and deadline >= self._pending_deadline - 1e-12
+        ):
+            return  # an earlier (or equal) wake-up is already armed
+        self._timer_seq += 1
+        self._pending_deadline = deadline
+        seq = self._timer_seq
+        # 1 us floor: a deadline that lands within float rounding of `now`
+        # must still advance virtual time, or a pacing loop (token bucket
+        # refill, resync boundary) can spin at a frozen timestamp.
+        self.sim.schedule(max(deadline - self.sim.now, 1e-6), self._on_timer, seq)
+
+    def _on_timer(self, seq: int) -> None:
+        if seq != self._timer_seq:
+            return  # superseded by an earlier deadline
+        self._pending_deadline = None
+        now = self.sim.now
+        if self.fc_sender.queued() > 0:
+            # Same rule as the live runtime: flow-gated SDUs cannot have
+            # been acknowledged yet, so defer rather than retransmit.
+            self.ec_sender.defer(now)
+            self._pump_flow()
+            self._arm_timer(now + 0.01)
+            return
+        effects = self.ec_sender.on_timer(now)
+        self._dispatch(effects)
+
+    # -- inbound ------------------------------------------------------------
+
+    def _on_data_frame(self, frame: bytes) -> None:
+        try:
+            sdu = Sdu.decode(frame)
+        except HeaderError:
+            return
+        now = self.sim.now
+        for pdu in self.fc_receiver.on_sdu(sdu, now):
+            self._send_control(pdu)
+        effects = self.ec_receiver.on_sdu(sdu, now)
+        if effects.deliveries:
+            self.last_delivery_at = now
+        self.delivered.extend(effects.deliveries)
+        for pdu in effects.controls:
+            self._send_control(pdu)
+        self._arm_recv_timer(effects.timer_at)
+
+    def _arm_recv_timer(self, deadline: Optional[float]) -> None:
+        """Receiver-side housekeeping (ordered-delivery gap release,
+        unreliable-mode reassembly GC)."""
+        if deadline is None:
+            return
+        self._recv_timer_seq += 1
+        seq = self._recv_timer_seq
+        self.sim.schedule(
+            max(deadline - self.sim.now, 1e-6), self._on_recv_timer, seq
+        )
+
+    def _on_recv_timer(self, seq: int) -> None:
+        if seq != self._recv_timer_seq:
+            return
+        effects = self.ec_receiver.on_timer(self.sim.now)
+        if effects.deliveries:
+            self.last_delivery_at = self.sim.now
+        self.delivered.extend(effects.deliveries)
+        self._arm_recv_timer(effects.timer_at)
+
+    def _on_ctrl_frame(self, frame: bytes) -> None:
+        pdu = decode_control_pdu(frame)
+        now = self.sim.now
+        if isinstance(pdu, CreditPdu):
+            self.fc_sender.on_control(pdu, now)
+            self._pump_flow()
+            return
+        effects = self.ec_sender.on_control(pdu, now)
+        self._dispatch(effects)
+
+
+def connect_pair(
+    sim: Simulator,
+    data_ab: Link,
+    data_ba: Link,
+    ctrl_ab: Optional[Link] = None,
+    ctrl_ba: Optional[Link] = None,
+    **endpoint_options,
+) -> tuple[SimNcsEndpoint, SimNcsEndpoint]:
+    """Build two endpoints joined by the given links.
+
+    Control links default to clean 155 Mb/s pipes — the separated
+    control connections of the NCS architecture.  Pass explicit lossy
+    control links to study what happens when that separation is removed.
+    """
+    ctrl_ab = ctrl_ab or Link(sim)
+    ctrl_ba = ctrl_ba or Link(sim)
+    a = SimNcsEndpoint(sim, "a", **endpoint_options)
+    b = SimNcsEndpoint(sim, "b", **endpoint_options)
+    a.data_out, a.ctrl_out, a.peer = data_ab, ctrl_ab, b
+    b.data_out, b.ctrl_out, b.peer = data_ba, ctrl_ba, a
+    return a, b

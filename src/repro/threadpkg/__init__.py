@@ -1,0 +1,54 @@
+"""Thread packages: the substrate under every NCS thread.
+
+The paper evaluates NCS over two thread-package architectures (§4.1):
+
+* a **user-level** package (QuickThreads) — cheap context switch and
+  synchronization, but a blocking system call stalls the entire process,
+  so all NCS blocking primitives must be built from non-blocking calls
+  plus ``thread_yield``;
+* a **kernel-level** package (Solaris Pthreads) — more expensive thread
+  operations, but a blocked thread lets its siblings keep running, which
+  is what produces the computation/communication overlap for large
+  messages in Figure 10.
+
+Both are provided behind one abstract API so the whole NCS stack
+(control threads, data-transfer threads, compute threads) runs unmodified
+on either.
+"""
+
+from repro.threadpkg.base import (
+    Channel,
+    Condition,
+    DeadlockError,
+    Mutex,
+    Semaphore,
+    ThreadHandle,
+    ThreadPackage,
+)
+from repro.threadpkg.kernel import KernelThreadPackage
+from repro.threadpkg.userlevel import UserLevelThreadPackage
+
+__all__ = [
+    "Channel",
+    "Condition",
+    "DeadlockError",
+    "KernelThreadPackage",
+    "Mutex",
+    "Semaphore",
+    "ThreadHandle",
+    "ThreadPackage",
+    "UserLevelThreadPackage",
+    "make_thread_package",
+]
+
+
+def make_thread_package(kind: str) -> ThreadPackage:
+    """Instantiate a thread package by name.
+
+    ``"kernel"`` (Pthread model) or ``"user"`` (QuickThreads model).
+    """
+    if kind == "kernel":
+        return KernelThreadPackage()
+    if kind in ("user", "userlevel", "quickthreads"):
+        return UserLevelThreadPackage()
+    raise ValueError(f"unknown thread package kind: {kind!r}")

@@ -1,0 +1,194 @@
+"""Abstract thread-package API.
+
+NCS code never imports ``threading`` directly; it asks its
+:class:`ThreadPackage` for threads and synchronization objects.  This is
+the mechanism that lets a single NCS implementation run over either the
+kernel-level or the user-level package, mirroring how the original system
+was ported across Pthreads and QuickThreads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+
+class DeadlockError(RuntimeError):
+    """Every thread in a user-level package is blocked: nothing can run."""
+
+
+class ThreadHandle(ABC):
+    """Handle to a spawned thread (compute, control, or data-transfer)."""
+
+    name: str
+
+    @abstractmethod
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for completion.  Returns True if the thread finished."""
+
+    @abstractmethod
+    def is_alive(self) -> bool:
+        """True while the thread has not finished."""
+
+    @property
+    @abstractmethod
+    def result(self) -> Any:
+        """Return value of the thread function (None until finished)."""
+
+    @property
+    @abstractmethod
+    def exception(self) -> Optional[BaseException]:
+        """Exception raised by the thread function, if any."""
+
+
+class Mutex(ABC):
+    """Mutual exclusion lock."""
+
+    @abstractmethod
+    def acquire(self) -> None: ...
+
+    @abstractmethod
+    def release(self) -> None: ...
+
+    def __enter__(self) -> "Mutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class Semaphore(ABC):
+    """Counting semaphore."""
+
+    @abstractmethod
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Decrement, blocking until positive.  False on timeout."""
+
+    @abstractmethod
+    def release(self, count: int = 1) -> None:
+        """Increment by ``count``, waking waiters."""
+
+
+class Condition(ABC):
+    """Condition variable bound to a mutex."""
+
+    @abstractmethod
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Release the mutex and block until notified.  False on timeout."""
+
+    @abstractmethod
+    def notify(self, count: int = 1) -> None: ...
+
+    @abstractmethod
+    def notify_all(self) -> None: ...
+
+
+class Channel(ABC):
+    """Bounded FIFO used as the message queue between NCS threads.
+
+    This is the structure behind Table I's "Queuing a Message Request" /
+    "Dequeuing a Message Request" rows: the ``NCS_send`` caller enqueues a
+    transmit request, the Send Thread dequeues it.
+    """
+
+    @abstractmethod
+    def put(self, item: Any, timeout: Optional[float] = None) -> bool:
+        """Enqueue; block while full.  False on timeout."""
+
+    @abstractmethod
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Dequeue; block while empty.  Raises TimeoutError on timeout."""
+
+    @abstractmethod
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking dequeue: ``(True, item)`` or ``(False, None)``.
+
+        This is the primitive the user-level Receive Thread polls with
+        before yielding (the paper's non-blocking-call-plus-yield rule).
+        """
+
+    @abstractmethod
+    def qsize(self) -> int: ...
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+
+class ThreadPackage(ABC):
+    """Factory for threads and synchronization objects.
+
+    ``kind`` is ``"kernel"`` or ``"user"``; NCS consults it to pick
+    between blocking receives (kernel) and poll-plus-yield receives
+    (user), exactly as §4.1 describes.
+    """
+
+    kind: str
+
+    @abstractmethod
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "thread",
+        daemon: bool = True,
+    ) -> ThreadHandle:
+        """Start a new thread running ``fn(*args)``."""
+
+    @abstractmethod
+    def yield_control(self) -> None:
+        """NCS_thread_yield(): give other ready threads a chance to run."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for ``seconds`` (cooperatively for
+        user-level packages: other threads run meanwhile)."""
+
+    @abstractmethod
+    def mutex(self) -> Mutex: ...
+
+    @abstractmethod
+    def semaphore(self, value: int = 0) -> Semaphore: ...
+
+    @abstractmethod
+    def condition(self, mutex: Optional[Mutex] = None) -> Condition: ...
+
+    @abstractmethod
+    def channel(self, capacity: int = 0) -> Channel:
+        """Create a FIFO channel; ``capacity`` 0 means unbounded."""
+
+    @abstractmethod
+    def shutdown(self) -> None:
+        """Stop accepting spawns and release package resources."""
+
+    # -- measurement hooks -------------------------------------------------
+
+    def context_switch_cost_probe(self, rounds: int = 1000) -> float:
+        """Measure the package's context-switch cost in seconds/switch.
+
+        Two threads ping-pong through semaphores ``rounds`` times; the
+        result feeds Table I-style overhead decomposition.
+        """
+        import time
+
+        a = self.semaphore(0)
+        b = self.semaphore(0)
+
+        def pinger():
+            for _ in range(rounds):
+                a.release()
+                b.acquire()
+
+        def ponger():
+            for _ in range(rounds):
+                a.acquire()
+                b.release()
+
+        start = time.perf_counter()
+        t1 = self.spawn(pinger, name="probe-ping")
+        t2 = self.spawn(ponger, name="probe-pong")
+        t1.join()
+        t2.join()
+        elapsed = time.perf_counter() - start
+        # Each round is two switches (ping->pong, pong->ping).
+        return elapsed / (2 * rounds)

@@ -1,0 +1,488 @@
+"""User-level thread package (the paper's QuickThreads configuration).
+
+A cooperative scheduler: at any instant at most **one** user-level thread
+runs.  Control changes hands only at explicit scheduling points
+(``yield_control``, blocking on a package primitive, ``sleep``, or thread
+exit).  The defining consequences — both measured in the paper — fall
+straight out of the design:
+
+* context switches and synchronization are cheap (no kernel-level
+  contention, because only one thread is ever runnable), and
+* a thread that performs a *real* blocking system call while holding the
+  baton stalls every other thread in the process, which is why NCS builds
+  its user-level blocking primitives from non-blocking calls plus
+  ``thread_yield`` (§4.1).
+
+Implementation note: each user-level thread is hosted on an OS thread,
+but a "baton" guarantees exactly one is ever released from its gate.
+This models the single-stack-switching QuickThreads semantics while
+letting the same NCS code run on both packages.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.threadpkg.base import (
+    Channel,
+    Condition,
+    DeadlockError,
+    Mutex,
+    Semaphore,
+    ThreadHandle,
+    ThreadPackage,
+)
+
+_counter = itertools.count()
+
+#: Poll interval for *external* (non-package) threads interacting with
+#: cooperative channels; they cannot take part in baton scheduling.
+_EXTERNAL_POLL_S = 0.0005
+
+
+class _UThread(ThreadHandle):
+    """A user-level thread: an OS thread gated by the package baton."""
+
+    def __init__(self, pkg: "UserLevelThreadPackage", fn, args, name: str):
+        self.name = name
+        self.pkg = pkg
+        self.gate = threading.Event()
+        self.done_event = threading.Event()
+        self.finished = False
+        self.joiners: deque = deque()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._fn = fn
+        self._args = args
+        self.os_thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def _run(self) -> None:
+        self.gate.wait()  # wait to be granted the baton the first time
+        _current.thread = self
+        try:
+            self._result = self._fn(*self._args)
+        except DeadlockError as exc:
+            self._exception = exc
+        except BaseException as exc:  # noqa: BLE001 - reported via .exception
+            self._exception = exc
+        finally:
+            self.pkg._thread_finished(self)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        me = self.pkg.current()
+        if me is None:
+            # External (non-cooperative) joiner: real OS wait.
+            return self.done_event.wait(timeout)
+        if me is self:
+            raise RuntimeError("a thread cannot join itself")
+        return self.pkg._join_cooperative(self, timeout)
+
+    def is_alive(self) -> bool:
+        return not self.finished
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+
+class _CurrentHolder(threading.local):
+    thread: Optional[_UThread] = None
+
+
+_current = _CurrentHolder()
+
+
+class UserLevelThreadPackage(ThreadPackage):
+    """QuickThreads-model package: cooperative, single-baton scheduling.
+
+    With ``deadlock_detection`` (default False) a :class:`DeadlockError`
+    is raised in every blocked thread when no thread is runnable or
+    sleeping.  Leave it off when non-package threads may wake blocked
+    threads (e.g. an application's ordinary main thread feeding an NCS
+    node's channels); turn it on in self-contained cooperative programs
+    and tests.
+    """
+
+    kind = "user"
+
+    def __init__(self, deadlock_detection: bool = False):
+        self._lock = threading.Lock()
+        # Signalled whenever a thread becomes ready while the scheduler is
+        # idling for sleepers, so a spawn or external wake cuts the idle
+        # period short instead of waiting out the full sleep.
+        self._idle_cond = threading.Condition(self._lock)
+        self._dispatching = False
+        self._ready: deque[_UThread] = deque()
+        self._sleepers: list[tuple[float, int, _UThread]] = []  # heap
+        self._running: Optional[_UThread] = None
+        self._threads: list[_UThread] = []
+        self._shutdown = False
+        self._deadlock_detection = deadlock_detection
+        self._deadlocked = False
+        self.switch_count = 0  # scheduling switches, for overhead analysis
+
+    # -- public API ---------------------------------------------------------
+
+    def current(self) -> Optional[_UThread]:
+        """The user-level thread hosting the caller (None if external)."""
+        thread = _current.thread
+        if thread is not None and thread.pkg is self and not thread.finished:
+            return thread
+        return None
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "uthread",
+        daemon: bool = True,
+    ) -> ThreadHandle:
+        if self._shutdown:
+            raise RuntimeError("thread package has been shut down")
+        thread = _UThread(self, fn, args, f"{name}-{next(_counter)}")
+        thread.os_thread.start()
+        with self._lock:
+            self._threads.append(thread)
+            self._ready.append(thread)
+            if self._running is None:
+                self._dispatch_next_locked()
+        return thread
+
+    def yield_control(self) -> None:
+        me = self.current()
+        if me is None:
+            time.sleep(0)
+            return
+        with self._lock:
+            if not self._ready and not self._sleepers:
+                return  # nothing else could run; keep the baton
+            me.gate.clear()
+            self._ready.append(me)
+            self.switch_count += 1
+            self._dispatch_next_locked()
+        me.gate.wait()
+        self._raise_if_deadlocked()
+
+    def sleep(self, seconds: float) -> None:
+        me = self.current()
+        if me is None:
+            time.sleep(seconds)
+            return
+        deadline = time.monotonic() + seconds
+        with self._lock:
+            me.gate.clear()
+            heapq.heappush(self._sleepers, (deadline, next(_counter), me))
+            self.switch_count += 1
+            self._dispatch_next_locked()
+        me.gate.wait()
+        self._raise_if_deadlocked()
+
+    def mutex(self) -> Mutex:
+        return _UMutex(self)
+
+    def semaphore(self, value: int = 0) -> Semaphore:
+        return _USemaphore(self, value)
+
+    def condition(self, mutex: Optional[Mutex] = None) -> Condition:
+        return _UCondition(self, mutex)
+
+    def channel(self, capacity: int = 0) -> Channel:
+        return _UChannel(self, capacity)
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+
+    # -- scheduler core -----------------------------------------------------
+    #
+    # Methods suffixed "_locked" require self._lock to be held on entry and
+    # hold it on exit (except for the documented idle sleep inside
+    # _dispatch_next_locked, which briefly releases it).
+
+    def _dispatch_next_locked(self) -> None:
+        """Grant the baton to the next runnable thread.
+
+        Wakes sleepers whose deadline passed; if only sleepers exist,
+        idles (in real time) until the earliest is due.  If nothing can
+        ever run, either flags a deadlock or leaves the baton free for an
+        external wake-up.
+        """
+        if self._dispatching:
+            # Another thread is already inside the idle loop below; just
+            # nudge it so it re-examines the ready queue.
+            self._idle_cond.notify()
+            return
+        self._dispatching = True
+        try:
+            while True:
+                now = time.monotonic()
+                while self._sleepers and self._sleepers[0][0] <= now:
+                    _, _, sleeper = heapq.heappop(self._sleepers)
+                    self._ready.append(sleeper)
+                if self._ready:
+                    nxt = self._ready.popleft()
+                    self._running = nxt
+                    nxt.gate.set()
+                    return
+                if self._sleepers:
+                    # Idle until the earliest sleeper is due or a spawn /
+                    # external wake makes something ready (cond wait
+                    # releases the scheduler lock meanwhile).
+                    self._running = None
+                    deadline = self._sleepers[0][0]
+                    self._idle_cond.wait(max(0.0, deadline - time.monotonic()))
+                    continue
+                # Nothing ready, nothing sleeping.
+                self._running = None
+                if self._deadlock_detection and any(
+                    not t.finished for t in self._threads
+                ):
+                    self._deadlocked = True
+                    for thread in self._threads:
+                        if not thread.finished:
+                            thread.gate.set()
+                return
+        finally:
+            self._dispatching = False
+
+    def _raise_if_deadlocked(self) -> None:
+        if self._deadlocked:
+            raise DeadlockError("all user-level threads are blocked")
+
+    def _make_ready_locked(self, thread: _UThread) -> None:
+        """Move a previously blocked thread to the ready queue."""
+        self._ready.append(thread)
+        if self._running is None and not self._deadlocked:
+            # Baton is free (external wake): grant immediately.
+            self._dispatch_next_locked()
+
+    def _unsleep_locked(self, thread: _UThread) -> None:
+        """Drop ``thread`` from the sleeper heap if still present."""
+        remaining = [entry for entry in self._sleepers if entry[2] is not thread]
+        if len(remaining) != len(self._sleepers):
+            self._sleepers = remaining
+            heapq.heapify(self._sleepers)
+
+    def _wait_on_locked(self, waitq: deque, timeout: Optional[float]) -> bool:
+        """Block the current thread on ``waitq`` (lock held on entry and
+        exit).  Returns True if explicitly woken, False if the timeout
+        expired.  Raises DeadlockError (with the lock held) if the
+        scheduler declared deadlock while we were blocked.
+        """
+        me = self.current()
+        if me is None:
+            raise RuntimeError(
+                "only user-level threads may block on user-level primitives; "
+                "spawn the caller via the package first"
+            )
+        waitq.append(me)
+        if timeout is not None:
+            heapq.heappush(
+                self._sleepers, (time.monotonic() + timeout, next(_counter), me)
+            )
+        me.gate.clear()
+        self.switch_count += 1
+        self._dispatch_next_locked()
+        self._lock.release()
+        me.gate.wait()
+        self._lock.acquire()
+        woken = me not in waitq
+        if not woken:
+            waitq.remove(me)
+        self._unsleep_locked(me)
+        if self._deadlocked:
+            raise DeadlockError("all user-level threads are blocked")
+        return woken
+
+    def _wake_one_locked(self, waitq: deque) -> bool:
+        """Wake the oldest waiter on ``waitq``; True if one was woken."""
+        if not waitq:
+            return False
+        thread = waitq.popleft()
+        self._unsleep_locked(thread)
+        self._make_ready_locked(thread)
+        return True
+
+    def _thread_finished(self, me: _UThread) -> None:
+        with self._lock:
+            me.finished = True
+            while me.joiners:
+                self._make_ready_locked(me.joiners.popleft())
+            me.done_event.set()
+            if self._running is me:
+                self._dispatch_next_locked()
+
+    def _join_cooperative(self, target: _UThread, timeout: Optional[float]) -> bool:
+        with self._lock:
+            if target.finished:
+                return True
+            self._wait_on_locked(target.joiners, timeout)
+            if not target.finished and self.current() in target.joiners:
+                target.joiners.remove(self.current())
+            return target.finished
+
+
+class _UMutex(Mutex):
+    """Cooperative mutex: FIFO hand-off to the oldest waiter."""
+
+    def __init__(self, pkg: UserLevelThreadPackage):
+        self._pkg = pkg
+        self._locked = False
+        self._waiters: deque = deque()
+
+    def acquire(self) -> None:
+        with self._pkg._lock:
+            while self._locked:
+                self._pkg._wait_on_locked(self._waiters, None)
+            self._locked = True
+
+    def release(self) -> None:
+        with self._pkg._lock:
+            if not self._locked:
+                raise RuntimeError("release of unlocked mutex")
+            self._locked = False
+            self._pkg._wake_one_locked(self._waiters)
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class _USemaphore(Semaphore):
+    def __init__(self, pkg: UserLevelThreadPackage, value: int):
+        if value < 0:
+            raise ValueError(f"semaphore value must be >= 0, got {value}")
+        self._pkg = pkg
+        self._count = value
+        self._waiters: deque = deque()
+
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._pkg._lock:
+            while self._count <= 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._pkg._wait_on_locked(self._waiters, remaining)
+            self._count -= 1
+            return True
+
+    def release(self, count: int = 1) -> None:
+        with self._pkg._lock:
+            self._count += count
+            for _ in range(count):
+                if not self._pkg._wake_one_locked(self._waiters):
+                    break
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+
+class _UCondition(Condition):
+    def __init__(self, pkg: UserLevelThreadPackage, mutex: Optional[Mutex]):
+        self._pkg = pkg
+        self._mutex = mutex
+        self._waiters: deque = deque()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._mutex is not None:
+            self._mutex.release()
+        try:
+            with self._pkg._lock:
+                return self._pkg._wait_on_locked(self._waiters, timeout)
+        finally:
+            if self._mutex is not None:
+                self._mutex.acquire()
+
+    def notify(self, count: int = 1) -> None:
+        with self._pkg._lock:
+            for _ in range(count):
+                if not self._pkg._wake_one_locked(self._waiters):
+                    break
+
+    def notify_all(self) -> None:
+        with self._pkg._lock:
+            while self._pkg._wake_one_locked(self._waiters):
+                pass
+
+
+class _UChannel(Channel):
+    """Cooperative bounded FIFO (capacity 0 = unbounded).
+
+    External (non-package) threads may also put/get; they poll with a
+    short real-time sleep instead of joining baton scheduling, which is
+    what lets ordinary application code feed a user-level NCS node.
+    """
+
+    def __init__(self, pkg: UserLevelThreadPackage, capacity: int):
+        self._pkg = pkg
+        self._capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        external = self._pkg.current() is None
+        with self._pkg._lock:
+            while self._capacity > 0 and len(self._items) >= self._capacity:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                if external:
+                    self._pkg._lock.release()
+                    try:
+                        time.sleep(_EXTERNAL_POLL_S)
+                    finally:
+                        self._pkg._lock.acquire()
+                else:
+                    self._pkg._wait_on_locked(self._putters, remaining)
+            self._items.append(item)
+            self._pkg._wake_one_locked(self._getters)
+        return True
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        external = self._pkg.current() is None
+        with self._pkg._lock:
+            while not self._items:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("channel get timed out")
+                if external:
+                    self._pkg._lock.release()
+                    try:
+                        time.sleep(_EXTERNAL_POLL_S)
+                    finally:
+                        self._pkg._lock.acquire()
+                else:
+                    self._pkg._wait_on_locked(self._getters, remaining)
+            item = self._items.popleft()
+            self._pkg._wake_one_locked(self._putters)
+        return item
+
+    def try_get(self) -> tuple[bool, Any]:
+        with self._pkg._lock:
+            if not self._items:
+                return False, None
+            item = self._items.popleft()
+            self._pkg._wake_one_locked(self._putters)
+        return True, item
+
+    def qsize(self) -> int:
+        return len(self._items)

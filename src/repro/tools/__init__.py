@@ -1,0 +1,12 @@
+"""Command-line tools for running NCS across real processes.
+
+* ``python -m repro.tools.echo_server`` — serve echo on every accepted
+  connection;
+* ``python -m repro.tools.echo_client`` — connect, sweep message sizes,
+  print a latency table (the paper's §4.3 echo benchmark, live);
+* ``python -m repro.tools.ping`` — one-shot reachability + RTT probe.
+
+These give the library a multi-process story: the test suite runs
+everything in one process for determinism, but the wire protocol is
+process-agnostic, and these tools exercise it across real OS processes.
+"""

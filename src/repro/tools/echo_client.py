@@ -1,0 +1,92 @@
+"""Echo client: the paper's §4.3 roundtrip benchmark against a live server.
+
+Usage:
+    python -m repro.tools.echo_client HOST:PORT
+        [--sizes 1,1024,4096,65536] [--iterations 100]
+        [--interface sci|aci|hpi] [--flow-control credit|window|rate|none]
+        [--error-control selective_repeat|go_back_n|none]
+        [--mode threaded|bypass]
+
+Times are averaged over the iterations after discarding the best and
+worst samples, exactly as the paper measures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.runner import format_table, size_label
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.util.stats import trimmed_mean
+
+DEFAULT_SIZES = "1,1024,4096,8192,16384,32768,65536"
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("server", help="HOST:PORT of a repro echo server")
+    parser.add_argument("--sizes", default=DEFAULT_SIZES)
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--interface", default="sci",
+                        choices=("sci", "aci", "hpi"))
+    parser.add_argument("--flow-control", default="credit",
+                        choices=("credit", "window", "rate", "none"))
+    parser.add_argument("--error-control", default="selective_repeat",
+                        choices=("selective_repeat", "go_back_n", "none"))
+    parser.add_argument("--mode", default="threaded",
+                        choices=("threaded", "bypass"))
+    return parser
+
+
+def run_sweep(connection, sizes, iterations) -> dict:
+    """Roundtrip seconds (trimmed mean) per size."""
+    results = {}
+    for size in sizes:
+        payload = b"x" * size
+        samples = []
+        for _ in range(iterations):
+            start = time.perf_counter()
+            connection.send(payload)
+            reply = connection.recv(timeout=30.0)
+            if reply is None:
+                raise RuntimeError(f"echo of {size} B timed out")
+            samples.append(time.perf_counter() - start)
+        results[size] = trimmed_mean(samples)
+    return results
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    host, _, port = args.server.rpartition(":")
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    node = Node(NodeConfig(name="echo-client"))
+    try:
+        connection = node.connect(
+            (host, int(port)),
+            ConnectionConfig(
+                interface=args.interface,
+                flow_control=args.flow_control,
+                error_control=args.error_control,
+                mode=args.mode,
+            ),
+            peer_name="echo-server",
+        )
+        results = run_sweep(connection, sizes, args.iterations)
+        rows = [(size_label(s), results[s] * 1e6) for s in sizes]
+        print(format_table(
+            f"Echo roundtrip (us, trimmed mean of {args.iterations}) — "
+            f"{args.interface}/{args.flow_control}/{args.error_control}"
+            f"/{args.mode}",
+            ("size", "rtt_us"),
+            rows,
+            col_width=14,
+        ), flush=True)
+    finally:
+        node.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

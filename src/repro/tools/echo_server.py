@@ -1,0 +1,82 @@
+"""Echo server: accept NCS connections and echo every message.
+
+Usage:
+    python -m repro.tools.echo_server [--port PORT] [--name NAME]
+                                      [--thread-package kernel|user]
+
+Prints the control address clients should dial, then serves until
+interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Node, NodeConfig
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=0,
+                        help="control port (default: ephemeral)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--name", default="echo-server")
+    parser.add_argument("--thread-package", choices=("kernel", "user"),
+                        default="kernel")
+    parser.add_argument("--max-connections", type=int, default=0,
+                        help="exit after serving this many (0 = forever)")
+    return parser
+
+
+def serve(node: Node, max_connections: int = 0, echo_limit: int = 0) -> int:
+    """Accept-and-echo loop; returns connections served."""
+    served = 0
+    while max_connections == 0 or served < max_connections:
+        connection = node.accept(timeout=0.5)
+        if connection is None:
+            if node._closed:
+                break
+            continue
+        served += 1
+        node.pkg.spawn(_echo_loop, connection, echo_limit,
+                       name=f"echo-{connection.conn_id}")
+    return served
+
+
+def _echo_loop(connection, echo_limit: int) -> None:
+    echoed = 0
+    while not connection.closed:
+        try:
+            message = connection.recv(timeout=0.5)
+        except Exception:
+            return
+        if message is None:
+            continue
+        connection.send(message)
+        echoed += 1
+        if echo_limit and echoed >= echo_limit:
+            return
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    node = Node(NodeConfig(
+        name=args.name,
+        host=args.host,
+        control_port=args.port,
+        thread_package=args.thread_package,
+    ))
+    host, port = node.address
+    print(f"LISTENING {host}:{port}", flush=True)
+    try:
+        serve(node, args.max_connections)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""One-shot NCS reachability probe.
+
+Usage:
+    python -m repro.tools.ping HOST:PORT [--count 4]
+
+Establishes a connection to a repro echo server and reports per-probe
+roundtrip times, ping-style.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("server", help="HOST:PORT of a repro echo server")
+    parser.add_argument("--count", type=int, default=4)
+    args = parser.parse_args(argv)
+    host, _, port = args.server.rpartition(":")
+    node = Node(NodeConfig(name="ping"))
+    try:
+        start = time.perf_counter()
+        connection = node.connect(
+            (host, int(port)),
+            ConnectionConfig(interface="sci", flow_control="none",
+                             error_control="none"),
+            peer_name="server",
+        )
+        setup_ms = (time.perf_counter() - start) * 1e3
+        print(f"connected to {args.server} in {setup_ms:.2f} ms", flush=True)
+        for sequence in range(args.count):
+            start = time.perf_counter()
+            connection.send(f"ping-{sequence}".encode())
+            reply = connection.recv(timeout=5.0)
+            elapsed = (time.perf_counter() - start) * 1e6
+            status = "ok" if reply is not None else "TIMEOUT"
+            print(f"seq={sequence} rtt={elapsed:.1f} us {status}", flush=True)
+            if reply is None:
+                return 1
+    finally:
+        node.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Shared low-level utilities used by every NCS subsystem.
+
+This package deliberately contains only dependency-free building blocks:
+acknowledgment bitmaps (selective repeat), CRC generators (AAL5), byte
+codecs (wire formats and the XDR model used by the baselines), running
+statistics (the paper's trimmed-mean timing methodology), clock
+abstractions (wall vs. virtual time), an event tracer, and a token bucket
+(rate-based flow control).
+"""
+
+from repro.util.bitmap import AckBitmap
+from repro.util.clock import Clock, MonotonicClock, VirtualClock
+from repro.util.codec import ByteReader, ByteWriter, XdrDecoder, XdrEncoder
+from repro.util.crc import crc10, crc32_aal5
+from repro.util.stats import RunningStats, summarize, trimmed_mean
+from repro.util.tokenbucket import TokenBucket
+from repro.util.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AckBitmap",
+    "ByteReader",
+    "ByteWriter",
+    "Clock",
+    "MonotonicClock",
+    "RunningStats",
+    "TokenBucket",
+    "TraceEvent",
+    "Tracer",
+    "VirtualClock",
+    "XdrDecoder",
+    "XdrEncoder",
+    "crc10",
+    "crc32_aal5",
+    "summarize",
+    "trimmed_mean",
+]

@@ -1,0 +1,60 @@
+"""Clock abstractions: wall time for the live runtime, virtual time for
+the simulator.
+
+Every timing-sensitive component (error-control retransmit timers, the
+rate-based flow controller's token bucket, the benchmark drivers) takes a
+``Clock`` so the same code runs against real time or against the
+discrete-event simulator's deterministic virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Monotonic time source measured in float seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+
+    def now_us(self) -> float:
+        """Current time in microseconds."""
+        return self.now() * 1e6
+
+
+class MonotonicClock(Clock):
+    """Wall-clock implementation backed by ``time.perf_counter``."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock(Clock):
+    """Manually advanced clock used by the discrete-event simulator.
+
+    Only the simulation kernel may advance it; everything else reads it.
+    Advancing backwards is a bug and raises immediately.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"virtual time may not go backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+    def advance_by(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError(f"virtual time delta must be >= 0, got {delta}")
+        self._now += delta

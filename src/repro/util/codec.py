@@ -1,0 +1,191 @@
+"""Byte-level codecs for wire formats.
+
+``ByteWriter``/``ByteReader`` are small big-endian (network order) struct
+builders used by the NCS protocol headers and control PDUs.
+
+``XdrEncoder``/``XdrDecoder`` model Sun XDR, the external data
+representation that PVM and MPICH used on heterogeneous machine pairs.
+The baselines charge per-byte conversion costs when two endpoints disagree
+on byte order — exactly the effect that makes MPI and p4 collapse in the
+paper's Figure 13 — and these classes provide a real, working XDR subset
+so the conversion path is exercised rather than merely priced.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class ByteWriter:
+    """Incrementally build a network-order byte string."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self):
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "ByteWriter":
+        self._parts.append(struct.pack("!B", value))
+        return self
+
+    def u16(self, value: int) -> "ByteWriter":
+        self._parts.append(struct.pack("!H", value))
+        return self
+
+    def u32(self, value: int) -> "ByteWriter":
+        self._parts.append(struct.pack("!I", value))
+        return self
+
+    def u64(self, value: int) -> "ByteWriter":
+        self._parts.append(struct.pack("!Q", value))
+        return self
+
+    def f64(self, value: float) -> "ByteWriter":
+        self._parts.append(struct.pack("!d", value))
+        return self
+
+    def raw(self, data: bytes) -> "ByteWriter":
+        self._parts.append(data)
+        return self
+
+    def lp_bytes(self, data: bytes) -> "ByteWriter":
+        """Length-prefixed (u32) byte string."""
+        self.u32(len(data))
+        self._parts.append(data)
+        return self
+
+    def lp_str(self, text: str) -> "ByteWriter":
+        """Length-prefixed UTF-8 string."""
+        return self.lp_bytes(text.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class ByteReader:
+    """Sequentially decode a network-order byte string."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def u8(self) -> int:
+        return self._unpack("!B", 1)
+
+    def u16(self) -> int:
+        return self._unpack("!H", 2)
+
+    def u32(self) -> int:
+        return self._unpack("!I", 4)
+
+    def u64(self) -> int:
+        return self._unpack("!Q", 8)
+
+    def f64(self) -> float:
+        return self._unpack("!d", 8)
+
+    def raw(self, count: int) -> bytes:
+        self._need(count)
+        data = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return data
+
+    def lp_bytes(self) -> bytes:
+        return self.raw(self.u32())
+
+    def lp_str(self) -> str:
+        return self.lp_bytes().decode("utf-8")
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def rest(self) -> bytes:
+        data = self._data[self._pos :]
+        self._pos = len(self._data)
+        return data
+
+    def _unpack(self, fmt: str, size: int):
+        self._need(size)
+        (value,) = struct.unpack_from(fmt, self._data, self._pos)
+        self._pos += size
+        return value
+
+    def _need(self, count: int) -> None:
+        if self._pos + count > len(self._data):
+            raise ValueError(
+                f"truncated buffer: need {count} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+
+
+class XdrEncoder:
+    """Minimal Sun XDR encoder (RFC 1014 subset: int, uint, hyper, double,
+    opaque, string).  Everything is big-endian and padded to 4 bytes, which
+    is what makes XDR expensive on little-endian or byte-copy-averse hosts.
+    """
+
+    def __init__(self):
+        self._writer = ByteWriter()
+
+    def pack_int(self, value: int) -> None:
+        self._writer.raw(struct.pack("!i", value))
+
+    def pack_uint(self, value: int) -> None:
+        self._writer.u32(value)
+
+    def pack_hyper(self, value: int) -> None:
+        self._writer.raw(struct.pack("!q", value))
+
+    def pack_double(self, value: float) -> None:
+        self._writer.f64(value)
+
+    def pack_opaque(self, data: bytes) -> None:
+        self._writer.u32(len(data))
+        self._writer.raw(data)
+        pad = (4 - len(data) % 4) % 4
+        if pad:
+            self._writer.raw(b"\x00" * pad)
+
+    def pack_string(self, text: str) -> None:
+        self.pack_opaque(text.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return self._writer.getvalue()
+
+
+class XdrDecoder:
+    """Decoder matching :class:`XdrEncoder`."""
+
+    def __init__(self, data: bytes):
+        self._reader = ByteReader(data)
+
+    def unpack_int(self) -> int:
+        return struct.unpack("!i", self._reader.raw(4))[0]
+
+    def unpack_uint(self) -> int:
+        return self._reader.u32()
+
+    def unpack_hyper(self) -> int:
+        return struct.unpack("!q", self._reader.raw(8))[0]
+
+    def unpack_double(self) -> float:
+        return self._reader.f64()
+
+    def unpack_opaque(self) -> bytes:
+        length = self._reader.u32()
+        data = self._reader.raw(length)
+        pad = (4 - length % 4) % 4
+        if pad:
+            self._reader.raw(pad)
+        return data
+
+    def unpack_string(self) -> str:
+        return self.unpack_opaque().decode("utf-8")
+
+    def done(self) -> bool:
+        return self._reader.remaining() == 0

@@ -1,0 +1,125 @@
+"""Timing statistics with the paper's measurement methodology.
+
+The paper's echo benchmark averages over 100 iterations *after discarding
+the best and worst timings* (§4.3).  ``trimmed_mean`` implements exactly
+that, and ``RunningStats`` gives streaming mean/variance (Welford) for the
+long-running benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def trimmed_mean(samples: list[float], discard_each_end: int = 1) -> float:
+    """Mean after dropping ``discard_each_end`` smallest and largest values.
+
+    With the default of 1 this is the paper's "averaged over 100 iterations
+    after discarding the best and worst timings".  If too few samples
+    remain after trimming, fall back to the plain mean.
+    """
+    if not samples:
+        raise ValueError("trimmed_mean of empty sample set")
+    if len(samples) <= 2 * discard_each_end:
+        return sum(samples) / len(samples)
+    ordered = sorted(samples)
+    kept = ordered[discard_each_end : len(ordered) - discard_each_end]
+    return sum(kept) / len(kept)
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max via Welford's algorithm."""
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self):
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self._count - 1) if self._count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    def merge(self, other: "RunningStats") -> None:
+        """Combine another stream's statistics into this one."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean += delta * other._count / total
+        self._count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(n={self._count}, mean={self.mean:.6g}, "
+            f"sd={self.stddev:.6g}, min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable snapshot of a sample set."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    trimmed: float
+
+
+def summarize(samples: list[float], discard_each_end: int = 1) -> Summary:
+    """Produce a :class:`Summary` of ``samples`` (paper methodology)."""
+    stats = RunningStats()
+    for sample in samples:
+        stats.add(sample)
+    return Summary(
+        count=stats.count,
+        mean=stats.mean,
+        stddev=stats.stddev,
+        minimum=stats.minimum,
+        maximum=stats.maximum,
+        trimmed=trimmed_mean(samples, discard_each_end),
+    )

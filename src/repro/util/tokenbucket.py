@@ -1,0 +1,69 @@
+"""Token bucket used by the rate-based flow controller.
+
+Rate-based flow control is one of the three families the paper lists
+(§3.3: "rate-based, credit-based, and window-based").  The bucket refills
+at ``rate`` tokens per second up to ``capacity``; each transmitted packet
+spends one token (or its byte count, depending on the controller's
+configuration).
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import Clock, MonotonicClock
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill.
+
+    Not thread-safe by itself; the rate-based flow controller serializes
+    access through its own lock.
+    """
+
+    __slots__ = ("rate", "capacity", "_tokens", "_last_refill", "_clock")
+
+    def __init__(self, rate: float, capacity: float, clock: Clock | None = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock or MonotonicClock()
+        self._tokens = capacity
+        self._last_refill = self._clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (after lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_consume(self, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available; return success."""
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def time_until_available(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens will be available (0 if now).
+
+        Returns ``inf`` when ``amount`` exceeds capacity — it will never
+        be satisfiable and the caller must split the request.
+        """
+        self._refill()
+        if self._tokens >= amount:
+            return 0.0
+        if amount > self.capacity:
+            return float("inf")
+        return (amount - self._tokens) / self.rate

@@ -1,0 +1,88 @@
+"""Lightweight event tracing.
+
+NCS threads and the simulator both emit trace events (thread activations,
+packet transmissions, credit updates, retransmissions).  The tracer is how
+tests assert on *internal* protocol behaviour — e.g. "the sender
+retransmitted exactly the SDUs whose bitmap bits were set" — without
+reaching into private state, and how EXPERIMENTS.md quantifies overhead
+composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.util.clock import Clock, MonotonicClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single timestamped occurrence inside the system."""
+
+    timestamp: float
+    category: str
+    name: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.timestamp:.6f}] {self.category}.{self.name} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records; cheap when disabled.
+
+    A tracer can be shared across threads: appends to a Python list are
+    atomic under the GIL, which is all the synchronization this needs.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True):
+        self.clock = clock or MonotonicClock()
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._sinks: list[Callable[[TraceEvent], None]] = []
+
+    def emit(self, category: str, name: str, **detail: Any) -> None:
+        """Record an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(self.clock.now(), category, name, detail)
+        self._events.append(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Also forward every event to ``sink`` (e.g. print, file)."""
+        self._sinks.append(sink)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All events recorded so far (shared list; do not mutate)."""
+        return self._events
+
+    def select(self, category: Optional[str] = None, name: Optional[str] = None) -> list[TraceEvent]:
+        """Events filtered by category and/or name."""
+        return [
+            e
+            for e in self._events
+            if (category is None or e.category == category)
+            and (name is None or e.name == name)
+        ]
+
+    def count(self, category: Optional[str] = None, name: Optional[str] = None) -> int:
+        return len(self.select(category, name))
+
+    def clear(self) -> None:
+        self._events = []
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+#: Module-level tracer that components fall back to when none is supplied.
+#: Disabled by default so production paths pay one attribute check.
+GLOBAL_TRACER = Tracer(enabled=False)

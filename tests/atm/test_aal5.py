@@ -1,0 +1,99 @@
+"""AAL5 segmentation and reassembly."""
+
+import pytest
+
+from repro.atm.aal5 import (
+    Aal5Error,
+    MAX_CPCS_SDU,
+    aal5_reassemble,
+    aal5_segment,
+    cells_for_frame,
+)
+from repro.atm.cell import PAYLOAD_SIZE
+
+
+class TestSegmentation:
+    def test_small_frame_single_cell(self):
+        cells = aal5_segment(b"tiny", 0, 32)
+        assert len(cells) == 1
+        assert cells[0].is_last_of_frame
+
+    def test_only_final_cell_marked(self):
+        cells = aal5_segment(b"x" * 200, 0, 32)
+        marks = [cell.is_last_of_frame for cell in cells]
+        assert marks == [False] * (len(cells) - 1) + [True]
+
+    def test_cells_carry_circuit(self):
+        cells = aal5_segment(b"y" * 100, 3, 77)
+        assert all((c.vpi, c.vci) == (3, 77) for c in cells)
+
+    def test_cell_count_formula(self):
+        for size in (0, 1, 39, 40, 41, 48, 96, 1000, 65527):
+            cells = aal5_segment(b"z" * size, 0, 32)
+            assert len(cells) == cells_for_frame(size)
+
+    def test_trailer_fits_exactly_when_aligned(self):
+        # 40 bytes + 8 trailer = exactly one cell payload.
+        assert cells_for_frame(40) == 1
+        assert cells_for_frame(41) == 2
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(Aal5Error, match="exceeds"):
+            aal5_segment(b"x" * (MAX_CPCS_SDU + 1), 0, 32)
+
+
+class TestReassembly:
+    @pytest.mark.parametrize("size", [0, 1, 40, 41, 48, 500, 10000])
+    def test_roundtrip(self, size):
+        frame = bytes(range(256)) * (size // 256 + 1)
+        frame = frame[:size]
+        assert aal5_reassemble(aal5_segment(frame, 0, 32)) == frame
+
+    def test_lost_middle_cell_fails_crc(self):
+        cells = aal5_segment(b"q" * 500, 0, 32)
+        damaged = cells[:3] + cells[4:]
+        with pytest.raises(Aal5Error, match="CRC"):
+            aal5_reassemble(damaged)
+
+    def test_corrupted_payload_fails_crc(self):
+        cells = aal5_segment(b"w" * 500, 0, 32)
+        bad = bytearray(cells[2].payload)
+        bad[10] ^= 0x01
+        from repro.atm.cell import AtmCell
+
+        cells[2] = AtmCell(cells[2].vpi, cells[2].vci, cells[2].pti,
+                           cells[2].clp, bytes(bad))
+        with pytest.raises(Aal5Error, match="CRC"):
+            aal5_reassemble(cells)
+
+    def test_missing_end_mark_rejected(self):
+        cells = aal5_segment(b"e" * 500, 0, 32)
+        with pytest.raises(Aal5Error, match="AUU"):
+            aal5_reassemble(cells[:-1])
+
+    def test_interleaved_frames_rejected(self):
+        first = aal5_segment(b"a" * 100, 0, 32)
+        second = aal5_segment(b"b" * 100, 0, 32)
+        with pytest.raises(Aal5Error, match="non-final"):
+            aal5_reassemble(first + second)
+
+    def test_no_cells_rejected(self):
+        with pytest.raises(Aal5Error, match="no cells"):
+            aal5_reassemble([])
+
+
+class TestOverheadAccounting:
+    def test_per_frame_tax(self):
+        # 1 byte of user data still occupies a full 53-byte cell: the
+        # small-message efficiency question on ATM.
+        assert cells_for_frame(1) == 1
+        wire = cells_for_frame(1) * 53
+        assert wire == 53
+
+    def test_padding_within_multiple_cells(self):
+        # 100 B + 8 B trailer = 108 B -> 3 cells (144 B payload capacity).
+        assert cells_for_frame(100) == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            cells_for_frame(-1)

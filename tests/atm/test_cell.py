@@ -1,0 +1,73 @@
+"""ATM cell format."""
+
+import pytest
+
+from repro.atm.cell import (
+    CELL_SIZE,
+    PAYLOAD_SIZE,
+    AtmCell,
+    CellError,
+)
+
+
+def make_cell(**overrides):
+    fields = dict(vpi=1, vci=42, pti=0, clp=0, payload=b"\xAA" * PAYLOAD_SIZE)
+    fields.update(overrides)
+    return AtmCell(**fields)
+
+
+class TestFormat:
+    def test_encoded_size_is_53(self):
+        assert len(make_cell().encode()) == CELL_SIZE
+
+    def test_roundtrip(self):
+        cell = make_cell(vpi=200, vci=60000, pti=0b001, clp=1)
+        assert AtmCell.decode(cell.encode()) == cell
+
+    def test_field_extremes(self):
+        for vpi, vci in ((0, 0), (255, 65535)):
+            cell = make_cell(vpi=vpi, vci=vci)
+            again = AtmCell.decode(cell.encode())
+            assert (again.vpi, again.vci) == (vpi, vci)
+
+    def test_last_of_frame_flag(self):
+        assert make_cell(pti=0b001).is_last_of_frame
+        assert not make_cell(pti=0b000).is_last_of_frame
+
+    def test_hec_detects_header_corruption(self):
+        data = bytearray(make_cell().encode())
+        data[1] ^= 0x04  # damage the VPI/VCI bits
+        with pytest.raises(CellError, match="HEC"):
+            AtmCell.decode(bytes(data))
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CellError, match="53"):
+            AtmCell.decode(b"\x00" * 52)
+
+
+class TestValidation:
+    def test_payload_must_be_48(self):
+        with pytest.raises(CellError, match="48"):
+            make_cell(payload=b"short")
+
+    def test_vpi_range(self):
+        with pytest.raises(CellError):
+            make_cell(vpi=256)
+
+    def test_vci_range(self):
+        with pytest.raises(CellError):
+            make_cell(vci=65536)
+
+    def test_clp_binary(self):
+        with pytest.raises(CellError):
+            make_cell(clp=2)
+
+
+class TestRerouting:
+    def test_rerouted_translates_circuit_only(self):
+        cell = make_cell(vpi=1, vci=100, pti=0b001, clp=1)
+        out = cell.rerouted(2, 200)
+        assert (out.vpi, out.vci) == (2, 200)
+        assert out.pti == cell.pti
+        assert out.clp == cell.clp
+        assert out.payload == cell.payload

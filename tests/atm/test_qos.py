@@ -1,0 +1,63 @@
+"""QOS classes and GCRA policing."""
+
+import pytest
+
+from repro.atm.qos import GcraPolicer, QosClass, TrafficContract
+
+
+class TestTrafficContract:
+    def test_valid(self):
+        contract = TrafficContract(pcr=1000.0, cdvt=1e-3)
+        assert contract.pcr == 1000.0
+
+    def test_invalid_pcr(self):
+        with pytest.raises(ValueError):
+            TrafficContract(pcr=0)
+
+    def test_invalid_cdvt(self):
+        with pytest.raises(ValueError):
+            TrafficContract(pcr=1, cdvt=-1)
+
+
+class TestGcra:
+    def test_conforming_stream_at_contract_rate(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0, cdvt=0.0))
+        # Cells exactly 10 ms apart: all conform.
+        assert all(policer.conforms(i * 0.01) for i in range(50))
+        assert policer.non_conforming == 0
+
+    def test_burst_beyond_cdvt_rejected(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0, cdvt=0.0))
+        assert policer.conforms(0.0)
+        assert not policer.conforms(0.001)  # 10x too early
+        assert policer.non_conforming == 1
+
+    def test_cdvt_tolerates_jitter(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0, cdvt=0.005))
+        assert policer.conforms(0.0)
+        assert policer.conforms(0.006)  # 4 ms early but within tolerance
+
+    def test_idle_period_resets_schedule(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0, cdvt=0.0))
+        assert policer.conforms(0.0)
+        assert policer.conforms(1.0)  # long idle: fresh start
+        assert policer.conforms(1.01)
+
+    def test_sustained_overspeed_drops_proportionally(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0, cdvt=0.0))
+        # Send at 200 cells/s: roughly half must be non-conforming.
+        for i in range(200):
+            policer.conforms(i * 0.005)
+        assert policer.conforming == pytest.approx(100, abs=3)
+
+    def test_reset(self):
+        policer = GcraPolicer(TrafficContract(pcr=100.0))
+        policer.conforms(0.0)
+        policer.reset()
+        assert policer.conforming == 0
+        assert policer.conforms(0.0)
+
+
+class TestQosClasses:
+    def test_all_service_categories_present(self):
+        assert {c.value for c in QosClass} == {"cbr", "vbr", "abr", "ubr"}

@@ -1,0 +1,104 @@
+"""AtmNetwork topology building and VC signaling."""
+
+import pytest
+
+from repro.atm.qos import QosClass
+from repro.atm.signaling import AtmNetwork, SignalingError
+from repro.simnet.kernel import Simulator
+
+
+@pytest.fixture
+def network():
+    sim = Simulator()
+    net = AtmNetwork(sim)
+    net.add_host("h1")
+    net.add_host("h2")
+    net.add_host("h3")
+    net.add_switch("s1")
+    net.add_switch("s2")
+    net.link("h1", "s1")
+    net.link("h2", "s2")
+    net.link("h3", "s1")
+    net.link("s1", "s2")
+    return sim, net
+
+
+class TestTopology:
+    def test_duplicate_names_rejected(self, network):
+        _, net = network
+        with pytest.raises(SignalingError, match="duplicate"):
+            net.add_host("h1")
+        with pytest.raises(SignalingError, match="duplicate"):
+            net.add_switch("s1")
+
+    def test_host_to_host_wire_rejected(self, network):
+        _, net = network
+        with pytest.raises(SignalingError, match="host-host"):
+            net.link("h1", "h2")
+
+
+class TestSignaling:
+    def test_multihop_vc_installs_translations(self, network):
+        _, net = network
+        vc = net.setup_vc("h1", "h2")
+        assert len(vc.hops) == 2  # s1 and s2
+        assert len(net.switches["s1"].vc_table) == 1
+        assert len(net.switches["s2"].vc_table) == 1
+
+    def test_single_switch_vc(self, network):
+        _, net = network
+        vc = net.setup_vc("h1", "h3")
+        assert len(vc.hops) == 1
+
+    def test_vc_ids_unique(self, network):
+        _, net = network
+        first = net.setup_vc("h1", "h2")
+        second = net.setup_vc("h1", "h2")
+        assert first.vc_id != second.vc_id
+        assert first.src_vpi_vci != second.src_vpi_vci
+
+    def test_qos_attached(self, network):
+        _, net = network
+        vc = net.setup_vc("h1", "h2", qos=QosClass.CBR)
+        assert vc.qos is QosClass.CBR
+
+    def test_unknown_host_rejected(self, network):
+        _, net = network
+        with pytest.raises(SignalingError, match="hosts"):
+            net.setup_vc("h1", "ghost")
+
+
+class TestEndToEndDelivery:
+    def test_frame_crosses_network(self, network):
+        sim, net = network
+        vc = net.setup_vc("h1", "h2")
+        got = []
+        net.hosts["h2"].on_frame = lambda vpi, vci, frame: got.append(frame)
+        frame = bytes(range(251)) * 13
+        net.hosts["h1"].send_frame(*vc.src_vpi_vci, frame)
+        sim.run()
+        assert got == [frame]
+
+    def test_two_vcs_do_not_interfere(self, network):
+        sim, net = network
+        vc_a = net.setup_vc("h1", "h2")
+        vc_b = net.setup_vc("h3", "h2")
+        got = {}
+        net.hosts["h2"].on_frame = (
+            lambda vpi, vci, frame: got.setdefault(vci, []).append(frame)
+        )
+        net.hosts["h1"].send_frame(*vc_a.src_vpi_vci, b"from h1" * 40)
+        net.hosts["h3"].send_frame(*vc_b.src_vpi_vci, b"from h3" * 40)
+        sim.run()
+        assert got[vc_a.dst_vpi_vci[1]] == [b"from h1" * 40]
+        assert got[vc_b.dst_vpi_vci[1]] == [b"from h3" * 40]
+
+    def test_reverse_direction_needs_own_vc(self, network):
+        sim, net = network
+        forward = net.setup_vc("h1", "h2")
+        reverse = net.setup_vc("h2", "h1")
+        got = []
+        net.hosts["h1"].on_frame = lambda vpi, vci, frame: got.append(frame)
+        net.hosts["h2"].send_frame(*reverse.src_vpi_vci, b"backwards")
+        sim.run()
+        assert got == [b"backwards"]

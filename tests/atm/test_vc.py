@@ -1,0 +1,51 @@
+"""VC identifiers and translation tables."""
+
+import pytest
+
+from repro.atm.vc import VcIdentifier, VcTable, VcTableError
+
+
+class TestVcTable:
+    def test_install_and_lookup(self):
+        table = VcTable()
+        table.install(VcIdentifier(0, 0, 32), VcIdentifier(3, 0, 48))
+        assert table.lookup(0, 0, 32) == (3, 0, 48)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(VcTableError, match="no VC"):
+            VcTable().lookup(0, 0, 32)
+
+    def test_duplicate_install_rejected(self):
+        table = VcTable()
+        inbound = VcIdentifier(1, 0, 40)
+        table.install(inbound, VcIdentifier(2, 0, 41))
+        with pytest.raises(VcTableError, match="already"):
+            table.install(inbound, VcIdentifier(3, 0, 42))
+
+    def test_remove(self):
+        table = VcTable()
+        inbound = VcIdentifier(1, 0, 40)
+        table.install(inbound, VcIdentifier(2, 0, 41))
+        table.remove(inbound)
+        assert not table.has(1, 0, 40)
+        with pytest.raises(VcTableError):
+            table.remove(inbound)
+
+    def test_free_vci_skips_reserved_and_used(self):
+        table = VcTable()
+        assert table.free_vci(0) == 32  # VCIs < 32 reserved
+        table.install(VcIdentifier(0, 0, 32), VcIdentifier(1, 0, 32))
+        assert table.free_vci(0) == 33
+
+    def test_free_vci_per_port(self):
+        table = VcTable()
+        table.install(VcIdentifier(0, 0, 32), VcIdentifier(1, 0, 32))
+        assert table.free_vci(5) == 32  # a different port is untouched
+
+    def test_entries_snapshot(self):
+        table = VcTable()
+        table.install(VcIdentifier(0, 0, 32), VcIdentifier(1, 0, 33))
+        entries = table.entries()
+        assert entries == {(0, 0, 32): (1, 0, 33)}
+        entries.clear()  # snapshot: must not affect the table
+        assert len(table) == 1

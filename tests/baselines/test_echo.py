@@ -1,0 +1,61 @@
+"""Echo driver over the simulated testbed."""
+
+import pytest
+
+from repro.baselines import SYSTEMS, echo_roundtrip, one_way_process
+from repro.simnet.host import SimHost
+from repro.simnet.kernel import Simulator
+from repro.simnet.link import AtmLinkModel
+from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
+
+
+def rig(platform_a=SUN4_SUNOS55, platform_b=SUN4_SUNOS55):
+    sim = Simulator()
+    return (
+        sim,
+        SimHost(sim, "a", platform_a),
+        SimHost(sim, "b", platform_b),
+        AtmLinkModel(sim),
+        AtmLinkModel(sim),
+    )
+
+
+class TestEchoDriver:
+    def test_roundtrip_positive_and_finite(self):
+        for system, model_cls in SYSTEMS.items():
+            sim, a, b, ab, ba = rig()
+            rt = echo_roundtrip(sim, model_cls(), a, b, ab, ba, 1024)
+            assert 0 < rt < 10.0, system
+
+    def test_roundtrip_monotonic_in_size(self):
+        for system, model_cls in SYSTEMS.items():
+            times = []
+            for size in (1, 4096, 65536):
+                sim, a, b, ab, ba = rig()
+                times.append(
+                    echo_roundtrip(sim, model_cls(), a, b, ab, ba, size)
+                )
+            assert times == sorted(times), system
+
+    def test_one_way_uses_both_cpus(self):
+        sim, a, b, ab, ba = rig()
+        sim.run_process(
+            one_way_process(sim, SYSTEMS["NCS"](), a, b, ab, ba, 65536)
+        )
+        assert a.cpu_busy_total > 0
+        assert b.cpu_busy_total > 0
+
+    def test_mpi_handshake_crosses_wire(self):
+        sim, a, b, ab, ba = rig()
+        sim.run_process(
+            one_way_process(sim, SYSTEMS["MPI"](), a, b, ab, ba, 65536)
+        )
+        # Rendezvous: control frame went forward AND backward.
+        assert ba.frames_sent >= 1
+
+    def test_deterministic(self):
+        def run():
+            sim, a, b, ab, ba = rig()
+            return echo_roundtrip(sim, SYSTEMS["PVM"](), a, b, ab, ba, 8192)
+
+        assert run() == run()

@@ -1,0 +1,93 @@
+"""Baseline system models: structural properties."""
+
+import pytest
+
+from repro.baselines import MpiModel, NcsModel, P4Model, PvmModel, SYSTEMS
+from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
+
+
+class TestCostStructure:
+    def test_all_systems_registered(self):
+        assert set(SYSTEMS) == {"NCS", "p4", "MPI", "PVM"}
+
+    def test_costs_scale_with_size(self):
+        for model_cls in SYSTEMS.values():
+            model = model_cls()
+            small = model.send_cpu(64, SUN4_SUNOS55, SUN4_SUNOS55)
+            large = model.send_cpu(65536, SUN4_SUNOS55, SUN4_SUNOS55)
+            assert large > small
+
+    def test_ncs_single_copy_beats_p4_on_sun(self):
+        ncs, p4 = NcsModel(), P4Model()
+        size = 65536
+        ncs_total = ncs.send_cpu(size, SUN4_SUNOS55, SUN4_SUNOS55) + ncs.recv_cpu(
+            size, SUN4_SUNOS55, SUN4_SUNOS55
+        )
+        p4_total = p4.send_cpu(size, SUN4_SUNOS55, SUN4_SUNOS55) + p4.recv_cpu(
+            size, SUN4_SUNOS55, SUN4_SUNOS55
+        )
+        assert ncs_total < p4_total
+
+    def test_mpi_rendezvous_above_eager_threshold(self):
+        mpi = MpiModel()
+        assert mpi.handshake_rtts(1024) == 0
+        assert mpi.handshake_rtts(32768) == 1
+
+    def test_pvm_daemon_routing_only_on_rs6000(self):
+        pvm = PvmModel()
+        assert pvm._daemon_routed(RS6000_AIX41)
+        assert not pvm._daemon_routed(SUN4_SUNOS55)
+
+    def test_wire_overhead_present(self):
+        for model_cls in SYSTEMS.values():
+            model = model_cls()
+            assert model.wire_size(1000) > 1000
+
+
+class TestConversion:
+    def test_homogeneous_pairs_never_convert(self):
+        for model_cls in SYSTEMS.values():
+            model = model_cls()
+            send, recv = model.conversion_cpu(65536, SUN4_SUNOS55, SUN4_SUNOS55)
+            assert send == 0.0 and recv == 0.0
+
+    def test_ncs_never_converts(self):
+        send, recv = NcsModel().conversion_cpu(
+            65536, SUN4_SUNOS55, RS6000_AIX41
+        )
+        assert send == 0.0 and recv == 0.0
+
+    def test_mpi_converts_both_directions(self):
+        send, recv = MpiModel().conversion_cpu(
+            65536, SUN4_SUNOS55, RS6000_AIX41
+        )
+        assert send > 0 and recv > 0
+
+    def test_p4_converts_at_sender_only(self):
+        send, recv = P4Model().conversion_cpu(
+            65536, SUN4_SUNOS55, RS6000_AIX41
+        )
+        assert send > 0 and recv == 0.0
+
+    def test_pvm_conversion_cheaper_than_mpi(self):
+        size = 65536
+        pvm = sum(PvmModel().conversion_cpu(size, SUN4_SUNOS55, RS6000_AIX41))
+        mpi = sum(MpiModel().conversion_cpu(size, SUN4_SUNOS55, RS6000_AIX41))
+        assert pvm < mpi
+
+
+class TestNcsVariants:
+    def test_bypass_cheaper_than_threaded(self):
+        threaded = NcsModel(threaded=True)
+        bypass = NcsModel(threaded=False)
+        assert bypass.send_cpu(1, SUN4_SUNOS55, SUN4_SUNOS55) < threaded.send_cpu(
+            1, SUN4_SUNOS55, SUN4_SUNOS55
+        )
+
+    def test_sdu_size_changes_per_message_overheads(self):
+        small_sdu = NcsModel(sdu_size=4096)
+        large_sdu = NcsModel(sdu_size=32768)
+        size = 65536
+        assert large_sdu.send_cpu(size, SUN4_SUNOS55, SUN4_SUNOS55) < (
+            small_sdu.send_cpu(size, SUN4_SUNOS55, SUN4_SUNOS55)
+        )

@@ -1,0 +1,113 @@
+"""Ablation sweeps: the paper's qualitative design claims."""
+
+import pytest
+
+from repro.bench.ablations import (
+    error_control_sweep,
+    flow_control_sweep,
+    multicast_sweep,
+    sdu_size_sweep,
+    separation_sweep,
+)
+
+
+class TestSduSizeTradeoff:
+    """Paper §3.2: large SDUs amortize overhead on clean paths but lose
+    more per retransmission on lossy ones."""
+
+    def test_clean_path_prefers_large_sdus(self):
+        results = sdu_size_sweep(loss_rates=[0.0])
+        clean = results[0.0]
+        assert clean[65536]["time_ms"] <= clean[4096]["time_ms"]
+
+    def test_lossy_path_prefers_small_sdus(self):
+        results = sdu_size_sweep(loss_rates=[1e-3])
+        lossy = results[1e-3]
+        assert lossy[4096]["time_ms"] < lossy[65536]["time_ms"]
+
+    def test_everything_delivered_regardless(self):
+        results = sdu_size_sweep(loss_rates=[0.0, 1e-3])
+        for per_loss in results.values():
+            for stats in per_loss.values():
+                assert stats["delivered"] == 1
+
+
+class TestErrorControlChoice:
+    def test_reliable_algorithms_deliver_under_loss(self):
+        results = error_control_sweep(loss_rates=[2e-3])
+        lossy = results[2e-3]
+        assert lossy["selective_repeat"]["delivered"] == 1
+        assert lossy["go_back_n"]["delivered"] == 1
+
+    def test_null_ec_loses_under_loss(self):
+        results = error_control_sweep(loss_rates=[2e-3])
+        assert results[2e-3]["none"]["delivered"] == 0
+
+    def test_selective_repeat_retransmits_less_than_gbn(self):
+        """The reason it's the default: SR resends only what was lost."""
+        results = error_control_sweep(loss_rates=[2e-3])
+        lossy = results[2e-3]
+        assert (
+            lossy["selective_repeat"]["retransmitted_sdus"]
+            < lossy["go_back_n"]["retransmitted_sdus"]
+        )
+
+    def test_clean_path_costs_are_comparable(self):
+        results = error_control_sweep(loss_rates=[0.0])
+        clean = results[0.0]
+        times = [stats["time_ms"] for stats in clean.values()]
+        assert max(times) < min(times) * 1.5
+
+
+class TestFlowControlChoice:
+    def test_all_algorithms_deliver(self):
+        results = flow_control_sweep()
+        for stats in results.values():
+            assert stats["delivered"] == 8
+
+    def test_feedback_algorithms_pay_control_traffic(self):
+        """Paper §2: removing flow control removes its overhead — visible
+        as control-plane traffic here."""
+        results = flow_control_sweep()
+        assert results["credit"]["control_pdus"] > results["none"]["control_pdus"]
+        assert results["window"]["control_pdus"] > results["none"]["control_pdus"]
+
+
+class TestSeparation:
+    def test_separated_control_is_never_slower(self):
+        results = separation_sweep()
+        assert (
+            results["separated"]["time_ms"]
+            <= results["multiplexed"]["time_ms"]
+        )
+
+    def test_separation_helps_under_contention(self):
+        """On the saturated bidirectional path the dedicated control
+        connections buy a measurable speedup."""
+        results = separation_sweep()
+        speedup = (
+            results["multiplexed"]["time_ms"] / results["separated"]["time_ms"]
+        )
+        assert speedup > 1.05
+
+
+class TestMulticastAlgorithms:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return multicast_sweep(group_sizes=(2, 8, 32))
+
+    def test_equal_for_two_members(self, results):
+        assert results["repetitive"][2] == pytest.approx(
+            results["spanning_tree"][2]
+        )
+
+    def test_tree_wins_for_large_groups(self, results):
+        assert results["spanning_tree"][32] < results["repetitive"][32] / 2
+
+    def test_repetitive_grows_linearly(self, results):
+        ratio = results["repetitive"][32] / results["repetitive"][8]
+        assert 3.0 < ratio < 5.0  # ~4x members -> ~4x time
+
+    def test_tree_grows_logarithmically(self, results):
+        ratio = results["spanning_tree"][32] / results["spanning_tree"][8]
+        assert ratio < 2.5

@@ -1,0 +1,81 @@
+"""Table I reproduction: structure of the 1-byte send decomposition."""
+
+import pytest
+
+from repro.bench import table1
+
+
+@pytest.fixture(scope="module")
+def results():
+    # HPI keeps the data transfer nearly free, isolating session costs
+    # exactly the way the table's accounting does.
+    return table1.run(iterations=60, interface="hpi")
+
+
+class TestDecomposition:
+    def test_every_stage_measured(self, results):
+        for label, _start, _end in table1._STAGES:
+            assert results[label] >= 0.0
+
+    def test_totals_consistent(self, results):
+        assert results["total"] == pytest.approx(
+            results["session overhead total"] + results["data transfer total"]
+        )
+
+    def test_session_overhead_dominates_one_byte_sends(self, results):
+        """The table's point: for 1-byte messages the threading machinery
+        is a significant share of the cost (28% in the paper; higher here
+        because our HPI data transfer is nearly free)."""
+        assert results["session fraction"] > 0.2
+
+    def test_context_switches_are_measurable(self, results):
+        switches = (
+            results["context switch to protocol thread"]
+            + results["context switch to Send Thread"]
+        )
+        assert switches > 0.5  # microseconds
+
+    def test_formatting_includes_paper_reference(self, results):
+        rendered = table1.format_results(results)
+        assert "Paper's Table I" in rendered
+        assert "session overhead total" in rendered
+
+
+class TestAmortization:
+    def test_session_overhead_amortizes_with_size(self):
+        """The corollary the paper draws (and Figure 11 plots): the same
+        session overhead is negligible for large messages."""
+        import statistics
+        import time
+
+        from repro.core import ConnectionConfig, Node, NodeConfig
+
+        node_a = Node(NodeConfig(name="amort-a"))
+        node_b = Node(NodeConfig(name="amort-b"))
+        try:
+            conn = node_a.connect(
+                node_b.address,
+                ConnectionConfig(interface="hpi", flow_control="none",
+                                 error_control="none", sdu_size=65536),
+                peer_name="b",
+            )
+            peer = node_b.accept(timeout=5.0)
+
+            def one_way(size, iterations=30):
+                payload = b"x" * size
+                samples = []
+                for _ in range(iterations):
+                    start = time.perf_counter()
+                    conn.send(payload)
+                    assert peer.recv(timeout=5.0) is not None
+                    samples.append(time.perf_counter() - start)
+                return statistics.median(samples)
+
+            small = one_way(1)
+            large = one_way(65536)
+            # 65536x the bytes must NOT cost 65536x the time: the fixed
+            # session overhead dominates the small case.
+            assert large / small < 1000
+        finally:
+            node_a.close()
+            node_b.close()

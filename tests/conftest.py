@@ -1,0 +1,39 @@
+"""Shared fixtures for the NCS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+
+@pytest.fixture
+def node_factory():
+    """Create nodes that are reliably torn down after the test."""
+    nodes = []
+
+    def make(name: str, **kwargs) -> Node:
+        node = Node(NodeConfig(name=name, **kwargs))
+        nodes.append(node)
+        return node
+
+    yield make
+    for node in nodes:
+        node.close()
+
+
+@pytest.fixture
+def connected_pair(node_factory):
+    """A ready client/server connection over SCI with defaults."""
+
+    def make(config: ConnectionConfig = None, **node_kwargs):
+        client = node_factory("client", **node_kwargs)
+        server = node_factory("server", **node_kwargs)
+        conn = client.connect(
+            server.address, config or ConnectionConfig(), peer_name="server"
+        )
+        peer = server.accept(timeout=5.0)
+        assert peer is not None, "server never saw the connection"
+        return conn, peer
+
+    return make

@@ -1,0 +1,83 @@
+"""ConnectionConfig validation: the per-connection QOS contract."""
+
+import pytest
+
+from repro.core.config import ConnectionConfig, NodeConfig
+from repro.interfaces.aci import ACI_MAX_SDU
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = ConnectionConfig()
+        assert config.flow_control == "credit"
+        assert config.error_control == "selective_repeat"
+        assert config.sdu_size == 4096
+        assert config.mode == "threaded"
+
+    def test_presets(self):
+        media = ConnectionConfig.media_stream()
+        assert media.flow_control == "none"
+        assert media.error_control == "none"
+        assert media.interface == "aci"
+        data = ConnectionConfig.reliable_data()
+        assert data.error_control == "selective_repeat"
+
+
+class TestValidation:
+    def test_unknown_flow_control(self):
+        with pytest.raises(ValueError, match="flow control"):
+            ConnectionConfig(flow_control="magic")
+
+    def test_unknown_error_control(self):
+        with pytest.raises(ValueError, match="error control"):
+            ConnectionConfig(error_control="parity")
+
+    def test_unknown_interface(self):
+        with pytest.raises(ValueError, match="interface"):
+            ConnectionConfig(interface="rdma")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ConnectionConfig(mode="warp")
+
+    def test_sdu_size_envelope(self):
+        with pytest.raises(ValueError, match="SDU size"):
+            ConnectionConfig(sdu_size=1024)
+        with pytest.raises(ValueError, match="SDU size"):
+            ConnectionConfig(sdu_size=128 * 1024)
+
+    def test_aci_sdu_cap(self):
+        # The ATM API limit (paper §3.2) applies only to the ACI.
+        with pytest.raises(ValueError, match="ACI caps"):
+            ConnectionConfig(interface="aci", sdu_size=ACI_MAX_SDU * 2)
+        ConnectionConfig(interface="sci", sdu_size=64 * 1024)  # fine on SCI
+
+    def test_credit_minimum(self):
+        with pytest.raises(ValueError, match="initial_credits"):
+            ConnectionConfig(initial_credits=0)
+
+    def test_retransmit_timeout_positive(self):
+        with pytest.raises(ValueError, match="retransmit_timeout"):
+            ConnectionConfig(retransmit_timeout=0)
+
+
+class TestOverrides:
+    def test_with_overrides_revalidates(self):
+        config = ConnectionConfig()
+        faster = config.with_overrides(retransmit_timeout=0.05)
+        assert faster.retransmit_timeout == 0.05
+        assert config.retransmit_timeout == 0.2  # original untouched
+        with pytest.raises(ValueError):
+            config.with_overrides(sdu_size=1)
+
+    def test_frozen(self):
+        config = ConnectionConfig()
+        with pytest.raises(Exception):
+            config.sdu_size = 1
+
+
+class TestNodeConfig:
+    def test_defaults(self):
+        config = NodeConfig(name="n")
+        assert config.thread_package == "kernel"
+        assert config.control_port == 0

@@ -1,0 +1,42 @@
+"""Send handles."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import SendFailedError
+from repro.core.handles import SendHandle, SendStatus
+
+
+class TestSendHandle:
+    def test_pending_initially(self):
+        handle = SendHandle(1, 100)
+        assert handle.status is SendStatus.PENDING
+        assert not handle.done()
+
+    def test_wait_timeout_returns_false(self):
+        handle = SendHandle(1, 0)
+        assert handle.wait(timeout=0.02) is False
+
+    def test_completion_unblocks_wait(self):
+        handle = SendHandle(1, 0)
+
+        def complete_later():
+            handle._resolve(SendStatus.COMPLETED)
+
+        thread = threading.Timer(0.02, complete_later)
+        thread.start()
+        assert handle.wait(timeout=2.0) is True
+        assert handle.status is SendStatus.COMPLETED
+        thread.join()
+
+    def test_failure_raises_on_wait(self):
+        handle = SendHandle(9, 0)
+        handle._resolve(SendStatus.FAILED)
+        with pytest.raises(SendFailedError) as excinfo:
+            handle.wait(timeout=1.0)
+        assert excinfo.value.msg_id == 9
+
+    def test_repr_mentions_state(self):
+        handle = SendHandle(3, 10)
+        assert "pending" in repr(handle)

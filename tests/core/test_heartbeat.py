@@ -1,0 +1,95 @@
+"""Heartbeat failure detection over the control plane."""
+
+import time
+
+import pytest
+
+from repro.core.heartbeat import FailureDetector, is_reply, make_reply
+from repro.protocol.pdus import HeartbeatPdu
+
+
+class TestPduDiscrimination:
+    def test_request_is_not_reply(self):
+        assert not is_reply(HeartbeatPdu("a", 7))
+
+    def test_reply_marked(self):
+        reply = make_reply("b", HeartbeatPdu("a", 7))
+        assert is_reply(reply)
+        assert reply.sequence & 0x7FFFFFFF == 7
+        assert reply.node == "b"
+
+
+class TestDetector:
+    def wait_for(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def test_live_peer_never_suspected(self, node_factory):
+        a = node_factory("hb-a")
+        b = node_factory("hb-b")
+        failures = []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.2, on_failure=failures.append
+        )
+        detector.monitor(b.address)
+        assert self.wait_for(
+            lambda: (detector.status(b.address) or None)
+            and detector.status(b.address).replies >= 3
+        )
+        assert failures == []
+        assert detector.alive_peers() == [b.address]
+        detector.stop()
+
+    def test_dead_peer_detected(self, node_factory):
+        a = node_factory("hb-c")
+        b = node_factory("hb-d")
+        failures = []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.25, on_failure=failures.append
+        )
+        detector.monitor(b.address)
+        assert self.wait_for(
+            lambda: detector.status(b.address).replies >= 2
+        ), "peer never answered while alive"
+        b.close()
+        assert self.wait_for(lambda: failures == [b.address], timeout=5.0)
+        assert detector.status(b.address).suspected
+        assert detector.alive_peers() == []
+        detector.stop()
+
+    def test_multiple_peers_tracked_independently(self, node_factory):
+        a = node_factory("hb-e")
+        alive = node_factory("hb-f")
+        doomed = node_factory("hb-g")
+        failures = []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.25, on_failure=failures.append
+        )
+        detector.monitor(alive.address)
+        detector.monitor(doomed.address)
+        assert self.wait_for(
+            lambda: detector.status(alive.address).replies >= 2
+            and detector.status(doomed.address).replies >= 2
+        )
+        doomed.close()
+        assert self.wait_for(lambda: failures == [doomed.address])
+        assert detector.alive_peers() == [alive.address]
+        detector.stop()
+
+    def test_unmonitor_stops_probing(self, node_factory):
+        a = node_factory("hb-h")
+        b = node_factory("hb-i")
+        detector = FailureDetector(a, interval=0.03, suspect_after=0.2)
+        detector.monitor(b.address)
+        detector.unmonitor(b.address)
+        assert detector.status(b.address) is None
+        detector.stop()
+
+    def test_bad_parameters_rejected(self, node_factory):
+        a = node_factory("hb-j")
+        with pytest.raises(ValueError, match="suspect_after"):
+            FailureDetector(a, interval=0.1, suspect_after=0.05)

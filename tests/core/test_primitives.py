@@ -1,0 +1,39 @@
+"""Paper-style procedural primitives."""
+
+from repro import (
+    ConnectionConfig,
+    NCS_recv,
+    NCS_send,
+    NCS_thread_sleep,
+    NCS_thread_spawn,
+    NCS_thread_yield,
+)
+
+
+def test_ncs_send_recv(connected_pair):
+    conn, peer = connected_pair()
+    handle = NCS_send(conn, b"procedural api", wait=True, timeout=5.0)
+    assert handle.done()
+    assert NCS_recv(peer, timeout=5.0) == b"procedural api"
+
+
+def test_ncs_recv_timeout(connected_pair):
+    conn, _ = connected_pair()
+    assert NCS_recv(conn, timeout=0.05) is None
+
+
+def test_compute_thread_spawn_and_yield(node_factory):
+    node = node_factory("compute")
+    log = []
+
+    def compute_thread(tag):
+        log.append(tag)
+        NCS_thread_yield(node)
+        NCS_thread_sleep(node, 0.01)
+        return tag
+
+    handles = [NCS_thread_spawn(node, compute_thread, i) for i in range(3)]
+    for handle in handles:
+        assert handle.join(5.0)
+    assert sorted(log) == [0, 1, 2]
+    assert [h.result for h in handles] == [0, 1, 2]

@@ -1,0 +1,45 @@
+"""make_error_control factory."""
+
+import pytest
+
+from repro.errorcontrol import (
+    ALGORITHMS,
+    GoBackNSender,
+    NullSender,
+    SelectiveRepeatSender,
+    make_error_control,
+)
+
+
+def test_all_algorithms_constructible():
+    for name in ALGORITHMS:
+        sender, receiver = make_error_control(name, 1, 4096)
+        assert sender.name == receiver.name == (name if name != "none" else "none")
+
+
+def test_selective_repeat_default_options():
+    sender, _ = make_error_control(
+        "selective_repeat", 1, 8192, retransmit_timeout=0.5, max_retries=3
+    )
+    assert isinstance(sender, SelectiveRepeatSender)
+    assert sender.retransmit_timeout == 0.5
+    assert sender.max_retries == 3
+    assert sender.sdu_size == 8192
+
+
+def test_gbn_window_option():
+    sender, _ = make_error_control("go_back_n", 1, 4096, window=9)
+    assert isinstance(sender, GoBackNSender)
+    assert sender.window == 9
+
+
+def test_null_ignores_reliability_options():
+    sender, _ = make_error_control(
+        "none", 1, 4096, retransmit_timeout=0.5, max_retries=3
+    )
+    assert isinstance(sender, NullSender)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown error control"):
+        make_error_control("tcp", 1, 4096)

@@ -1,0 +1,160 @@
+"""Go-back-N error control."""
+
+import pytest
+
+from repro.errorcontrol.go_back_n import GoBackNReceiver, GoBackNSender
+
+SDU = 4096
+CONN = 3
+
+
+@pytest.fixture
+def pair():
+    return (
+        GoBackNSender(CONN, SDU, window=4, retransmit_timeout=0.1, max_retries=4),
+        GoBackNReceiver(CONN),
+    )
+
+
+def feed(receiver, sdus, now=0.0, drop=()):
+    deliveries, acks = [], []
+    for index, sdu in enumerate(sdus):
+        if index in drop:
+            continue
+        effects = receiver.on_sdu(sdu, now)
+        deliveries += effects.deliveries
+        acks += effects.controls
+    return deliveries, acks
+
+
+class TestWindowedTransmission:
+    def test_initial_burst_limited_to_window(self, pair):
+        sender, _ = pair
+        effects = sender.send(1, b"x" * (10 * SDU), 0.0)
+        assert len(effects.transmits) == 4  # window, not whole message
+
+    def test_acks_slide_window(self, pair):
+        sender, receiver = pair
+        payload = b"y" * (6 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        deliveries, acks = feed(receiver, effects.transmits)
+        assert deliveries == []
+        more = []
+        for ack in acks:
+            more += sender.on_control(ack, 0.01).transmits
+        assert [s.header.seqno for s in more] == [4, 5]
+        deliveries, acks = feed(receiver, more, now=0.02)
+        assert deliveries == [payload]
+        done = []
+        for ack in acks:
+            done += sender.on_control(ack, 0.03).completed
+        assert done == [1]
+
+    def test_small_message_completes(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"small", 0.0)
+        deliveries, acks = feed(receiver, effects.transmits)
+        assert deliveries == [b"small"]
+        assert sender.on_control(acks[0], 0.01).completed == [1]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GoBackNSender(CONN, SDU, window=0)
+
+
+class TestInOrderOnly:
+    def test_out_of_order_discarded_and_reacked(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"z" * (4 * SDU), 0.0)
+        deliveries, acks = feed(receiver, effects.transmits, drop={0})
+        assert deliveries == []
+        assert receiver.discarded_out_of_order == 3
+        # Every ACK repeats next_expected=0.
+        assert all(a.next_expected == 0 for a in acks)
+
+    def test_timeout_rewinds_to_base(self, pair):
+        sender, receiver = pair
+        payload = b"r" * (4 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        _, acks = feed(receiver, effects.transmits, drop={1})
+        for ack in acks:
+            sender.on_control(ack, 0.01)
+        retry = sender.on_timer(0.2)
+        # base advanced to 1 (seq 0 was cumulatively ACKed); rewind
+        # resends 1..3.
+        assert [s.header.seqno for s in retry.transmits] == [1, 2, 3]
+        deliveries, acks = feed(receiver, retry.transmits, now=0.21)
+        assert deliveries == [payload]
+
+    def test_corrupted_sdu_treated_as_gap(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"k" * (2 * SDU), 0.0)
+        transmits = list(effects.transmits)
+        transmits[0] = transmits[0].corrupted_copy()
+        deliveries, acks = feed(receiver, transmits)
+        assert deliveries == []
+        assert all(a.next_expected == 0 for a in acks)
+
+
+class TestRetryBudget:
+    def test_stall_exhausts_retries(self, pair):
+        sender, _ = pair
+        sender.send(1, b"x" * SDU, 0.0)
+        failed, now = [], 0.0
+        for _ in range(10):
+            now += 0.2
+            failed += sender.on_timer(now).failed
+        assert failed == [1]
+
+    def test_progress_resets_budget(self, pair):
+        """Each timeout round makes progress (one SDU lost per round), so
+        the retry budget keeps resetting and delivery must succeed even
+        though total timeouts exceed max_retries."""
+        sender, receiver = pair
+        payload = b"p" * (8 * SDU)
+        outstanding = list(sender.send(1, payload, 0.0).transmits)
+        now = 0.0
+        delivered = []
+        completed = []
+        rounds = 0
+        while not completed and rounds < 20:
+            rounds += 1
+            # Drop exactly the first outstanding SDU this round.
+            deliveries, acks = feed(receiver, outstanding, now=now, drop={0})
+            delivered += deliveries
+            outstanding = []
+            for ack in acks:
+                result = sender.on_control(ack, now)
+                outstanding += result.transmits
+                completed += result.completed
+            if not completed:
+                now += 0.2  # let the retransmission timer fire
+                timer = sender.on_timer(now)
+                outstanding += timer.transmits
+                assert not timer.failed, (
+                    "budget must reset on forward progress"
+                )
+                if outstanding:
+                    # Final drain round: deliver everything cleanly.
+                    deliveries, acks = feed(receiver, outstanding, now=now)
+                    delivered += deliveries
+                    outstanding = []
+                    for ack in acks:
+                        result = sender.on_control(ack, now)
+                        outstanding += result.transmits
+                        completed += result.completed
+        assert completed == [1]
+        assert delivered == [payload]
+
+
+class TestLateRetransmits:
+    def test_completed_message_reacked(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"done", 0.0)
+        deliveries, acks = feed(receiver, effects.transmits)
+        assert deliveries == [b"done"]
+        # Same SDU again (ACK was lost): receiver must re-ACK completion
+        # without double delivery.
+        again = receiver.on_sdu(effects.transmits[0], 0.1)
+        assert again.deliveries == []
+        assert again.controls[0].next_expected == 1

@@ -1,0 +1,67 @@
+"""Null error control: the media-stream configuration."""
+
+import pytest
+
+from repro.errorcontrol.null import NullReceiver, NullSender
+
+SDU = 4096
+CONN = 2
+
+
+class TestNullSender:
+    def test_completes_immediately(self):
+        sender = NullSender(CONN, SDU)
+        effects = sender.send(1, b"frame", 0.0)
+        assert effects.completed == [1]
+        assert len(effects.transmits) == 1
+        assert sender.inflight_count() == 0
+
+    def test_ignores_controls_and_timers(self):
+        sender = NullSender(CONN, SDU)
+        assert sender.on_timer(1.0).empty()
+
+    def test_segments_large_messages(self):
+        sender = NullSender(CONN, SDU)
+        effects = sender.send(1, b"v" * (3 * SDU), 0.0)
+        assert len(effects.transmits) == 3
+
+
+class TestNullReceiver:
+    def test_delivers_complete_message(self):
+        sender, receiver = NullSender(CONN, SDU), NullReceiver(CONN)
+        payload = b"m" * (2 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        out = []
+        for sdu in effects.transmits:
+            out += receiver.on_sdu(sdu, 0.0).deliveries
+        assert out == [payload]
+
+    def test_no_acks_ever(self):
+        sender, receiver = NullSender(CONN, SDU), NullReceiver(CONN)
+        effects = sender.send(1, b"x" * (2 * SDU), 0.0)
+        for sdu in effects.transmits:
+            assert receiver.on_sdu(sdu, 0.0).controls == []
+
+    def test_lost_sdu_drops_message_silently(self):
+        sender, receiver = NullSender(CONN, SDU), NullReceiver(CONN, gc_timeout=1.0)
+        effects = sender.send(1, b"x" * (3 * SDU), 0.0)
+        for sdu in effects.transmits[:-1]:  # end SDU lost
+            receiver.on_sdu(sdu, 0.0)
+        # GC reclaims the partial state after the timeout.
+        receiver.on_timer(2.0)
+        assert receiver.dropped_messages == 1
+
+    def test_gc_timer_requested_while_inflight(self):
+        sender, receiver = NullSender(CONN, SDU), NullReceiver(CONN, gc_timeout=0.5)
+        effects = sender.send(1, b"x" * (2 * SDU), 0.0)
+        result = receiver.on_sdu(effects.transmits[0], 1.0)
+        assert result.timer_at == pytest.approx(1.5)
+
+    def test_next_message_unaffected_by_dropped_one(self):
+        sender, receiver = NullSender(CONN, SDU), NullReceiver(CONN, gc_timeout=0.1)
+        lost = sender.send(1, b"a" * (2 * SDU), 0.0)
+        receiver.on_sdu(lost.transmits[0], 0.0)
+        receiver.on_timer(1.0)  # GC the partial message
+        fresh = sender.send(2, b"fresh", 1.1)
+        out = receiver.on_sdu(fresh.transmits[0], 1.1).deliveries
+        assert out == [b"fresh"]

@@ -1,0 +1,177 @@
+"""Selective repeat: the paper's default error control (Fig. 5/6)."""
+
+import pytest
+
+from repro.errorcontrol.selective_repeat import (
+    SelectiveRepeatReceiver,
+    SelectiveRepeatSender,
+)
+from repro.protocol.pdus import AckPdu
+from repro.util.bitmap import AckBitmap
+
+SDU = 4096
+CONN = 7
+
+
+@pytest.fixture
+def pair():
+    return (
+        SelectiveRepeatSender(CONN, SDU, retransmit_timeout=0.1, max_retries=4),
+        SelectiveRepeatReceiver(CONN),
+    )
+
+
+def pump(sender_effects, receiver, now=0.0, drop=()):
+    """Deliver transmits to the receiver; collect deliveries and ACKs."""
+    deliveries, acks = [], []
+    for index, sdu in enumerate(sender_effects.transmits):
+        if index in drop:
+            continue
+        effects = receiver.on_sdu(sdu, now)
+        deliveries += effects.deliveries
+        acks += effects.controls
+    return deliveries, acks
+
+
+class TestCleanPath:
+    def test_single_sdu_message(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"small", 0.0)
+        assert len(effects.transmits) == 1
+        deliveries, acks = pump(effects, receiver)
+        assert deliveries == [b"small"]
+        assert len(acks) == 1 and acks[0].bitmap.all_received()
+        done = sender.on_control(acks[0], 0.01)
+        assert done.completed == [1]
+        assert sender.idle()
+
+    def test_multi_sdu_message(self, pair):
+        sender, receiver = pair
+        payload = bytes(range(256)) * 100  # 25600 B -> 7 SDUs
+        effects = sender.send(1, payload, 0.0)
+        assert len(effects.transmits) == 7
+        deliveries, acks = pump(effects, receiver)
+        assert deliveries == [payload]
+        # Only the end-bit SDU triggers an ACK on the clean path.
+        assert len(acks) == 1
+
+    def test_timer_armed_on_send(self, pair):
+        sender, _ = pair
+        effects = sender.send(1, b"x", 5.0)
+        assert effects.timer_at == pytest.approx(5.1)
+
+    def test_duplicate_msg_id_rejected(self, pair):
+        sender, _ = pair
+        sender.send(1, b"x", 0.0)
+        with pytest.raises(ValueError, match="already in flight"):
+            sender.send(1, b"y", 0.0)
+
+
+class TestLossRecovery:
+    def test_selective_retransmission_exact_sdus(self, pair):
+        sender, receiver = pair
+        payload = b"z" * (5 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        deliveries, acks = pump(effects, receiver, drop={1, 3})
+        assert deliveries == []
+        (ack,) = acks  # end bit arrived, bitmap shows 1 and 3 missing
+        assert ack.bitmap.pending() == [1, 3]
+        retransmission = sender.on_control(ack, 0.01)
+        assert [s.header.seqno for s in retransmission.transmits] == [1, 3]
+        assert sender.retransmitted_sdus == 2
+        deliveries, acks = pump(retransmission, receiver, now=0.02)
+        assert deliveries == [payload]
+        final = sender.on_control(acks[0], 0.03)
+        assert final.completed == [1]
+
+    def test_lost_end_sdu_recovered_by_timeout(self, pair):
+        sender, receiver = pair
+        payload = b"q" * (3 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        deliveries, acks = pump(effects, receiver, drop={2})  # end SDU lost
+        assert deliveries == [] and acks == []
+        # No ACK possible; sender times out and resends the whole message.
+        timeout_effects = sender.on_timer(0.2)
+        assert len(timeout_effects.transmits) == 3
+        assert sender.full_retransmits == 1
+        deliveries, acks = pump(timeout_effects, receiver, now=0.21)
+        assert deliveries == [payload]
+        assert sender.on_control(acks[0], 0.22).completed == [1]
+
+    def test_lost_ack_recovered(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"m" * SDU, 0.0)
+        deliveries, acks = pump(effects, receiver)
+        assert deliveries == [b"m" * SDU]
+        # ACK lost; timeout retransmits; receiver re-ACKs all-clear.
+        retry = sender.on_timer(0.2)
+        assert len(retry.transmits) == 1
+        deliveries, acks = pump(retry, receiver, now=0.21)
+        assert deliveries == []  # not delivered twice
+        assert receiver.duplicate_count >= 1
+        assert acks and acks[-1].bitmap.all_received()
+        assert sender.on_control(acks[-1], 0.22).completed == [1]
+
+    def test_corrupted_sdu_selectively_retransmitted(self, pair):
+        sender, receiver = pair
+        payload = b"c" * (4 * SDU)
+        effects = sender.send(1, payload, 0.0)
+        transmits = list(effects.transmits)
+        transmits[2] = transmits[2].corrupted_copy()
+        acks = []
+        for sdu in transmits:
+            result = receiver.on_sdu(sdu, 0.0)
+            acks += result.controls
+        assert receiver.corrupted_count == 1
+        (ack,) = acks
+        assert ack.bitmap.pending() == [2]
+
+    def test_exhausted_timeouts_fail_message(self, pair):
+        sender, _ = pair
+        sender.send(1, b"x" * SDU, 0.0)
+        now, failed = 0.0, []
+        for _ in range(10):
+            now += 0.2
+            failed += sender.on_timer(now).failed
+        assert failed == [1]
+        assert sender.idle()
+
+    def test_duplicate_ack_does_not_restorm(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"y" * (3 * SDU), 0.0)
+        _, acks = pump(effects, receiver, drop={0})
+        (ack,) = acks
+        first = sender.on_control(ack, 0.01)
+        assert len(first.transmits) == 1
+        # The identical ACK arriving again a moment later is ignored.
+        second = sender.on_control(ack, 0.012)
+        assert second.transmits == []
+
+    def test_progress_resets_stall_clock(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"w" * (3 * SDU), 0.0)
+        _, acks = pump(effects, receiver, drop={0})
+        sender.on_control(acks[0], 0.09)
+        # Deadline pushed out by the ACK: a timer at the original 0.1
+        # must not fire a full retransmission.
+        result = sender.on_timer(0.11)
+        assert result.transmits == []
+
+
+class TestReceiverEdgeCases:
+    def test_foreign_connection_ignored(self, pair):
+        sender, receiver = pair
+        effects = SelectiveRepeatSender(99, SDU).send(1, b"x", 0.0)
+        result = receiver.on_sdu(effects.transmits[0], 0.0)
+        assert result.empty()
+
+    def test_ack_for_unknown_msg_harmless(self, pair):
+        sender, _ = pair
+        stray = AckPdu(CONN, 404, AckBitmap(4, all_set=False))
+        assert sender.on_control(stray, 0.0).empty()
+
+    def test_acks_counted(self, pair):
+        sender, receiver = pair
+        effects = sender.send(1, b"x", 0.0)
+        pump(effects, receiver)
+        assert receiver.acks_sent == 1

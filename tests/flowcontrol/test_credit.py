@@ -1,0 +1,144 @@
+"""Credit-based flow control: the paper's default (Fig. 7/8)."""
+
+import pytest
+
+from repro.flowcontrol.credit import CreditReceiver, CreditSender
+from repro.protocol.pdus import CreditPdu
+from repro.protocol.segmentation import segment_message
+
+SDU = 4096
+CONN = 4
+
+
+def sdus(count, msg_id=1):
+    return segment_message(CONN, msg_id, b"x" * (count * SDU), SDU)
+
+
+class TestSender:
+    def test_never_exceeds_credits(self):
+        sender = CreditSender(CONN, initial_credits=3)
+        sender.offer(sdus(10))
+        released = sender.pull(0.0)
+        assert len(released) == 3
+        assert sender.credits == 0
+        assert sender.queued() == 7
+
+    def test_credits_release_more(self):
+        sender = CreditSender(CONN, initial_credits=2)
+        sender.offer(sdus(5))
+        sender.pull(0.0)
+        sender.on_control(CreditPdu(CONN, 2), 0.0)
+        assert len(sender.pull(0.0)) == 2
+        assert sender.queued() == 1
+
+    def test_fifo_release_order(self):
+        sender = CreditSender(CONN, initial_credits=10)
+        batch = sdus(4)
+        sender.offer(batch)
+        released = sender.pull(0.0)
+        assert [s.header.seqno for s in released] == [0, 1, 2, 3]
+
+    def test_foreign_connection_credit_ignored(self):
+        sender = CreditSender(CONN, initial_credits=1)
+        sender.offer(sdus(2))
+        sender.pull(0.0)
+        sender.on_control(CreditPdu(CONN + 1, 5), 0.0)
+        assert sender.pull(0.0) == []
+
+    def test_initial_credits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CreditSender(CONN, initial_credits=0)
+
+    def test_peak_queue_tracked(self):
+        sender = CreditSender(CONN, initial_credits=1)
+        sender.offer(sdus(6))
+        assert sender.peak_queue == 6
+
+
+class TestResync:
+    def test_stall_recovers_after_timeout(self):
+        # Paper context: on an unreliable wire, lost packets destroy
+        # credits; resynchronization restores the pool.
+        sender = CreditSender(CONN, initial_credits=2, resync_timeout=0.1)
+        sender.offer(sdus(4))
+        assert len(sender.pull(0.0)) == 2  # pool exhausted, 2 queued
+        assert sender.pull(0.05) == []     # still stalled
+        recovered = sender.pull(0.2)       # past the resync deadline
+        assert len(recovered) == 2
+        assert sender.resyncs == 1
+
+    def test_credit_arrival_cancels_stall(self):
+        sender = CreditSender(CONN, initial_credits=1, resync_timeout=0.1)
+        sender.offer(sdus(3))
+        sender.pull(0.0)
+        sender.on_control(CreditPdu(CONN, 1), 0.05)
+        assert len(sender.pull(0.06)) == 1
+        # Stall clock restarted: no resync at the original deadline.
+        assert sender.pull(0.11) == []
+        assert sender.resyncs == 0
+
+    def test_next_ready_time_reports_resync_deadline(self):
+        sender = CreditSender(CONN, initial_credits=1, resync_timeout=0.1)
+        sender.offer(sdus(2))
+        sender.pull(1.0)
+        assert sender.next_ready_time(1.0) == pytest.approx(1.1)
+
+    def test_next_ready_none_when_credits_available(self):
+        sender = CreditSender(CONN, initial_credits=5)
+        sender.offer(sdus(2))
+        assert sender.next_ready_time(0.0) is None
+
+
+class TestReceiver:
+    def test_one_credit_per_packet(self):
+        receiver = CreditReceiver(CONN)
+        grants = [receiver.on_sdu(sdu, 0.0) for sdu in sdus(3)]
+        assert all(len(g) == 1 and g[0].credits == 1 for g in grants)
+
+    def test_foreign_connection_ignored(self):
+        receiver = CreditReceiver(CONN)
+        foreign = segment_message(CONN + 1, 1, b"x" * SDU, SDU)
+        assert receiver.on_sdu(foreign[0], 0.0) == []
+
+    def test_active_connection_gets_bonus(self):
+        # Paper §3.3: "active connections get more credits".
+        receiver = CreditReceiver(
+            CONN, initial_credits=4, adjust_interval=4,
+            active_threshold_pps=100.0,
+        )
+        grants = []
+        now = 0.0
+        for sdu in sdus(4):
+            now += 0.001  # 1000 pps: very active
+            grants += receiver.on_sdu(sdu, now)
+        bonus = [g for g in grants if g.credits > 1]
+        assert len(bonus) == 1
+        assert receiver.allotment == 8  # doubled
+        assert receiver.bonus_grants == 1
+
+    def test_idle_connection_shrinks_allotment(self):
+        receiver = CreditReceiver(
+            CONN, initial_credits=4, adjust_interval=4,
+            active_threshold_pps=100.0,
+        )
+        # Activity burst first: grow the allotment.
+        now = 0.0
+        for sdu in sdus(4, msg_id=1):
+            now += 0.001
+            receiver.on_sdu(sdu, now)
+        assert receiver.allotment == 8
+        # Then a slow trickle: 1 packet/s, far below threshold.
+        for sdu in sdus(4, msg_id=2):
+            now += 1.0
+            receiver.on_sdu(sdu, now)
+        assert receiver.allotment == 4  # halved back toward the floor
+
+    def test_allotment_caps_at_max(self):
+        receiver = CreditReceiver(
+            CONN, initial_credits=4, max_credits=8, adjust_interval=2,
+        )
+        now = 0.0
+        for sdu in sdus(8):
+            now += 0.0001
+            receiver.on_sdu(sdu, now)
+        assert receiver.allotment <= 8

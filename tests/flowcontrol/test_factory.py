@@ -1,0 +1,57 @@
+"""make_flow_control factory."""
+
+import pytest
+
+from repro.flowcontrol import (
+    ALGORITHMS,
+    CreditSender,
+    NullFlowSender,
+    RateSender,
+    WindowSender,
+    make_flow_control,
+)
+
+
+def test_all_algorithms_constructible():
+    for name in ALGORITHMS:
+        sender, receiver = make_flow_control(name, 1)
+        assert sender.connection_id == 1
+
+
+def test_credit_options():
+    sender, receiver = make_flow_control(
+        "credit", 1, initial_credits=7, max_credits=32, adjust_interval=8,
+        resync_timeout=0.5,
+    )
+    assert isinstance(sender, CreditSender)
+    assert sender.credits == 7
+    assert sender.resync_timeout == 0.5
+    assert receiver.max_credits == 32
+    assert receiver.adjust_interval == 8
+
+
+def test_window_option():
+    sender, receiver = make_flow_control("window", 1, window_size=5)
+    assert isinstance(sender, WindowSender)
+    assert sender.window_size == 5
+    assert receiver.window_size == 5
+
+
+def test_rate_options():
+    sender, _ = make_flow_control("rate", 1, rate_pps=50.0, burst=2.0)
+    assert isinstance(sender, RateSender)
+
+
+def test_null():
+    sender, _ = make_flow_control("none", 1)
+    assert isinstance(sender, NullFlowSender)
+
+
+def test_unknown_rejected():
+    with pytest.raises(ValueError, match="unknown flow control"):
+        make_flow_control("tcp-reno", 1)
+
+
+def test_unexpected_options_rejected():
+    with pytest.raises(TypeError, match="unexpected options"):
+        make_flow_control("window", 1, rate_pps=5.0)

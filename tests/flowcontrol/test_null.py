@@ -1,0 +1,36 @@
+"""Null flow control."""
+
+from repro.flowcontrol.null import NullFlowReceiver, NullFlowSender
+from repro.protocol.pdus import CreditPdu
+from repro.protocol.segmentation import segment_message
+
+SDU = 4096
+CONN = 9
+
+
+def test_everything_released_at_once():
+    sender = NullFlowSender(CONN)
+    sdus = segment_message(CONN, 1, b"x" * (20 * SDU), SDU)
+    sender.offer(sdus)
+    assert sender.pull(0.0) == sdus
+    assert sender.queued() == 0
+
+
+def test_idle_after_drain():
+    sender = NullFlowSender(CONN)
+    sender.offer(segment_message(CONN, 1, b"x", SDU))
+    sender.pull(0.0)
+    assert sender.idle()
+
+
+def test_controls_ignored():
+    sender = NullFlowSender(CONN)
+    sender.on_control(CreditPdu(CONN, 5), 0.0)
+    assert sender.pull(0.0) == []
+
+
+def test_receiver_counts_but_grants_nothing():
+    receiver = NullFlowReceiver(CONN)
+    sdus = segment_message(CONN, 1, b"x" * SDU, SDU)
+    assert receiver.on_sdu(sdus[0], 0.0) == []
+    assert receiver.packets_seen == 1

@@ -1,0 +1,66 @@
+"""Rate-based flow control (open-loop pacing)."""
+
+import pytest
+
+from repro.flowcontrol.rate import RateReceiver, RateSender
+from repro.protocol.pdus import CreditPdu
+from repro.protocol.segmentation import segment_message
+
+SDU = 4096
+CONN = 8
+
+
+def sdus(count):
+    return segment_message(CONN, 1, b"x" * (count * SDU), SDU)
+
+
+class TestRateSender:
+    def test_burst_released_immediately(self):
+        sender = RateSender(CONN, rate_pps=100.0, burst=4.0)
+        sender.offer(sdus(10))
+        assert len(sender.pull(0.0)) == 4
+
+    def test_pacing_after_burst(self):
+        sender = RateSender(CONN, rate_pps=100.0, burst=2.0)
+        sender.offer(sdus(6))
+        assert len(sender.pull(0.0)) == 2
+        assert sender.pull(0.001) == []          # tokens exhausted
+        assert len(sender.pull(0.010)) == 1      # one token refilled
+        assert len(sender.pull(0.030)) == 2      # two more
+
+    def test_average_rate_respected(self):
+        sender = RateSender(CONN, rate_pps=1000.0, burst=1.0)
+        sender.offer(sdus(100))
+        released = 0
+        now = 0.0
+        while now < 0.05:
+            released += len(sender.pull(now))
+            now += 0.0005
+        # 50 ms at 1000 pps = ~50 packets (+1 initial token)
+        assert released == pytest.approx(50, abs=3)
+
+    def test_receiver_feedback_ignored(self):
+        sender = RateSender(CONN, rate_pps=10.0, burst=1.0)
+        sender.offer(sdus(3))
+        sender.pull(0.0)
+        sender.on_control(CreditPdu(CONN, 100), 0.0)
+        assert sender.pull(0.001) == []  # still token-bound
+
+    def test_next_ready_time(self):
+        sender = RateSender(CONN, rate_pps=10.0, burst=1.0)
+        sender.offer(sdus(2))
+        sender.pull(0.0)
+        ready = sender.next_ready_time(0.0)
+        assert ready == pytest.approx(0.1, abs=0.01)
+
+    def test_next_ready_none_when_queue_empty(self):
+        sender = RateSender(CONN, rate_pps=10.0)
+        assert sender.next_ready_time(0.0) is None
+
+
+class TestRateReceiver:
+    def test_passive(self):
+        receiver = RateReceiver(CONN)
+        for sdu in sdus(3):
+            assert receiver.on_sdu(sdu, 0.0) == []
+        assert receiver.packets_seen == 3

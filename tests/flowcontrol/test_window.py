@@ -1,0 +1,70 @@
+"""Static sliding-window flow control."""
+
+import pytest
+
+from repro.flowcontrol.window import WindowReceiver, WindowSender
+from repro.protocol.pdus import CreditPdu
+from repro.protocol.segmentation import segment_message
+
+SDU = 4096
+CONN = 6
+
+
+def sdus(count):
+    return segment_message(CONN, 1, b"x" * (count * SDU), SDU)
+
+
+class TestWindowSender:
+    def test_outstanding_capped_at_window(self):
+        sender = WindowSender(CONN, window_size=3)
+        sender.offer(sdus(8))
+        assert len(sender.pull(0.0)) == 3
+        assert sender.outstanding == 3
+
+    def test_updates_open_window(self):
+        sender = WindowSender(CONN, window_size=2)
+        sender.offer(sdus(4))
+        sender.pull(0.0)
+        sender.on_control(CreditPdu(CONN, 2), 0.0)
+        assert sender.outstanding == 0
+        assert len(sender.pull(0.0)) == 2
+
+    def test_window_never_negative(self):
+        sender = WindowSender(CONN, window_size=2)
+        sender.on_control(CreditPdu(CONN, 5), 0.0)
+        assert sender.outstanding == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSender(CONN, window_size=0)
+
+    def test_stall_recovery_reopens_window(self):
+        sender = WindowSender(CONN, window_size=2)
+        sender.offer(sdus(4))
+        sender.pull(0.0)  # window full
+        assert sender.pull(0.1) == []  # stall clock starts here
+        recovered = sender.pull(0.1 + sender.STALL_RECOVERY_TIMEOUT + 0.01)
+        assert len(recovered) == 2
+        assert sender.stall_recoveries == 1
+
+    def test_next_ready_time_when_stalled(self):
+        sender = WindowSender(CONN, window_size=1)
+        sender.offer(sdus(2))
+        sender.pull(2.0)
+        assert sender.next_ready_time(2.0) == pytest.approx(
+            2.0 + sender.STALL_RECOVERY_TIMEOUT
+        )
+
+
+class TestWindowReceiver:
+    def test_one_update_per_packet(self):
+        receiver = WindowReceiver(CONN)
+        for sdu in sdus(3):
+            (grant,) = receiver.on_sdu(sdu, 0.0)
+            assert grant.credits == 1
+        assert receiver.packets_seen == 3
+
+    def test_foreign_connection_ignored(self):
+        receiver = WindowReceiver(CONN)
+        foreign = segment_message(CONN + 1, 1, b"x" * SDU, SDU)
+        assert receiver.on_sdu(foreign[0], 0.0) == []

@@ -1,0 +1,84 @@
+"""CLI tools across real OS processes.
+
+The rest of the suite runs all nodes in one process for determinism;
+these tests prove the wire protocol is genuinely process-agnostic by
+spawning the echo server as a subprocess and driving it with the client
+and ping tools.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+@pytest.fixture
+def server_process():
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.tools.echo_server",
+         "--max-connections", "4"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith("LISTENING "), line
+    address = line.split(" ", 1)[1]
+    yield address, process
+    process.terminate()
+    process.wait(timeout=10)
+
+
+class TestMultiprocess:
+    def test_ping(self, server_process):
+        address, _process = server_process
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.ping", address, "--count", "3"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count("ok") == 3
+
+    def test_echo_client_sweep(self, server_process):
+        address, _process = server_process
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.echo_client", address,
+             "--sizes", "1,4096,65536", "--iterations", "10"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "rtt_us" in result.stdout
+        assert "64K" in result.stdout
+
+    def test_echo_client_bypass_mode(self, server_process):
+        address, _process = server_process
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools.echo_client", address,
+             "--sizes", "1,1024", "--iterations", "5", "--mode", "bypass",
+             "--flow-control", "none", "--error-control", "none"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_in_process_client_against_subprocess_server(self, server_process):
+        address, _process = server_process
+        host, _, port = address.rpartition(":")
+        from repro.core import ConnectionConfig, Node
+
+        node = Node("xproc-client")
+        try:
+            connection = node.connect(
+                (host, int(port)), ConnectionConfig(interface="sci"),
+                peer_name="server",
+            )
+            connection.send(b"cross-process", wait=True, timeout=10.0)
+            assert connection.recv(timeout=10.0) == b"cross-process"
+        finally:
+            node.close()

@@ -1,0 +1,135 @@
+"""ACI: the unreliable ATM-style datagram interface."""
+
+import pytest
+
+from repro.interfaces.aci import ACI_MAX_SDU, AciInterface, aci_open, aci_pair
+from repro.interfaces.base import FaultInjector, InterfaceClosed
+
+
+@pytest.fixture
+def pair():
+    a, b = aci_pair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestDatagrams:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        a.send(b"datagram")
+        assert b.recv(1.0) == b"datagram"
+
+    def test_bidirectional(self, pair):
+        a, b = pair
+        a.send(b"ping")
+        b.send(b"pong")
+        assert b.recv(1.0) == b"ping"
+        assert a.recv(1.0) == b"pong"
+
+    def test_message_boundaries(self, pair):
+        a, b = pair
+        a.send(b"first")
+        a.send(b"second")
+        assert b.recv(1.0) == b"first"
+        assert b.recv(1.0) == b"second"
+
+    def test_recv_timeout(self, pair):
+        _, b = pair
+        assert b.recv(0.02) is None
+
+    def test_try_recv(self, pair):
+        a, b = pair
+        assert b.try_recv() is None
+        a.send(b"poll me")
+        for _ in range(1000):
+            frame = b.try_recv()
+            if frame is not None:
+                break
+        assert frame == b"poll me"
+
+    def test_interface_declares_unreliable(self, pair):
+        a, _ = pair
+        assert a.reliable is False
+
+
+class TestAtmApiRestrictions:
+    def test_sdu_cap_enforced(self, pair):
+        # Models the Fore API's SDU restriction (paper §3.2).
+        a, _ = pair
+        with pytest.raises(ValueError, match="exceeds"):
+            a.send(b"x" * (a.max_frame + 1))
+
+    def test_frame_at_cap_allowed(self, pair):
+        a, b = pair
+        frame = b"y" * ACI_MAX_SDU
+        a.send(frame)
+        assert b.recv(2.0) == frame
+
+    def test_send_without_peer_rejected(self):
+        endpoint = aci_open()
+        with pytest.raises(RuntimeError, match="no peer"):
+            endpoint.send(b"x")
+        endpoint.close()
+
+
+class TestFaultInjection:
+    def test_deterministic_loss(self):
+        sent = 200
+        a, b = aci_pair(FaultInjector(loss_rate=0.3, seed=99))
+        for i in range(sent):
+            a.send(bytes([i % 256]) * 10)
+        received = 0
+        while b.recv(0.05) is not None:
+            received += 1
+        assert received == sent - a.injector.dropped
+        assert 0.15 < a.injector.dropped / sent < 0.45
+        a.close()
+        b.close()
+
+    def test_same_seed_same_losses(self):
+        outcomes = []
+        for _ in range(2):
+            a, b = aci_pair(FaultInjector(loss_rate=0.5, seed=7))
+            for i in range(50):
+                a.send(bytes([i]))
+            got = []
+            while True:
+                frame = b.recv(0.05)
+                if frame is None:
+                    break
+                got.append(frame)
+            outcomes.append(got)
+            a.close()
+            b.close()
+        assert outcomes[0] == outcomes[1]
+
+    def test_corruption_injection(self):
+        a, b = aci_pair(FaultInjector(corrupt_rate=1.0, seed=1))
+        a.send(b"pristine payload bytes")
+        frame = b.recv(1.0)
+        assert frame is not None
+        assert frame != b"pristine payload bytes"
+        assert a.injector.corrupted == 1
+        a.close()
+        b.close()
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(corrupt_rate=-0.1)
+
+
+class TestClose:
+    def test_send_after_close(self, pair):
+        a, _ = pair
+        a.close()
+        with pytest.raises(InterfaceClosed):
+            a.send(b"x")
+
+    def test_recv_after_close(self, pair):
+        _, b = pair
+        b.close()
+        with pytest.raises(InterfaceClosed):
+            b.recv(0.05)

@@ -1,0 +1,55 @@
+"""HPI fabric: the in-process trap interface."""
+
+import pytest
+
+from repro.interfaces.hpi import HpiFabric
+
+
+class TestOfferClaim:
+    def test_offer_then_claim_joins_endpoints(self):
+        fabric = HpiFabric("test")
+        port, mine = fabric.offer()
+        theirs = fabric.claim(port)
+        mine.send(b"through the trap")
+        assert theirs.recv(1.0) == b"through the trap"
+        theirs.send(b"reply")
+        assert mine.recv(1.0) == b"reply"
+
+    def test_ports_are_unique(self):
+        fabric = HpiFabric()
+        ports = {fabric.offer()[0] for _ in range(10)}
+        assert len(ports) == 10
+
+    def test_claim_is_one_shot(self):
+        fabric = HpiFabric()
+        port, _ = fabric.offer()
+        fabric.claim(port)
+        with pytest.raises(KeyError):
+            fabric.claim(port)
+
+    def test_claim_unknown_port(self):
+        with pytest.raises(KeyError, match="no HPI offer"):
+            HpiFabric().claim(42)
+
+    def test_pending_offers_counted(self):
+        fabric = HpiFabric()
+        fabric.offer()
+        fabric.offer()
+        assert fabric.pending_offers() == 2
+        port, _ = fabric.offer()
+        fabric.claim(port)
+        assert fabric.pending_offers() == 2
+
+    def test_fabrics_are_isolated(self):
+        # Cross-cluster HPI is impossible — the Fig. 3 constraint.
+        fabric_a, fabric_b = HpiFabric("a"), HpiFabric("b")
+        port, _ = fabric_a.offer()
+        with pytest.raises(KeyError):
+            fabric_b.claim(port)
+
+    def test_endpoints_report_hpi_name(self):
+        fabric = HpiFabric()
+        port, mine = fabric.offer()
+        theirs = fabric.claim(port)
+        assert mine.name == "hpi"
+        assert theirs.name == "hpi"

@@ -1,0 +1,98 @@
+"""In-memory queue-pair interface."""
+
+import threading
+
+import pytest
+
+from repro.interfaces.base import InterfaceClosed
+from repro.interfaces.loopback import LoopbackPair
+
+
+@pytest.fixture
+def pair():
+    return LoopbackPair().endpoints()
+
+
+class TestBasicTransfer:
+    def test_bidirectional(self, pair):
+        a, b = pair
+        a.send(b"to-b")
+        b.send(b"to-a")
+        assert b.recv(1.0) == b"to-b"
+        assert a.recv(1.0) == b"to-a"
+
+    def test_frame_boundaries_preserved(self, pair):
+        a, b = pair
+        a.send(b"one")
+        a.send(b"two")
+        assert b.recv(1.0) == b"one"
+        assert b.recv(1.0) == b"two"
+
+    def test_empty_frame(self, pair):
+        a, b = pair
+        a.send(b"")
+        assert b.recv(1.0) == b""
+
+    def test_counters(self, pair):
+        a, b = pair
+        a.send(b"x")
+        b.recv(1.0)
+        assert a.sent_frames == 1
+        assert b.received_frames == 1
+
+
+class TestNonBlocking:
+    def test_try_recv_empty(self, pair):
+        a, b = pair
+        assert b.try_recv() is None
+
+    def test_try_recv_pending(self, pair):
+        a, b = pair
+        a.send(b"m")
+        assert b.try_recv() == b"m"
+
+    def test_recv_timeout(self, pair):
+        _, b = pair
+        assert b.recv(timeout=0.02) is None
+
+
+class TestBlockingHandoff:
+    def test_recv_wakes_on_send(self, pair):
+        a, b = pair
+        result = {}
+
+        def receiver():
+            result["frame"] = b.recv(2.0)
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        a.send(b"wake up")
+        thread.join(3.0)
+        assert result["frame"] == b"wake up"
+
+
+class TestClose:
+    def test_send_after_close_raises(self, pair):
+        a, _ = pair
+        a.close()
+        with pytest.raises(InterfaceClosed):
+            a.send(b"x")
+        assert a.closed
+
+    def test_send_to_closed_peer_raises(self, pair):
+        a, b = pair
+        b.close()
+        with pytest.raises(InterfaceClosed):
+            a.send(b"x")
+
+    def test_recv_drains_then_signals_peer_gone(self, pair):
+        a, b = pair
+        a.send(b"last words")
+        a.close()
+        assert b.recv(1.0) == b"last words"
+        assert b.recv(0.05) is None  # peer gone, nothing buffered
+
+    def test_double_close_harmless(self, pair):
+        a, _ = pair
+        a.close()
+        a.close()

@@ -1,0 +1,178 @@
+"""Collective operations: broadcast, gather, scatter, reduce, allreduce."""
+
+import threading
+
+import pytest
+
+from repro.multicast import Collective, GroupManager, fold_concat, fold_sum_u64
+from repro.multicast.group import GroupError
+
+
+@pytest.fixture
+def team(node_factory):
+    nodes = [node_factory(f"c{i}") for i in range(4)]
+    managers = [GroupManager(node) for node in nodes]
+    managers[0].create("sq")
+    for manager in managers[1:]:
+        manager.join("sq", nodes[0].address, timeout=5.0)
+    collectives = [Collective(manager) for manager in managers]
+    return managers, collectives
+
+
+def run_lockstep(collectives, fn, timeout=20.0):
+    """Run fn(index, collective) on every member concurrently (SPMD)."""
+    results = [None] * len(collectives)
+    errors = []
+
+    def worker(index, collective):
+        try:
+            results[index] = fn(index, collective)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((index, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(index, collective))
+        for index, collective in enumerate(collectives)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    assert not errors, errors
+    return results
+
+
+class TestBroadcast:
+    def test_root_value_reaches_all(self, team):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            payload = b"announcement" if index == 0 else None
+            return collective.broadcast("sq", payload, root=root)
+
+        results = run_lockstep(collectives, op)
+        assert results == [b"announcement"] * 4
+
+    @pytest.mark.parametrize("algorithm", ["repetitive", "spanning_tree"])
+    def test_both_algorithms(self, team, algorithm):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            payload = b"via-" + algorithm.encode() if index == 0 else None
+            return collective.broadcast("sq", payload, root=root,
+                                        algorithm=algorithm)
+
+        results = run_lockstep(collectives, op)
+        assert all(r == b"via-" + algorithm.encode() for r in results)
+
+    def test_consecutive_broadcasts_keep_epochs_apart(self, team):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            first = collective.broadcast(
+                "sq", b"first" if index == 0 else None, root=root)
+            second = collective.broadcast(
+                "sq", b"second" if index == 0 else None, root=root)
+            return (first, second)
+
+        results = run_lockstep(collectives, op)
+        assert all(r == (b"first", b"second") for r in results)
+
+    def test_root_without_payload_rejected(self, team):
+        managers, collectives = team
+        with pytest.raises(GroupError, match="payload"):
+            collectives[0].broadcast("sq", None, root=managers[0].me)
+
+
+class TestGather:
+    def test_root_collects_everything_tagged(self, team):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            return collective.gather("sq", f"part-{index}".encode(), root=root)
+
+        results = run_lockstep(collectives, op)
+        assert results[1] is None and results[2] is None
+        gathered = results[0]
+        assert len(gathered) == 4
+        assert gathered[managers[2].me] == b"part-2"
+
+    def test_non_coordinator_root(self, team):
+        managers, collectives = team
+        root = managers[3].me
+
+        def op(index, collective):
+            return collective.gather("sq", bytes([index]), root=root)
+
+        results = run_lockstep(collectives, op)
+        assert results[3] is not None
+        assert set(results[3].values()) == {b"\x00", b"\x01", b"\x02", b"\x03"}
+
+
+class TestScatter:
+    def test_each_member_gets_its_chunk(self, team):
+        managers, collectives = team
+        root = managers[0].me
+        chunks = {
+            manager.me: f"chunk-for-{index}".encode()
+            for index, manager in enumerate(managers)
+        }
+
+        def op(index, collective):
+            supplied = chunks if index == 0 else None
+            return collective.scatter("sq", supplied, root=root)
+
+        results = run_lockstep(collectives, op)
+        assert results == [f"chunk-for-{i}".encode() for i in range(4)]
+
+    def test_missing_chunk_rejected(self, team):
+        managers, collectives = team
+        with pytest.raises(GroupError, match="missing"):
+            collectives[0].scatter("sq", {managers[0].me: b"x"},
+                                   root=managers[0].me)
+
+
+class TestReduce:
+    def test_concat_in_member_order(self, team):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            return collective.reduce(
+                "sq", f"[{index}]".encode(), fold_concat, root=root
+            )
+
+        results = run_lockstep(collectives, op)
+        reduced = results[0]
+        # Member order is id order, deterministic but not index order;
+        # every piece appears exactly once.
+        assert sorted(
+            reduced[i : i + 3] for i in range(0, len(reduced), 3)
+        ) == [b"[0]", b"[1]", b"[2]", b"[3]"]
+
+    def test_sum_fold(self, team):
+        managers, collectives = team
+        root = managers[0].me
+
+        def op(index, collective):
+            value = (index + 1).to_bytes(8, "big")
+            return collective.reduce("sq", value, fold_sum_u64, root=root)
+
+        results = run_lockstep(collectives, op)
+        assert int.from_bytes(results[0], "big") == 1 + 2 + 3 + 4
+
+
+class TestAllreduce:
+    def test_everyone_gets_the_sum(self, team):
+        managers, collectives = team
+
+        def op(index, collective):
+            value = (10 * (index + 1)).to_bytes(8, "big")
+            return collective.allreduce("sq", value, fold_sum_u64)
+
+        results = run_lockstep(collectives, op)
+        assert all(int.from_bytes(r, "big") == 100 for r in results)

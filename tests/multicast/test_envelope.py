@@ -1,0 +1,39 @@
+"""Multicast envelope codec."""
+
+import pytest
+
+from repro.multicast.envelope import EnvelopeError, MulticastEnvelope
+
+
+def test_roundtrip():
+    envelope = MulticastEnvelope("team", "10.0.0.1:5000", 7, True, b"payload")
+    assert MulticastEnvelope.decode(envelope.encode()) == envelope
+
+
+def test_forward_flag_both_ways():
+    for forward in (True, False):
+        envelope = MulticastEnvelope("g", "h:1", 1, forward, b"")
+        assert MulticastEnvelope.decode(envelope.encode()).forward is forward
+
+
+def test_empty_payload():
+    envelope = MulticastEnvelope("g", "h:1", 0, False, b"")
+    assert MulticastEnvelope.decode(envelope.encode()).payload == b""
+
+
+def test_binary_payload():
+    payload = bytes(range(256))
+    envelope = MulticastEnvelope("g", "h:1", 3, True, payload)
+    assert MulticastEnvelope.decode(envelope.encode()).payload == payload
+
+
+def test_bad_magic_rejected():
+    envelope = MulticastEnvelope("g", "h:1", 1, True, b"x").encode()
+    with pytest.raises(EnvelopeError, match="magic"):
+        MulticastEnvelope.decode(b"\x00" + envelope[1:])
+
+
+def test_truncated_rejected():
+    frame = MulticastEnvelope("g", "h:1", 1, True, b"payload").encode()
+    with pytest.raises(EnvelopeError):
+        MulticastEnvelope.decode(frame[:-3])

@@ -1,0 +1,163 @@
+"""Live group communication: membership, multicast, barriers."""
+
+import threading
+
+import pytest
+
+from repro.multicast import GroupManager
+from repro.multicast.group import GroupError
+
+
+@pytest.fixture
+def team(node_factory):
+    """Five nodes with managers; node 0 coordinates group 'team'."""
+    nodes = [node_factory(f"g{i}") for i in range(5)]
+    managers = [GroupManager(node) for node in nodes]
+    managers[0].create("team")
+    for manager in managers[1:]:
+        manager.join("team", nodes[0].address, timeout=5.0)
+    return nodes, managers
+
+
+class TestMembership:
+    def test_everyone_sees_full_membership(self, team):
+        nodes, managers = team
+        for manager in managers:
+            view = manager.view("team")
+            assert len(view.members) == 5
+            assert view.coordinator == managers[0].me
+
+    def test_leave_propagates(self, team):
+        import time
+
+        nodes, managers = team
+        managers[4].leave("team")
+        # The leave PDU needs a control-plane round trip; poll briefly.
+        for _ in range(100):
+            if len(managers[0].view("team").members) == 4:
+                break
+            time.sleep(0.02)
+        assert len(managers[0].view("team").members) == 4
+        with pytest.raises(GroupError):
+            managers[4].view("team")
+
+    def test_duplicate_create_rejected(self, team):
+        _, managers = team
+        with pytest.raises(GroupError, match="already exists"):
+            managers[0].create("team")
+
+    def test_view_of_unknown_group(self, team):
+        _, managers = team
+        with pytest.raises(GroupError, match="not a member"):
+            managers[1].view("nonexistent")
+
+    def test_coordinator_cannot_leave(self, team):
+        _, managers = team
+        with pytest.raises(GroupError, match="coordinator"):
+            managers[0].leave("team")
+
+
+class TestMulticast:
+    @pytest.mark.parametrize("algorithm", ["repetitive", "spanning_tree"])
+    def test_reaches_all_other_members(self, team, algorithm):
+        _, managers = team
+        managers[0].multicast("team", b"to everyone", algorithm=algorithm,
+                              wait=True)
+        for manager in managers[1:]:
+            assert manager.recv("team", timeout=5.0) == b"to everyone"
+
+    @pytest.mark.parametrize("algorithm", ["repetitive", "spanning_tree"])
+    def test_non_coordinator_origin(self, team, algorithm):
+        _, managers = team
+        managers[3].multicast("team", b"from member 3", algorithm=algorithm,
+                              wait=True)
+        for index, manager in enumerate(managers):
+            if index == 3:
+                continue
+            assert manager.recv("team", timeout=5.0) == b"from member 3"
+
+    def test_sender_does_not_self_deliver(self, team):
+        _, managers = team
+        managers[0].multicast("team", b"no echo", wait=True)
+        assert managers[0].recv("team", timeout=0.3) is None
+
+    def test_unknown_algorithm_rejected(self, team):
+        _, managers = team
+        with pytest.raises(ValueError, match="multicast algorithm"):
+            managers[0].multicast("team", b"x", algorithm="flooding")
+
+    def test_multiple_messages_ordered_per_origin(self, team):
+        _, managers = team
+        for index in range(5):
+            managers[0].multicast("team", f"seq-{index}".encode(),
+                                  algorithm="spanning_tree", wait=True)
+        for manager in managers[1:]:
+            got = [manager.recv("team", timeout=5.0) for _ in range(5)]
+            assert got == [f"seq-{i}".encode() for i in range(5)]
+
+
+class TestBarrier:
+    def test_barrier_releases_all(self, team):
+        _, managers = team
+        reached = []
+
+        def arrive(manager, index):
+            manager.barrier("team", timeout=10.0)
+            reached.append(index)
+
+        threads = [
+            threading.Thread(target=arrive, args=(manager, index))
+            for index, manager in enumerate(managers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(15.0)
+        assert sorted(reached) == [0, 1, 2, 3, 4]
+
+    def test_barrier_blocks_until_last(self, team):
+        _, managers = team
+        order = []
+
+        def late_arriver():
+            order.append("late-arrived")
+            managers[4].barrier("team", timeout=10.0)
+
+        def early(manager, index):
+            manager.barrier("team", timeout=10.0)
+            order.append(f"released-{index}")
+
+        threads = [
+            threading.Thread(target=early, args=(managers[i], i))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.3)  # everyone else is parked at the barrier
+        assert not any(o.startswith("released") for o in order)
+        late = threading.Thread(target=late_arriver)
+        late.start()
+        for thread in threads + [late]:
+            thread.join(15.0)
+        assert order[0] == "late-arrived"
+        assert sum(1 for o in order if o.startswith("released")) == 4
+
+    def test_consecutive_barriers(self, team):
+        _, managers = team
+
+        def double(manager):
+            manager.barrier("team", timeout=10.0)
+            manager.barrier("team", timeout=10.0)
+            return True
+
+        threads = [
+            threading.Thread(target=double, args=(manager,))
+            for manager in managers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(20.0)
+            assert not thread.is_alive()

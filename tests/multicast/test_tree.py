@@ -1,0 +1,112 @@
+"""Deterministic multicast spanning tree."""
+
+import networkx as nx
+import pytest
+
+from repro.multicast.tree import (
+    spanning_tree_children,
+    tree_depth,
+    tree_parent,
+)
+
+
+def members(count):
+    return [f"m{i:03d}" for i in range(count)]
+
+
+class TestTreeStructure:
+    def test_root_children_respect_fanout(self):
+        group = members(10)
+        children = spanning_tree_children(group, group[0], group[0], fanout=2)
+        assert len(children) == 2
+
+    def test_leaves_have_no_children(self):
+        group = members(4)
+        # Last member in the rotated order is a leaf for fanout 2.
+        assert spanning_tree_children(group, group[0], group[3]) == []
+
+    def test_edges_form_spanning_tree(self):
+        """networkx check: connected, acyclic, exactly n-1 edges."""
+        group = members(17)
+        for origin in (group[0], group[8], group[16]):
+            graph = nx.Graph()
+            graph.add_nodes_from(group)
+            for member in group:
+                for child in spanning_tree_children(group, origin, member):
+                    graph.add_edge(member, child)
+            assert nx.is_tree(graph)
+            assert graph.number_of_edges() == len(group) - 1
+
+    def test_every_member_has_one_parent_except_origin(self):
+        group = members(9)
+        origin = group[4]
+        child_sets = {
+            member: spanning_tree_children(group, origin, member)
+            for member in group
+        }
+        parent_count = {member: 0 for member in group}
+        for member, children in child_sets.items():
+            for child in children:
+                parent_count[child] += 1
+        assert parent_count[origin] == 0
+        assert all(
+            parent_count[m] == 1 for m in group if m != origin
+        )
+
+    def test_parent_child_consistency(self):
+        group = members(12)
+        origin = group[3]
+        for member in group:
+            parent = tree_parent(group, origin, member)
+            if member == origin:
+                assert parent is None
+            else:
+                assert member in spanning_tree_children(group, origin, parent)
+
+    def test_same_tree_regardless_of_membership_order(self):
+        ordered = members(8)
+        shuffled = list(reversed(ordered))
+        for member in ordered:
+            assert spanning_tree_children(
+                ordered, ordered[2], member
+            ) == spanning_tree_children(shuffled, ordered[2], member)
+
+    def test_fanout_three(self):
+        group = members(13)
+        children = spanning_tree_children(group, group[0], group[0], fanout=3)
+        assert len(children) == 3
+
+    def test_origin_must_be_member(self):
+        with pytest.raises(ValueError, match="not a group member"):
+            spanning_tree_children(members(3), "stranger", "m000")
+
+    def test_me_must_be_member(self):
+        group = members(3)
+        with pytest.raises(ValueError, match="not in the group"):
+            spanning_tree_children(group, group[0], "stranger")
+
+    def test_bad_fanout(self):
+        group = members(3)
+        with pytest.raises(ValueError, match="fanout"):
+            spanning_tree_children(group, group[0], group[0], fanout=0)
+
+
+class TestTreeDepth:
+    def test_logarithmic_growth(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(3) == 1
+        assert tree_depth(4) == 2
+        assert tree_depth(7) == 2
+        assert tree_depth(8) == 3
+
+    def test_unary_tree_is_a_chain(self):
+        assert tree_depth(5, fanout=1) == 4
+
+    def test_empty_group(self):
+        assert tree_depth(0) == 0
+
+    def test_depth_beats_repetitive_for_large_groups(self):
+        # The latency argument for the spanning tree.
+        for count in (16, 64, 256):
+            assert tree_depth(count) < count - 1

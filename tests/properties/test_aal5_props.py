@@ -1,0 +1,55 @@
+"""Property tests: AAL5 SAR identity and damage detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.aal5 import Aal5Error, aal5_reassemble, aal5_segment
+from repro.atm.cell import AtmCell
+
+
+@given(
+    frame=st.binary(max_size=20_000),
+    vpi=st.integers(0, 255),
+    vci=st.integers(32, 65535),
+)
+@settings(max_examples=50, deadline=None)
+def test_sar_identity(frame, vpi, vci):
+    cells = aal5_segment(frame, vpi, vci)
+    assert aal5_reassemble(cells) == frame
+    assert all((c.vpi, c.vci) == (vpi, vci) for c in cells)
+
+
+@given(
+    frame=st.binary(min_size=1, max_size=5000),
+    drop_index=st.integers(min_value=0),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_lost_cell_detected(frame, drop_index):
+    cells = aal5_segment(frame, 0, 32)
+    victim = drop_index % len(cells)
+    survivors = cells[:victim] + cells[victim + 1 :]
+    with pytest.raises(Aal5Error):
+        aal5_reassemble(survivors)
+
+
+@given(
+    frame=st.binary(min_size=1, max_size=5000),
+    cell_index=st.integers(min_value=0),
+    byte_index=st.integers(0, 47),
+    bit=st.integers(0, 7),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_payload_corruption_detected(frame, cell_index, byte_index, bit):
+    cells = aal5_segment(frame, 0, 32)
+    victim = cell_index % len(cells)
+    damaged = bytearray(cells[victim].payload)
+    damaged[byte_index] ^= 1 << bit
+    cells[victim] = AtmCell(
+        cells[victim].vpi,
+        cells[victim].vci,
+        cells[victim].pti,
+        cells[victim].clp,
+        bytes(damaged),
+    )
+    with pytest.raises(Aal5Error):
+        aal5_reassemble(cells)

@@ -1,0 +1,71 @@
+"""Property tests: ACK bitmap algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.bitmap import AckBitmap
+
+
+@given(size=st.integers(0, 500), marks=st.lists(st.integers(0, 499)))
+@settings(max_examples=60, deadline=None)
+def test_pending_equals_unmarked(size, marks):
+    bitmap = AckBitmap(size)
+    applied = set()
+    for seqno in marks:
+        if seqno < size:
+            bitmap.mark_received(seqno)
+            applied.add(seqno)
+    assert bitmap.pending() == sorted(set(range(size)) - applied)
+    assert bitmap.all_received() == (applied == set(range(size)))
+
+
+@given(size=st.integers(0, 500), marks=st.sets(st.integers(0, 499)))
+@settings(max_examples=60, deadline=None)
+def test_wire_roundtrip_preserves_state(size, marks):
+    bitmap = AckBitmap(size)
+    for seqno in marks:
+        if seqno < size:
+            bitmap.mark_received(seqno)
+    again = AckBitmap.from_bytes(bitmap.to_bytes(), size)
+    assert again == bitmap
+    assert again.pending() == bitmap.pending()
+
+
+@given(
+    size=st.integers(1, 200),
+    received=st.sets(st.integers(0, 199)),
+    errored=st.sets(st.integers(0, 199)),
+)
+@settings(max_examples=60, deadline=None)
+def test_mark_error_overrides_received(size, received, errored):
+    bitmap = AckBitmap(size)
+    for seqno in received:
+        if seqno < size:
+            bitmap.mark_received(seqno)
+    for seqno in errored:
+        if seqno < size:
+            bitmap.mark_error(seqno)
+    for seqno in errored:
+        if seqno < size:
+            assert bitmap.is_pending(seqno)
+
+
+@given(
+    size=st.integers(1, 100),
+    left_errors=st.sets(st.integers(0, 99)),
+    right_errors=st.sets(st.integers(0, 99)),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_union(size, left_errors, right_errors):
+    left = AckBitmap(size, all_set=False)
+    right = AckBitmap(size, all_set=False)
+    for seqno in left_errors:
+        if seqno < size:
+            left.mark_error(seqno)
+    for seqno in right_errors:
+        if seqno < size:
+            right.mark_error(seqno)
+    expected = sorted(
+        {s for s in left_errors | right_errors if s < size}
+    )
+    left.merge_errors(right)
+    assert left.pending() == expected

@@ -1,0 +1,113 @@
+"""Property tests: wire codecs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol.headers import Sdu, SduHeader
+from repro.protocol.pdus import (
+    AckPdu,
+    ConnectRequestPdu,
+    CreditPdu,
+    CumAckPdu,
+    decode_control_pdu,
+)
+from repro.util.bitmap import AckBitmap
+from repro.util.codec import XdrDecoder, XdrEncoder
+
+U32 = st.integers(0, 2**32 - 1)
+
+
+@given(
+    conn=U32,
+    msg=U32,
+    seqno=U32,
+    total=U32,
+    payload=st.binary(max_size=1000),
+    end=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_sdu_frame_roundtrip(conn, msg, seqno, total, payload, end):
+    sdu = Sdu.build(conn, msg, seqno, total, payload, end)
+    again = Sdu.decode(sdu.encode())
+    assert again.header == sdu.header
+    assert again.payload == payload
+    assert again.payload_intact()
+
+
+@given(conn=U32, msg=U32, size=st.integers(0, 300), marks=st.sets(st.integers(0, 299)))
+@settings(max_examples=60, deadline=None)
+def test_ack_pdu_roundtrip(conn, msg, size, marks):
+    bitmap = AckBitmap(size)
+    for seqno in marks:
+        if seqno < size:
+            bitmap.mark_received(seqno)
+    pdu = AckPdu(conn, msg, bitmap)
+    again = decode_control_pdu(pdu.encode())
+    assert again == pdu
+
+
+@given(conn=U32, credits=U32)
+@settings(max_examples=40, deadline=None)
+def test_credit_pdu_roundtrip(conn, credits):
+    pdu = CreditPdu(conn, credits)
+    assert decode_control_pdu(pdu.encode()) == pdu
+
+
+@given(conn=U32, msg=U32, next_expected=U32)
+@settings(max_examples=40, deadline=None)
+def test_cum_ack_roundtrip(conn, msg, next_expected):
+    pdu = CumAckPdu(conn, msg, next_expected)
+    assert decode_control_pdu(pdu.encode()) == pdu
+
+
+@given(
+    src=st.text(max_size=40),
+    dst=st.text(max_size=40),
+    port=st.integers(0, 65535),
+)
+@settings(max_examples=40, deadline=None)
+def test_connect_request_roundtrip(src, dst, port):
+    pdu = ConnectRequestPdu(
+        connection_id=1,
+        src_node=src,
+        dst_node=dst,
+        src_data_port=port,
+        flow_control="credit",
+        error_control="selective_repeat",
+        interface="sci",
+        sdu_size=4096,
+        initial_credits=4,
+        window_size=8,
+        rate_pps=1000.0,
+    )
+    assert decode_control_pdu(pdu.encode()) == pdu
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(-(2**31), 2**31 - 1),
+            st.binary(max_size=100),
+            st.text(max_size=50),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_xdr_stream_roundtrip(values):
+    encoder = XdrEncoder()
+    for value in values:
+        if isinstance(value, int):
+            encoder.pack_int(value)
+        elif isinstance(value, bytes):
+            encoder.pack_opaque(value)
+        else:
+            encoder.pack_string(value)
+    decoder = XdrDecoder(encoder.getvalue())
+    for value in values:
+        if isinstance(value, int):
+            assert decoder.unpack_int() == value
+        elif isinstance(value, bytes):
+            assert decoder.unpack_opaque() == value
+        else:
+            assert decoder.unpack_string() == value
+    assert decoder.done()

@@ -1,0 +1,49 @@
+"""Property tests: CRC correctness and error detection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.crc import crc10, crc10_bitwise, crc32_aal5, crc32_aal5_reference
+
+
+@given(data=st.binary(max_size=2000))
+@settings(max_examples=80, deadline=None)
+def test_crc32_fast_equals_reference(data):
+    assert crc32_aal5(data) == crc32_aal5_reference(data)
+
+
+@given(left=st.binary(max_size=500), right=st.binary(max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_crc32_incremental_composition(left, right):
+    chained = crc32_aal5(right, crc32_aal5(left) ^ 0xFFFFFFFF)
+    assert chained == crc32_aal5(left + right)
+
+
+@given(
+    data=st.binary(min_size=1, max_size=1000),
+    bit=st.integers(min_value=0),
+)
+@settings(max_examples=80, deadline=None)
+def test_crc32_detects_any_single_bit_flip(data, bit):
+    """CRC-32 detects every single-bit error (guaranteed by polynomial)."""
+    position = bit % (len(data) * 8)
+    damaged = bytearray(data)
+    damaged[position // 8] ^= 1 << (position % 8)
+    assert crc32_aal5(bytes(damaged)) != crc32_aal5(data)
+
+
+@given(data=st.binary(max_size=500))
+@settings(max_examples=80, deadline=None)
+def test_crc10_table_equals_bitwise(data):
+    assert crc10(data) == crc10_bitwise(data)
+
+
+@given(
+    data=st.binary(min_size=1, max_size=200),
+    bit=st.integers(min_value=0),
+)
+@settings(max_examples=60, deadline=None)
+def test_crc10_detects_single_bit_flips(data, bit):
+    position = bit % (len(data) * 8)
+    damaged = bytearray(data)
+    damaged[position // 8] ^= 1 << (position % 8)
+    assert crc10(bytes(damaged)) != crc10(data)

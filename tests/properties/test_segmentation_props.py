@@ -1,0 +1,61 @@
+"""Property tests: segmentation/reassembly invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol.segmentation import Reassembler, segment_message
+
+SDU_SIZES = st.sampled_from([4096, 8192, 16384, 65536])
+PAYLOADS = st.binary(min_size=0, max_size=200_000)
+
+
+@given(payload=PAYLOADS, sdu_size=SDU_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_segment_reassemble_identity(payload, sdu_size):
+    """segment . reassemble == identity, for any payload and SDU size."""
+    sdus = segment_message(1, 1, payload, sdu_size)
+    reassembler = Reassembler()
+    result = None
+    for sdu in sdus:
+        result = reassembler.add(sdu)
+    assert result == payload
+
+
+@given(payload=PAYLOADS, sdu_size=SDU_SIZES, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_identity_under_any_arrival_order(payload, sdu_size, seed):
+    """Reassembly is order-independent (the network may reorder)."""
+    sdus = segment_message(1, 1, payload, sdu_size)
+    random.Random(seed).shuffle(sdus)
+    reassembler = Reassembler()
+    results = [reassembler.add(sdu) for sdu in sdus]
+    completed = [r for r in results if r is not None]
+    assert completed == [payload]
+
+
+@given(payload=PAYLOADS, sdu_size=SDU_SIZES, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_identity_under_duplication(payload, sdu_size, seed):
+    """Duplicated SDUs (retransmission races) never corrupt delivery."""
+    sdus = segment_message(1, 1, payload, sdu_size)
+    rng = random.Random(seed)
+    stream = sdus + [rng.choice(sdus) for _ in range(len(sdus))]
+    rng.shuffle(stream)
+    reassembler = Reassembler()
+    completed = [r for r in (reassembler.add(s) for s in stream) if r is not None]
+    assert completed == [payload]
+
+
+@given(payload=st.binary(min_size=1, max_size=100_000), sdu_size=SDU_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_structural_invariants(payload, sdu_size):
+    """Exactly one end bit, contiguous seqnos, sizes within the SDU cap,
+    concatenated payloads equal the message."""
+    sdus = segment_message(1, 1, payload, sdu_size)
+    assert [s.header.seqno for s in sdus] == list(range(len(sdus)))
+    assert sum(s.header.end_bit for s in sdus) == 1
+    assert sdus[-1].header.end_bit
+    assert all(len(s.payload) <= sdu_size for s in sdus)
+    assert b"".join(s.payload for s in sdus) == payload
+    assert all(s.header.total_sdus == len(sdus) for s in sdus)

@@ -1,0 +1,60 @@
+"""Property tests: the multicast spanning tree really spans."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.multicast.tree import spanning_tree_children, tree_parent
+
+
+@given(
+    count=st.integers(1, 60),
+    origin_index=st.integers(min_value=0),
+    fanout=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_edges_always_form_spanning_tree(count, origin_index, fanout):
+    members = [f"node-{i:02d}" for i in range(count)]
+    origin = members[origin_index % count]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(members)
+    for member in members:
+        for child in spanning_tree_children(members, origin, member, fanout):
+            graph.add_edge(member, child)
+    # Every member reachable from the origin, exactly n-1 edges, acyclic.
+    reachable = nx.descendants(graph, origin) | {origin}
+    assert reachable == set(members)
+    assert graph.number_of_edges() == count - 1
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+@given(
+    count=st.integers(2, 60),
+    origin_index=st.integers(min_value=0),
+    member_index=st.integers(min_value=0),
+    fanout=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_parent_child_duality(count, origin_index, member_index, fanout):
+    members = [f"node-{i:02d}" for i in range(count)]
+    origin = members[origin_index % count]
+    me = members[member_index % count]
+    parent = tree_parent(members, origin, me, fanout)
+    if me == origin:
+        assert parent is None
+    else:
+        assert me in spanning_tree_children(members, origin, parent, fanout)
+
+
+@given(count=st.integers(1, 40), fanout=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_same_tree_for_any_origin_permutation(count, fanout):
+    import random
+
+    members = [f"node-{i:02d}" for i in range(count)]
+    shuffled = members[:]
+    random.Random(42).shuffle(shuffled)
+    origin = members[0]
+    for member in members:
+        assert spanning_tree_children(
+            members, origin, member, fanout
+        ) == spanning_tree_children(shuffled, origin, member, fanout)

@@ -1,0 +1,46 @@
+"""Effects merging."""
+
+from repro.protocol.effects import Effects
+from repro.protocol.pdus import CreditPdu
+from repro.protocol.segmentation import segment_message
+
+
+def test_empty_by_default():
+    assert Effects().empty()
+
+
+def test_not_empty_with_content():
+    assert not Effects(deliveries=[b"x"]).empty()
+    assert not Effects(completed=[1]).empty()
+
+
+def test_merge_concatenates_in_order():
+    sdus = segment_message(1, 1, b"x" * 8192, 4096)
+    left = Effects(transmits=[sdus[0]], completed=[1])
+    right = Effects(transmits=[sdus[1]], controls=[CreditPdu(1, 1)], failed=[2])
+    left.merge(right)
+    assert left.transmits == sdus
+    assert left.completed == [1]
+    assert left.failed == [2]
+    assert len(left.controls) == 1
+
+
+def test_merge_keeps_earliest_timer():
+    left = Effects(timer_at=5.0)
+    left.merge(Effects(timer_at=3.0))
+    assert left.timer_at == 3.0
+    left.merge(Effects(timer_at=9.0))
+    assert left.timer_at == 3.0
+    left.merge(Effects())
+    assert left.timer_at == 3.0
+
+
+def test_merge_adopts_timer_when_none():
+    left = Effects()
+    left.merge(Effects(timer_at=1.5))
+    assert left.timer_at == 1.5
+
+
+def test_merge_returns_self_for_chaining():
+    effects = Effects()
+    assert effects.merge(Effects()) is effects

@@ -1,0 +1,102 @@
+"""Control PDU codecs."""
+
+import pytest
+
+from repro.protocol.pdus import (
+    AckPdu,
+    BarrierPdu,
+    ClosePdu,
+    ConnectAcceptPdu,
+    ConnectRejectPdu,
+    ConnectRequestPdu,
+    CreditPdu,
+    CumAckPdu,
+    GroupInfoPdu,
+    GroupJoinPdu,
+    GroupLeavePdu,
+    HeartbeatPdu,
+    PduDecodeError,
+    decode_control_pdu,
+)
+from repro.util.bitmap import AckBitmap
+
+
+def roundtrip(pdu):
+    return decode_control_pdu(pdu.encode())
+
+
+ALL_PDUS = [
+    AckPdu(7, 3, AckBitmap(12)),
+    CumAckPdu(7, 3, 9),
+    CreditPdu(7, 5),
+    ConnectRequestPdu(
+        connection_id=1,
+        src_node="alice",
+        dst_node="bob",
+        src_data_port=4242,
+        flow_control="credit",
+        error_control="selective_repeat",
+        interface="aci",
+        sdu_size=8192,
+        initial_credits=4,
+        window_size=8,
+        rate_pps=1500.0,
+    ),
+    ConnectAcceptPdu(1, 5555),
+    ConnectRejectPdu(1, "no thanks"),
+    ClosePdu(1),
+    GroupJoinPdu("team", "host:1"),
+    GroupLeavePdu("team", "host:1"),
+    GroupInfoPdu("team", 3, ("host:1", "host:2")),
+    BarrierPdu("team", 4, 1, "host:2"),
+    HeartbeatPdu("alice", 17),
+]
+
+
+@pytest.mark.parametrize("pdu", ALL_PDUS, ids=lambda p: type(p).__name__)
+def test_every_pdu_roundtrips(pdu):
+    assert roundtrip(pdu) == pdu
+
+
+class TestAckPdu:
+    def test_bitmap_content_survives(self):
+        bitmap = AckBitmap(20)
+        for seqno in (1, 5, 19):
+            bitmap.mark_received(seqno)
+        again = roundtrip(AckPdu(2, 9, bitmap))
+        assert again.bitmap.pending() == bitmap.pending()
+
+    def test_large_bitmap(self):
+        again = roundtrip(AckPdu(1, 1, AckBitmap(1000)))
+        assert again.bitmap.size == 1000
+        assert again.bitmap.pending_count() == 1000
+
+
+class TestDecodeErrors:
+    def test_empty_frame(self):
+        with pytest.raises(PduDecodeError, match="empty"):
+            decode_control_pdu(b"")
+
+    def test_unknown_type(self):
+        with pytest.raises(PduDecodeError, match="unknown"):
+            decode_control_pdu(b"\xfe\x00\x00")
+
+    def test_truncated_body(self):
+        frame = CreditPdu(1, 2).encode()
+        with pytest.raises(PduDecodeError, match="malformed"):
+            decode_control_pdu(frame[:3])
+
+    def test_unicode_strings_survive(self):
+        pdu = ConnectRejectPdu(1, "разъём occupied — try later")
+        assert roundtrip(pdu).reason == pdu.reason
+
+
+class TestGroupInfo:
+    def test_empty_membership(self):
+        again = roundtrip(GroupInfoPdu("ghost", 1, ()))
+        assert again.members == ()
+
+    def test_many_members(self):
+        members = tuple(f"host:{i}" for i in range(50))
+        again = roundtrip(GroupInfoPdu("big", 7, members))
+        assert again.members == members

@@ -1,0 +1,85 @@
+"""Simulated hosts: the single-CPU contention model."""
+
+import pytest
+
+from repro.simnet.host import SimHost
+from repro.simnet.kernel import Simulator
+from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
+
+
+class TestCompute:
+    def test_compute_takes_requested_time(self):
+        sim = Simulator()
+        host = SimHost(sim, "h", SUN4_SUNOS55)
+
+        def proc():
+            yield host.compute(0.25)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(0.25)
+
+    def test_cpu_serializes_concurrent_work(self):
+        # One processor: two 100 ms jobs take 200 ms, not 100.
+        sim = Simulator()
+        host = SimHost(sim, "h", SUN4_SUNOS55)
+        finish = []
+
+        def proc(tag):
+            yield host.compute(0.1)
+            finish.append((tag, sim.now))
+
+        sim.spawn(proc("a"), "a")
+        sim.spawn(proc("b"), "b")
+        sim.run()
+        times = sorted(t for _tag, t in finish)
+        assert times == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_busy_total_accumulates(self):
+        sim = Simulator()
+        host = SimHost(sim, "h", RS6000_AIX41)
+
+        def proc():
+            yield host.compute(0.1)
+            yield host.compute(0.2)
+
+        sim.run_process(proc())
+        assert host.cpu_busy_total == pytest.approx(0.3)
+
+    def test_negative_compute_rejected(self):
+        sim = Simulator()
+        host = SimHost(sim, "h", SUN4_SUNOS55)
+        with pytest.raises(ValueError):
+            host.compute(-0.1)
+
+    def test_idle_query(self):
+        sim = Simulator()
+        host = SimHost(sim, "h", SUN4_SUNOS55)
+        host.compute(1.0)
+        assert not host.idle_at(0.5)
+        assert host.idle_at(1.5)
+
+
+class TestPlatformProfiles:
+    def test_rs6000_moves_bytes_cheaper(self):
+        assert RS6000_AIX41.memcpy_per_byte_s < SUN4_SUNOS55.memcpy_per_byte_s
+        assert RS6000_AIX41.tcp_per_byte_s < SUN4_SUNOS55.tcp_per_byte_s
+
+    def test_user_threads_cheaper_than_kernel(self):
+        for platform in (SUN4_SUNOS55, RS6000_AIX41):
+            assert platform.ctx_switch_user_s < platform.ctx_switch_kernel_s
+            assert platform.sync_user_s < platform.sync_kernel_s
+
+    def test_cost_helpers(self):
+        cost = SUN4_SUNOS55.tcp_cost(1000)
+        assert cost == pytest.approx(
+            SUN4_SUNOS55.per_message_s + 1000 * SUN4_SUNOS55.tcp_per_byte_s
+        )
+        assert SUN4_SUNOS55.copy_cost(100, copies=2) == pytest.approx(
+            200 * SUN4_SUNOS55.memcpy_per_byte_s
+        )
+
+    def test_heterogeneity_by_arch_code(self):
+        from repro.simnet.platforms import heterogeneous
+
+        assert heterogeneous(SUN4_SUNOS55, RS6000_AIX41)
+        assert not heterogeneous(SUN4_SUNOS55, SUN4_SUNOS55)

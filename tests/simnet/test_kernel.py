@@ -1,0 +1,189 @@
+"""Discrete-event kernel: clock, processes, events."""
+
+import pytest
+
+from repro.simnet.kernel import SimError, Simulator
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, log.append, "late")
+        sim.schedule(0.1, log.append, "early")
+        sim.schedule(0.2, log.append, "middle")
+        sim.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for index in range(5):
+            sim.schedule(0.1, log.append, index)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_reflects_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+        assert sim.now == 0.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimError, match="past"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "before")
+        sim.schedule(3.0, log.append, "after")
+        sim.run(until=2.0)
+        assert log == ["before"]
+        assert sim.now == 2.0
+        sim.run()
+        assert log == ["before", "after"]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        forever()
+        with pytest.raises(SimError, match="runaway"):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_delay_yields(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 1.5
+            trace.append(sim.now)
+            yield 0.5
+            trace.append(sim.now)
+            return "done"
+
+        result = sim.run_process(proc())
+        assert result == "done"
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_event_wait_and_value(self):
+        sim = Simulator()
+        gate = sim.event()
+
+        def waiter():
+            value = yield gate
+            return value
+
+        process = sim.spawn(waiter(), "waiter")
+        sim.schedule(2.0, gate.succeed, "the value")
+        sim.run()
+        assert process.result == "the value"
+        assert not process.alive
+
+    def test_wait_on_already_triggered_event(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed(7)
+
+        def waiter():
+            return (yield gate)
+
+        assert sim.run_process(waiter()) == 7
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        gate = sim.event()
+        gate.succeed()
+        with pytest.raises(SimError, match="already"):
+            gate.succeed()
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not a delay"
+
+        with pytest.raises(SimError, match="yielded"):
+            sim.run_process(bad())
+
+    def test_negative_delay_in_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield -1.0
+
+        with pytest.raises(SimError, match="negative"):
+            sim.run_process(bad())
+
+    def test_deadlocked_process_detected(self):
+        sim = Simulator()
+        never = sim.event()
+
+        def stuck():
+            yield never
+
+        with pytest.raises(SimError, match="did not finish"):
+            sim.run_process(stuck())
+
+    def test_done_event_chains_processes(self):
+        sim = Simulator()
+
+        def inner():
+            yield 1.0
+            return 5
+
+        def outer():
+            process = sim.spawn(inner(), "inner")
+            value = yield process.done_event
+            return value * 2
+
+        assert sim.run_process(outer()) == 10
+
+    def test_all_of(self):
+        sim = Simulator()
+        gates = [sim.event() for _ in range(3)]
+
+        def waiter():
+            values = yield sim.all_of(gates)
+            return values
+
+        process = sim.spawn(waiter(), "w")
+        for index, gate in enumerate(gates):
+            sim.schedule(0.1 * (index + 1), gate.succeed, index)
+        sim.run()
+        assert process.result == [0, 1, 2]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+
+        def waiter():
+            return (yield sim.all_of([]))
+
+        assert sim.run_process(waiter()) == []
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def proc(tag, delay):
+                for _ in range(3):
+                    yield delay
+                    trace.append((tag, round(sim.now, 9)))
+
+            sim.spawn(proc("a", 0.1), "a")
+            sim.spawn(proc("b", 0.07), "b")
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

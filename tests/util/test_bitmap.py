@@ -1,0 +1,116 @@
+"""AckBitmap: the selective-repeat receiver's per-SDU status."""
+
+import pytest
+
+from repro.util.bitmap import AckBitmap
+
+
+class TestConstruction:
+    def test_starts_all_pending(self):
+        bm = AckBitmap(8)
+        assert bm.pending() == list(range(8))
+        assert not bm.all_received()
+
+    def test_all_clear_variant(self):
+        bm = AckBitmap(8, all_set=False)
+        assert bm.all_received()
+        assert bm.pending() == []
+
+    def test_zero_size_is_complete(self):
+        assert AckBitmap(0).all_received()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            AckBitmap(-1)
+
+
+class TestMarking:
+    def test_mark_received_clears_bit(self):
+        bm = AckBitmap(4)
+        bm.mark_received(2)
+        assert not bm.is_pending(2)
+        assert bm.pending() == [0, 1, 3]
+
+    def test_mark_error_resets_bit(self):
+        bm = AckBitmap(4)
+        bm.mark_received(1)
+        bm.mark_error(1)
+        assert bm.is_pending(1)
+
+    def test_complete_after_all_marked(self):
+        bm = AckBitmap(5)
+        for seqno in range(5):
+            bm.mark_received(seqno)
+        assert bm.all_received()
+
+    def test_marking_is_idempotent(self):
+        bm = AckBitmap(3)
+        bm.mark_received(0)
+        bm.mark_received(0)
+        assert bm.pending() == [1, 2]
+
+    def test_out_of_range_raises(self):
+        bm = AckBitmap(3)
+        with pytest.raises(IndexError):
+            bm.mark_received(3)
+        with pytest.raises(IndexError):
+            bm.is_pending(-1)
+
+    def test_pending_count(self):
+        bm = AckBitmap(10)
+        for seqno in (0, 3, 7):
+            bm.mark_received(seqno)
+        assert bm.pending_count() == 7
+
+
+class TestWireFormat:
+    def test_roundtrip_small(self):
+        bm = AckBitmap(5)
+        bm.mark_received(1)
+        bm.mark_received(4)
+        again = AckBitmap.from_bytes(bm.to_bytes(), 5)
+        assert again == bm
+
+    def test_roundtrip_multibyte(self):
+        bm = AckBitmap(70)
+        for seqno in range(0, 70, 3):
+            bm.mark_received(seqno)
+        again = AckBitmap.from_bytes(bm.to_bytes(), 70)
+        assert again.pending() == bm.pending()
+
+    def test_wire_size_rounds_to_bytes(self):
+        assert len(AckBitmap(1).to_bytes()) == 1
+        assert len(AckBitmap(8).to_bytes()) == 1
+        assert len(AckBitmap(9).to_bytes()) == 2
+
+    def test_decoding_masks_garbage_high_bits(self):
+        # A peer could pad with set bits beyond `size`; they must not
+        # become phantom pending SDUs.
+        bm = AckBitmap.from_bytes(b"\xff", 3)
+        assert bm.pending() == [0, 1, 2]
+
+
+class TestMerge:
+    def test_merge_unions_errors(self):
+        left = AckBitmap(4, all_set=False)
+        right = AckBitmap(4, all_set=False)
+        left.mark_error(0)
+        right.mark_error(3)
+        left.merge_errors(right)
+        assert left.pending() == [0, 3]
+
+    def test_merge_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AckBitmap(4).merge_errors(AckBitmap(5))
+
+
+class TestEquality:
+    def test_equal_bitmaps_hash_equal(self):
+        a, b = AckBitmap(6), AckBitmap(6)
+        a.mark_received(2)
+        b.mark_received(2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_to_other_types(self):
+        assert AckBitmap(2) != "xx"

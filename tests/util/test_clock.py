@@ -1,0 +1,49 @@
+"""Clock abstractions: wall time and virtual time."""
+
+import time
+
+import pytest
+
+from repro.util.clock import MonotonicClock, VirtualClock
+
+
+class TestMonotonicClock:
+    def test_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        time.sleep(0.002)
+        assert clock.now() > first
+
+    def test_microseconds_scale(self):
+        clock = MonotonicClock()
+        assert clock.now_us() == pytest.approx(clock.now() * 1e6, rel=0.01)
+
+
+class TestVirtualClock:
+    def test_starts_at_configured_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_by(self):
+        clock = VirtualClock(1.0)
+        clock.advance_by(0.25)
+        assert clock.now() == 1.25
+
+    def test_never_goes_backwards(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-0.1)
+
+    def test_does_not_tick_on_its_own(self):
+        clock = VirtualClock()
+        first = clock.now()
+        time.sleep(0.002)
+        assert clock.now() == first

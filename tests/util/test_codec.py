@@ -1,0 +1,98 @@
+"""Byte codecs: ByteWriter/Reader and the XDR subset."""
+
+import pytest
+
+from repro.util.codec import ByteReader, ByteWriter, XdrDecoder, XdrEncoder
+
+
+class TestByteWriterReader:
+    def test_scalar_roundtrip(self):
+        writer = ByteWriter()
+        writer.u8(7).u16(300).u32(70000).u64(1 << 40).f64(3.25)
+        reader = ByteReader(writer.getvalue())
+        assert reader.u8() == 7
+        assert reader.u16() == 300
+        assert reader.u32() == 70000
+        assert reader.u64() == 1 << 40
+        assert reader.f64() == 3.25
+        assert reader.remaining() == 0
+
+    def test_length_prefixed_bytes(self):
+        writer = ByteWriter()
+        writer.lp_bytes(b"abc").lp_bytes(b"")
+        reader = ByteReader(writer.getvalue())
+        assert reader.lp_bytes() == b"abc"
+        assert reader.lp_bytes() == b""
+
+    def test_length_prefixed_string_unicode(self):
+        writer = ByteWriter()
+        writer.lp_str("héllo — ATM")
+        assert ByteReader(writer.getvalue()).lp_str() == "héllo — ATM"
+
+    def test_network_byte_order(self):
+        writer = ByteWriter()
+        writer.u16(0x0102)
+        assert writer.getvalue() == b"\x01\x02"
+
+    def test_truncated_read_raises(self):
+        reader = ByteReader(b"\x00")
+        with pytest.raises(ValueError, match="truncated"):
+            reader.u32()
+
+    def test_rest_consumes_remainder(self):
+        reader = ByteReader(b"\x01rest-bytes")
+        reader.u8()
+        assert reader.rest() == b"rest-bytes"
+        assert reader.remaining() == 0
+
+    def test_len_tracks_written(self):
+        writer = ByteWriter()
+        writer.u32(1).raw(b"xyz")
+        assert len(writer) == 7
+
+
+class TestXdr:
+    def test_int_roundtrip_signed(self):
+        encoder = XdrEncoder()
+        encoder.pack_int(-42)
+        encoder.pack_int(42)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.unpack_int() == -42
+        assert decoder.unpack_int() == 42
+        assert decoder.done()
+
+    def test_hyper_and_double(self):
+        encoder = XdrEncoder()
+        encoder.pack_hyper(-(1 << 60))
+        encoder.pack_double(2.5)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.unpack_hyper() == -(1 << 60)
+        assert decoder.unpack_double() == 2.5
+
+    def test_opaque_padding_to_four_bytes(self):
+        encoder = XdrEncoder()
+        encoder.pack_opaque(b"abcde")  # 5 bytes -> 3 bytes pad
+        encoded = encoder.getvalue()
+        assert len(encoded) == 4 + 8  # length word + padded body
+        assert XdrDecoder(encoded).unpack_opaque() == b"abcde"
+
+    def test_opaque_multiple_of_four_unpadded(self):
+        encoder = XdrEncoder()
+        encoder.pack_opaque(b"abcd")
+        assert len(encoder.getvalue()) == 8
+
+    def test_string_roundtrip(self):
+        encoder = XdrEncoder()
+        encoder.pack_string("pvm3 message")
+        assert XdrDecoder(encoder.getvalue()).unpack_string() == "pvm3 message"
+
+    def test_mixed_stream(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint(9)
+        encoder.pack_opaque(b"xy")
+        encoder.pack_int(-1)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.unpack_uint() == 9
+        assert decoder.unpack_opaque() == b"xy"
+        assert decoder.unpack_int() == -1
+        assert decoder.done()

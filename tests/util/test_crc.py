@@ -1,0 +1,55 @@
+"""CRC generators: AAL5 CRC-32 and OAM CRC-10."""
+
+import zlib
+
+import pytest
+
+from repro.util.crc import crc10, crc10_bitwise, crc32_aal5, crc32_aal5_reference
+
+
+class TestCrc32:
+    def test_standard_check_value(self):
+        # The canonical CRC-32 check: crc("123456789") == 0xCBF43926.
+        assert crc32_aal5(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib(self):
+        data = bytes(range(256)) * 3
+        assert crc32_aal5(data) == zlib.crc32(data)
+
+    def test_fast_path_matches_reference(self):
+        for data in (b"", b"\x00", b"hello world", bytes(range(256))):
+            assert crc32_aal5(data) == crc32_aal5_reference(data)
+
+    def test_incremental_equals_whole(self):
+        a, b = b"first fragment", b"second fragment"
+        chained = crc32_aal5(b, crc32_aal5(a) ^ 0xFFFFFFFF)
+        assert chained == crc32_aal5(a + b)
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"payload under test")
+        original = crc32_aal5(bytes(data))
+        data[5] ^= 0x01
+        assert crc32_aal5(bytes(data)) != original
+
+    def test_empty_input(self):
+        assert crc32_aal5(b"") == 0  # zlib convention: crc of nothing
+
+
+class TestCrc10:
+    def test_table_matches_bitwise(self):
+        for data in (b"", b"\x00", b"\xff" * 4, b"OAM cell body", bytes(range(48))):
+            assert crc10(data) == crc10_bitwise(data)
+
+    def test_ten_bit_range(self):
+        for data in (b"x" * n for n in range(1, 20)):
+            assert 0 <= crc10(data) < 1024
+
+    def test_detects_corruption(self):
+        data = bytearray(b"\x6a" * 46)
+        original = crc10(bytes(data))
+        data[10] ^= 0x40
+        assert crc10(bytes(data)) != original
+
+    def test_chaining(self):
+        a, b = b"abcd", b"efgh"
+        assert crc10(b, crc10(a)) == crc10(a + b)

@@ -1,0 +1,103 @@
+"""Timing statistics: trimmed mean (paper methodology) and Welford."""
+
+import math
+import random
+
+import pytest
+
+from repro.util.stats import RunningStats, summarize, trimmed_mean
+
+
+class TestTrimmedMean:
+    def test_drops_best_and_worst(self):
+        # Paper §4.3: averaged "after discarding the best and worst".
+        samples = [5.0, 1.0, 100.0, 5.0, 5.0]
+        assert trimmed_mean(samples) == 5.0
+
+    def test_plain_mean_when_too_few(self):
+        assert trimmed_mean([3.0, 9.0]) == 6.0
+
+    def test_single_sample(self):
+        assert trimmed_mean([7.5]) == 7.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+    def test_wider_trim(self):
+        samples = [0.0, 1.0, 10.0, 10.0, 10.0, 99.0, 100.0]
+        assert trimmed_mean(samples, discard_each_end=2) == 10.0
+
+    def test_outliers_do_not_skew(self):
+        rng = random.Random(1)
+        samples = [1.0 + rng.random() * 0.01 for _ in range(98)]
+        samples += [50.0, 0.0001]  # a context-switch hiccup and a fluke
+        assert abs(trimmed_mean(samples) - 1.005) < 0.01
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        stats = RunningStats()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+
+    def test_min_max(self):
+        stats = RunningStats()
+        for value in (3.0, -1.0, 7.0):
+            stats.add(value)
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_empty_is_zeroed(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+        assert stats.count == 0
+
+    def test_single_value_zero_variance(self):
+        stats = RunningStats()
+        stats.add(42.0)
+        assert stats.variance == 0.0
+
+    def test_merge_matches_combined_stream(self):
+        rng = random.Random(7)
+        left_values = [rng.gauss(10, 2) for _ in range(50)]
+        right_values = [rng.gauss(20, 5) for _ in range(30)]
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        for value in left_values:
+            left.add(value)
+            combined.add(value)
+        for value in right_values:
+            right.add(value)
+            combined.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+
+    def test_merge_into_empty(self):
+        left, right = RunningStats(), RunningStats()
+        right.add(5.0)
+        right.add(7.0)
+        left.merge(right)
+        assert left.count == 2
+        assert left.mean == 6.0
+
+    def test_merge_empty_is_noop(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        stats.merge(RunningStats())
+        assert stats.count == 1
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.trimmed == 3.0
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.stddev > 0

@@ -1,0 +1,71 @@
+"""Token bucket for rate-based flow control."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+from repro.util.tokenbucket import TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=10, capacity=5, clock=VirtualClock())
+        assert bucket.tokens == 5
+
+    def test_consume_reduces_tokens(self):
+        bucket = TokenBucket(rate=10, capacity=5, clock=VirtualClock())
+        assert bucket.try_consume(3)
+        assert bucket.tokens == 2
+
+    def test_refuses_when_empty(self):
+        bucket = TokenBucket(rate=10, capacity=2, clock=VirtualClock())
+        assert bucket.try_consume(2)
+        assert not bucket.try_consume(1)
+
+    def test_refills_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=10, capacity=5, clock=clock)
+        bucket.try_consume(5)
+        clock.advance_by(0.3)  # 3 tokens refilled
+        assert bucket.tokens == pytest.approx(3.0)
+        assert bucket.try_consume(3)
+
+    def test_never_exceeds_capacity(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=100, capacity=4, clock=clock)
+        clock.advance_by(10.0)
+        assert bucket.tokens == 4
+
+    def test_time_until_available(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=10, capacity=5, clock=clock)
+        bucket.try_consume(5)
+        assert bucket.time_until_available(2) == pytest.approx(0.2)
+
+    def test_time_until_available_now(self):
+        bucket = TokenBucket(rate=10, capacity=5, clock=VirtualClock())
+        assert bucket.time_until_available(1) == 0.0
+
+    def test_unsatisfiable_request_is_infinite(self):
+        bucket = TokenBucket(rate=10, capacity=5, clock=VirtualClock())
+        assert bucket.time_until_available(6) == float("inf")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, capacity=0)
+        bucket = TokenBucket(rate=1, capacity=1, clock=VirtualClock())
+        with pytest.raises(ValueError):
+            bucket.try_consume(-1)
+
+    def test_pacing_sequence(self):
+        # Consuming one token per packet at twice the refill rate must
+        # alternate between success and a wait.
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=10, capacity=1, clock=clock)
+        sent = 0
+        for _ in range(20):
+            if bucket.try_consume(1):
+                sent += 1
+            clock.advance_by(0.05)  # half a token per step
+        assert sent == pytest.approx(10, abs=1)

@@ -1,0 +1,49 @@
+"""Event tracer."""
+
+from repro.util.clock import VirtualClock
+from repro.util.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_records_events_with_detail(self):
+        tracer = Tracer(VirtualClock(1.0))
+        tracer.emit("ec", "retransmit", seqno=3, msg_id=9)
+        (event,) = tracer.events
+        assert event.category == "ec"
+        assert event.name == "retransmit"
+        assert event.detail == {"seqno": 3, "msg_id": 9}
+        assert event.timestamp == 1.0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit("x", "y")
+        assert len(tracer) == 0
+
+    def test_select_by_category_and_name(self):
+        tracer = Tracer(VirtualClock())
+        tracer.emit("fc", "credit", n=1)
+        tracer.emit("fc", "stall")
+        tracer.emit("ec", "ack")
+        assert tracer.count("fc") == 2
+        assert tracer.count("fc", "stall") == 1
+        assert tracer.count(name="ack") == 1
+
+    def test_sink_receives_events(self):
+        seen = []
+        tracer = Tracer(VirtualClock())
+        tracer.add_sink(seen.append)
+        tracer.emit("a", "b")
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceEvent)
+
+    def test_clear(self):
+        tracer = Tracer(VirtualClock())
+        tracer.emit("a", "b")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_str_rendering(self):
+        event = TraceEvent(0.5, "node", "accepted", {"conn_id": 3})
+        rendered = str(event)
+        assert "node.accepted" in rendered
+        assert "conn_id=3" in rendered
