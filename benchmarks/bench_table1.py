@@ -13,10 +13,25 @@ from repro.core import ConnectionConfig, Node, NodeConfig
 
 
 @pytest.fixture(scope="module", autouse=True)
-def table(request):
-    results = table1.run(iterations=150, interface="sci")
+def profiled(request):
+    results, profiler = table1.run_profiled(iterations=150, interface="sci")
     emit(table1.format_results(results))
-    return results
+    emit(profiler.format_table())
+    return results, profiler
+
+
+@pytest.fixture(scope="module")
+def table(profiled):
+    return profiled[0]
+
+
+@pytest.fixture(scope="module")
+def bypass_profiler():
+    results, profiler = table1.run_profiled(
+        iterations=150, interface="sci", mode="bypass"
+    )
+    emit(profiler.format_table())
+    return profiler
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +60,33 @@ def test_table1_structure(table):
     """Session overhead is real and decomposed into its stages."""
     assert table["session overhead total"] > 0
     assert table["total"] > 0
+
+
+def test_send_stages_sum_to_total(profiled):
+    """The stage deltas telescope: their means must reproduce the mean
+    of the measured entry→transmitted total to within 10%."""
+    _results, profiler = profiled
+    stage_sum, total_mean = profiler.consistency("send")
+    assert total_mean > 0
+    assert abs(stage_sum - total_mean) / total_mean < 0.10
+
+
+def test_recv_stages_sum_to_total(profiled):
+    _results, profiler = profiled
+    stage_sum, total_mean = profiler.consistency("recv")
+    assert total_mean > 0
+    assert abs(stage_sum - total_mean) / total_mean < 0.10
+
+
+def test_bypass_breakdown(bypass_profiler):
+    """The §4.2 procedure variant has no context-switch stages and its
+    stage means still telescope to the measured total."""
+    breakdown = bypass_profiler.send_breakdown()
+    assert breakdown["total"] > 0
+    assert "context switch to Send Thread" not in breakdown
+    stage_sum, total_mean = bypass_profiler.consistency("send")
+    assert total_mean > 0
+    assert abs(stage_sum - total_mean) / total_mean < 0.10
 
 
 def test_one_byte_send_threaded(benchmark, table, live_pair):

@@ -48,3 +48,22 @@ def format_table(
 def series_ordering(series: Dict[str, float]) -> List[str]:
     """Names sorted fastest-first — the 'who wins' shape check."""
     return sorted(series, key=series.get)
+
+
+def dump_metrics_if_requested() -> str:
+    """Write the process metrics registry to ``$NCS_METRICS_DUMP``.
+
+    Benchmark mains call this on exit so a run launched with both
+    ``NCS_METRICS=1`` and ``NCS_METRICS_DUMP=path.json`` leaves a JSON
+    snapshot that ``repro.tools.ncs_stat --load`` can render offline.
+    Returns the path written, or "" when the variable is unset.
+    """
+    import os
+
+    path = os.environ.get("NCS_METRICS_DUMP", "").strip()
+    if not path:
+        return ""
+    from repro.obs.registry import get_registry
+
+    get_registry().dump(path)
+    return path

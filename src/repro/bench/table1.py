@@ -25,10 +25,11 @@ dominates 1-byte sends and washes out for large messages (Figure 11).
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.bench.runner import format_table
+from repro.bench.runner import dump_metrics_if_requested, format_table
 from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.obs.profiler import SEND_STAGES, OverheadProfiler
 
 #: The paper's published microsecond figures, for side-by-side output.
 PAPER_TABLE1_US = {
@@ -44,15 +45,60 @@ PAPER_TABLE1_US = {
     "Total": 383,
 }
 
-#: Ordered stage boundaries recorded by the instrumented send path.
-_STAGES = [
-    ("queue a message request", "entry", "queued"),
-    ("context switch to protocol thread", "queued", "dequeued"),
-    ("attach headers (segmentation)", "dequeued", "segmented"),
-    ("flow-control release", "segmented", "flow_released"),
-    ("context switch to Send Thread", "flow_released", "send_thread_dequeued"),
-    ("data transfer (interface send)", "send_thread_dequeued", "transmitted"),
-]
+#: Ordered stage boundaries recorded by the instrumented send path
+#: (shared with the generalized profiler in :mod:`repro.obs.profiler`).
+_STAGES = SEND_STAGES
+
+
+def run_profiled(
+    iterations: int = 200,
+    thread_package: str = "kernel",
+    interface: str = "sci",
+    mode: str = "threaded",
+) -> Tuple[Dict[str, float], OverheadProfiler]:
+    """Measure the per-stage costs of a 1-byte send.
+
+    Returns ``(results, profiler)``: median microseconds per stage plus
+    session/data totals, and the filled :class:`OverheadProfiler` (with
+    receive-side stages recorded at the consuming node) for consistency
+    checks and the recv breakdown.  SCI (BSD sockets) is the default
+    interface, matching the paper's measurement; pass
+    ``interface="hpi"`` to isolate pure threading costs with a near-free
+    data transfer, or ``mode="bypass"`` for the §4.2 procedure variant.
+    """
+    profiler = OverheadProfiler(mode=mode)
+    node_a = Node(NodeConfig(name="t1-a", thread_package=thread_package))
+    node_b = Node(NodeConfig(name="t1-b", thread_package=thread_package))
+    try:
+        node_b.accept_mode = mode
+        conn = node_a.connect(
+            node_b.address,
+            ConnectionConfig(interface=interface, flow_control="none",
+                             error_control="none", mode=mode),
+            peer_name="t1-b",
+        )
+        peer = node_b.accept(timeout=5.0)
+        peer.profiler = profiler
+        entry_to_exit: List[float] = []
+        for _ in range(iterations):
+            stamps: Dict[str, int] = {}
+            conn.send(b"x", instrument=stamps)
+            # Wait for the transmit to finish so every stamp exists.
+            deadline_ok = peer.recv(timeout=5.0)
+            if deadline_ok is not None and "transmitted" in stamps:
+                profiler.record_send(stamps)
+                if "exit" in stamps:
+                    entry_to_exit.append(
+                        (stamps["exit"] - stamps["entry"]) / 1000.0
+                    )
+        results = profiler.send_breakdown()
+        results["NCS_send entry/exit (caller visible)"] = (
+            statistics.median(entry_to_exit) if entry_to_exit else 0.0
+        )
+        return results, profiler
+    finally:
+        node_a.close()
+        node_b.close()
 
 
 def run(
@@ -60,59 +106,11 @@ def run(
     thread_package: str = "kernel",
     interface: str = "sci",
 ) -> Dict[str, float]:
-    """Measure the per-stage costs of a 1-byte threaded send.
-
-    Returns median microseconds per stage plus session/data totals.
-    SCI (BSD sockets) is the default interface, matching the paper's
-    measurement; pass ``interface="hpi"`` to isolate pure threading
-    costs with a near-free data transfer.
-    """
-    node_a = Node(NodeConfig(name="t1-a", thread_package=thread_package))
-    node_b = Node(NodeConfig(name="t1-b", thread_package=thread_package))
-    try:
-        conn = node_a.connect(
-            node_b.address,
-            ConnectionConfig(interface=interface, flow_control="none",
-                             error_control="none"),
-            peer_name="t1-b",
-        )
-        peer = node_b.accept(timeout=5.0)
-        samples: List[Dict[str, int]] = []
-        for _ in range(iterations):
-            stamps: Dict[str, int] = {}
-            conn.send(b"x", instrument=stamps)
-            # Wait for the transmit to finish so every stamp exists.
-            deadline_ok = peer.recv(timeout=5.0)
-            if deadline_ok is not None and "transmitted" in stamps:
-                samples.append(stamps)
-        results: Dict[str, float] = {}
-        for label, start, end in _STAGES:
-            deltas = [
-                (s[end] - s[start]) / 1000.0
-                for s in samples
-                if start in s and end in s and s[end] >= s[start]
-            ]
-            results[label] = statistics.median(deltas) if deltas else 0.0
-        entry_to_exit = [
-            (s["exit"] - s["entry"]) / 1000.0 for s in samples if "exit" in s
-        ]
-        results["NCS_send entry/exit (caller visible)"] = (
-            statistics.median(entry_to_exit) if entry_to_exit else 0.0
-        )
-        data = results["data transfer (interface send)"]
-        session = sum(
-            results[label] for label, _s, _e in _STAGES[:-1]
-        )
-        results["session overhead total"] = session
-        results["data transfer total"] = data
-        results["total"] = session + data
-        results["session fraction"] = (
-            session / (session + data) if (session + data) > 0 else 0.0
-        )
-        return results
-    finally:
-        node_a.close()
-        node_b.close()
+    """Historical entry point: the threaded-mode results dict alone."""
+    results, _profiler = run_profiled(
+        iterations=iterations, thread_package=thread_package, interface=interface
+    )
+    return results
 
 
 def format_results(results: Dict[str, float]) -> str:
@@ -139,7 +137,17 @@ def format_results(results: Dict[str, float]) -> str:
 
 
 def main() -> None:
-    print(format_results(run()))
+    results, profiler = run_profiled()
+    print(format_results(results))
+    stage_sum, total_mean = profiler.consistency("send")
+    print(
+        f"\nconsistency: send stage means sum to {stage_sum:.1f} us "
+        f"vs measured total {total_mean:.1f} us"
+    )
+    _bypass_results, bypass_profiler = run_profiled(mode="bypass")
+    print()
+    print(bypass_profiler.format_table())
+    dump_metrics_if_requested()
 
 
 if __name__ == "__main__":

@@ -104,6 +104,12 @@ class ConnectionConfig:
         )
 
 
+def _env_flag(name: str) -> bool:
+    import os
+
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 @dataclass
 class NodeConfig:
     """Node-level settings."""
@@ -116,5 +122,19 @@ class NodeConfig:
     hpi_fabric: object = None
     #: Timer thread tick (drives retransmission + rate pacing).
     timer_tick: float = 0.005
-    #: Enable the internal event tracer.
-    trace: bool = False
+    #: Enable the internal event tracer.  None defers to the NCS_TRACE
+    #: environment variable (documented in README), so examples and
+    #: benchmarks can switch tracing on without code edits.
+    trace: Optional[bool] = None
+    #: Publish runtime metrics into the process metrics registry.  None
+    #: defers to the NCS_METRICS environment variable.
+    metrics: Optional[bool] = None
+    #: Registry to publish into when metrics are on (None = the process
+    #: default from repro.obs).
+    metrics_registry: object = None
+
+    def trace_enabled(self) -> bool:
+        return self.trace if self.trace is not None else _env_flag("NCS_TRACE")
+
+    def metrics_enabled(self) -> bool:
+        return self.metrics if self.metrics is not None else _env_flag("NCS_METRICS")

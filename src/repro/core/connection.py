@@ -80,6 +80,27 @@ class Connection:
         self.interface = interface
         self._pkg = node.pkg
         self._clock = node.clock
+        self._tracer = node.tracer
+        #: Optional OverheadProfiler recording receive-path stage times.
+        self.profiler = None
+        self._metrics = node.metrics
+        if self._metrics is not None:
+            from repro.obs.registry import SIZE_BUCKETS
+
+            labels = {
+                "node": node.name,
+                "conn": str(conn_id),
+                "peer": peer_name,
+            }
+            self._h_send_size = self._metrics.histogram(
+                "ncs_send_message_bytes", buckets=SIZE_BUCKETS, **labels
+            )
+            self._h_recv_size = self._metrics.histogram(
+                "ncs_recv_message_bytes", buckets=SIZE_BUCKETS, **labels
+            )
+        else:
+            self._h_send_size = None
+            self._h_recv_size = None
 
         ec_options = {
             "retransmit_timeout": config.retransmit_timeout,
@@ -121,6 +142,8 @@ class Connection:
         # Statistics.
         self.messages_sent = 0
         self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self.frames_malformed = 0
 
         if config.mode == "threaded":
@@ -167,6 +190,16 @@ class Connection:
         with self._handles_lock:
             self._handles[msg_id] = handle
         self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        if self._h_send_size is not None:
+            self._h_send_size.observe(len(payload))
+        if self._tracer.enabled:
+            # Data-plane trace context: the msg_id emitted here reappears
+            # in the control plane when the peer's ACK/credit comes back.
+            self._tracer.emit(
+                "data", "send",
+                conn_id=self.conn_id, msg_id=msg_id, size=len(payload),
+            )
         if self.config.mode == "threaded":
             if instrument is not None:
                 # Stamp before the put: the protocol thread may dequeue
@@ -253,6 +286,45 @@ class Connection:
             stats["injected_drops"] = self.interface.injector.dropped
             stats["injected_corruptions"] = self.interface.injector.corrupted
         return stats
+
+    def metrics_totals(self) -> dict:
+        """Flat per-connection metric dict spanning every layer.
+
+        Keys are prefixed by plane/engine (``fc_tx_``, ``fc_rx_``,
+        ``ec_tx_``, ``ec_rx_``, ``if_``), matching the gauges the node's
+        metrics collector publishes at snapshot time.
+        """
+        totals = {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "frames_malformed": self.frames_malformed,
+        }
+        for prefix, engine in (
+            ("fc_tx", self.fc_sender),
+            ("fc_rx", self.fc_receiver),
+            ("ec_tx", self.ec_sender),
+            ("ec_rx", self.ec_receiver),
+        ):
+            for key, value in engine.metrics().items():
+                totals[f"{prefix}_{key}"] = value
+        interface_metrics = getattr(self.interface, "metrics", None)
+        if callable(interface_metrics):
+            for key, value in interface_metrics().items():
+                totals[f"if_{key}"] = value
+        return totals
+
+    def publish_metrics(self, registry) -> None:
+        """Publish this connection's totals as labelled gauges."""
+        labels = {
+            "node": self.node.name,
+            "conn": str(self.conn_id),
+            "peer": self.peer_name,
+        }
+        for key, value in self.metrics_totals().items():
+            if isinstance(value, (int, float)):
+                registry.gauge("ncs_conn_" + key, **labels).set(value)
 
     # ------------------------------------------------------------------
     # Control-plane entry points (called from node threads)
@@ -363,24 +435,46 @@ class Connection:
 
     def _process_frame(self, frame: bytes) -> None:
         """Receiver path shared by threaded and bypass modes."""
+        profiler = self.profiler
+        stamps = None
+        if profiler is not None:
+            stamps = {"recv_entry": time.perf_counter_ns()}
         try:
             sdu = Sdu.decode(frame)
         except HeaderError:
             self.frames_malformed += 1
             return
+        if stamps is not None:
+            stamps["decoded"] = time.perf_counter_ns()
         now = self._clock.now()
         # Fig. 4 steps 8-9: Receive Thread activates the Flow Control
         # Thread, which returns credit over the control connection...
         for pdu in self.fc_receiver.on_sdu(sdu, now):
             self.node.control_send(self.peer_link, pdu)
+        if stamps is not None:
+            stamps["fc_done"] = time.perf_counter_ns()
         # ...then the Error Control Thread reassembles and acknowledges.
         effects = self.ec_receiver.on_sdu(sdu, now)
         self._recv_gc_at = effects.timer_at
         for pdu in effects.controls:
             self.node.control_send(self.peer_link, pdu)
+        if stamps is not None:
+            stamps["ec_done"] = time.perf_counter_ns()
         for message in effects.deliveries:
             self.messages_received += 1
+            self.bytes_received += len(message)
+            if self._h_recv_size is not None:
+                self._h_recv_size.observe(len(message))
             self.recv_queue.put(message)
+        if effects.deliveries and self._tracer.enabled:
+            self._tracer.emit(
+                "data", "deliver",
+                conn_id=self.conn_id, msg_id=sdu.header.msg_id,
+                messages=len(effects.deliveries),
+            )
+        if stamps is not None:
+            stamps["delivered"] = time.perf_counter_ns()
+            profiler.record_recv(stamps)
 
     def _maybe_recv_gc(self) -> None:
         if self._recv_gc_at is None:
@@ -392,6 +486,7 @@ class Connection:
             for message in effects.deliveries:
                 # Ordered delivery released messages held behind a gap.
                 self.messages_received += 1
+                self.bytes_received += len(message)
                 self.recv_queue.put(message)
 
     # ------------------------------------------------------------------

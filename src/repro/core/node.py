@@ -53,7 +53,7 @@ from repro.protocol.pdus import (
 )
 from repro.threadpkg import make_thread_package
 from repro.util.clock import MonotonicClock
-from repro.util.trace import Tracer
+from repro.util.trace import Tracer, jsonl_sink_from_env
 
 _STOP = object()
 
@@ -83,7 +83,25 @@ class Node:
         self.name = config.name
         self.pkg = make_thread_package(config.thread_package)
         self.clock = MonotonicClock()
-        self.tracer = Tracer(self.clock, enabled=config.trace)
+        self.tracer = Tracer(self.clock, enabled=config.trace_enabled())
+        if self.tracer.enabled:
+            env_sink = jsonl_sink_from_env()
+            if env_sink is not None:
+                self.tracer.add_sink(env_sink)
+        #: Metrics registry this node publishes into (None = metrics off).
+        self.metrics = None
+        if config.metrics_enabled():
+            from repro.obs.registry import get_registry
+
+            self.metrics = config.metrics_registry or get_registry()
+            self.metrics.add_collector(self._collect_metrics)
+        #: Control PDUs queued for sending, by type name (plain-dict
+        #: counters: the Control Send path stays lock-free; the metrics
+        #: collector publishes them at snapshot time).
+        self._ctrl_pdu_sent: Dict[str, int] = {}
+        #: Aggregated totals of connections that have already closed, so
+        #: snapshots taken after teardown still see their traffic.
+        self._closed_conn_totals: Dict[str, float] = {}
         self.hpi_fabric: HpiFabric = config.hpi_fabric or DEFAULT_FABRIC
 
         self._listener = SciListener(config.host, config.control_port)
@@ -218,6 +236,17 @@ class Node:
 
     def control_send(self, link, pdu: ControlPdu) -> None:
         """Queue a PDU for the Control Send Thread."""
+        pdu_type = type(pdu).__name__
+        self._ctrl_pdu_sent[pdu_type] = self._ctrl_pdu_sent.get(pdu_type, 0) + 1
+        if self.tracer.enabled:
+            detail = {"type": pdu_type}
+            conn_id = getattr(pdu, "connection_id", None)
+            if conn_id is not None:
+                detail["conn_id"] = conn_id
+            msg_id = getattr(pdu, "msg_id", None)
+            if msg_id is not None:
+                detail["msg_id"] = msg_id
+            self.tracer.emit("control", "send", **detail)
         self._ctrl_chan.put((link, pdu))
 
     def control_link(self, peer: Tuple[str, int]):
@@ -232,6 +261,11 @@ class Node:
         self._closed = True
         for connection in self.connections():
             connection.close()
+        if self.metrics is not None:
+            # Final publish so post-run snapshots still see this node's
+            # traffic, then stop participating in future snapshots.
+            self._collect_metrics(self.metrics)
+            self.metrics.remove_collector(self._collect_metrics)
         self._ctrl_chan.put(_STOP)
         self._master_chan.put((_STOP, None))
         self._listener.close()
@@ -326,6 +360,20 @@ class Node:
 
     def _route_pdu(self, pdu: ControlPdu, link) -> None:
         if isinstance(pdu, (AckPdu, CumAckPdu, CreditPdu, ClosePdu)):
+            if self.tracer.enabled:
+                # Control-plane arrivals carry the trace context (msg_id)
+                # set by the sender's data plane, tying the two planes of
+                # one transfer together in the event stream.
+                if isinstance(pdu, (AckPdu, CumAckPdu)):
+                    self.tracer.emit(
+                        "control", "ack",
+                        conn_id=pdu.connection_id, msg_id=pdu.msg_id,
+                    )
+                elif isinstance(pdu, CreditPdu):
+                    self.tracer.emit(
+                        "control", "credit",
+                        conn_id=pdu.connection_id, credits=pdu.credits,
+                    )
             with self._conn_lock:
                 connection = self._connections.get(pdu.connection_id)
             if connection is not None:
@@ -519,6 +567,28 @@ class Node:
     # Internals
     # ------------------------------------------------------------------
 
+    def _collect_metrics(self, registry) -> None:
+        """Snapshot-time publisher (registered with the metrics registry).
+
+        Live connections publish per-connection gauges; connections that
+        already closed contribute to the node-level totals accumulated by
+        :meth:`_forget_connection`, so an end-of-run snapshot still shows
+        the full traffic picture.
+        """
+        for connection in self.connections():
+            connection.publish_metrics(registry)
+        registry.gauge("ncs_connections_open", node=self.name).set(
+            len(self.connections())
+        )
+        for pdu_type, count in list(self._ctrl_pdu_sent.items()):
+            registry.gauge(
+                "ncs_control_pdus_sent", node=self.name, type=pdu_type
+            ).set(count)
+        for key, value in list(self._closed_conn_totals.items()):
+            registry.gauge(
+                "ncs_closed_conn_total_" + key, node=self.name
+            ).set(value)
+
     def _new_conn_id(self) -> int:
         while True:
             conn_id = random.getrandbits(32)
@@ -529,4 +599,10 @@ class Node:
 
     def _forget_connection(self, conn_id: int) -> None:
         with self._conn_lock:
-            self._connections.pop(conn_id, None)
+            connection = self._connections.pop(conn_id, None)
+        if connection is not None and self.metrics is not None:
+            for key, value in connection.metrics_totals().items():
+                if isinstance(value, (int, float)):
+                    self._closed_conn_totals[key] = (
+                        self._closed_conn_totals.get(key, 0) + value
+                    )

@@ -61,6 +61,11 @@ class SenderErrorControl(ABC):
     def idle(self) -> bool:
         return self.inflight_count() == 0
 
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector (subclasses
+        extend; values must be plain numbers)."""
+        return {"inflight": self.inflight_count()}
+
 
 class ReceiverErrorControl(ABC):
     """Receiver-side error control engine for one connection."""
@@ -74,3 +79,7 @@ class ReceiverErrorControl(ABC):
     def on_timer(self, now: float) -> Effects:
         """Periodic housekeeping (unreliable engines GC stale state)."""
         return Effects()
+
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector."""
+        return {"acks_sent": getattr(self, "acks_sent", 0)}

@@ -58,6 +58,8 @@ class GoBackNSender(SenderErrorControl):
         self.max_retries = max_retries
         self._outgoing: Dict[int, _GbnMessage] = {}
         self.retransmitted_sdus = 0
+        self.rewinds = 0
+        self.duplicate_acks = 0
 
     def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
         if msg_id in self._outgoing:
@@ -84,10 +86,15 @@ class GoBackNSender(SenderErrorControl):
             return Effects(timer_at=self._next_deadline())
         state = self._outgoing.get(pdu.msg_id)
         if state is None:
+            self.duplicate_acks += 1
             return Effects(timer_at=self._next_deadline())
         if pdu.next_expected > state.base:
             state.base = pdu.next_expected
             state.attempts = 1  # forward progress resets the retry budget
+        else:
+            # Cumulative ACK with no new progress (lost or reordered SDU
+            # at the receiver): the classic go-back-N dup-ACK signal.
+            self.duplicate_acks += 1
         if state.base >= len(state.sdus):
             del self._outgoing[pdu.msg_id]
             return Effects(completed=[pdu.msg_id], timer_at=self._next_deadline())
@@ -106,6 +113,7 @@ class GoBackNSender(SenderErrorControl):
                 continue
             # Rewind: retransmit everything from the base.
             resend = state.sdus[state.base : state.next_seq]
+            self.rewinds += 1
             self.retransmitted_sdus += len(resend)
             effects.transmits.extend(resend)
             state.deadline = now + self.retransmit_timeout
@@ -123,6 +131,14 @@ class GoBackNSender(SenderErrorControl):
         if not self._outgoing:
             return None
         return min(state.deadline for state in self._outgoing.values())
+
+    def metrics(self) -> dict:
+        return {
+            "inflight": len(self._outgoing),
+            "retransmitted_sdus": self.retransmitted_sdus,
+            "rewinds": self.rewinds,
+            "duplicate_acks": self.duplicate_acks,
+        }
 
 
 class GoBackNReceiver(ReceiverErrorControl):
@@ -183,3 +199,9 @@ class GoBackNReceiver(ReceiverErrorControl):
     def _ack_value(self, msg_id: int, next_expected: int) -> CumAckPdu:
         self.acks_sent += 1
         return CumAckPdu(self.connection_id, msg_id, next_expected)
+
+    def metrics(self) -> dict:
+        return {
+            "acks_sent": self.acks_sent,
+            "discarded_out_of_order": self.discarded_out_of_order,
+        }

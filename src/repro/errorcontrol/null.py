@@ -71,3 +71,9 @@ class NullReceiver(ReceiverErrorControl):
         if self._reassembler.inflight_count:
             effects.timer_at = now + self._gc_timeout
         return effects
+
+    def metrics(self) -> dict:
+        return {
+            "dropped_messages": self.dropped_messages,
+            "partial_inflight": self._reassembler.inflight_count,
+        }

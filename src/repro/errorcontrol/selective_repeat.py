@@ -73,6 +73,7 @@ class SelectiveRepeatSender(SenderErrorControl):
         self._outgoing: Dict[int, _OutgoingMessage] = {}
         self.retransmitted_sdus = 0
         self.full_retransmits = 0
+        self.duplicate_acks = 0
 
     def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
         if msg_id in self._outgoing:
@@ -92,6 +93,7 @@ class SelectiveRepeatSender(SenderErrorControl):
         state = self._outgoing.get(pdu.msg_id)
         if state is None:
             # ACK for a message we already completed (duplicate ACK).
+            self.duplicate_acks += 1
             return Effects(timer_at=self._next_deadline())
         pending = tuple(pdu.bitmap.pending())
         if not pending:
@@ -106,6 +108,7 @@ class SelectiveRepeatSender(SenderErrorControl):
             pending == state.last_pending
             and now - state.last_selective_at < self.retransmit_timeout / 2
         ):
+            self.duplicate_acks += 1
             return Effects(timer_at=self._next_deadline())
         state.ack_rounds += 1
         if state.ack_rounds > max(32, 4 * self.max_retries):
@@ -151,6 +154,14 @@ class SelectiveRepeatSender(SenderErrorControl):
             return None
         return min(state.deadline for state in self._outgoing.values())
 
+    def metrics(self) -> dict:
+        return {
+            "inflight": len(self._outgoing),
+            "retransmitted_sdus": self.retransmitted_sdus,
+            "full_retransmits": self.full_retransmits,
+            "duplicate_acks": self.duplicate_acks,
+        }
+
 
 class SelectiveRepeatReceiver(ReceiverErrorControl):
     """Receiver half of the selective-repeat engine."""
@@ -167,6 +178,10 @@ class SelectiveRepeatReceiver(ReceiverErrorControl):
         #: message must not be overtaken by its successors.
         self._ordering = OrderedDelivery(gap_timeout=delivery_gap_timeout)
         self.acks_sent = 0
+        #: Sum over all ACKs of bits still pending in the bitmap — divide
+        #: by acks_sent for mean bitmap occupancy (Fig. 6 retransmission
+        #: pressure; 0 everywhere on a clean wire).
+        self.bitmap_pending_total = 0
 
     @property
     def corrupted_count(self) -> int:
@@ -213,4 +228,13 @@ class SelectiveRepeatReceiver(ReceiverErrorControl):
     def _ack(self, msg_id: int, total_sdus: int) -> AckPdu:
         bitmap = self._reassembler.bitmap_for(msg_id, total_sdus)
         self.acks_sent += 1
+        self.bitmap_pending_total += len(bitmap.pending())
         return AckPdu(self.connection_id, msg_id, bitmap)
+
+    def metrics(self) -> dict:
+        return {
+            "acks_sent": self.acks_sent,
+            "bitmap_pending_total": self.bitmap_pending_total,
+            "corrupted": self._reassembler.corrupted_count,
+            "duplicates": self._reassembler.duplicate_count,
+        }

@@ -48,6 +48,11 @@ class SenderFlowControl(ABC):
     def idle(self) -> bool:
         return self.queued() == 0
 
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector (subclasses
+        extend; values must be plain numbers)."""
+        return {"queued": self.queued()}
+
 
 class ReceiverFlowControl(ABC):
     """Receiver-side flow control engine for one connection."""
@@ -57,3 +62,7 @@ class ReceiverFlowControl(ABC):
     @abstractmethod
     def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
         """Observe an arriving SDU; return credit PDUs to send back."""
+
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector."""
+        return {"packets_seen": getattr(self, "packets_seen", 0)}

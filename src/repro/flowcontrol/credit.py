@@ -64,6 +64,11 @@ class CreditSender(SenderFlowControl):
         self.total_granted = initial_credits
         self.resyncs = 0
         self.peak_queue = 0
+        #: pull() calls that found packets gated behind zero credits.
+        self.blocked_pulls = 0
+        #: Cumulative seconds spent stalled at zero credits with work
+        #: queued — the paper's "flow control wait" made visible.
+        self.stall_seconds = 0.0
 
     @property
     def credits(self) -> int:
@@ -74,8 +79,14 @@ class CreditSender(SenderFlowControl):
         self._queue.extend(sdus)
         self.peak_queue = max(self.peak_queue, len(self._queue))
 
+    def _end_stall(self, now: float) -> None:
+        if self._stalled_since is not None:
+            self.stall_seconds += max(0.0, now - self._stalled_since)
+            self._stalled_since = None
+
     def pull(self, now: float) -> List[Sdu]:
         if self._queue and self._credits == 0:
+            self.blocked_pulls += 1
             if self._stalled_since is None:
                 self._stalled_since = now
             elif now - self._stalled_since >= self.resync_timeout - 1e-9:
@@ -83,20 +94,20 @@ class CreditSender(SenderFlowControl):
                 # fire at a timestamp that rounds a hair below the deadline)
                 self._credits = self.initial_credits
                 self.resyncs += 1
-                self._stalled_since = None
+                self._end_stall(now)
         released: List[Sdu] = []
         while self._queue and self._credits > 0:
             released.append(self._queue.popleft())
             self._credits -= 1
         if released or not self._queue:
-            self._stalled_since = None
+            self._end_stall(now)
         return released
 
     def on_control(self, pdu: ControlPdu, now: float) -> None:
         if isinstance(pdu, CreditPdu) and pdu.connection_id == self.connection_id:
             self._credits += pdu.credits
             self.total_granted += pdu.credits
-            self._stalled_since = None
+            self._end_stall(now)
 
     def queued(self) -> int:
         return len(self._queue)
@@ -107,6 +118,17 @@ class CreditSender(SenderFlowControl):
             since = self._stalled_since if self._stalled_since is not None else now
             return since + self.resync_timeout
         return None
+
+    def metrics(self) -> dict:
+        return {
+            "queued": len(self._queue),
+            "credits": self._credits,
+            "credits_granted": self.total_granted,
+            "resyncs": self.resyncs,
+            "peak_queue": self.peak_queue,
+            "blocked_pulls": self.blocked_pulls,
+            "stall_seconds": self.stall_seconds,
+        }
 
 
 class CreditReceiver(ReceiverFlowControl):
@@ -143,6 +165,7 @@ class CreditReceiver(ReceiverFlowControl):
         self._window_start: float | None = None
         self.packets_seen = 0
         self.bonus_grants = 0
+        self.credits_granted = 0
 
     def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
         if sdu.header.connection_id != self.connection_id:
@@ -167,4 +190,13 @@ class CreditReceiver(ReceiverFlowControl):
                 self.allotment = max(self.initial_credits, self.allotment // 2)
             self._since_adjust = 0
             self._window_start = now
+        self.credits_granted += sum(g.credits for g in grants)
         return grants
+
+    def metrics(self) -> dict:
+        return {
+            "packets_seen": self.packets_seen,
+            "allotment": self.allotment,
+            "bonus_grants": self.bonus_grants,
+            "credits_granted": self.credits_granted,
+        }

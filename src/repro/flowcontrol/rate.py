@@ -50,6 +50,8 @@ class RateSender(SenderFlowControl):
         self._clock = _ExternalClock()
         self._bucket = TokenBucket(rate_pps, burst, clock=self._clock)
         self._queue: deque = deque()
+        self.packets_released = 0
+        self.throttled_pulls = 0
 
     def offer(self, sdus: List[Sdu]) -> None:
         self._queue.extend(sdus)
@@ -59,6 +61,9 @@ class RateSender(SenderFlowControl):
         released: List[Sdu] = []
         while self._queue and self._bucket.try_consume(1.0):
             released.append(self._queue.popleft())
+        self.packets_released += len(released)
+        if self._queue:
+            self.throttled_pulls += 1
         return released
 
     def on_control(self, pdu: ControlPdu, now: float) -> None:
@@ -74,6 +79,13 @@ class RateSender(SenderFlowControl):
         self._clock.set(now)
         wait = self._bucket.time_until_available(1.0)
         return now + wait
+
+    def metrics(self) -> dict:
+        return {
+            "queued": len(self._queue),
+            "packets_released": self.packets_released,
+            "throttled_pulls": self.throttled_pulls,
+        }
 
 
 class RateReceiver(ReceiverFlowControl):

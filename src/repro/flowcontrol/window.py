@@ -38,6 +38,8 @@ class WindowSender(SenderFlowControl):
         self._queue: deque = deque()
         self._stalled_since: float | None = None
         self.stall_recoveries = 0
+        self.blocked_pulls = 0
+        self.stall_seconds = 0.0
 
     @property
     def outstanding(self) -> int:
@@ -46,8 +48,14 @@ class WindowSender(SenderFlowControl):
     def offer(self, sdus: List[Sdu]) -> None:
         self._queue.extend(sdus)
 
+    def _end_stall(self, now: float) -> None:
+        if self._stalled_since is not None:
+            self.stall_seconds += max(0.0, now - self._stalled_since)
+            self._stalled_since = None
+
     def pull(self, now: float) -> List[Sdu]:
         if self._queue and self._outstanding >= self.window_size:
+            self.blocked_pulls += 1
             if self._stalled_since is None:
                 self._stalled_since = now
             elif now - self._stalled_since >= self.STALL_RECOVERY_TIMEOUT - 1e-9:
@@ -57,19 +65,19 @@ class WindowSender(SenderFlowControl):
                 # wire; reopen the window rather than deadlock.
                 self._outstanding = 0
                 self.stall_recoveries += 1
-                self._stalled_since = None
+                self._end_stall(now)
         released: List[Sdu] = []
         while self._queue and self._outstanding < self.window_size:
             released.append(self._queue.popleft())
             self._outstanding += 1
         if released or not self._queue:
-            self._stalled_since = None
+            self._end_stall(now)
         return released
 
     def on_control(self, pdu: ControlPdu, now: float) -> None:
         if isinstance(pdu, CreditPdu) and pdu.connection_id == self.connection_id:
             self._outstanding = max(0, self._outstanding - pdu.credits)
-            self._stalled_since = None
+            self._end_stall(now)
 
     def queued(self) -> int:
         return len(self._queue)
@@ -80,6 +88,15 @@ class WindowSender(SenderFlowControl):
             since = self._stalled_since if self._stalled_since is not None else now
             return since + self.STALL_RECOVERY_TIMEOUT
         return None
+
+    def metrics(self) -> dict:
+        return {
+            "queued": len(self._queue),
+            "outstanding": self._outstanding,
+            "stall_recoveries": self.stall_recoveries,
+            "blocked_pulls": self.blocked_pulls,
+            "stall_seconds": self.stall_seconds,
+        }
 
 
 class WindowReceiver(ReceiverFlowControl):

@@ -49,6 +49,8 @@ class AciInterface(CommInterface):
         self._lock = threading.Lock()
         self.sent_frames = 0
         self.received_frames = 0
+        self.sent_bytes = 0
+        self.received_bytes = 0
         self.host, self.port = sock.getsockname()[:2]
 
     def bind_peer(self, host: str, port: int) -> None:
@@ -66,6 +68,7 @@ class AciInterface(CommInterface):
         except OSError as exc:
             raise InterfaceClosed(f"datagram send failed: {exc}") from exc
         self.sent_frames += 1
+        self.sent_bytes += len(frame)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         if self._closed:
@@ -80,6 +83,7 @@ class AciInterface(CommInterface):
                 raise InterfaceClosed("recv on closed interface") from exc
             raise InterfaceClosed(f"datagram recv failed: {exc}") from exc
         self.received_frames += 1
+        self.received_bytes += len(frame)
         return frame
 
     def try_recv(self) -> Optional[bytes]:
@@ -95,6 +99,7 @@ class AciInterface(CommInterface):
                 raise InterfaceClosed("recv on closed interface") from exc
             raise InterfaceClosed(f"datagram recv failed: {exc}") from exc
         self.received_frames += 1
+        self.received_bytes += len(frame)
         return frame
 
     def close(self) -> None:

@@ -61,6 +61,17 @@ class CommInterface(ABC):
                 f"interface maximum of {self.max_frame}"
             )
 
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector.  Concrete
+        interfaces all keep frame/byte counters; the defaults read them
+        via getattr so decorators and test doubles stay valid."""
+        return {
+            "sent_frames": getattr(self, "sent_frames", 0),
+            "received_frames": getattr(self, "received_frames", 0),
+            "sent_bytes": getattr(self, "sent_bytes", 0),
+            "received_bytes": getattr(self, "received_bytes", 0),
+        }
+
 
 @dataclass
 class FaultInjector:
@@ -132,3 +143,9 @@ class FaultyInterface(CommInterface):
     @property
     def closed(self) -> bool:
         return self._inner.closed
+
+    def metrics(self) -> dict:
+        inner = self._inner.metrics()
+        inner["injected_drops"] = self.injector.dropped
+        inner["injected_corruptions"] = self.injector.corrupted
+        return inner

@@ -38,6 +38,11 @@ class QueueInterface(CommInterface):
         self._closed = False
         self.sent_frames = 0
         self.received_frames = 0
+        self.sent_bytes = 0
+        self.received_bytes = 0
+        #: High-water mark of the *peer-bound* queue at our send time —
+        #: the in-process analogue of transmit-queue depth.
+        self.peak_tx_queue_depth = 0
 
     def send(self, frame: bytes) -> None:
         if self._closed:
@@ -47,8 +52,11 @@ class QueueInterface(CommInterface):
             if self._state.open_ends < 2:
                 raise InterfaceClosed("peer endpoint is closed")
             # Our peer reads from the queue indexed by the *other* side.
-            self._state.queues[1 - self._side].append(bytes(frame))
+            peer_queue = self._state.queues[1 - self._side]
+            peer_queue.append(bytes(frame))
             self.sent_frames += 1
+            self.sent_bytes += len(frame)
+            self.peak_tx_queue_depth = max(self.peak_tx_queue_depth, len(peer_queue))
             self._state.cond.notify_all()
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
@@ -67,15 +75,30 @@ class QueueInterface(CommInterface):
                         return None
                 self._state.cond.wait(remaining if remaining is not None else 0.1)
             self.received_frames += 1
-            return queue.popleft()
+            frame = queue.popleft()
+            self.received_bytes += len(frame)
+            return frame
 
     def try_recv(self) -> Optional[bytes]:
         with self._state.cond:
             queue = self._state.queues[self._side]
             if queue:
                 self.received_frames += 1
-                return queue.popleft()
+                frame = queue.popleft()
+                self.received_bytes += len(frame)
+                return frame
             return None
+
+    def rx_queue_depth(self) -> int:
+        """Frames waiting in our receive queue right now."""
+        with self._state.cond:
+            return len(self._state.queues[self._side])
+
+    def metrics(self) -> dict:
+        data = super().metrics()
+        data["rx_queue_depth"] = self.rx_queue_depth()
+        data["peak_tx_queue_depth"] = self.peak_tx_queue_depth
+        return data
 
     def close(self) -> None:
         if self._closed:

@@ -38,6 +38,8 @@ class SciInterface(CommInterface):
         self._closed = False
         self.sent_frames = 0
         self.received_frames = 0
+        self.sent_bytes = 0
+        self.received_bytes = 0
 
     def peer_address(self) -> tuple:
         """The remote (host, port) of the underlying TCP stream."""
@@ -56,6 +58,7 @@ class SciInterface(CommInterface):
             except OSError as exc:
                 raise InterfaceClosed(f"peer connection lost: {exc}") from exc
         self.sent_frames += 1
+        self.sent_bytes += _LEN_SIZE + len(frame)
 
     # -- receiving -----------------------------------------------------------
 
@@ -83,6 +86,7 @@ class SciInterface(CommInterface):
         if frame is None:
             raise InterfaceClosed("peer closed mid-frame")
         self.received_frames += 1
+        self.received_bytes += _LEN_SIZE + len(frame)
         return frame
 
     def _read_exact(self, count: int, timeout: Optional[float]) -> Optional[bytes]:

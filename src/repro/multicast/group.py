@@ -88,6 +88,9 @@ class GroupManager:
         node.accept_router = self._route_accepted
         self.multicasts_sent = 0
         self.envelopes_forwarded = 0
+        #: Sum of per-multicast target counts: divide by multicasts_sent
+        #: for the mean first-hop fan-out of the chosen algorithm.
+        self.fanout_total = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -182,6 +185,16 @@ class GroupManager:
             connection = self._data_conn(member)
             handles.append(connection.send(frame))
         self.multicasts_sent += 1
+        self.fanout_total += len(targets)
+        if self.node.tracer.enabled:
+            self.node.tracer.emit(
+                "multicast",
+                "fanout",
+                group=group,
+                algorithm=algorithm,
+                targets=len(targets),
+                size=len(payload),
+            )
         if wait:
             for handle in handles:
                 handle.wait(timeout)
@@ -415,6 +428,14 @@ class GroupManager:
         for child in children:
             self._data_conn(child).send(frame)
             self.envelopes_forwarded += 1
+        if children and self.node.tracer.enabled:
+            self.node.tracer.emit(
+                "multicast",
+                "forward",
+                group=base_group,
+                origin=envelope.origin,
+                children=len(children),
+            )
 
     def recv_tagged(
         self, wire_group: str, timeout: Optional[float] = None
@@ -427,6 +448,19 @@ class GroupManager:
             return None
 
     # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Observable counters for the metrics collector."""
+        with self._lock:
+            groups = len(self._views)
+            data_conns = len(self._data_conns)
+        return {
+            "groups": groups,
+            "data_connections": data_conns,
+            "multicasts_sent": self.multicasts_sent,
+            "envelopes_forwarded": self.envelopes_forwarded,
+            "fanout_total": self.fanout_total,
+        }
 
     def close(self) -> None:
         """Drop group state (connections are owned by the node)."""

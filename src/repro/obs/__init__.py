@@ -1,0 +1,47 @@
+"""Observability: metrics registry, overhead profiler, trace export.
+
+The unified measurement layer for the NCS reproduction.  Components
+publish to a :class:`MetricsRegistry` (counters / gauges / histograms
+with per-connection labels), :class:`OverheadProfiler` reproduces the
+paper's Table 1 per-stage overhead decomposition on live traffic, and
+the trace sinks in :mod:`repro.util.trace` export the event stream as
+JSONL or Chrome ``trace_event`` JSON.
+"""
+
+from repro.obs.profiler import (
+    BYPASS_SEND_STAGES,
+    OverheadProfiler,
+    RECV_STAGES,
+    SEND_STAGES,
+    profile_echo,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    format_snapshot,
+    get_registry,
+    set_registry,
+)
+
+__all__ = [
+    "BYPASS_SEND_STAGES",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GLOBAL_REGISTRY",
+    "Histogram",
+    "MetricsRegistry",
+    "OverheadProfiler",
+    "RECV_STAGES",
+    "SEND_STAGES",
+    "SIZE_BUCKETS",
+    "format_snapshot",
+    "get_registry",
+    "profile_echo",
+    "set_registry",
+]

@@ -1,0 +1,370 @@
+"""Thread-safe metrics registry: counters, gauges, histograms, labels.
+
+The measurement backbone the paper's evaluation implies but our seed
+only sketched: every layer (flow control, error control, interfaces,
+multicast, the simulator kernel) publishes named metrics here, tagged
+with per-connection / per-plane labels, and ``snapshot()`` renders one
+coherent picture — the live-runtime analogue of Table 1's "measure the
+inside, not just the stopwatch" methodology.
+
+Design rules:
+
+* **Cheap when off.**  A disabled registry hands out shared null
+  instruments whose ``inc``/``set``/``observe`` are single-statement
+  no-ops, so instrumented hot paths cost one attribute call.
+* **Thread-safe when on.**  Every instrument guards its state with its
+  own lock; the registry guards its instrument table with another.
+  Engines that are already serialized by the protocol thread instead
+  keep plain ``int`` counters and publish them through *collectors* at
+  snapshot time (zero hot-path cost).
+* **Histograms** combine fixed buckets (for quantile estimates via
+  linear interpolation) with :class:`~repro.util.stats.RunningStats`
+  (for exact streaming mean/stddev/min/max).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.stats import RunningStats, Summary
+
+#: Default histogram buckets: latencies in seconds from 1 us to 10 s.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+#: Byte-size buckets for message/frame size histograms.
+SIZE_BUCKETS = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins value (queue depths, credit pools, ...)."""
+
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram plus streaming summary statistics."""
+
+    __slots__ = ("name", "labels", "buckets", "_lock", "_counts", "_stats")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        # One slot per bucket upper bound, plus the +inf overflow slot.
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._stats = RunningStats()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._stats.add(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._stats.count
+
+    def bucket_counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def summary(self) -> Summary:
+        with self._lock:
+            return self._stats.summary()
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile from the bucket counts.
+
+        Linear interpolation inside the owning bucket; values past the
+        last bound are clamped to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        with self._lock:
+            total = self._stats.count
+            if total == 0:
+                return 0.0
+            target = q * total
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= target and count:
+                    if index >= len(self.buckets):
+                        return self._stats.maximum
+                    upper = self.buckets[index]
+                    lower = (
+                        self.buckets[index - 1]
+                        if index > 0
+                        else min(self._stats.minimum, upper)
+                    )
+                    fraction = (target - (cumulative - count)) / count
+                    return lower + (upper - lower) * fraction
+            return self._stats.maximum
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Process-wide (or per-test) home for named, labelled instruments."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, str, LabelKey], object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instrument factories ------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        key = ("histogram", name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(name, labels, buckets)
+                self._metrics[key] = metric
+            return metric  # type: ignore[return-value]
+
+    def _get(self, kind: str, factory, name: str, labels: Dict[str, str]):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, labels)
+                self._metrics[key] = metric
+            return metric
+
+    # -- collectors ----------------------------------------------------------
+
+    def add_collector(self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run at snapshot time.
+
+        Collectors let components that keep cheap plain-``int`` counters
+        (protocol engines, interfaces) publish them lazily instead of
+        paying registry locks on the hot path.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def remove_collector(self, collector) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    # -- introspection -------------------------------------------------------
+
+    def cardinality(self, name: Optional[str] = None) -> int:
+        """Number of distinct instruments (optionally for one name)."""
+        with self._lock:
+            if name is None:
+                return len(self._metrics)
+            return sum(1 for (_k, n, _l) in self._metrics if n == name)
+
+    def snapshot(self) -> dict:
+        """Run collectors, then render every instrument to plain data."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+        out: dict = {"counters": [], "gauges": [], "histograms": []}
+        with self._lock:
+            metrics = list(self._metrics.items())
+        for (kind, name, _labels), metric in sorted(
+            metrics, key=lambda item: (item[0][1], item[0][2])
+        ):
+            if kind == "histogram":
+                summary = metric.summary()
+                out["histograms"].append(
+                    {
+                        "name": name,
+                        "labels": metric.labels,
+                        "count": summary.count,
+                        "mean": summary.mean,
+                        "stddev": summary.stddev,
+                        "min": summary.minimum,
+                        "max": summary.maximum,
+                        "p50": metric.quantile(0.5),
+                        "p99": metric.quantile(0.99),
+                        "buckets": dict(
+                            zip(
+                                [str(b) for b in metric.buckets] + ["+inf"],
+                                metric.bucket_counts(),
+                            )
+                        ),
+                    }
+                )
+            else:
+                out[kind + "s"].append(
+                    {"name": name, "labels": metric.labels, "value": metric.value}
+                )
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def dump(self, path: str) -> None:
+        """Write a JSON snapshot for offline tools (``ncs_stat``)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=2))
+
+    def format_text(self) -> str:
+        """Human-readable snapshot (the ``ncs_stat`` rendering)."""
+        return format_snapshot(self.snapshot())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
+
+
+def format_snapshot(snap: dict) -> str:
+    """Render a ``snapshot()``-shaped dict (live or loaded from JSON)."""
+    lines: List[str] = []
+
+    def label_str(labels: Dict[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return "{" + inner + "}"
+
+    for kind in ("counters", "gauges"):
+        if snap.get(kind):
+            lines.append(f"# {kind}")
+            for metric in snap[kind]:
+                value = metric["value"]
+                rendered = (
+                    f"{value:.6g}" if isinstance(value, float) else str(value)
+                )
+                lines.append(
+                    f"{metric['name']}{label_str(metric['labels'])} {rendered}"
+                )
+    if snap.get("histograms"):
+        lines.append("# histograms")
+        for metric in snap["histograms"]:
+            lines.append(
+                f"{metric['name']}{label_str(metric['labels'])} "
+                f"count={metric['count']} mean={metric['mean']:.6g} "
+                f"p50={metric['p50']:.6g} p99={metric['p99']:.6g} "
+                f"max={metric['max']:.6g}"
+            )
+    return "\n".join(lines) if lines else "(registry is empty)"
+
+
+#: Process-wide default registry.  Starts enabled: instruments are only
+#: created by components that were themselves switched on (NodeConfig
+#: ``metrics`` / NCS_METRICS), so an unused registry costs nothing.
+GLOBAL_REGISTRY = MetricsRegistry(enabled=True)
+
+
+def get_registry() -> MetricsRegistry:
+    return GLOBAL_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process default (tests); returns the previous one."""
+    global GLOBAL_REGISTRY
+    previous = GLOBAL_REGISTRY
+    GLOBAL_REGISTRY = registry
+    return previous

@@ -4,7 +4,9 @@
   connection;
 * ``python -m repro.tools.echo_client`` — connect, sweep message sizes,
   print a latency table (the paper's §4.3 echo benchmark, live);
-* ``python -m repro.tools.ping`` — one-shot reachability + RTT probe.
+* ``python -m repro.tools.ping`` — one-shot reachability + RTT probe;
+* ``python -m repro.tools.ncs_stat`` — render runtime metrics snapshots
+  and trace summaries (see :mod:`repro.obs`).
 
 These give the library a multi-process story: the test suite runs
 everything in one process for determinism, but the wire protocol is

@@ -1,0 +1,168 @@
+"""ncs_stat — render NCS runtime metrics and trace summaries.
+
+Three modes:
+
+* **demo** (default, no arguments): run a short in-process echo exchange
+  with metrics enabled and print the resulting registry snapshot.  The
+  registry is per-process, so this is the quickest way to see every
+  metric the runtime publishes — per-connection byte/message gauges,
+  flow/error-control engine counters, control-plane PDU counts, and the
+  message-size histograms.
+* **--load FILE**: pretty-print a JSON snapshot written earlier via
+  ``MetricsRegistry.dump`` (benchmarks write one automatically when
+  ``NCS_METRICS_DUMP=path.json`` is set — see
+  :func:`repro.bench.runner.dump_metrics_if_requested`).
+* **--trace FILE**: summarize a JSONL trace file produced by
+  ``NCS_TRACE=1`` (event counts per category/name plus the distinct
+  message ids seen in each plane).
+
+Examples::
+
+    python -m repro.tools.ncs_stat
+    python -m repro.tools.ncs_stat --json --iterations 200 --size 4096
+    NCS_METRICS=1 NCS_METRICS_DUMP=run.json python examples/quickstart.py
+    python -m repro.tools.ncs_stat --load run.json
+    NCS_TRACE=1 python examples/quickstart.py
+    python -m repro.tools.ncs_stat --trace ncs_trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, format_snapshot
+
+
+def run_echo_demo(
+    iterations: int = 50,
+    payload_size: int = 1024,
+    interface: str = "sci",
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """One metrics-enabled echo session between two in-process nodes."""
+    from repro.core import ConnectionConfig, Node, NodeConfig
+
+    registry = registry or MetricsRegistry(enabled=True)
+    node_a = Node(
+        NodeConfig(name="stat-a", metrics=True, metrics_registry=registry)
+    )
+    node_b = Node(
+        NodeConfig(name="stat-b", metrics=True, metrics_registry=registry)
+    )
+    try:
+        conn = node_a.connect(
+            node_b.address,
+            ConnectionConfig(interface=interface),
+            peer_name="stat-b",
+        )
+        peer = node_b.accept(timeout=5.0)
+        payload = bytes(payload_size)
+        for _ in range(iterations):
+            conn.send(payload)
+            received = peer.recv(timeout=5.0)
+            if received is None:
+                raise RuntimeError("echo demo lost a message")
+            peer.send(received)
+            if conn.recv(timeout=5.0) is None:
+                raise RuntimeError("echo demo lost a reply")
+    finally:
+        node_a.close()
+        node_b.close()
+    return registry
+
+
+def summarize_trace(path: str) -> str:
+    """Per-(category, name) event counts for a JSONL trace file."""
+    counts: dict = {}
+    plane_msg_ids: dict = {}
+    total = 0
+    malformed = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                malformed += 1
+                continue
+            total += 1
+            key = (event.get("category", "?"), event.get("name", "?"))
+            counts[key] = counts.get(key, 0) + 1
+            msg_id = event.get("msg_id")
+            if msg_id is not None:
+                plane_msg_ids.setdefault(event.get("category", "?"), set()).add(
+                    msg_id
+                )
+    lines = [f"{total} events in {path}" + (f" ({malformed} malformed)" if malformed else "")]
+    for (category, name), count in sorted(counts.items()):
+        lines.append(f"  {category}.{name}: {count}")
+    for category in sorted(plane_msg_ids):
+        lines.append(
+            f"  distinct msg_ids in {category} plane: {len(plane_msg_ids[category])}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ncs_stat", description="Inspect NCS runtime metrics."
+    )
+    parser.add_argument(
+        "--load", metavar="FILE", help="render a dumped JSON metrics snapshot"
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="summarize a JSONL trace file"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=50, help="demo echo round trips"
+    )
+    parser.add_argument(
+        "--size", type=int, default=1024, help="demo payload bytes"
+    )
+    parser.add_argument(
+        "--interface",
+        default="sci",
+        choices=("sci", "aci", "hpi"),
+        help="demo data-plane interface",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        try:
+            print(summarize_trace(args.trace))
+        except OSError as exc:
+            parser.error(f"cannot read trace file: {exc}")
+        return 0
+    if args.load:
+        try:
+            with open(args.load, "r", encoding="utf-8") as handle:
+                snap = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load snapshot: {exc}")
+        print(json.dumps(snap, indent=2, sort_keys=True) if args.json
+              else format_snapshot(snap))
+        return 0
+    registry = run_echo_demo(
+        iterations=args.iterations,
+        payload_size=args.size,
+        interface=args.interface,
+    )
+    print(registry.to_json(indent=2) if args.json else registry.format_text())
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.stderr.close()
+        sys.exit(0)

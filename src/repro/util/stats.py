@@ -91,6 +91,22 @@ class RunningStats:
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
 
+    def summary(self) -> "Summary":
+        """Snapshot as the shared :class:`Summary` dataclass.
+
+        A streaming accumulator cannot trim outliers, so ``trimmed``
+        carries the plain mean; callers that need the paper's trimmed
+        mean must keep raw samples and use :func:`summarize`.
+        """
+        return Summary(
+            count=self.count,
+            mean=self.mean,
+            stddev=self.stddev,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            trimmed=self.mean,
+        )
+
     def __repr__(self) -> str:
         return (
             f"RunningStats(n={self._count}, mean={self.mean:.6g}, "

@@ -6,12 +6,22 @@ tests assert on *internal* protocol behaviour — e.g. "the sender
 retransmitted exactly the SDUs whose bitmap bits were set" — without
 reaching into private state, and how EXPERIMENTS.md quantifies overhead
 composition.
+
+Events can also be exported: :class:`JsonlSink` streams them as JSON
+Lines (one object per event, safe to tail), and :class:`ChromeTraceSink`
+writes the Chrome ``trace_event`` format loadable in ``chrome://tracing``
+or Perfetto.  Setting ``NCS_TRACE=1`` in the environment enables tracing
+on every :class:`~repro.core.node.Node` and attaches a JSONL sink
+(``NCS_TRACE_FILE``, default ``ncs_trace.jsonl``) — no code edits needed.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.util.clock import Clock, MonotonicClock
 
@@ -29,17 +39,28 @@ class TraceEvent:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.timestamp:.6f}] {self.category}.{self.name} {extras}".rstrip()
 
+    def to_dict(self) -> dict:
+        return {
+            "ts": self.timestamp,
+            "category": self.category,
+            "name": self.name,
+            **self.detail,
+        }
+
 
 class Tracer:
     """Collects :class:`TraceEvent` records; cheap when disabled.
 
-    A tracer can be shared across threads: appends to a Python list are
-    atomic under the GIL, which is all the synchronization this needs.
+    A tracer can be shared across threads: ``emit`` appends the event and
+    fans it out to sinks under one lock, so no sink ever interleaves with
+    a concurrent ``clear()`` rebinding the event list.
     """
 
     def __init__(self, clock: Optional[Clock] = None, enabled: bool = True):
         self.clock = clock or MonotonicClock()
         self.enabled = enabled
+        # RLock: a sink may legitimately call back into tracer accessors.
+        self._lock = threading.RLock()
         self._events: list[TraceEvent] = []
         self._sinks: list[Callable[[TraceEvent], None]] = []
 
@@ -48,24 +69,27 @@ class Tracer:
         if not self.enabled:
             return
         event = TraceEvent(self.clock.now(), category, name, detail)
-        self._events.append(event)
-        for sink in self._sinks:
-            sink(event)
+        with self._lock:
+            self._events.append(event)
+            for sink in self._sinks:
+                sink(event)
 
     def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
         """Also forward every event to ``sink`` (e.g. print, file)."""
-        self._sinks.append(sink)
+        with self._lock:
+            self._sinks.append(sink)
 
     @property
     def events(self) -> list[TraceEvent]:
-        """All events recorded so far (shared list; do not mutate)."""
-        return self._events
+        """Snapshot copy of all events recorded so far."""
+        with self._lock:
+            return list(self._events)
 
     def select(self, category: Optional[str] = None, name: Optional[str] = None) -> list[TraceEvent]:
         """Events filtered by category and/or name."""
         return [
             e
-            for e in self._events
+            for e in self.events
             if (category is None or e.category == category)
             and (name is None or e.name == name)
         ]
@@ -74,13 +98,129 @@ class Tracer:
         return len(self.select(category, name))
 
     def clear(self) -> None:
-        self._events = []
+        with self._lock:
+            self._events = []
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self.events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
+
+
+# ----------------------------------------------------------------------
+# Export sinks
+# ----------------------------------------------------------------------
+
+
+class JsonlSink:
+    """Streams events to a file as JSON Lines, one object per event.
+
+    Append-mode and line-flushed, so multiple nodes in one process (or
+    several processes on a shared filesystem) can feed the same file and
+    a crash loses at most the current line.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def __call__(self, event: TraceEvent) -> None:
+        line = json.dumps(event.to_dict(), default=repr)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+class ChromeTraceSink:
+    """Buffers events and writes Chrome ``trace_event`` JSON on close.
+
+    Load the output in ``chrome://tracing`` or https://ui.perfetto.dev;
+    every event becomes an instant event on the thread that emitted it,
+    with the event detail attached as ``args``.
+    """
+
+    def __init__(self, path: str, pid: int = 0):
+        self.path = path
+        self.pid = pid or os.getpid()
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        record = {
+            "name": f"{event.category}.{event.name}",
+            "cat": event.category,
+            "ph": "i",  # instant event
+            "s": "t",  # thread scope
+            "ts": event.timestamp * 1e6,  # Chrome wants microseconds
+            "pid": self.pid,
+            "tid": threading.get_ident() & 0xFFFF,
+            "args": dict(event.detail),
+        }
+        with self._lock:
+            self._records.append(record)
+
+    def write(self) -> None:
+        with self._lock:
+            records = list(self._records)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": records, "displayTimeUnit": "ms"},
+                      handle, default=repr)
+
+    close = write
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: str) -> None:
+    """One-shot export of already-collected events (``tracer.events``)."""
+    sink = ChromeTraceSink(path)
+    for event in events:
+        sink(event)
+    sink.write()
+
+
+# ----------------------------------------------------------------------
+# Environment wiring (documented in README: NCS_TRACE / NCS_TRACE_FILE)
+# ----------------------------------------------------------------------
+
+#: Default JSONL path when tracing is enabled via the environment.
+DEFAULT_TRACE_FILE = "ncs_trace.jsonl"
+
+
+def trace_env_enabled() -> bool:
+    """True when ``NCS_TRACE`` requests tracing (1/true/yes/on)."""
+    return os.environ.get("NCS_TRACE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def jsonl_sink_from_env() -> Optional[JsonlSink]:
+    """A shared :class:`JsonlSink` honouring ``NCS_TRACE_FILE``.
+
+    Returns None unless ``NCS_TRACE`` is enabled.  All nodes in the
+    process share one sink per path, so their events land in one file.
+    """
+    if not trace_env_enabled():
+        return None
+    path = os.environ.get("NCS_TRACE_FILE", DEFAULT_TRACE_FILE)
+    with _ENV_SINK_LOCK:
+        sink = _ENV_SINKS.get(path)
+        if sink is None:
+            sink = JsonlSink(path)
+            _ENV_SINKS[path] = sink
+        return sink
+
+
+_ENV_SINKS: dict = {}
+_ENV_SINK_LOCK = threading.Lock()
 
 
 #: Module-level tracer that components fall back to when none is supplied.

@@ -1,0 +1,145 @@
+"""OverheadProfiler: stage accounting over synthetic stamp streams."""
+
+import pytest
+
+from repro.obs.profiler import (
+    BYPASS_SEND_STAGES,
+    OverheadProfiler,
+    RECV_STAGES,
+    SEND_STAGES,
+)
+
+#: Per-stage duration in nanoseconds for the synthetic send stream.
+_SEND_STEP_NS = {
+    "queued": 1_000,
+    "dequeued": 27_000,
+    "segmented": 4_000,
+    "flow_released": 2_000,
+    "send_thread_dequeued": 25_000,
+    "transmitted": 50_000,
+}
+
+
+def synthetic_send_stamps(base_ns=1_000_000, jitter_ns=0):
+    """Build a stamp dict walking SEND_STAGES boundaries in order."""
+    stamps = {"entry": base_ns}
+    now = base_ns
+    for key in ("queued", "dequeued", "segmented", "flow_released",
+                "send_thread_dequeued", "transmitted"):
+        now += _SEND_STEP_NS[key] + jitter_ns
+        stamps[key] = now
+    stamps["exit"] = now + 3_000
+    return stamps
+
+
+class TestRecording:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadProfiler(mode="quantum")
+
+    def test_record_needs_first_and_last_stamp(self):
+        profiler = OverheadProfiler()
+        assert profiler.record_send({"entry": 10}) is False
+        assert profiler.record_send({"transmitted": 10}) is False
+        assert profiler.send.samples == 0
+
+    def test_record_accepts_complete_stamps(self):
+        profiler = OverheadProfiler()
+        assert profiler.record_send(synthetic_send_stamps()) is True
+        assert profiler.send.samples == 1
+
+    def test_partial_interior_stamps_still_count_the_total(self):
+        profiler = OverheadProfiler()
+        stamps = synthetic_send_stamps()
+        del stamps["segmented"]  # interior boundary missing
+        assert profiler.record_send(stamps) is True
+        assert profiler.send.total.count == 1
+
+
+class TestStageAccounting:
+    def test_stage_means_sum_to_total_mean(self):
+        """The stages telescope, so with complete stamps the sum of the
+        per-stage means reproduces the mean of the measured total
+        exactly — the bench-level 10% check is pure measurement noise."""
+        profiler = OverheadProfiler()
+        for i in range(50):
+            profiler.record_send(
+                synthetic_send_stamps(base_ns=i * 10_000_000, jitter_ns=i % 7)
+            )
+        stage_sum, total_mean = profiler.consistency("send")
+        assert total_mean > 0
+        assert stage_sum == pytest.approx(total_mean)
+
+    def test_send_breakdown_totals(self):
+        profiler = OverheadProfiler()
+        profiler.record_send(synthetic_send_stamps())
+        breakdown = profiler.send_breakdown()
+        labels = [label for label, _s, _e in SEND_STAGES]
+        # Last stage is the data transfer; everything before is session.
+        assert breakdown["data transfer total"] == breakdown[labels[-1]]
+        assert breakdown["session overhead total"] == pytest.approx(
+            sum(breakdown[label] for label in labels[:-1])
+        )
+        assert breakdown["total"] == pytest.approx(
+            breakdown["session overhead total"] + breakdown["data transfer total"]
+        )
+        assert 0.0 < breakdown["session fraction"] < 1.0
+        # Known synthetic durations: 50 us transfer, 59 us session.
+        assert breakdown["data transfer total"] == pytest.approx(50.0)
+        assert breakdown["session overhead total"] == pytest.approx(59.0)
+
+    def test_recv_stage_means_sum_to_total(self):
+        profiler = OverheadProfiler()
+        for i in range(20):
+            base = 5_000_000 * (i + 1)
+            profiler.record_recv({
+                "recv_entry": base,
+                "decoded": base + 2_000,
+                "fc_done": base + 5_000,
+                "ec_done": base + 11_000,
+                "delivered": base + 12_000,
+            })
+        stage_sum, total_mean = profiler.consistency("recv")
+        assert total_mean == pytest.approx(12.0)
+        assert stage_sum == pytest.approx(total_mean)
+        breakdown = profiler.recv_breakdown()
+        assert breakdown["total (recv_entry→delivered)"] == pytest.approx(12.0)
+
+
+class TestBypassMode:
+    def test_bypass_has_no_context_switch_stages(self):
+        profiler = OverheadProfiler(mode="bypass")
+        labels = [label for label, _s, _e in profiler.send.stages]
+        assert profiler.send.stages == BYPASS_SEND_STAGES
+        assert not any("context switch" in label for label in labels)
+
+    def test_bypass_breakdown(self):
+        profiler = OverheadProfiler(mode="bypass")
+        base = 1_000_000
+        profiler.record_send({
+            "entry": base,
+            "segmented": base + 4_000,
+            "flow_released": base + 6_000,
+            "transmitted": base + 56_000,
+        })
+        breakdown = profiler.send_breakdown()
+        assert breakdown["data transfer (interface send)"] == pytest.approx(50.0)
+        assert breakdown["session overhead total"] == pytest.approx(6.0)
+        stage_sum, total_mean = profiler.consistency("send")
+        assert stage_sum == pytest.approx(total_mean)
+
+
+class TestFormatting:
+    def test_format_table_mentions_every_stage(self):
+        profiler = OverheadProfiler()
+        profiler.record_send(synthetic_send_stamps())
+        profiler.record_recv({
+            "recv_entry": 0, "decoded": 1_000, "fc_done": 2_000,
+            "ec_done": 3_000, "delivered": 4_000,
+        })
+        table = profiler.format_table()
+        for label, _s, _e in SEND_STAGES:
+            assert label in table
+        for label, _s, _e in RECV_STAGES:
+            assert label in table
+        assert "session overhead total" in table

@@ -1,0 +1,204 @@
+"""MetricsRegistry: thread safety, histogram math, labels, collectors."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    format_snapshot,
+)
+
+
+class TestCounterConcurrency:
+    def test_concurrent_increments_from_many_threads(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        per_thread, n_threads = 5000, 6
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == per_thread * n_threads
+
+    def test_concurrent_histogram_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        n_threads, per_thread = 4, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(value):
+            barrier.wait()
+            for _ in range(per_thread):
+                histogram.observe(value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(0.5 + i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == n_threads * per_thread
+        assert sum(histogram.bucket_counts()) == n_threads * per_thread
+
+
+class TestInstrumentIdentity:
+    def test_same_name_and_labels_share_one_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", conn="1")
+        b = registry.counter("x", conn="1")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("g", node="n", conn="1")
+        b = registry.gauge("g", conn="1", node="n")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", conn="1")
+        b = registry.counter("x", conn="2")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_cardinality(self):
+        registry = MetricsRegistry()
+        for conn in range(5):
+            registry.counter("per_conn", conn=str(conn))
+        registry.gauge("other")
+        assert registry.cardinality("per_conn") == 5
+        assert registry.cardinality() == 6
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        assert counter is NULL_INSTRUMENT
+        counter.inc()
+        counter.observe(1.0)
+        counter.set(3.0)
+        assert counter.value == 0.0
+        assert registry.cardinality() == 0
+
+    def test_disabled_histogram_is_null(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.histogram("h") is NULL_INSTRUMENT
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram("h", {}, buckets=(1.0, 2.0, 4.0))
+        # A value equal to a bound lands in that bound's bucket.
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.bucket_counts() == [1, 1, 1, 0]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        histogram = Histogram("h", {}, buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.bucket_counts() == [0, 0, 1]
+
+    def test_underflow_goes_to_first_bucket(self):
+        histogram = Histogram("h", {}, buckets=(1.0, 2.0))
+        histogram.observe(0.0001)
+        assert histogram.bucket_counts() == [1, 0, 0]
+
+    def test_quantiles_bracket_the_data(self):
+        histogram = Histogram("h", {}, buckets=DEFAULT_BUCKETS)
+        for i in range(1, 101):
+            histogram.observe(i / 1000.0)  # 1ms .. 100ms
+        p50 = histogram.quantile(0.5)
+        p99 = histogram.quantile(0.99)
+        assert 0.001 < p50 < 0.1
+        assert p50 < p99 <= 0.1
+        assert histogram.quantile(1.0) == pytest.approx(0.1)
+
+    def test_quantile_of_empty_is_zero(self):
+        histogram = Histogram("h", {})
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_validates_range(self):
+        histogram = Histogram("h", {})
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_summary_statistics_are_exact(self):
+        histogram = Histogram("h", {}, buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+
+
+class TestCollectorsAndSnapshot:
+    def test_collectors_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collector(reg):
+            calls.append(reg)
+            reg.gauge("collected").set(7)
+
+        registry.add_collector(collector)
+        snap = registry.snapshot()
+        assert calls == [registry]
+        (gauge,) = snap["gauges"]
+        assert gauge["name"] == "collected"
+        assert gauge["value"] == 7
+
+    def test_remove_collector(self):
+        registry = MetricsRegistry()
+        collector = lambda reg: reg.gauge("x").set(1)  # noqa: E731
+        registry.add_collector(collector)
+        registry.remove_collector(collector)
+        assert registry.snapshot()["gauges"] == []
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c", conn="1").inc(3)
+        registry.histogram("h").observe(0.002)
+        snap = json.loads(registry.to_json())
+        assert snap["counters"][0]["value"] == 3
+        assert snap["histograms"][0]["count"] == 1
+        # The offline renderer accepts the loaded form too.
+        text = format_snapshot(snap)
+        assert "c{conn=1}" in text
+
+    def test_dump_and_format_text(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        path = tmp_path / "snap.json"
+        registry.dump(str(path))
+        assert json.loads(path.read_text())["counters"][0]["value"] == 2
+        assert "events 2" in registry.format_text()
+
+    def test_clear_empties_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.add_collector(lambda reg: None)
+        registry.clear()
+        assert registry.cardinality() == 0
+        assert registry.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }

@@ -1,0 +1,94 @@
+"""Trace context crosses the data/control plane split.
+
+The sender's data plane stamps each transfer with a ``msg_id``; the
+acknowledgement that comes back on the *control* plane carries the same
+id, so one transfer can be followed across both planes of both nodes
+from the event stream alone.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+
+@pytest.fixture
+def traced_pair():
+    node_a = Node(NodeConfig(name="trace-a", trace=True))
+    node_b = Node(NodeConfig(name="trace-b", trace=True))
+    conn = node_a.connect(
+        node_b.address,
+        ConnectionConfig(interface="sci"),  # credit + selective repeat
+        peer_name="trace-b",
+    )
+    peer = node_b.accept(timeout=5.0)
+    yield node_a, node_b, conn, peer
+    node_a.close()
+    node_b.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_msg_id_appears_in_both_planes(traced_pair):
+    node_a, node_b, conn, peer = traced_pair
+
+    conn.send(b"ping")
+    assert peer.recv(timeout=5.0) == b"ping"
+    peer.send(b"pong")
+    assert conn.recv(timeout=5.0) == b"pong"
+
+    # Client side: the data-plane send and the control-plane ACK that
+    # selective repeat sends back must share a msg_id.
+    sends = node_a.tracer.select("data", "send")
+    assert sends, "client recorded no data-plane send events"
+    sent_ids = {e.detail["msg_id"] for e in sends}
+
+    assert _wait_for(
+        lambda: any(
+            e.detail.get("msg_id") in sent_ids
+            for e in node_a.tracer.select("control", "ack")
+        )
+    ), "no control-plane ACK carried a client msg_id"
+
+    # Server side: the delivery event and the outgoing ACK control PDU
+    # reference the same transfer.
+    deliveries = node_b.tracer.select("data", "deliver")
+    assert deliveries, "server recorded no delivery events"
+    delivered_ids = {e.detail["msg_id"] for e in deliveries}
+    acked_ids = {
+        e.detail.get("msg_id")
+        for e in node_b.tracer.select("control", "send")
+        if e.detail.get("msg_id") is not None
+    }
+    assert delivered_ids & acked_ids, (
+        "server ACKs do not reference delivered msg_ids: "
+        f"{delivered_ids} vs {acked_ids}"
+    )
+
+
+def test_trace_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("NCS_TRACE", raising=False)
+    node = Node(NodeConfig(name="trace-off"))
+    try:
+        assert not node.tracer.enabled
+        assert len(node.tracer) == 0
+    finally:
+        node.close()
+
+
+def test_trace_env_var_enables_tracing(monkeypatch, tmp_path):
+    monkeypatch.setenv("NCS_TRACE", "1")
+    monkeypatch.setenv("NCS_TRACE_FILE", str(tmp_path / "env_trace.jsonl"))
+    node = Node(NodeConfig(name="trace-env"))
+    try:
+        assert node.tracer.enabled
+    finally:
+        node.close()

@@ -92,6 +92,25 @@ class TestRunningStats:
         assert stats.count == 1
 
 
+class TestRunningStatsSummary:
+    def test_summary_snapshot(self):
+        stats = RunningStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.add(value)
+        summary = stats.summary()
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        # Streaming stats cannot trim, so trimmed carries the plain mean.
+        assert summary.trimmed == summary.mean
+
+    def test_summary_of_empty(self):
+        summary = RunningStats().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
 class TestSummarize:
     def test_summary_fields(self):
         summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])

@@ -1,7 +1,17 @@
-"""Event tracer."""
+"""Event tracer and export sinks."""
+
+import json
+import threading
 
 from repro.util.clock import VirtualClock
-from repro.util.trace import TraceEvent, Tracer
+from repro.util.trace import (
+    ChromeTraceSink,
+    JsonlSink,
+    TraceEvent,
+    Tracer,
+    trace_env_enabled,
+    write_chrome_trace,
+)
 
 
 class TestTracer:
@@ -47,3 +57,98 @@ class TestTracer:
         rendered = str(event)
         assert "node.accepted" in rendered
         assert "conn_id=3" in rendered
+
+    def test_events_is_a_snapshot(self):
+        tracer = Tracer(VirtualClock())
+        tracer.emit("a", "b")
+        snapshot = tracer.events
+        snapshot.clear()
+        assert len(tracer) == 1  # mutating the copy changed nothing
+
+    def test_concurrent_emit_and_clear(self):
+        tracer = Tracer(VirtualClock())
+        stop = threading.Event()
+
+        def emitter():
+            while not stop.is_set():
+                tracer.emit("load", "tick")
+
+        threads = [threading.Thread(target=emitter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            tracer.clear()
+            list(tracer)  # iterate a snapshot while emits continue
+        stop.set()
+        for thread in threads:
+            thread.join()
+        tracer.emit("load", "final")
+        assert tracer.count("load", "final") == 1
+
+
+class TestSinks:
+    def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(VirtualClock(2.0))
+        sink = JsonlSink(str(path))
+        tracer.add_sink(sink)
+        tracer.emit("data", "send", msg_id=1, size=4)
+        tracer.emit("control", "ack", msg_id=1)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {
+            "ts": 2.0, "category": "data", "name": "send",
+            "msg_id": 1, "size": 4,
+        }
+        assert records[1]["category"] == "control"
+
+    def test_jsonl_sink_appends_across_instances(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            sink = JsonlSink(str(path))
+            sink(TraceEvent(0.0, "a", "b", {}))
+            sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_jsonl_sink_ignores_emit_after_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        sink(TraceEvent(0.0, "a", "b", {}))  # must not raise
+        assert path.read_text() == ""
+
+    def test_chrome_trace_sink(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path), pid=42)
+        sink(TraceEvent(0.001, "data", "send", {"msg_id": 7}))
+        sink.write()
+        document = json.loads(path.read_text())
+        (record,) = document["traceEvents"]
+        assert record["name"] == "data.send"
+        assert record["ph"] == "i"
+        assert record["ts"] == 1000.0  # seconds -> microseconds
+        assert record["pid"] == 42
+        assert record["args"] == {"msg_id": 7}
+
+    def test_write_chrome_trace_from_collected_events(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tracer = Tracer(VirtualClock())
+        tracer.emit("a", "b")
+        tracer.emit("a", "c")
+        write_chrome_trace(tracer.events, str(path))
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == 2
+
+
+class TestEnvWiring:
+    def test_trace_env_enabled_values(self, monkeypatch):
+        for value, expected in (
+            ("1", True), ("true", True), ("YES", True), ("on", True),
+            ("0", False), ("", False), ("off", False),
+        ):
+            monkeypatch.setenv("NCS_TRACE", value)
+            assert trace_env_enabled() is expected
+        monkeypatch.delenv("NCS_TRACE")
+        assert trace_env_enabled() is False
