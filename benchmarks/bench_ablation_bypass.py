@@ -6,7 +6,7 @@ session overhead (Table I) for synchronous semantics.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.runner import format_table
 from repro.core import ConnectionConfig, Node, NodeConfig
 from repro.util.stats import trimmed_mean
@@ -55,6 +55,7 @@ def summary(pairs):
         rows,
         col_width=12,
     ))
+    persist("ablation_bypass", {"latency_us": dict(rows)})
     return dict(rows)
 
 

@@ -10,7 +10,7 @@ for per-connection selectable reliability.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.runner import format_table
 from repro.simnet.atm_bridge import CrossTrafficSource, build_switched_pair
 from repro.simnet.kernel import Simulator
@@ -82,6 +82,7 @@ def sweep(request):
         rows,
         col_width=12,
     ))
+    persist("ablation_congestion", {"congestion": results})
     return results
 
 

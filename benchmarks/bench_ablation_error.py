@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.ablations import error_control_sweep, format_error_sweep, _transfer_time
 
 KB = 1024
@@ -12,6 +12,7 @@ KB = 1024
 def sweep(request):
     results = error_control_sweep()
     emit(format_error_sweep(results))
+    persist("ablation_error_control", {"error_control": results})
     return results
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.ablations import flow_control_sweep, format_flow_sweep, _transfer_time
 
 KB = 1024
@@ -12,6 +12,7 @@ KB = 1024
 def sweep(request):
     results = flow_control_sweep()
     emit(format_flow_sweep(results))
+    persist("ablation_flow_control", {"flow_control": results})
     return results
 
 

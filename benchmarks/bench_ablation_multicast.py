@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.ablations import format_multicast_sweep, multicast_completion, multicast_sweep
 
 
@@ -10,6 +10,7 @@ from repro.bench.ablations import format_multicast_sweep, multicast_completion, 
 def sweep(request):
     results = multicast_sweep()
     emit(format_multicast_sweep(results))
+    persist("ablation_multicast", {"multicast": results})
     return results
 
 

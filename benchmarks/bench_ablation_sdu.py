@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.ablations import format_sdu_sweep, sdu_size_sweep, _transfer_time
 
 KB = 1024
@@ -12,6 +12,7 @@ KB = 1024
 def sweep(request):
     results = sdu_size_sweep()
     emit(format_sdu_sweep(results))
+    persist("ablation_sdu_size", {"sdu_size": results})
     return results
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench.ablations import format_separation_sweep, separation_sweep, _transfer_time
 
 KB = 1024
@@ -12,6 +12,7 @@ KB = 1024
 def sweep(request):
     results = separation_sweep()
     emit(format_separation_sweep(results))
+    persist("ablation_separation", {"separation": results})
     return results
 
 

@@ -6,7 +6,7 @@ simulation itself at the two regimes the paper highlights.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench import fig10
 
 
@@ -14,6 +14,13 @@ from repro.bench import fig10
 def figure(request):
     results = fig10.run()
     emit(fig10.format_results(results))
+    persist(
+        "fig10",
+        {
+            "per_iteration_ms": results,
+            "crossover": fig10.crossover_size(results),
+        },
+    )
     return results
 
 

@@ -8,7 +8,7 @@ its ratio cannot decay the same way; see EXPERIMENTS.md).
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench import fig11
 
 
@@ -20,9 +20,14 @@ def simulated(request):
 
 
 @pytest.fixture(scope="module", autouse=True)
-def live(request):
+def live(request, simulated):
     results = fig11.run(sizes=[1, 1024, 16384, 65536], iterations=20)
     emit(fig11.format_results(results))
+    persist(
+        "fig11",
+        {"simulated_ratio": simulated, "live_us": results},
+        config={"live_sizes": [1, 1024, 16384, 65536], "iterations": 20},
+    )
     return results
 
 

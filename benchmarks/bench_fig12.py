@@ -6,7 +6,7 @@ orderings, and benchmarks one 64 KB echo per system per platform.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench import fig12
 from repro.simnet.platforms import PLATFORMS
 
@@ -17,6 +17,7 @@ def panels(request):
     for platform in ("sun4", "rs6000"):
         results[platform] = fig12.run(platform)
         emit(fig12.format_results(results[platform], platform))
+    persist("fig12", {"roundtrip_ms": results})
     return results
 
 

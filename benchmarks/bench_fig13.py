@@ -6,7 +6,7 @@ immunity) and benchmarks the 64 KB heterogeneous echo per system.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench import fig12, fig13
 from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
 
@@ -15,6 +15,7 @@ from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
 def figure(request):
     results = fig13.run()
     emit(fig13.format_results(results))
+    persist("fig13", {"roundtrip_ms": results})
     return results
 
 

@@ -4,8 +4,11 @@ Not a paper table — engineering telemetry for the library itself:
 framing, CRC, AAL5 SAR, engine throughput, thread-package switch costs.
 """
 
+import time
+
 import pytest
 
+from conftest import persist
 from repro.atm.aal5 import aal5_reassemble, aal5_segment
 from repro.errorcontrol import make_error_control
 from repro.protocol.headers import Sdu
@@ -14,6 +17,27 @@ from repro.threadpkg import make_thread_package
 from repro.util.crc import crc32_aal5
 
 PAYLOAD_64K = bytes(range(256)) * 256
+
+
+def _time_us(fn, rounds: int = 50) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds * 1e6
+
+
+@pytest.fixture(scope="module", autouse=True)
+def persisted_micro(request):
+    """Quick manual timings of the substrate ops, persisted alongside
+    the pytest-benchmark stats so bench_compare can track them."""
+    results = {
+        "crc32_64k_us": _time_us(lambda: crc32_aal5(PAYLOAD_64K)),
+        "segment_64k_us": _time_us(
+            lambda: segment_message(1, 1, PAYLOAD_64K, 4096)
+        ),
+    }
+    persist("micro", results)
+    return results
 
 
 def test_crc32_64k(benchmark):

@@ -7,7 +7,7 @@ the §4.2 bypass path.
 
 import pytest
 
-from conftest import emit
+from conftest import emit, persist
 from repro.bench import table1
 from repro.core import ConnectionConfig, Node, NodeConfig
 
@@ -17,6 +17,11 @@ def profiled(request):
     results, profiler = table1.run_profiled(iterations=150, interface="sci")
     emit(table1.format_results(results))
     emit(profiler.format_table())
+    persist(
+        "table1",
+        {"threaded": results},
+        config={"iterations": 150, "interface": "sci"},
+    )
     return results, profiler
 
 
@@ -89,8 +94,38 @@ def test_bypass_breakdown(bypass_profiler):
     assert abs(stage_sum - total_mean) / total_mean < 0.10
 
 
+@pytest.fixture(scope="module")
+def watchdog_pair():
+    """A threaded pair with the health watchdog sampling at its default
+    period — measures the observer's cost against the plain pair."""
+    a = Node(NodeConfig(name="b1-wd-a", watchdog=True))
+    b = Node(NodeConfig(name="b1-wd-b", watchdog=True))
+    conn = a.connect(
+        b.address,
+        ConnectionConfig(interface="sci", flow_control="none",
+                         error_control="none"),
+        peer_name="b",
+    )
+    peer = b.accept(timeout=5.0)
+    yield conn, peer
+    a.close()
+    b.close()
+
+
 def test_one_byte_send_threaded(benchmark, table, live_pair):
     conn, peer = live_pair["threaded"]
+
+    def send_one():
+        conn.send(b"x")
+        assert peer.recv(timeout=5.0) == b"x"
+
+    benchmark(send_one)
+
+
+def test_one_byte_send_with_watchdog(benchmark, watchdog_pair):
+    """Same roundtrip with the watchdog on; the acceptance bar is < 5%
+    regression vs test_one_byte_send_threaded at default sampling."""
+    conn, peer = watchdog_pair
 
     def send_one():
         conn.send(b"x")

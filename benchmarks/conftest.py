@@ -9,9 +9,23 @@ pytest-benchmark timings for its representative operations.
 
 import pytest
 
+from repro.bench.persist import persist_run
+
 
 def emit(text: str) -> None:
     """Print a regenerated table/figure, visibly separated."""
     print("\n" + "=" * 78)
     print(text)
     print("=" * 78)
+
+
+def persist(name: str, results: dict, config: dict = None) -> str:
+    """Persist a regenerated figure/table to BENCH_<name>.json.
+
+    Honors NCS_BENCH_DIR (set it to ``off`` to suppress artifacts);
+    prints the path so CI logs show what was captured.
+    """
+    path = persist_run(name, results, config=config)
+    if path:
+        print(f"[bench] persisted {path}")
+    return path

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.runner import format_table
+from repro.bench.runner import format_table, persist_run
 from repro.multicast.tree import spanning_tree_children
 from repro.simnet.kernel import Simulator
 from repro.simnet.link import AtmLinkModel, Link
@@ -373,15 +373,30 @@ def format_multicast_sweep(results) -> str:
 
 
 def main() -> None:
-    print(format_sdu_sweep(sdu_size_sweep()))
+    sdu = sdu_size_sweep()
+    print(format_sdu_sweep(sdu))
     print()
-    print(format_error_sweep(error_control_sweep()))
+    error = error_control_sweep()
+    print(format_error_sweep(error))
     print()
-    print(format_flow_sweep(flow_control_sweep()))
+    flow = flow_control_sweep()
+    print(format_flow_sweep(flow))
     print()
-    print(format_separation_sweep(separation_sweep()))
+    separation = separation_sweep()
+    print(format_separation_sweep(separation))
     print()
-    print(format_multicast_sweep(multicast_sweep()))
+    multicast = multicast_sweep()
+    print(format_multicast_sweep(multicast))
+    persist_run(
+        "ablations",
+        {
+            "sdu_size": sdu,
+            "error_control": error,
+            "flow_control": flow,
+            "separation": separation,
+            "multicast": multicast,
+        },
+    )
 
 
 if __name__ == "__main__":

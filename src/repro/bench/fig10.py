@@ -26,7 +26,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.bench.runner import MESSAGE_SIZES, format_table, size_label
+from repro.bench.runner import (
+    MESSAGE_SIZES,
+    format_table,
+    persist_run,
+    size_label,
+)
 from repro.simnet.kernel import Simulator
 from repro.simnet.platforms import SUN4_SUNOS55, PlatformProfile
 
@@ -146,7 +151,13 @@ def format_results(results: Dict[str, Dict[int, float]]) -> str:
 
 
 def main() -> None:
-    print(format_results(run()))
+    results = run()
+    print(format_results(results))
+    persist_run(
+        "fig10",
+        {"per_iteration_ms": results, "crossover": crossover_size(results)},
+        config={"iterations": DEFAULT_ITERATIONS, "load_s": DEFAULT_LOAD_S},
+    )
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List
 
-from repro.bench.runner import format_table, size_label
+from repro.bench.runner import format_table, persist_run, size_label
 from repro.core import ConnectionConfig, Node, NodeConfig
 from repro.interfaces.sci import sci_pair
 from repro.util.stats import trimmed_mean
@@ -196,9 +196,16 @@ def format_results(results: Dict[str, Dict[int, float]]) -> str:
 
 
 def main() -> None:
-    print(format_simulated(run_simulated()))
+    simulated = run_simulated()
+    print(format_simulated(simulated))
     print()
-    print(format_results(run()))
+    live = run()
+    print(format_results(live))
+    persist_run(
+        "fig11",
+        {"simulated_ratio": simulated, "live_us": live},
+        config={"sizes": SIZES},
+    )
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.baselines import SYSTEMS, echo_roundtrip
-from repro.bench.runner import ECHO_SIZES, format_table, size_label
+from repro.bench.runner import ECHO_SIZES, format_table, persist_run, size_label
 from repro.simnet.host import SimHost
 from repro.simnet.kernel import Simulator
 from repro.simnet.link import AtmLinkModel
@@ -88,9 +88,13 @@ def format_results(results: Dict[str, Dict[int, float]], platform: str) -> str:
 
 
 def main() -> None:
+    persisted = {}
     for platform in ("sun4", "rs6000"):
-        print(format_results(run(platform), platform))
+        results = run(platform)
+        persisted[platform] = results
+        print(format_results(results, platform))
         print()
+    persist_run("fig12", {"roundtrip_ms": persisted})
 
 
 if __name__ == "__main__":

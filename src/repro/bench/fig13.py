@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.baselines import SYSTEMS
-from repro.bench.runner import ECHO_SIZES, format_table, size_label
+from repro.bench.runner import ECHO_SIZES, format_table, persist_run, size_label
 from repro.bench.fig12 import roundtrip
 from repro.simnet.platforms import RS6000_AIX41, SUN4_SUNOS55
 
@@ -56,7 +56,9 @@ def format_results(results: Dict[str, Dict[int, float]]) -> str:
 
 
 def main() -> None:
-    print(format_results(run()))
+    results = run()
+    print(format_results(results))
+    persist_run("fig13", {"roundtrip_ms": results})
 
 
 if __name__ == "__main__":

@@ -1,0 +1,151 @@
+"""Benchmark result persistence: every run leaves a comparable artifact.
+
+A reproduction repo's benchmarks are only useful over *time* — the
+question is rarely "how fast is it" but "did this change move the
+numbers".  Each benchmark entry point therefore writes its results to
+``BENCH_<name>.json`` (schema below), and ``repro.tools.bench_compare``
+diffs any two such files and flags regressions.
+
+The record carries enough provenance to interpret a number months later:
+schema version, benchmark name, git SHA, python/platform strings, the
+run's configuration, and the raw results mapping (nested dicts of
+numbers — quantiles, per-size series, stage decompositions).
+
+Destination resolution: an explicit ``directory`` argument wins, then
+the ``NCS_BENCH_DIR`` environment variable, then the current working
+directory.  Set ``NCS_BENCH_DIR=off`` to suppress writing entirely
+(used by test runs that exercise benchmark code paths incidentally).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Optional
+
+SCHEMA_VERSION = 1
+BENCH_DIR_ENV = "NCS_BENCH_DIR"
+_DISABLE_VALUES = ("off", "none", "0", "disabled")
+
+
+class BenchResultError(ValueError):
+    """A benchmark result file is missing, unreadable, or malformed."""
+
+
+def git_sha() -> str:
+    """The repo's current commit SHA, or "" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def bench_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def resolve_dir(directory: Optional[str] = None) -> Optional[str]:
+    """Where results go; None means persistence is disabled."""
+    if directory is not None:
+        return directory
+    env = os.environ.get(BENCH_DIR_ENV, "").strip()
+    if env.lower() in _DISABLE_VALUES and env:
+        return None
+    return env or os.getcwd()
+
+
+def make_record(name: str, results: dict, config: Optional[dict] = None) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "written_at": time.time(),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "config": dict(config or {}),
+        "results": results,
+    }
+
+
+def persist_run(
+    name: str,
+    results: dict,
+    config: Optional[dict] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write one benchmark run to ``BENCH_<name>.json``.
+
+    Returns the path written, or "" when persistence is disabled.
+    Never raises on write failure (a benchmark's numbers still printed;
+    losing the artifact should not fail the run) — but parse errors in
+    ``results`` (non-serializable values) do surface.
+    """
+    target_dir = resolve_dir(directory)
+    if target_dir is None:
+        return ""
+    record = make_record(name, results, config)
+    path = os.path.join(target_dir, bench_filename(name))
+    try:
+        os.makedirs(target_dir, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        return ""
+    return path
+
+
+def load_run(path: str) -> dict:
+    """Read and validate a ``BENCH_*.json`` record.
+
+    Raises :class:`BenchResultError` with a human-actionable message on
+    a missing file, invalid JSON, or a JSON document that is not a
+    benchmark record.
+    """
+    if not os.path.exists(path):
+        raise BenchResultError(f"benchmark result file not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchResultError(
+            f"cannot read benchmark results from {path}: {exc}"
+        ) from exc
+    if not isinstance(record, dict) or "results" not in record:
+        raise BenchResultError(
+            f"{path} is valid JSON but not a benchmark record "
+            f"(missing 'results'; was it written by persist_run?)"
+        )
+    if record.get("schema", 0) > SCHEMA_VERSION:
+        raise BenchResultError(
+            f"{path} has schema {record['schema']}, newer than this "
+            f"tool understands ({SCHEMA_VERSION}); update the repo"
+        )
+    return record
+
+
+def flatten_numeric(value, prefix: str = "") -> dict:
+    """Flatten nested result dicts to dotted-key -> float leaves."""
+    flat = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            sub_prefix = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(sub, sub_prefix))
+    elif isinstance(value, bool):
+        pass  # bools are not measurements
+    elif isinstance(value, (int, float)):
+        flat[prefix] = float(value)
+    return flat

@@ -1,8 +1,15 @@
-"""Shared benchmark plumbing: the paper's size ladder and table printing."""
+"""Shared benchmark plumbing: the paper's size ladder, table printing,
+and result persistence (re-exported from :mod:`repro.bench.persist`)."""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.persist import (  # noqa: F401  (re-exports)
+    BenchResultError,
+    load_run,
+    persist_run,
+)
 
 #: The x-axis of Figures 10-12: 1 byte to 64 KB.
 MESSAGE_SIZES = [1, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]

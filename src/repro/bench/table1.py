@@ -27,7 +27,11 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.runner import dump_metrics_if_requested, format_table
+from repro.bench.runner import (
+    dump_metrics_if_requested,
+    format_table,
+    persist_run,
+)
 from repro.core import ConnectionConfig, Node, NodeConfig
 from repro.obs.profiler import SEND_STAGES, OverheadProfiler
 
@@ -144,9 +148,14 @@ def main() -> None:
         f"\nconsistency: send stage means sum to {stage_sum:.1f} us "
         f"vs measured total {total_mean:.1f} us"
     )
-    _bypass_results, bypass_profiler = run_profiled(mode="bypass")
+    bypass_results, bypass_profiler = run_profiled(mode="bypass")
     print()
     print(bypass_profiler.format_table())
+    persist_run(
+        "table1",
+        {"threaded": results, "bypass": bypass_results},
+        config={"iterations": 200, "interface": "sci"},
+    )
     dump_metrics_if_requested()
 
 

@@ -132,9 +132,35 @@ class NodeConfig:
     #: Registry to publish into when metrics are on (None = the process
     #: default from repro.obs).
     metrics_registry: object = None
+    #: Keep a bounded FlightRecorder ring of recent protocol events on
+    #: this node.  None defers to NCS_FLIGHT; unlike tracing/metrics the
+    #: recorder defaults ON (a ring append is cheap, and anomaly
+    #: post-mortems need the events from *before* enabling anything).
+    flight_recorder: Optional[bool] = None
+    #: FlightRecorder ring capacity (events retained).
+    recorder_capacity: int = 512
+    #: Run the health watchdog thread on this node.  None defers to
+    #: NCS_WATCHDOG (default off: ``node.health()`` still classifies on
+    #: demand without the thread).
+    watchdog: Optional[bool] = None
+    #: Watchdog sampling period (seconds).
+    watchdog_period: float = 0.25
 
     def trace_enabled(self) -> bool:
         return self.trace if self.trace is not None else _env_flag("NCS_TRACE")
 
     def metrics_enabled(self) -> bool:
         return self.metrics if self.metrics is not None else _env_flag("NCS_METRICS")
+
+    def flight_recorder_enabled(self) -> bool:
+        if self.flight_recorder is not None:
+            return self.flight_recorder
+        import os
+
+        raw = os.environ.get("NCS_FLIGHT", "").strip().lower()
+        if not raw:
+            return True  # default on
+        return raw in ("1", "true", "yes", "on")
+
+    def watchdog_enabled(self) -> bool:
+        return self.watchdog if self.watchdog is not None else _env_flag("NCS_WATCHDOG")

@@ -68,6 +68,7 @@ class Connection:
         self.peer_name = peer_name
         self.peer_link = peer_link
         self.config = config
+        self._recorder = node.recorder
         if config.loss_rate or config.corrupt_rate:
             interface = FaultyInterface(
                 interface,
@@ -145,6 +146,15 @@ class Connection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_malformed = 0
+        #: Sends the error control engine confirmed delivered.
+        self.messages_completed = 0
+
+        # Blocked-receiver bookkeeping for the health watchdog: how many
+        # recv() calls are currently parked and since when the earliest
+        # of them has waited.
+        self._waiters_lock = threading.Lock()
+        self._recv_waiters_count = 0
+        self._recv_wait_since: Optional[float] = None
 
         if config.mode == "threaded":
             self._proto_chan = self._pkg.channel()
@@ -193,6 +203,9 @@ class Connection:
         self.bytes_sent += len(payload)
         if self._h_send_size is not None:
             self._h_send_size.observe(len(payload))
+        self._recorder.record(
+            "data", "send", conn=self.conn_id, msg=msg_id, size=len(payload)
+        )
         if self._tracer.enabled:
             # Data-plane trace context: the msg_id emitted here reappears
             # in the control plane when the peer's ACK/credit comes back.
@@ -222,20 +235,24 @@ class Connection:
         if self.config.mode == "bypass":
             return self._bypass_recv(timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            remaining = 0.05
-            if deadline is not None:
-                remaining = min(remaining, deadline - time.monotonic())
-                if remaining <= 0:
-                    return None
-            try:
-                return self.recv_queue.get(timeout=remaining)
-            except TimeoutError:
-                if self._closed or self._peer_closed:
-                    if self.recv_queue.empty():
-                        raise ConnectionClosedError(
-                            f"connection {self.conn_id} closed with no pending data"
-                        ) from None
+        self._enter_recv_wait()
+        try:
+            while True:
+                remaining = 0.05
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return None
+                try:
+                    return self.recv_queue.get(timeout=remaining)
+                except TimeoutError:
+                    if self._closed or self._peer_closed:
+                        if self.recv_queue.empty():
+                            raise ConnectionClosedError(
+                                f"connection {self.conn_id} closed with no pending data"
+                            ) from None
+        finally:
+            self._exit_recv_wait()
 
     def try_recv(self) -> Optional[bytes]:
         """Non-blocking NCS_recv variant."""
@@ -244,11 +261,63 @@ class Connection:
         ok, item = self.recv_queue.try_get()
         return item if ok else None
 
+    def _enter_recv_wait(self) -> None:
+        with self._waiters_lock:
+            self._recv_waiters_count += 1
+            if self._recv_wait_since is None:
+                self._recv_wait_since = self._clock.now()
+
+    def _exit_recv_wait(self) -> None:
+        with self._waiters_lock:
+            self._recv_waiters_count -= 1
+            if self._recv_waiters_count <= 0:
+                self._recv_waiters_count = 0
+                self._recv_wait_since = None
+
+    @property
+    def peer_gone(self) -> bool:
+        """The peer sent a Close (or its interface vanished)."""
+        return self._peer_closed
+
+    @property
+    def recv_waiters(self) -> int:
+        """recv() calls currently parked waiting for a message."""
+        return self._recv_waiters_count
+
+    def recv_blocked_for(self, now: float) -> float:
+        """Seconds the oldest still-waiting recv() has been blocked."""
+        with self._waiters_lock:
+            if self._recv_waiters_count > 0 and self._recv_wait_since is not None:
+                return max(0.0, now - self._recv_wait_since)
+        return 0.0
+
+    def health_sample(self, now: Optional[float] = None) -> dict:
+        """A point-in-time sample for the health detectors."""
+        from repro.obs.health import sample_connection
+
+        return sample_connection(self, self._clock.now() if now is None else now)
+
+    def health(self, prev: Optional[dict] = None):
+        """One-shot diagnosis of this connection.
+
+        Pass a previous :meth:`health_sample` dict to enable the
+        windowed detectors (starvation, retransmit storms); without one,
+        only instantaneous signals apply.  Returns a
+        :class:`repro.obs.health.Diagnosis`.
+        """
+        from repro.obs.health import classify
+
+        return classify(self.health_sample(), prev)
+
     def close(self, notify_peer: bool = True) -> None:
         """Tear the connection down and stop its threads."""
         if self._closed:
             return
         self._closed = True
+        self._recorder.record(
+            "state", "close", conn=self.conn_id, peer=self.peer_name,
+            sent=self.messages_sent, received=self.messages_received,
+        )
         if notify_peer and not self._peer_closed:
             try:
                 self.node.control_send(self.peer_link, ClosePdu(self.conn_id))
@@ -334,6 +403,9 @@ class Connection:
         """Route an inbound control PDU for this connection."""
         if isinstance(pdu, ClosePdu):
             self._peer_closed = True
+            self._recorder.record(
+                "state", "peer_close", conn=self.conn_id, peer=self.peer_name
+            )
             return
         if self.config.mode == "threaded":
             if not self._closed:
@@ -466,6 +538,12 @@ class Connection:
             if self._h_recv_size is not None:
                 self._h_recv_size.observe(len(message))
             self.recv_queue.put(message)
+        if effects.deliveries:
+            self._recorder.record(
+                "data", "deliver",
+                conn=self.conn_id, msg=sdu.header.msg_id,
+                messages=len(effects.deliveries),
+            )
         if effects.deliveries and self._tracer.enabled:
             self._tracer.emit(
                 "data", "deliver",
@@ -507,17 +585,36 @@ class Connection:
             self._pump_flow(now, transmit_inline)
             return
         effects = self.ec_sender.on_timer(now)
+        if effects.transmits:
+            # Timer-driven transmits are retransmissions by definition.
+            self._recorder.record(
+                "error", "retransmit",
+                conn=self.conn_id, sdus=len(effects.transmits), cause="timeout",
+            )
         self._ec_timer_at = effects.timer_at
         self._dispatch_sender_effects(effects, now, transmit_inline=transmit_inline)
 
     def _apply_sender_control(self, pdu: ControlPdu, now: float) -> None:
         """Feed a control PDU to the right sender-side engine."""
         if isinstance(pdu, CreditPdu):
+            self._recorder.record(
+                "flow", "credit", conn=self.conn_id, credits=pdu.credits
+            )
             self.fc_sender.on_control(pdu, now)
             self._pump_flow(now, transmit_inline=self.config.mode == "bypass")
             return
         if isinstance(pdu, (AckPdu, CumAckPdu)):
+            self._recorder.record("error", "ack", conn=self.conn_id, msg=pdu.msg_id)
             effects = self.ec_sender.on_control(pdu, now)
+            if effects.transmits and (
+                getattr(self.ec_sender, "last_retransmit_at", -1.0) == now
+            ):
+                # Selective retransmissions; go-back-N window refills
+                # transmit *new* SDUs and leave last_retransmit_at alone.
+                self._recorder.record(
+                    "error", "retransmit",
+                    conn=self.conn_id, sdus=len(effects.transmits), cause="ack",
+                )
             self._ec_timer_at = effects.timer_at
             self._dispatch_sender_effects(
                 effects, now, transmit_inline=self.config.mode == "bypass"
@@ -564,6 +661,12 @@ class Connection:
         with self._handles_lock:
             handle = self._handles.pop(msg_id, None)
         if handle is not None:
+            if status is SendStatus.COMPLETED:
+                self.messages_completed += 1
+            else:
+                self._recorder.record(
+                    "error", "send_failed", conn=self.conn_id, msg=msg_id
+                )
             handle._resolve(status)
 
     # ------------------------------------------------------------------
@@ -587,20 +690,24 @@ class Connection:
 
     def _bypass_recv(self, timeout: Optional[float]) -> Optional[bytes]:
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            ok, item = self.recv_queue.try_get()
-            if ok:
-                return item
-            if self._closed or self._peer_closed:
-                raise ConnectionClosedError(
-                    f"connection {self.conn_id} closed with no pending data"
-                )
-            remaining = 0.05
-            if deadline is not None:
-                remaining = min(remaining, deadline - time.monotonic())
-                if remaining <= 0:
-                    return None
-            self._bypass_pump_once(blocking=True, timeout=remaining)
+        self._enter_recv_wait()
+        try:
+            while True:
+                ok, item = self.recv_queue.try_get()
+                if ok:
+                    return item
+                if self._closed or self._peer_closed:
+                    raise ConnectionClosedError(
+                        f"connection {self.conn_id} closed with no pending data"
+                    )
+                remaining = 0.05
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return None
+                self._bypass_pump_once(blocking=True, timeout=remaining)
+        finally:
+            self._exit_recv_wait()
 
     def _bypass_pump_once(
         self, blocking: bool, timeout: float = 0.05

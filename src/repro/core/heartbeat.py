@@ -76,6 +76,7 @@ class FailureDetector:
         self._sequence = 0
         self._running = True
         node.heartbeat_reply_handler = self._on_reply
+        node.failure_detector = self
         self._thread = node.pkg.spawn(
             self._probe_loop, name=f"{node.name}-hbdetector"
         )
@@ -104,6 +105,11 @@ class FailureDetector:
                 for status in self._peers.values()
                 if not status.suspected
             ]
+
+    def peers(self) -> Dict[Tuple[str, int], PeerStatus]:
+        """Snapshot of every monitored peer's status (for node.health())."""
+        with self._lock:
+            return dict(self._peers)
 
     def stop(self) -> None:
         self._running = False
@@ -135,6 +141,17 @@ class FailureDetector:
         silent_for = now - status.last_reply_at
         if not status.suspected and silent_for > self.suspect_after:
             status.suspected = True
+            self.node.recorder.record(
+                "health", "peer_suspected",
+                peer=f"{status.address[0]}:{status.address[1]}",
+                silent_for=round(silent_for, 3),
+            )
+            # One dump per suspicion: the ``suspected`` flag dedupes
+            # (it only flips back on recovery).
+            self.node.recorder.auto_dump(
+                f"peer {status.address[0]}:{status.address[1]} suspected",
+                silent_for=round(silent_for, 3),
+            )
             if self.on_failure is not None:
                 self.on_failure(status.address)
 
@@ -154,6 +171,10 @@ class FailureDetector:
                     status.last_reply_at = now
                     if status.suspected:
                         status.suspected = False
+                        self.node.recorder.record(
+                            "health", "peer_recovered",
+                            peer=f"{status.address[0]}:{status.address[1]}",
+                        )
                         if self.on_recovery is not None:
                             self.on_recovery(status.address)
                     break

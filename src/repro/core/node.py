@@ -83,6 +83,17 @@ class Node:
         self.name = config.name
         self.pkg = make_thread_package(config.thread_package)
         self.clock = MonotonicClock()
+        # Flight recorder first: connections grab it in their __init__.
+        from repro.obs.recorder import NULL_RECORDER, FlightRecorder
+
+        if config.flight_recorder_enabled():
+            self.recorder = FlightRecorder(
+                name=config.name,
+                capacity=config.recorder_capacity,
+                clock=self.clock.now,
+            )
+        else:
+            self.recorder = NULL_RECORDER
         self.tracer = Tracer(self.clock, enabled=config.trace_enabled())
         if self.tracer.enabled:
             env_sink = jsonl_sink_from_env()
@@ -135,6 +146,8 @@ class Node:
         self.heartbeat_reply_handler: Optional[
             Callable[[HeartbeatPdu, object], None]
         ] = None
+        #: Installed by a FailureDetector so health() can report peers.
+        self.failure_detector = None
 
         self._ctrl_chan = self.pkg.channel()
         self._master_chan = self.pkg.channel()
@@ -144,6 +157,13 @@ class Node:
             self.pkg.spawn(self._master_loop, name=f"{self.name}-master"),
             self.pkg.spawn(self._timer_loop, name=f"{self.name}-timer"),
         ]
+
+        #: Health watchdog (started only when configured on).
+        self.watchdog = None
+        if config.watchdog_enabled():
+            from repro.obs.health import Watchdog
+
+            self.watchdog = Watchdog(self, period=config.watchdog_period)
 
     # ------------------------------------------------------------------
     # Public API
@@ -220,6 +240,12 @@ class Node:
         )
         with self._conn_lock:
             self._connections[conn_id] = connection
+        self.recorder.record(
+            "state", "connected",
+            conn=conn_id, peer=peer_name or f"{peer[0]}:{peer[1]}",
+            fc=config.flow_control, ec=config.error_control,
+            interface=config.interface,
+        )
         self.tracer.emit("node", "connected", conn_id=conn_id, peer=peer)
         return connection
 
@@ -233,6 +259,58 @@ class Node:
     def connections(self) -> list:
         with self._conn_lock:
             return list(self._connections.values())
+
+    def health(self) -> dict:
+        """Node-level health report.
+
+        With the watchdog running, returns its windowed per-connection
+        diagnoses.  Without it, classifies every connection on demand
+        (instantaneous detectors only).  Either way the report folds in
+        peers the heartbeat failure detector currently suspects (DEAD)
+        and this node's flight-recorder dump count.
+        """
+        from repro.obs.health import DEAD, classify, sample_connection, worst
+
+        if self.watchdog is not None:
+            report = self.watchdog.report()
+        else:
+            now = self.clock.now()
+            entries = []
+            for conn in self.connections():
+                sample = sample_connection(conn, now)
+                diag = classify(sample)
+                entries.append(
+                    {
+                        "conn_id": conn.conn_id,
+                        "peer": sample["peer"],
+                        "queued": sample["queued"],
+                        "retransmits": sample["retransmits"],
+                        **diag.to_dict(),
+                    }
+                )
+            report = {
+                "state": worst(entry["state"] for entry in entries),
+                "connections": entries,
+                "samples_taken": 0,
+                "period": None,
+            }
+        report["node"] = self.name
+        peers = []
+        detector = self.failure_detector
+        if detector is not None:
+            for address, status in detector.peers().items():
+                peers.append(
+                    {
+                        "address": list(address),
+                        "suspected": status.suspected,
+                        "state": DEAD if status.suspected else "OK",
+                    }
+                )
+            if any(entry["suspected"] for entry in peers):
+                report["state"] = worst([report["state"], DEAD])
+        report["peers"] = peers
+        report["recorder_dumps"] = getattr(self.recorder, "auto_dumps", 0)
+        return report
 
     def control_send(self, link, pdu: ControlPdu) -> None:
         """Queue a PDU for the Control Send Thread."""
@@ -259,6 +337,8 @@ class Node:
         if self._closed:
             return
         self._closed = True
+        if self.watchdog is not None:
+            self.watchdog.stop()
         for connection in self.connections():
             connection.close()
         if self.metrics is not None:
@@ -548,6 +628,12 @@ class Node:
             consumed = bool(self.accept_router(request, connection))
         if not consumed:
             self.accepted_queue.put(connection)
+        self.recorder.record(
+            "state", "accepted",
+            conn=request.connection_id, peer=request.src_node,
+            fc=config.flow_control, ec=config.error_control,
+            interface=config.interface,
+        )
         self.tracer.emit(
             "node", "accepted", conn_id=request.connection_id, peer=request.src_node
         )

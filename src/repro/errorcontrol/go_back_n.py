@@ -60,6 +60,9 @@ class GoBackNSender(SenderErrorControl):
         self.retransmitted_sdus = 0
         self.rewinds = 0
         self.duplicate_acks = 0
+        #: Engine time of the most recent rewind (storm recency for the
+        #: health watchdog); negative = never.
+        self.last_retransmit_at = -1.0
 
     def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
         if msg_id in self._outgoing:
@@ -115,6 +118,7 @@ class GoBackNSender(SenderErrorControl):
             resend = state.sdus[state.base : state.next_seq]
             self.rewinds += 1
             self.retransmitted_sdus += len(resend)
+            self.last_retransmit_at = now
             effects.transmits.extend(resend)
             state.deadline = now + self.retransmit_timeout
         effects.timer_at = self._next_deadline()
@@ -138,6 +142,7 @@ class GoBackNSender(SenderErrorControl):
             "retransmitted_sdus": self.retransmitted_sdus,
             "rewinds": self.rewinds,
             "duplicate_acks": self.duplicate_acks,
+            "last_retransmit_at": self.last_retransmit_at,
         }
 
 

@@ -74,6 +74,9 @@ class SelectiveRepeatSender(SenderErrorControl):
         self.retransmitted_sdus = 0
         self.full_retransmits = 0
         self.duplicate_acks = 0
+        #: Engine time of the most recent retransmission (storm recency
+        #: for the health watchdog); negative = never.
+        self.last_retransmit_at = -1.0
 
     def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
         if msg_id in self._outgoing:
@@ -117,6 +120,7 @@ class SelectiveRepeatSender(SenderErrorControl):
         # Selective retransmission of exactly the SDUs marked in error.
         retransmits = [state.sdus[seqno] for seqno in pending]
         self.retransmitted_sdus += len(retransmits)
+        self.last_retransmit_at = now
         state.last_pending = pending
         state.last_selective_at = now
         return Effects(transmits=retransmits, timer_at=self._next_deadline())
@@ -136,6 +140,7 @@ class SelectiveRepeatSender(SenderErrorControl):
             # message ("it retransmits the whole packets").
             self.full_retransmits += 1
             self.retransmitted_sdus += len(state.sdus)
+            self.last_retransmit_at = now
             state.deadline = now + self.retransmit_timeout
             state.last_pending = None
             effects.transmits.extend(state.sdus)
@@ -160,6 +165,7 @@ class SelectiveRepeatSender(SenderErrorControl):
             "retransmitted_sdus": self.retransmitted_sdus,
             "full_retransmits": self.full_retransmits,
             "duplicate_acks": self.duplicate_acks,
+            "last_retransmit_at": self.last_retransmit_at,
         }
 
 

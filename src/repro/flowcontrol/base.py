@@ -45,6 +45,13 @@ class SenderFlowControl(ABC):
         None when release depends only on peer feedback or the queue."""
         return None
 
+    def stalled_for(self, now: float) -> float:
+        """Seconds ``pull`` has been *continuously* unable to release
+        queued work (0.0 when idle or flowing) — the health watchdog's
+        instantaneous starvation signal.  Engines that can block on peer
+        feedback override this; open-loop engines stay at 0."""
+        return 0.0
+
     def idle(self) -> bool:
         return self.queued() == 0
 

@@ -69,6 +69,8 @@ class CreditSender(SenderFlowControl):
         #: Cumulative seconds spent stalled at zero credits with work
         #: queued — the paper's "flow control wait" made visible.
         self.stall_seconds = 0.0
+        #: SDUs actually released onto the wire by pull().
+        self.released_sdus = 0
 
     @property
     def credits(self) -> int:
@@ -99,6 +101,7 @@ class CreditSender(SenderFlowControl):
         while self._queue and self._credits > 0:
             released.append(self._queue.popleft())
             self._credits -= 1
+        self.released_sdus += len(released)
         if released or not self._queue:
             self._end_stall(now)
         return released
@@ -111,6 +114,11 @@ class CreditSender(SenderFlowControl):
 
     def queued(self) -> int:
         return len(self._queue)
+
+    def stalled_for(self, now: float) -> float:
+        if self._stalled_since is None:
+            return 0.0
+        return max(0.0, now - self._stalled_since)
 
     def next_ready_time(self, now: float):
         """When stalled, ask to be pumped again at the resync deadline."""
@@ -128,6 +136,7 @@ class CreditSender(SenderFlowControl):
             "peak_queue": self.peak_queue,
             "blocked_pulls": self.blocked_pulls,
             "stall_seconds": self.stall_seconds,
+            "released_sdus": self.released_sdus,
         }
 
 

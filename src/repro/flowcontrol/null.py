@@ -22,6 +22,7 @@ class NullFlowSender(SenderFlowControl):
     def __init__(self, connection_id: int):
         self.connection_id = connection_id
         self._queue: deque = deque()
+        self.released_sdus = 0
 
     def offer(self, sdus: List[Sdu]) -> None:
         self._queue.extend(sdus)
@@ -29,6 +30,7 @@ class NullFlowSender(SenderFlowControl):
     def pull(self, now: float) -> List[Sdu]:
         released = list(self._queue)
         self._queue.clear()
+        self.released_sdus += len(released)
         return released
 
     def on_control(self, pdu: ControlPdu, now: float) -> None:
@@ -36,6 +38,9 @@ class NullFlowSender(SenderFlowControl):
 
     def queued(self) -> int:
         return len(self._queue)
+
+    def metrics(self) -> dict:
+        return {"queued": len(self._queue), "released_sdus": self.released_sdus}
 
 
 class NullFlowReceiver(ReceiverFlowControl):

@@ -73,6 +73,14 @@ class RateSender(SenderFlowControl):
     def queued(self) -> int:
         return len(self._queue)
 
+    @property
+    def released_sdus(self) -> int:
+        """Uniform released-work counter for the health watchdog."""
+        return self.packets_released
+
+    # Pacing delay is a contract, not a stall: the open-loop sender can
+    # never starve on peer feedback, so the base stalled_for (0.0) holds.
+
     def next_ready_time(self, now: float) -> Optional[float]:
         if not self._queue:
             return None

@@ -40,6 +40,7 @@ class WindowSender(SenderFlowControl):
         self.stall_recoveries = 0
         self.blocked_pulls = 0
         self.stall_seconds = 0.0
+        self.released_sdus = 0
 
     @property
     def outstanding(self) -> int:
@@ -70,6 +71,7 @@ class WindowSender(SenderFlowControl):
         while self._queue and self._outstanding < self.window_size:
             released.append(self._queue.popleft())
             self._outstanding += 1
+        self.released_sdus += len(released)
         if released or not self._queue:
             self._end_stall(now)
         return released
@@ -81,6 +83,11 @@ class WindowSender(SenderFlowControl):
 
     def queued(self) -> int:
         return len(self._queue)
+
+    def stalled_for(self, now: float) -> float:
+        if self._stalled_since is None:
+            return 0.0
+        return max(0.0, now - self._stalled_since)
 
     def next_ready_time(self, now: float):
         """When stalled, ask to be pumped again at the recovery deadline."""
@@ -96,6 +103,7 @@ class WindowSender(SenderFlowControl):
             "stall_recoveries": self.stall_recoveries,
             "blocked_pulls": self.blocked_pulls,
             "stall_seconds": self.stall_seconds,
+            "released_sdus": self.released_sdus,
         }
 
 

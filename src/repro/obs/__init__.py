@@ -1,13 +1,34 @@
-"""Observability: metrics registry, overhead profiler, trace export.
+"""Observability: metrics registry, profiler, health, flight recorder.
 
 The unified measurement layer for the NCS reproduction.  Components
 publish to a :class:`MetricsRegistry` (counters / gauges / histograms
 with per-connection labels), :class:`OverheadProfiler` reproduces the
 paper's Table 1 per-stage overhead decomposition on live traffic, and
 the trace sinks in :mod:`repro.util.trace` export the event stream as
-JSONL or Chrome ``trace_event`` JSON.
+JSONL or Chrome ``trace_event`` JSON.  On top of those raw signals,
+:mod:`repro.obs.health` classifies every connection ``OK`` /
+``DEGRADED`` / ``STALLED`` / ``DEAD`` (credit starvation, retransmit
+storms, blocked receivers, dead peers) via an optional per-node
+:class:`Watchdog`, and :mod:`repro.obs.recorder` keeps a bounded
+:class:`FlightRecorder` ring of recent protocol events that dumps
+automatically on the first sample of an anomaly.
 """
 
+from repro.obs.health import (
+    DEAD,
+    DEFAULT_THRESHOLDS,
+    DEGRADED,
+    Diagnosis,
+    HealthThresholds,
+    OK,
+    STALLED,
+    Watchdog,
+    classify,
+    classify_kernel,
+    sample_connection,
+    sample_sim_endpoint,
+    worst,
+)
 from repro.obs.profiler import (
     BYPASS_SEND_STAGES,
     OverheadProfiler,
@@ -15,6 +36,7 @@ from repro.obs.profiler import (
     SEND_STAGES,
     profile_echo,
 )
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     GLOBAL_REGISTRY,
@@ -31,17 +53,32 @@ from repro.obs.registry import (
 __all__ = [
     "BYPASS_SEND_STAGES",
     "Counter",
+    "DEAD",
     "DEFAULT_BUCKETS",
+    "DEFAULT_THRESHOLDS",
+    "DEGRADED",
+    "Diagnosis",
+    "FlightRecorder",
     "Gauge",
     "GLOBAL_REGISTRY",
+    "HealthThresholds",
     "Histogram",
     "MetricsRegistry",
+    "NULL_RECORDER",
+    "OK",
     "OverheadProfiler",
     "RECV_STAGES",
     "SEND_STAGES",
     "SIZE_BUCKETS",
+    "STALLED",
+    "Watchdog",
+    "classify",
+    "classify_kernel",
     "format_snapshot",
     "get_registry",
     "profile_echo",
+    "sample_connection",
+    "sample_sim_endpoint",
     "set_registry",
+    "worst",
 ]

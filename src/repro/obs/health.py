@@ -1,0 +1,420 @@
+"""Runtime health: plane-level anomaly detectors and the stall watchdog.
+
+NCS's control plane exists to prevent a small set of failure modes —
+credit starvation (flow control wedged with work queued and no grants
+arriving), retransmit storms (the error control engine resending far
+faster than anything is delivered), blocked receive threads, and dead
+peers.  This module turns the counters PR 1 made observable into a
+classification of each connection:
+
+``OK``
+    traffic (or quiet) with no detector firing;
+``DEGRADED``
+    making progress, but a detector sees pathology (storm ratio above
+    threshold, stall time accumulating, a receiver blocked too long);
+``STALLED``
+    work queued with *zero* forward progress across a sampling window —
+    the failure the paper's credit scheme is designed to avoid;
+``DEAD``
+    the connection or its peer is gone (close PDU seen, interface
+    closed, or the heartbeat failure detector suspects the peer).
+
+Detectors are pure functions over *samples* — plain dicts of counters —
+so the same classification logic serves live :class:`~repro.core.
+connection.Connection` objects, simulated :class:`~repro.simnet.ncs_sim.
+SimNcsEndpoint` pairs, and the discrete-event kernel itself.
+
+:class:`Watchdog` is the live half: a per-node thread that samples every
+connection each ``period`` seconds, classifies it against the previous
+sample, and — on the transition out of ``OK`` — triggers exactly one
+:meth:`~repro.obs.recorder.FlightRecorder.auto_dump`, re-arming only
+when the connection recovers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+OK = "OK"
+DEGRADED = "DEGRADED"
+STALLED = "STALLED"
+DEAD = "DEAD"
+
+#: Severity order for worst-of aggregation.
+_RANK = {OK: 0, DEGRADED: 1, STALLED: 2, DEAD: 3}
+
+
+def worst(states) -> str:
+    """The most severe of an iterable of health states."""
+    result = OK
+    for state in states:
+        if _RANK.get(state, 0) > _RANK[result]:
+            result = state
+    return result
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Detector knobs, deliberately few and all in natural units."""
+
+    #: A sender continuously unable to release queued SDUs this long is
+    #: STALLED outright (no previous sample needed).
+    stall_after_s: float = 1.0
+    #: Fraction of the sampling window spent stalled that marks a
+    #: connection DEGRADED even though it is making progress.
+    degraded_stall_fraction: float = 0.25
+    #: Minimum retransmitted SDUs per window before the storm detector
+    #: may fire (ignores the odd single timeout).
+    storm_min_retransmits: int = 8
+    #: Retransmitted SDUs per delivered/completed message above which a
+    #: progressing connection is DEGRADED.
+    storm_ratio: float = 2.0
+    #: A receive call blocked this long with no delivery is DEGRADED.
+    recv_blocked_after_s: float = 5.0
+    #: Kernel callbacks slower than this are event-loop stalls.
+    kernel_lag_s: float = 0.05
+
+
+DEFAULT_THRESHOLDS = HealthThresholds()
+
+
+@dataclass
+class Diagnosis:
+    """Classification of one subject (connection, endpoint, kernel)."""
+
+    state: str = OK
+    reasons: List[str] = field(default_factory=list)
+
+    def escalate(self, state: str, reason: str) -> None:
+        if _RANK[state] > _RANK[self.state]:
+            self.state = state
+        self.reasons.append(reason)
+
+    def to_dict(self) -> dict:
+        return {"state": self.state, "reasons": list(self.reasons)}
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+
+def sample_connection(conn, now: float) -> dict:
+    """Counter snapshot of a live Connection for the detectors."""
+    fc = conn.fc_sender
+    ec = conn.ec_sender
+    inflight = ec.inflight_count() if hasattr(ec, "inflight_count") else 0
+    return {
+        "sampled_at": now,
+        "conn_id": conn.conn_id,
+        "peer": conn.peer_name,
+        "closed": conn.closed,
+        "peer_closed": conn.peer_gone,
+        "queued": fc.queued(),
+        "fc_algorithm": getattr(fc, "name", "?"),
+        "fc_stalled_for": fc.stalled_for(now),
+        "fc_stall_seconds": getattr(fc, "stall_seconds", 0.0),
+        "fc_recoveries": (
+            getattr(fc, "resyncs", 0) + getattr(fc, "stall_recoveries", 0)
+        ),
+        "fc_grants": getattr(fc, "total_granted", 0),
+        "fc_released": getattr(fc, "released_sdus", 0),
+        "retransmits": getattr(ec, "retransmitted_sdus", 0),
+        "inflight": inflight,
+        "deliveries": conn.messages_received,
+        "completions": conn.messages_completed,
+        "recv_waiters": conn.recv_waiters,
+        "recv_blocked_for": conn.recv_blocked_for(now),
+    }
+
+
+def sample_sim_endpoint(endpoint, now: float) -> dict:
+    """Counter snapshot of a SimNcsEndpoint (virtual-time health)."""
+    fc = endpoint.fc_sender
+    ec = endpoint.ec_sender
+    inflight = ec.inflight_count() if hasattr(ec, "inflight_count") else 0
+    return {
+        "sampled_at": now,
+        "conn_id": endpoint.conn_id,
+        "peer": getattr(endpoint.peer, "name", "?"),
+        "closed": False,
+        "peer_closed": False,
+        "queued": fc.queued(),
+        "fc_algorithm": getattr(fc, "name", "?"),
+        "fc_stalled_for": fc.stalled_for(now),
+        "fc_stall_seconds": getattr(fc, "stall_seconds", 0.0),
+        "fc_recoveries": (
+            getattr(fc, "resyncs", 0) + getattr(fc, "stall_recoveries", 0)
+        ),
+        "fc_grants": getattr(fc, "total_granted", 0),
+        "fc_released": getattr(fc, "released_sdus", 0),
+        "retransmits": getattr(ec, "retransmitted_sdus", 0),
+        "inflight": inflight,
+        # Sender-visible progress: completions confirmed by the peer,
+        # plus messages the peer delivered to the application.
+        "deliveries": len(endpoint.peer.delivered) if endpoint.peer else 0,
+        "completions": len(endpoint.delivered),
+        "recv_waiters": 0,
+        "recv_blocked_for": 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Detectors
+# ----------------------------------------------------------------------
+
+
+def classify(
+    sample: dict,
+    prev: Optional[dict] = None,
+    thresholds: HealthThresholds = DEFAULT_THRESHOLDS,
+) -> Diagnosis:
+    """Run every detector over one sample (and its predecessor)."""
+    diag = Diagnosis()
+    if sample.get("closed") or sample.get("peer_closed"):
+        diag.escalate(DEAD, "connection closed" if sample.get("closed")
+                      else "peer sent Close / went away")
+        return diag
+
+    # -- credit starvation: instantaneous form -------------------------
+    stalled_for = sample.get("fc_stalled_for", 0.0)
+    queued = sample.get("queued", 0)
+    if queued > 0 and stalled_for >= thresholds.stall_after_s:
+        diag.escalate(
+            STALLED,
+            f"flow control stalled {stalled_for:.2f}s with "
+            f"{queued} SDUs queued and no release",
+        )
+
+    if prev is not None:
+        window = max(
+            sample.get("sampled_at", 0.0) - prev.get("sampled_at", 0.0), 1e-9
+        )
+        progress = (
+            (sample.get("deliveries", 0) - prev.get("deliveries", 0))
+            + (sample.get("completions", 0) - prev.get("completions", 0))
+        )
+        stall_delta = sample.get("fc_stall_seconds", 0.0) - prev.get(
+            "fc_stall_seconds", 0.0
+        )
+        recovery_delta = sample.get("fc_recoveries", 0) - prev.get(
+            "fc_recoveries", 0
+        )
+        grants_delta = sample.get("fc_grants", 0) - prev.get("fc_grants", 0)
+
+        # -- credit starvation: windowed form --------------------------
+        # "Stall seconds rising with zero deliveries": the sender keeps
+        # hitting zero credits (stall time and/or emergency recoveries
+        # accumulating), no real grants arrive, and nothing completes.
+        starving = (stall_delta > 0 or recovery_delta > 0) and grants_delta == 0
+        if starving and progress == 0:
+            diag.escalate(
+                STALLED,
+                f"credit starvation: stall time +{stall_delta:.2f}s, "
+                f"{recovery_delta} emergency recoveries, zero grants and "
+                f"zero deliveries over {window:.2f}s",
+            )
+        elif stall_delta >= thresholds.degraded_stall_fraction * window:
+            diag.escalate(
+                DEGRADED,
+                f"flow control stalled {stall_delta:.2f}s of the last "
+                f"{window:.2f}s window",
+            )
+
+        # -- retransmit storm ------------------------------------------
+        retransmit_delta = sample.get("retransmits", 0) - prev.get(
+            "retransmits", 0
+        )
+        if retransmit_delta >= thresholds.storm_min_retransmits:
+            if progress == 0:
+                diag.escalate(
+                    STALLED,
+                    f"retransmit storm: {retransmit_delta} SDUs resent "
+                    f"with zero deliveries over {window:.2f}s",
+                )
+            elif retransmit_delta / progress >= thresholds.storm_ratio:
+                diag.escalate(
+                    DEGRADED,
+                    f"retransmit storm: {retransmit_delta} SDUs resent for "
+                    f"{progress} delivered messages "
+                    f"(ratio {retransmit_delta / progress:.1f})",
+                )
+
+    # -- blocked receive threads ---------------------------------------
+    blocked_for = sample.get("recv_blocked_for", 0.0)
+    if sample.get("recv_waiters", 0) > 0 and (
+        blocked_for >= thresholds.recv_blocked_after_s
+    ):
+        diag.escalate(
+            DEGRADED,
+            f"{sample['recv_waiters']} receive call(s) blocked "
+            f"{blocked_for:.1f}s with no delivery",
+        )
+    return diag
+
+
+def classify_kernel(
+    stats: dict,
+    prev: Optional[dict] = None,
+    thresholds: HealthThresholds = DEFAULT_THRESHOLDS,
+) -> Diagnosis:
+    """Health of a simnet event loop from Simulator.stats() samples."""
+    diag = Diagnosis()
+    if prev is not None:
+        executed_delta = stats.get("events_executed", 0) - prev.get(
+            "events_executed", 0
+        )
+        if stats.get("pending_events", 0) > 0 and executed_delta == 0:
+            diag.escalate(
+                STALLED,
+                f"{stats['pending_events']} events pending and none "
+                f"executed since the last sample",
+            )
+        slow_delta = stats.get("slow_callbacks", 0) - prev.get(
+            "slow_callbacks", 0
+        )
+        if slow_delta > 0:
+            diag.escalate(
+                DEGRADED,
+                f"{slow_delta} event callback(s) exceeded the "
+                f"{thresholds.kernel_lag_s * 1e3:.0f}ms stall threshold",
+            )
+    if stats.get("callback_lag_max_s", 0.0) >= thresholds.kernel_lag_s:
+        diag.escalate(
+            DEGRADED,
+            f"max event-loop callback lag "
+            f"{stats['callback_lag_max_s'] * 1e3:.1f}ms",
+        )
+    return diag
+
+
+# ----------------------------------------------------------------------
+# The watchdog thread
+# ----------------------------------------------------------------------
+
+DEFAULT_WATCHDOG_PERIOD = 0.25
+
+
+class Watchdog:
+    """Samples a node's connections and classifies their health.
+
+    Runs on the node's thread package so user-level scheduling semantics
+    hold.  Keeps the previous sample per connection for the windowed
+    detectors, and drives the flight recorder's once-per-anomaly
+    auto-dump: the first sample that classifies a connection worse than
+    ``OK`` dumps; further unhealthy samples do not; a return to ``OK``
+    re-arms.
+    """
+
+    def __init__(
+        self,
+        node,
+        period: float = DEFAULT_WATCHDOG_PERIOD,
+        thresholds: HealthThresholds = DEFAULT_THRESHOLDS,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.node = node
+        self.period = period
+        self.thresholds = thresholds
+        self._lock = threading.Lock()
+        self._prev: Dict[int, dict] = {}
+        self._diagnoses: Dict[int, Diagnosis] = {}
+        self._meta: Dict[int, dict] = {}
+        #: conn_ids whose current anomaly has already been dumped.
+        self._dumped: set = set()
+        self.samples_taken = 0
+        self._running = True
+        self._thread = node.pkg.spawn(
+            self._loop, name=f"{node.name}-watchdog"
+        )
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> None:
+        while self._running and not self.node._closed:
+            self.node.pkg.sleep(self.period)
+            if self._running and not self.node._closed:
+                self.sample_once()
+
+    def sample_once(self) -> None:
+        """One sampling pass (callable directly from tests)."""
+        now = self.node.clock.now()
+        recorder = self.node.recorder
+        seen = set()
+        for conn in self.node.connections():
+            conn_id = conn.conn_id
+            seen.add(conn_id)
+            sample = sample_connection(conn, now)
+            with self._lock:
+                prev = self._prev.get(conn_id)
+            diag = classify(sample, prev, self.thresholds)
+            with self._lock:
+                previous_state = (
+                    self._diagnoses[conn_id].state
+                    if conn_id in self._diagnoses
+                    else OK
+                )
+                self._prev[conn_id] = sample
+                self._diagnoses[conn_id] = diag
+                self._meta[conn_id] = {
+                    "peer": sample["peer"],
+                    "queued": sample["queued"],
+                    "retransmits": sample["retransmits"],
+                }
+                should_dump = diag.state != OK and conn_id not in self._dumped
+                if should_dump:
+                    self._dumped.add(conn_id)
+                elif diag.state == OK:
+                    self._dumped.discard(conn_id)
+            if diag.state != previous_state:
+                recorder.record(
+                    "health", "transition",
+                    conn_id=conn_id, frm=previous_state, to=diag.state,
+                    reasons="; ".join(diag.reasons),
+                )
+            if should_dump:
+                recorder.auto_dump(
+                    f"connection {conn_id} -> {diag.state}",
+                    conn_id=conn_id,
+                    state=diag.state,
+                    reasons=list(diag.reasons),
+                )
+        # Forget connections that disappeared (closed and reaped).
+        with self._lock:
+            for conn_id in list(self._prev):
+                if conn_id not in seen:
+                    self._prev.pop(conn_id, None)
+                    self._diagnoses.pop(conn_id, None)
+                    self._meta.pop(conn_id, None)
+                    self._dumped.discard(conn_id)
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+
+    def diagnosis(self, conn_id: int) -> Optional[Diagnosis]:
+        with self._lock:
+            return self._diagnoses.get(conn_id)
+
+    def report(self) -> dict:
+        """Current per-connection diagnoses plus the worst state."""
+        with self._lock:
+            connections = [
+                {
+                    "conn_id": conn_id,
+                    **self._meta.get(conn_id, {}),
+                    **diag.to_dict(),
+                }
+                for conn_id, diag in sorted(self._diagnoses.items())
+            ]
+        return {
+            "state": worst(entry["state"] for entry in connections),
+            "connections": connections,
+            "samples_taken": self.samples_taken,
+            "period": self.period,
+        }

@@ -1,0 +1,199 @@
+"""Flight recorder: a bounded ring buffer of recent protocol events.
+
+Always-on tracing is too expensive to leave running, yet the events you
+need for a post-mortem are precisely the ones emitted *just before* the
+anomaly.  The flight recorder resolves the tension the way avionics do:
+every node continuously records its last ``capacity`` protocol events
+(sends, deliveries, ACKs, credit grants, retransmissions, state
+transitions) into a fixed-size ring, and the health watchdog triggers
+``auto_dump()`` the moment a connection leaves the ``OK`` state — so the
+tail of the event stream that explains the failure is preserved without
+ever paying for an unbounded trace.
+
+Cost model: one ``record()`` is a lock acquire plus a deque append of a
+small tuple — a fraction of a percent of even a 1-byte send.  A disabled
+recorder costs a single attribute check at each call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from collections import deque
+
+#: Default ring capacity: enough to hold several round trips of a busy
+#: connection without the dump becoming unreadable.
+DEFAULT_CAPACITY = 512
+
+#: Environment variable naming a directory for auto-dump JSON files.
+#: Unset = dumps stay in memory (``recorder.dumps``) only.
+DUMP_DIR_ENV = "NCS_FLIGHT_DIR"
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of recent protocol events.
+
+    ``record()`` appends; the ring silently evicts the oldest entry when
+    full.  ``snapshot()`` returns the current contents oldest-first;
+    ``auto_dump(reason)`` captures a snapshot tagged with the anomaly
+    that triggered it, keeps it in :attr:`dumps`, and (when a dump
+    directory is configured) writes it to a JSON file.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        capacity: int = DEFAULT_CAPACITY,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+        dump_dir: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.enabled = enabled
+        self._clock = clock or time.monotonic
+        #: Directory auto-dumps are written to (None = in-memory only).
+        #: Explicit argument wins over the NCS_FLIGHT_DIR environment.
+        self.dump_dir = (
+            dump_dir
+            if dump_dir is not None
+            else (os.environ.get(DUMP_DIR_ENV, "").strip() or None)
+        )
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._recorded = 0
+        #: Completed anomaly dumps, oldest first: list of dump dicts.
+        self.dumps: List[dict] = []
+        #: Total auto_dump() invocations (tests assert exactly-once).
+        self.auto_dumps = 0
+        #: Optional callback fired with each dump dict (watchdog wiring,
+        #: tests, log shippers).
+        self.on_dump: Optional[Callable[[dict], None]] = None
+        #: Bound how many dumps are retained in memory.
+        self.max_dumps = 16
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, category: str, name: str, **detail: Any) -> None:
+        """Append one event to the ring (no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry = (self._clock(), category, name, detail)
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._recorded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- dumping -----------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """Current ring contents, oldest first, as plain dicts."""
+        with self._lock:
+            entries = list(self._ring)
+        return [
+            {"ts": ts, "category": category, "name": name, **detail}
+            for ts, category, name, detail in entries
+        ]
+
+    def dump(self, reason: str = "manual", **detail: Any) -> dict:
+        """Capture the ring into a dump record and retain it."""
+        record = {
+            "recorder": self.name,
+            "reason": reason,
+            "dumped_at": self._clock(),
+            "detail": dict(detail),
+            "events": self.snapshot(),
+        }
+        with self._lock:
+            self.dumps.append(record)
+            del self.dumps[: -self.max_dumps]
+        if self.dump_dir:
+            self._write(record)
+        if self.on_dump is not None:
+            self.on_dump(record)
+        return record
+
+    def auto_dump(self, reason: str, **detail: Any) -> dict:
+        """An anomaly-triggered :meth:`dump` (counted separately).
+
+        Callers (the watchdog, the failure detector) are responsible for
+        the once-per-anomaly discipline: trigger on the transition *into*
+        an unhealthy state, re-arm only when the subject recovers.
+        """
+        self.auto_dumps += 1
+        return self.dump(reason=reason, **detail)
+
+    def last_dump(self) -> Optional[dict]:
+        with self._lock:
+            return self.dumps[-1] if self.dumps else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    # -- rendering ---------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        os.makedirs(self.dump_dir, exist_ok=True)
+        fname = (
+            f"flight_{self.name or 'node'}_{self.auto_dumps}_"
+            f"{os.getpid()}.json"
+        )
+        path = os.path.join(self.dump_dir, fname)
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, default=repr)
+            record["path"] = path
+        except OSError:
+            pass  # post-mortem data must never take the process down
+
+    @staticmethod
+    def format_dump(record: dict) -> str:
+        """Human-readable rendering of one dump (ncs_stat health)."""
+        lines = [
+            f"flight recorder dump — {record.get('recorder', '?')}: "
+            f"{record.get('reason', '?')}"
+        ]
+        for key, value in sorted(record.get("detail", {}).items()):
+            lines.append(f"  {key}: {value}")
+        events = record.get("events", [])
+        lines.append(f"  last {len(events)} events:")
+        for event in events:
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in event.items()
+                if k not in ("ts", "category", "name")
+            )
+            lines.append(
+                f"    [{event.get('ts', 0.0):.6f}] "
+                f"{event.get('category')}.{event.get('name')} {extras}".rstrip()
+            )
+        return "\n".join(lines)
+
+
+#: Shared no-op stand-in for disabled recorders: keeps call sites to a
+#: single attribute access with no branch.
+class _NullRecorder(FlightRecorder):
+    def __init__(self):
+        super().__init__(name="null", capacity=1, enabled=False)
+
+    def record(self, category: str, name: str, **detail: Any) -> None:
+        return None
+
+
+NULL_RECORDER = _NullRecorder()

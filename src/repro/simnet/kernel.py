@@ -110,6 +110,11 @@ class Simulator:
         #: perf_counter pair per event costs ~100 ns.
         self.profile = profile
         self.callback_lag = RunningStats()
+        #: Callbacks exceeding ``slow_callback_s`` wall seconds — the
+        #: event-loop stall signal the health watchdog samples.  Only
+        #: counted while ``profile`` is on.
+        self.slow_callback_s = 0.05
+        self.slow_callbacks = 0
 
     @property
     def now(self) -> float:
@@ -159,7 +164,10 @@ class Simulator:
                 if self.profile:
                     started = time.perf_counter()
                     callback(*args)
-                    self.callback_lag.add(time.perf_counter() - started)
+                    lag = time.perf_counter() - started
+                    self.callback_lag.add(lag)
+                    if lag >= self.slow_callback_s:
+                        self.slow_callbacks += 1
                 else:
                     callback(*args)
                 executed += 1
@@ -183,11 +191,23 @@ class Simulator:
             "max_queue_depth": self.max_queue_depth,
             "wall_seconds": self.wall_seconds,
             "sim_time": self.now,
+            "slow_callbacks": self.slow_callbacks,
         }
         if self.callback_lag.count:
             data["callback_lag_mean_s"] = self.callback_lag.mean
             data["callback_lag_max_s"] = self.callback_lag.maximum
         return data
+
+    def health(self, prev_stats: Optional[dict] = None):
+        """Classify the event loop via the shared health detectors.
+
+        Pass the ``stats()`` dict from an earlier sample to enable the
+        no-progress (STALLED) detector; without one, only instantaneous
+        lag signals apply.  Returns a :class:`repro.obs.health.Diagnosis`.
+        """
+        from repro.obs.health import classify_kernel
+
+        return classify_kernel(self.stats(), prev_stats)
 
     def run_process(self, gen: Generator, name: str = "main", **run_kwargs) -> Any:
         """Spawn ``gen``, run to quiescence, return the process result."""

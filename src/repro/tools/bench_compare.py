@@ -1,0 +1,161 @@
+"""Diff two persisted benchmark runs and flag regressions.
+
+Usage::
+
+    python -m repro.tools.bench_compare BASELINE.json CURRENT.json \\
+        [--threshold 0.25] [--key SUBSTR] [--json]
+
+Both inputs are ``BENCH_<name>.json`` records written by
+:func:`repro.bench.persist.persist_run`.  Every numeric leaf shared by
+the two results is compared; metrics are assumed lower-is-better
+(latencies, stage costs) unless the key names a rate (``throughput``,
+``mbps``, ``per_s``, ``bandwidth``, ``msgs``), which flips the
+direction.  A metric that moved the wrong way by more than
+``--threshold`` (fractional, default 0.25) is a regression; any
+regression makes the exit status 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.persist import BenchResultError, flatten_numeric, load_run
+
+#: Key fragments marking higher-is-better metrics.
+HIGHER_IS_BETTER = ("throughput", "mbps", "per_s", "bandwidth", "msgs")
+
+#: Key fragments that are provenance, not measurements.
+IGNORED = ("written_at", "git_sha", "schema")
+
+
+def direction(key: str) -> int:
+    """+1 when higher is better, -1 when lower is better."""
+    lowered = key.lower()
+    return 1 if any(mark in lowered for mark in HIGHER_IS_BETTER) else -1
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float = 0.25,
+    key_filter: Optional[str] = None,
+) -> dict:
+    """Structured comparison of two benchmark records."""
+    base_flat = flatten_numeric(baseline.get("results", {}))
+    curr_flat = flatten_numeric(current.get("results", {}))
+    rows: List[dict] = []
+    for key in sorted(set(base_flat) & set(curr_flat)):
+        if key_filter and key_filter not in key:
+            continue
+        if any(mark in key for mark in IGNORED):
+            continue
+        old, new = base_flat[key], curr_flat[key]
+        if old == 0:
+            change = 0.0 if new == 0 else float("inf")
+        else:
+            change = (new - old) / abs(old)
+        # Positive `regress` = moved in the bad direction.
+        regress = -change * direction(key)
+        rows.append(
+            {
+                "key": key,
+                "baseline": old,
+                "current": new,
+                "change": change,
+                "regression": regress > threshold,
+                "improvement": -regress > threshold,
+            }
+        )
+    return {
+        "baseline_name": baseline.get("name", "?"),
+        "current_name": current.get("name", "?"),
+        "baseline_sha": baseline.get("git_sha", "")[:12],
+        "current_sha": current.get("git_sha", "")[:12],
+        "threshold": threshold,
+        "compared": len(rows),
+        "only_baseline": sorted(set(base_flat) - set(curr_flat)),
+        "only_current": sorted(set(curr_flat) - set(base_flat)),
+        "rows": rows,
+        "regressions": [row for row in rows if row["regression"]],
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"bench_compare: {report['baseline_name']} "
+        f"[{report['baseline_sha'] or 'no-sha'}] -> "
+        f"{report['current_name']} [{report['current_sha'] or 'no-sha'}]  "
+        f"(threshold {report['threshold'] * 100:.0f}%)",
+    ]
+    key_width = max([len(row["key"]) for row in report["rows"]], default=10)
+    for row in report["rows"]:
+        if row["regression"]:
+            marker = "REGRESSION"
+        elif row["improvement"]:
+            marker = "improved"
+        else:
+            marker = ""
+        lines.append(
+            f"  {row['key'].ljust(key_width)}  "
+            f"{row['baseline']:>12.4f} -> {row['current']:>12.4f}  "
+            f"{row['change'] * 100:>+8.1f}%  {marker}"
+        )
+    if report["only_baseline"]:
+        lines.append(
+            f"  (only in baseline: {', '.join(report['only_baseline'][:8])}"
+            + (" ..." if len(report["only_baseline"]) > 8 else "")
+            + ")"
+        )
+    if report["only_current"]:
+        lines.append(
+            f"  (only in current: {', '.join(report['only_current'][:8])}"
+            + (" ..." if len(report["only_current"]) > 8 else "")
+            + ")"
+        )
+    count = len(report["regressions"])
+    lines.append(
+        f"{report['compared']} metrics compared, "
+        f"{count} regression{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description="Compare two BENCH_*.json benchmark records.",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional change counting as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--key", default=None, help="only compare metrics containing SUBSTR"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_run(args.baseline)
+        current = load_run(args.current)
+    except BenchResultError as exc:
+        print(f"bench_compare: error: {exc}", file=sys.stderr)
+        return 2
+    report = compare(baseline, current, args.threshold, args.key)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_report(report))
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

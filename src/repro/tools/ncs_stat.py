@@ -1,39 +1,88 @@
-"""ncs_stat — render NCS runtime metrics and trace summaries.
+"""ncs_stat — render NCS runtime metrics, traces, and health.
 
-Three modes:
+Subcommands::
 
-* **demo** (default, no arguments): run a short in-process echo exchange
-  with metrics enabled and print the resulting registry snapshot.  The
-  registry is per-process, so this is the quickest way to see every
-  metric the runtime publishes — per-connection byte/message gauges,
-  flow/error-control engine counters, control-plane PDU counts, and the
-  message-size histograms.
-* **--load FILE**: pretty-print a JSON snapshot written earlier via
-  ``MetricsRegistry.dump`` (benchmarks write one automatically when
-  ``NCS_METRICS_DUMP=path.json`` is set — see
-  :func:`repro.bench.runner.dump_metrics_if_requested`).
-* **--trace FILE**: summarize a JSONL trace file produced by
+    python -m repro.tools.ncs_stat [demo] [--json --iterations N --size B]
+    python -m repro.tools.ncs_stat snapshot --load FILE [--json]
+    python -m repro.tools.ncs_stat trace FILE
+    python -m repro.tools.ncs_stat health [--starve] [--json]
+
+* **demo** (the default with no subcommand): run a short in-process echo
+  exchange with metrics enabled and print the resulting registry
+  snapshot — per-connection byte/message gauges, flow/error-control
+  engine counters, control-plane PDU counts, message-size histograms.
+* **snapshot --load FILE**: pretty-print a JSON snapshot written earlier
+  via ``MetricsRegistry.dump`` (benchmarks write one automatically when
+  ``NCS_METRICS_DUMP=path.json`` is set).  A missing or corrupt file
+  exits non-zero with a one-line explanation instead of a traceback.
+* **trace FILE**: summarize a JSONL trace file produced by
   ``NCS_TRACE=1`` (event counts per category/name plus the distinct
   message ids seen in each plane).
+* **health**: run a watchdog-supervised demo exchange and print the
+  node's health report; ``--starve`` forces credit starvation (all data
+  frames dropped) so the STALLED classification and the flight
+  recorder's anomaly dump can be seen live.  Exits 0 when the final
+  state is OK, 1 otherwise.
+
+The pre-subcommand spellings (``--load FILE``, ``--trace FILE``) are
+still accepted at the top level.
 
 Examples::
 
     python -m repro.tools.ncs_stat
-    python -m repro.tools.ncs_stat --json --iterations 200 --size 4096
+    python -m repro.tools.ncs_stat demo --json --iterations 200 --size 4096
     NCS_METRICS=1 NCS_METRICS_DUMP=run.json python examples/quickstart.py
-    python -m repro.tools.ncs_stat --load run.json
+    python -m repro.tools.ncs_stat snapshot --load run.json
     NCS_TRACE=1 python examples/quickstart.py
-    python -m repro.tools.ncs_stat --trace ncs_trace.jsonl
+    python -m repro.tools.ncs_stat trace ncs_trace.jsonl
+    python -m repro.tools.ncs_stat health --starve
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Optional
+import time
+from typing import Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, format_snapshot
+
+
+class SnapshotError(ValueError):
+    """A metrics snapshot file is missing, unreadable, or malformed."""
+
+
+def load_snapshot(path: str) -> dict:
+    """Read and validate a ``MetricsRegistry.dump`` JSON snapshot.
+
+    Raises :class:`SnapshotError` with an actionable message when the
+    file is missing, is not JSON, or parses but is not snapshot-shaped
+    (so a stray JSON file cannot crash the renderer with a KeyError).
+    """
+    if not os.path.exists(path):
+        raise SnapshotError(f"snapshot file not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snap = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path} is not valid JSON: {exc}") from exc
+    except OSError as exc:
+        raise SnapshotError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(snap, dict) or not any(
+        isinstance(snap.get(kind), list)
+        for kind in ("counters", "gauges", "histograms")
+    ):
+        raise SnapshotError(
+            f"{path} is valid JSON but not a metrics snapshot (expected "
+            f"counters/gauges/histograms lists — was it written by "
+            f"MetricsRegistry.dump?)"
+        )
+    snap.setdefault("counters", [])
+    snap.setdefault("gauges", [])
+    snap.setdefault("histograms", [])
+    return snap
 
 
 def run_echo_demo(
@@ -74,6 +123,79 @@ def run_echo_demo(
     return registry
 
 
+def run_health_demo(
+    starve: bool = False,
+    period: float = 0.2,
+    settle_s: Optional[float] = None,
+) -> Tuple[dict, list]:
+    """A watchdog-supervised exchange; returns (health report, dumps).
+
+    With ``starve=True`` the connection uses credit flow control with
+    every data frame dropped: credits never return, the sender wedges,
+    and the watchdog classifies the connection STALLED and triggers the
+    flight recorder's anomaly dump.
+    """
+    from repro.core import ConnectionConfig, Node, NodeConfig
+
+    node_a = Node(
+        NodeConfig(name="health-a", watchdog=True, watchdog_period=period)
+    )
+    node_b = Node(NodeConfig(name="health-b"))
+    try:
+        if starve:
+            config = ConnectionConfig(
+                interface="sci",
+                flow_control="credit",
+                error_control="none",
+                initial_credits=2,
+                loss_rate=1.0,
+            )
+        else:
+            config = ConnectionConfig(interface="sci")
+        conn = node_a.connect(node_b.address, config, peer_name="health-b")
+        peer = node_b.accept(timeout=5.0)
+        payload = bytes(512)
+        for _ in range(8):
+            conn.send(payload)
+            if not starve:
+                received = peer.recv(timeout=5.0)
+                if received is not None:
+                    peer.send(received)
+                    conn.recv(timeout=5.0)
+        # Give the watchdog enough periods to see the (lack of)
+        # progress; starvation also needs the stall to age past the
+        # instantaneous threshold.
+        time.sleep(settle_s if settle_s is not None else (1.5 if starve else 3 * period))
+        report = node_a.health()
+        dumps = list(node_a.recorder.dumps)
+    finally:
+        node_a.close()
+        node_b.close()
+    return report, dumps
+
+
+def format_health(report: dict) -> str:
+    lines = [f"node {report.get('node', '?')}: {report['state']}"]
+    for entry in report.get("connections", []):
+        lines.append(
+            f"  conn {entry['conn_id']} peer={entry.get('peer', '?')} "
+            f"queued={entry.get('queued', 0)} "
+            f"retransmits={entry.get('retransmits', 0)}: {entry['state']}"
+        )
+        for reason in entry.get("reasons", []):
+            lines.append(f"    - {reason}")
+    for peer in report.get("peers", []):
+        lines.append(
+            f"  peer {peer['address'][0]}:{peer['address'][1]}: "
+            f"{peer['state']}"
+        )
+    lines.append(
+        f"  watchdog samples: {report.get('samples_taken', 0)}, "
+        f"recorder auto-dumps: {report.get('recorder_dumps', 0)}"
+    )
+    return "\n".join(lines)
+
+
 def summarize_trace(path: str) -> str:
     """Per-(category, name) event counts for a JSONL trace file."""
     counts: dict = {}
@@ -108,16 +230,81 @@ def summarize_trace(path: str) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[list] = None) -> int:
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _cmd_demo(args) -> int:
+    registry = run_echo_demo(
+        iterations=args.iterations,
+        payload_size=args.size,
+        interface=args.interface,
+    )
+    print(registry.to_json(indent=2) if args.json else registry.format_text())
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    path = args.load or getattr(args, "file", None)
+    if not path:
+        print(
+            "ncs_stat snapshot: no snapshot file given (use --load FILE)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        snap = load_snapshot(path)
+    except SnapshotError as exc:
+        print(f"ncs_stat: error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(snap, indent=2, sort_keys=True) if args.json
+          else format_snapshot(snap))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    try:
+        print(summarize_trace(args.file))
+    except OSError as exc:
+        print(f"ncs_stat: error: cannot read trace file: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_health(args) -> int:
+    report, dumps = run_health_demo(starve=args.starve, period=args.period)
+    if args.json:
+        print(json.dumps({"report": report, "dumps": len(dumps)}, indent=2))
+    else:
+        print(format_health(report))
+        for dump in dumps:
+            print()
+            print(
+                "\n".join(
+                    FlightRecorderFormatter.format(dump).splitlines()[:40]
+                )
+            )
+    return 0 if report["state"] == "OK" else 1
+
+
+class FlightRecorderFormatter:
+    """Thin indirection so the import stays local to the health path."""
+
+    @staticmethod
+    def format(record: dict) -> str:
+        from repro.obs.recorder import FlightRecorder
+
+        return FlightRecorder.format_dump(record)
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="ncs_stat", description="Inspect NCS runtime metrics."
+        prog="ncs_stat", description="Inspect NCS runtime metrics and health."
     )
-    parser.add_argument(
-        "--load", metavar="FILE", help="render a dumped JSON metrics snapshot"
-    )
-    parser.add_argument(
-        "--trace", metavar="FILE", help="summarize a JSONL trace file"
-    )
+    # Legacy top-level flags (pre-subcommand interface).
+    parser.add_argument("--load", metavar="FILE", help=argparse.SUPPRESS)
+    parser.add_argument("--trace", metavar="FILE", help=argparse.SUPPRESS)
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
@@ -133,30 +320,61 @@ def main(argv: Optional[list] = None) -> int:
         choices=("sci", "aci", "hpi"),
         help="demo data-plane interface",
     )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="metrics-enabled echo demo (default)")
+    demo.add_argument("--json", action="store_true")
+    demo.add_argument("--iterations", type=int, default=50)
+    demo.add_argument("--size", type=int, default=1024)
+    demo.add_argument("--interface", default="sci",
+                      choices=("sci", "aci", "hpi"))
+
+    snapshot = sub.add_parser(
+        "snapshot", help="render a dumped JSON metrics snapshot"
+    )
+    snapshot.add_argument("file", nargs="?", help="snapshot JSON file")
+    snapshot.add_argument("--load", metavar="FILE",
+                          help="snapshot JSON file (same as positional)")
+    snapshot.add_argument("--json", action="store_true")
+
+    trace = sub.add_parser("trace", help="summarize a JSONL trace file")
+    trace.add_argument("file", help="JSONL trace file")
+
+    health = sub.add_parser(
+        "health", help="watchdog-supervised demo and health report"
+    )
+    health.add_argument(
+        "--starve",
+        action="store_true",
+        help="force credit starvation (demonstrates STALLED + auto-dump)",
+    )
+    health.add_argument(
+        "--period", type=float, default=0.2, help="watchdog period (s)"
+    )
+    health.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "health":
+        return _cmd_health(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+
+    # Legacy flag routing (no subcommand given).
     if args.trace:
-        try:
-            print(summarize_trace(args.trace))
-        except OSError as exc:
-            parser.error(f"cannot read trace file: {exc}")
-        return 0
+        args.file = args.trace
+        return _cmd_trace(args)
     if args.load:
-        try:
-            with open(args.load, "r", encoding="utf-8") as handle:
-                snap = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            parser.error(f"cannot load snapshot: {exc}")
-        print(json.dumps(snap, indent=2, sort_keys=True) if args.json
-              else format_snapshot(snap))
-        return 0
-    registry = run_echo_demo(
-        iterations=args.iterations,
-        payload_size=args.size,
-        interface=args.interface,
-    )
-    print(registry.to_json(indent=2) if args.json else registry.format_text())
-    return 0
+        return _cmd_snapshot(args)
+    return _cmd_demo(args)
 
 
 if __name__ == "__main__":

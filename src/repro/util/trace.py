@@ -17,13 +17,39 @@ on every :class:`~repro.core.node.Node` and attaches a JSONL sink
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.util.clock import Clock, MonotonicClock
+
+#: Every live file-backed sink; the atexit hook below closes them so a
+#: process that never calls close() still flushes its trace to disk
+#: (ChromeTraceSink in particular buffers everything until close).
+_LIVE_SINKS: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+_ATEXIT_LOCK = threading.Lock()
+
+
+def _register_sink(sink) -> None:
+    global _ATEXIT_REGISTERED
+    _LIVE_SINKS.add(sink)
+    with _ATEXIT_LOCK:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_flush_all_sinks)
+            _ATEXIT_REGISTERED = True
+
+
+def _flush_all_sinks() -> None:
+    for sink in list(_LIVE_SINKS):
+        try:
+            sink.close()
+        except Exception:
+            pass  # interpreter is shutting down; best effort only
 
 
 @dataclass(frozen=True)
@@ -126,6 +152,7 @@ class JsonlSink:
         self.path = path
         self._lock = threading.Lock()
         self._file = open(path, "a", encoding="utf-8")
+        _register_sink(self)
 
     def __call__(self, event: TraceEvent) -> None:
         line = json.dumps(event.to_dict(), default=repr)
@@ -154,6 +181,7 @@ class ChromeTraceSink:
         self.pid = pid or os.getpid()
         self._lock = threading.Lock()
         self._records: list[dict] = []
+        _register_sink(self)
 
     def __call__(self, event: TraceEvent) -> None:
         record = {

@@ -1,0 +1,207 @@
+"""Benchmark persistence and the regression comparator."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.persist import (
+    BENCH_DIR_ENV,
+    SCHEMA_VERSION,
+    BenchResultError,
+    bench_filename,
+    flatten_numeric,
+    load_run,
+    make_record,
+    persist_run,
+    resolve_dir,
+)
+from repro.tools import bench_compare
+
+
+class TestResolveDir:
+    def test_explicit_directory_wins(self, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, "/somewhere/else")
+        assert resolve_dir("/explicit") == "/explicit"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, "/from/env")
+        assert resolve_dir() == "/from/env"
+
+    @pytest.mark.parametrize("value", ["off", "none", "0", "disabled", "OFF"])
+    def test_env_disable_values(self, monkeypatch, value):
+        monkeypatch.setenv(BENCH_DIR_ENV, value)
+        assert resolve_dir() is None
+
+    def test_defaults_to_cwd(self, monkeypatch):
+        monkeypatch.delenv(BENCH_DIR_ENV, raising=False)
+        assert resolve_dir() == os.getcwd()
+
+
+class TestPersistAndLoad:
+    def test_round_trip(self, tmp_path):
+        results = {"latency_us": {"p50": 120.5, "p99": 300.0}, "count": 10}
+        path = persist_run(
+            "t1", results, config={"iterations": 10}, directory=str(tmp_path)
+        )
+        assert path == str(tmp_path / bench_filename("t1"))
+        record = load_run(path)
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["name"] == "t1"
+        assert record["results"] == results
+        assert record["config"] == {"iterations": 10}
+        assert record["python"]
+        assert record["platform"]
+        assert "written_at" in record and "git_sha" in record
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        persist_run("t2", {"x": 1}, directory=str(tmp_path))
+        assert os.listdir(tmp_path) == [bench_filename("t2")]
+
+    def test_disabled_returns_empty_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, "off")
+        assert persist_run("t3", {"x": 1}) == ""
+
+    def test_unwritable_directory_is_silent(self):
+        assert persist_run("t4", {"x": 1}, directory="/proc/nope") == ""
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(BenchResultError, match="not found"):
+            load_run(str(tmp_path / "BENCH_missing.json"))
+
+    def test_load_corrupt_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BenchResultError, match="cannot read"):
+            load_run(str(path))
+
+    def test_load_wrong_shape(self, tmp_path):
+        path = tmp_path / "BENCH_shape.json"
+        path.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+        with pytest.raises(BenchResultError, match="not a benchmark record"):
+            load_run(str(path))
+
+    def test_load_newer_schema(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        record = make_record("future", {"x": 1})
+        record["schema"] = SCHEMA_VERSION + 5
+        path.write_text(json.dumps(record), encoding="utf-8")
+        with pytest.raises(BenchResultError, match="newer"):
+            load_run(str(path))
+
+
+class TestFlattenNumeric:
+    def test_nested_dicts_become_dotted_keys(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1, "c": {"d": 2.5}}, "top": 3}
+        )
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "top": 3.0}
+
+    def test_non_numeric_leaves_are_dropped(self):
+        flat = flatten_numeric({"s": "text", "flag": True, "n": 7})
+        assert flat == {"n": 7.0}
+
+    def test_numeric_keys_stringify(self):
+        assert flatten_numeric({"sizes": {1024: 5.0}}) == {"sizes.1024": 5.0}
+
+
+class TestCompare:
+    def _record(self, results, name="bench"):
+        return {"name": name, "git_sha": "abc123def456", "results": results}
+
+    def test_lower_is_better_regression(self):
+        report = bench_compare.compare(
+            self._record({"rtt_us": 100.0}),
+            self._record({"rtt_us": 140.0}),
+            threshold=0.25,
+        )
+        assert report["rows"][0]["regression"] is True
+        assert report["regressions"]
+
+    def test_lower_is_better_within_threshold(self):
+        report = bench_compare.compare(
+            self._record({"rtt_us": 100.0}),
+            self._record({"rtt_us": 110.0}),
+            threshold=0.25,
+        )
+        assert not report["regressions"]
+
+    def test_higher_is_better_direction_flips(self):
+        # Throughput dropping 40% is a regression even though the number
+        # moved down; latency dropping 40% is an improvement.
+        report = bench_compare.compare(
+            self._record({"throughput_mbps": 100.0, "latency_us": 100.0}),
+            self._record({"throughput_mbps": 60.0, "latency_us": 60.0}),
+        )
+        by_key = {row["key"]: row for row in report["rows"]}
+        assert by_key["throughput_mbps"]["regression"] is True
+        assert by_key["latency_us"]["regression"] is False
+        assert by_key["latency_us"]["improvement"] is True
+
+    def test_disjoint_keys_reported_not_compared(self):
+        report = bench_compare.compare(
+            self._record({"old_metric": 1.0, "shared": 2.0}),
+            self._record({"new_metric": 1.0, "shared": 2.0}),
+        )
+        assert report["compared"] == 1
+        assert report["only_baseline"] == ["old_metric"]
+        assert report["only_current"] == ["new_metric"]
+
+    def test_key_filter(self):
+        report = bench_compare.compare(
+            self._record({"a.x": 1.0, "b.x": 1.0}),
+            self._record({"a.x": 1.0, "b.x": 1.0}),
+            key_filter="a.",
+        )
+        assert [row["key"] for row in report["rows"]] == ["a.x"]
+
+    def test_zero_baseline(self):
+        report = bench_compare.compare(
+            self._record({"m": 0.0}), self._record({"m": 5.0})
+        )
+        assert report["rows"][0]["change"] == float("inf")
+        assert report["rows"][0]["regression"] is True
+
+    def test_format_report_mentions_regressions(self):
+        report = bench_compare.compare(
+            self._record({"rtt": 100.0}), self._record({"rtt": 200.0})
+        )
+        text = bench_compare.format_report(report)
+        assert "REGRESSION" in text
+        assert "1 regression" in text
+
+
+class TestCompareMain:
+    def _write(self, tmp_path, name, results):
+        return persist_run(name, results, directory=str(tmp_path))
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path, "clean_base", {"rtt": 100.0})
+        curr = self._write(tmp_path, "clean_curr", {"rtt": 101.0})
+        assert bench_compare.main([base, curr]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "reg_base", {"rtt": 100.0})
+        curr = self._write(tmp_path, "reg_curr", {"rtt": 200.0})
+        assert bench_compare.main([base, curr]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_input(self, tmp_path, capsys):
+        base = self._write(tmp_path, "only_base", {"rtt": 100.0})
+        missing = str(tmp_path / "BENCH_gone.json")
+        assert bench_compare.main([base, missing]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_threshold_flag(self, tmp_path):
+        base = self._write(tmp_path, "thr_base", {"rtt": 100.0})
+        curr = self._write(tmp_path, "thr_curr", {"rtt": 130.0})
+        assert bench_compare.main([base, curr]) == 1
+        assert bench_compare.main([base, curr, "--threshold", "0.5"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        base = self._write(tmp_path, "json_base", {"rtt": 100.0})
+        curr = self._write(tmp_path, "json_curr", {"rtt": 100.0})
+        assert bench_compare.main([base, curr, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compared"] == 1

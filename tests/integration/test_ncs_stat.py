@@ -1,0 +1,126 @@
+"""The ncs_stat CLI: snapshot loading, error paths, and the health demo.
+
+Runs main() in process (argv-style) rather than spawning interpreters;
+the multiprocess tool coverage lives in test_tools_multiprocess.py.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.tools.ncs_stat import (
+    SnapshotError,
+    format_health,
+    load_snapshot,
+    main,
+)
+
+
+@pytest.fixture
+def snapshot_file(tmp_path):
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("ncs_messages_sent_total").inc(42)
+    path = tmp_path / "run.json"
+    registry.dump(str(path))
+    return str(path)
+
+
+class TestLoadSnapshot:
+    def test_valid_snapshot_round_trips(self, snapshot_file):
+        snap = load_snapshot(snapshot_file)
+        assert snap["counters"][0]["name"] == "ncs_messages_sent_total"
+        # All three sections present even if the file omitted some.
+        assert set(snap) >= {"counters", "gauges", "histograms"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not found"):
+            load_snapshot(str(tmp_path / "nope.json"))
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{{{", encoding="utf-8")
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            load_snapshot(str(path))
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        with pytest.raises(SnapshotError, match="not a metrics snapshot"):
+            load_snapshot(str(path))
+
+
+class TestSnapshotCommand:
+    def test_loads_and_renders(self, snapshot_file, capsys):
+        assert main(["snapshot", snapshot_file]) == 0
+        assert "ncs_messages_sent_total" in capsys.readouterr().out
+
+    def test_load_flag_spelling(self, snapshot_file, capsys):
+        assert main(["snapshot", "--load", snapshot_file]) == 0
+        assert "ncs_messages_sent_total" in capsys.readouterr().out
+
+    def test_legacy_top_level_load_flag(self, snapshot_file, capsys):
+        assert main(["--load", snapshot_file]) == 0
+        assert "ncs_messages_sent_total" in capsys.readouterr().out
+
+    def test_json_output(self, snapshot_file, capsys):
+        assert main(["snapshot", snapshot_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"][0]["value"] == 42.0
+
+    def test_missing_file_exits_nonzero_with_message(self, tmp_path, capsys):
+        assert main(["snapshot", str(tmp_path / "gone.json")]) == 1
+        err = capsys.readouterr().err
+        assert "ncs_stat: error" in err and "not found" in err
+
+    def test_corrupt_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("not json at all", encoding="utf-8")
+        assert main(["snapshot", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_no_path_exits_two(self, capsys):
+        assert main(["snapshot"]) == 2
+        assert "no snapshot file" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_missing_trace_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "none.jsonl")]) == 1
+        assert "cannot read trace file" in capsys.readouterr().err
+
+
+class TestHealthCommand:
+    def test_healthy_demo_exits_zero(self, capsys):
+        assert main(["health", "--period", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "node health-a: OK" in out
+        assert "watchdog samples" in out
+
+    def test_starved_demo_exits_nonzero_and_dumps(self, capsys):
+        assert main(["health", "--starve", "--period", "0.2"]) == 1
+        out = capsys.readouterr().out
+        assert "STALLED" in out
+        assert "flight recorder dump" in out
+
+    def test_format_health_renders_reasons(self):
+        report = {
+            "node": "n",
+            "state": "STALLED",
+            "connections": [
+                {
+                    "conn_id": 1,
+                    "peer": "p",
+                    "queued": 9,
+                    "retransmits": 0,
+                    "state": "STALLED",
+                    "reasons": ["credit starvation: wedged"],
+                }
+            ],
+            "samples_taken": 4,
+            "recorder_dumps": 1,
+        }
+        text = format_health(report)
+        assert "node n: STALLED" in text
+        assert "conn 1 peer=p queued=9" in text
+        assert "credit starvation" in text

@@ -1,0 +1,144 @@
+"""FlightRecorder: ring semantics, dumps, file output, the null object."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    DUMP_DIR_ENV,
+    NULL_RECORDER,
+    FlightRecorder,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+
+class TestRing:
+    def test_record_appends_and_snapshot_is_oldest_first(self):
+        clock = FakeClock()
+        recorder = FlightRecorder(name="r", capacity=8, clock=clock)
+        for i in range(3):
+            clock.t = float(i)
+            recorder.record("data", "send", msg=i)
+        snap = recorder.snapshot()
+        assert [e["msg"] for e in snap] == [0, 1, 2]
+        assert [e["ts"] for e in snap] == [0.0, 1.0, 2.0]
+        assert snap[0]["category"] == "data"
+        assert snap[0]["name"] == "send"
+
+    def test_ring_evicts_oldest_when_full(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("x", "y", i=i)
+        snap = recorder.snapshot()
+        assert len(snap) == 4
+        assert [e["i"] for e in snap] == [6, 7, 8, 9]
+        # recorded counts evicted entries too
+        assert recorder.recorded == 10
+        assert len(recorder) == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(enabled=False)
+        recorder.record("a", "b")
+        assert len(recorder) == 0
+        assert recorder.recorded == 0
+
+    def test_clear_empties_ring(self):
+        recorder = FlightRecorder()
+        recorder.record("a", "b")
+        recorder.clear()
+        assert recorder.snapshot() == []
+
+
+class TestDumps:
+    def test_dump_captures_ring_reason_and_detail(self):
+        recorder = FlightRecorder(name="node-a", capacity=8)
+        recorder.record("flow", "credit", credits=4)
+        record = recorder.dump("manual check", conn_id=7)
+        assert record["recorder"] == "node-a"
+        assert record["reason"] == "manual check"
+        assert record["detail"] == {"conn_id": 7}
+        assert record["events"][-1]["name"] == "credit"
+        assert recorder.last_dump() is record
+        assert recorder.auto_dumps == 0  # manual dump is not an auto dump
+
+    def test_auto_dump_increments_counter(self):
+        recorder = FlightRecorder()
+        recorder.auto_dump("anomaly one")
+        recorder.auto_dump("anomaly two")
+        assert recorder.auto_dumps == 2
+        assert [d["reason"] for d in recorder.dumps] == [
+            "anomaly one",
+            "anomaly two",
+        ]
+
+    def test_dump_retention_is_bounded(self):
+        recorder = FlightRecorder()
+        recorder.max_dumps = 3
+        for i in range(7):
+            recorder.dump(f"d{i}")
+        assert [d["reason"] for d in recorder.dumps] == ["d4", "d5", "d6"]
+
+    def test_on_dump_callback_fires(self):
+        recorder = FlightRecorder()
+        seen = []
+        recorder.on_dump = seen.append
+        record = recorder.dump("cb")
+        assert seen == [record]
+
+    def test_dump_dir_writes_json_file(self, tmp_path):
+        recorder = FlightRecorder(name="fx", dump_dir=str(tmp_path))
+        recorder.record("state", "connected", conn=1)
+        record = recorder.auto_dump("stall", conn_id=1)
+        path = record["path"]
+        assert os.path.dirname(path) == str(tmp_path)
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["reason"] == "stall"
+        assert loaded["events"][0]["name"] == "connected"
+
+    def test_dump_dir_env_variable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path))
+        recorder = FlightRecorder(name="env")
+        assert recorder.dump_dir == str(tmp_path)
+        recorder.dump("via env")
+        assert any(f.startswith("flight_env") for f in os.listdir(tmp_path))
+
+    def test_explicit_dump_dir_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, "/nonexistent/env/dir")
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        assert recorder.dump_dir == str(tmp_path)
+
+
+class TestFormatting:
+    def test_format_dump_renders_reason_detail_and_events(self):
+        recorder = FlightRecorder(name="fmt")
+        recorder.record("error", "retransmit", sdu=3)
+        record = recorder.dump("storm", conn_id=2)
+        text = FlightRecorder.format_dump(record)
+        assert "fmt" in text
+        assert "storm" in text
+        assert "conn_id: 2" in text
+        assert "error.retransmit sdu=3" in text
+
+
+class TestNullRecorder:
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.record("a", "b", c=1)
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.enabled is False

@@ -152,3 +152,58 @@ class TestEnvWiring:
             assert trace_env_enabled() is expected
         monkeypatch.delenv("NCS_TRACE")
         assert trace_env_enabled() is False
+
+
+class TestAtexitFlush:
+    def test_registered_sinks_are_flushed_by_hook(self, tmp_path):
+        from repro.util import trace as trace_mod
+
+        path = tmp_path / "buffered.json"
+        sink = ChromeTraceSink(str(path))
+        sink(TraceEvent(0.0, "data", "send", {"msg": 1}))
+        assert not path.exists()  # ChromeTraceSink buffers until close
+        trace_mod._flush_all_sinks()
+        with open(path, encoding="utf-8") as handle:
+            assert len(json.load(handle)["traceEvents"]) == 1
+
+    def test_flush_survives_a_broken_sink(self, tmp_path):
+        from repro.util import trace as trace_mod
+
+        class Broken:
+            def close(self):
+                raise RuntimeError("boom")
+
+        trace_mod._LIVE_SINKS.add(Broken())
+        path = tmp_path / "after_broken.jsonl"
+        sink = JsonlSink(str(path))
+        trace_mod._flush_all_sinks()  # must not raise
+        assert sink._file.closed
+
+    def test_interpreter_exit_flushes_chrome_trace(self, tmp_path):
+        """A process that never calls close() still gets its trace file:
+        the atexit hook closes every live sink."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        path = tmp_path / "exit_trace.json"
+        script = (
+            "from repro.util.trace import ChromeTraceSink, TraceEvent\n"
+            f"sink = ChromeTraceSink({str(path)!r})\n"
+            "sink(TraceEvent(0.0, 'data', 'send', {'msg': 7}))\n"
+            "# no close(): rely on the atexit hook\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={**os.environ, "PYTHONPATH": src_dir},
+        )
+        assert proc.returncode == 0, proc.stderr
+        with open(path, encoding="utf-8") as handle:
+            events = json.load(handle)["traceEvents"]
+        assert events and events[0]["args"] == {"msg": 7}
