@@ -1,0 +1,58 @@
+"""Recovery layer costs: reconnect latency, replay drain, supervision
+overhead.  Not a paper figure — the recovery subsystem is this repo's
+extension — but persisted like one so regressions show up in CI.
+"""
+
+import pytest
+
+from conftest import emit, persist
+from repro.bench import recovery
+
+
+@pytest.fixture(scope="module", autouse=True)
+def results():
+    results = recovery.run_recovery_bench(
+        reconnect_rounds=5, replay_backlog=32, overhead_iterations=150
+    )
+    emit(recovery.format_results(results))
+    persist(
+        "recovery",
+        results,
+        config={
+            "reconnect_rounds": 5,
+            "replay_backlog": 32,
+            "overhead_iterations": 150,
+        },
+    )
+    return results
+
+
+def test_reconnect_latency_is_bounded(results):
+    # BENCH_POLICY dials with 10 ms backoff; a recovery that takes more
+    # than 2 s means detection or adoption is wedged, not just slow.
+    assert results["reconnect"]["median_ms"] < 2000
+
+
+def test_replay_delivers_the_whole_backlog(results):
+    assert results["replay"]["replayed_messages"] >= results["replay"]["backlog"]
+
+
+def test_supervision_costs_less_than_a_roundtrip(results):
+    # The envelope + ledger + dedup path must stay cheaper than the
+    # underlying echo RTT it protects (i.e. < 100% overhead).
+    assert results["overhead"]["overhead_fraction"] < 1.0
+
+
+def test_benchmark_reconnect(benchmark_or_skip, results):
+    benchmark_or_skip(
+        lambda: recovery.bench_reconnect_latency(rounds=1)
+    )
+
+
+@pytest.fixture
+def benchmark_or_skip(request):
+    """pytest-benchmark when available; plain call otherwise."""
+    benchmark = request.getfixturevalue("benchmark") if (
+        request.config.pluginmanager.hasplugin("benchmark")
+    ) else (lambda fn: fn())
+    return benchmark

@@ -79,6 +79,22 @@ def aal5_reassemble(cells: Iterable[AtmCell]) -> bytes:
     return pdu[:length]
 
 
+def aal5_transfer(frame: bytes, vpi: int, vci: int, injector=None) -> bytes:
+    """Segment → (optionally) run the cell stream through a fault
+    injector → reassemble.
+
+    ``injector`` is a :class:`repro.faults.injector.PlannedInjector`
+    whose drop/corrupt specs apply per *cell* — the AAL5 failure unit.
+    A damaged or missing cell surfaces as :class:`Aal5Error` from
+    reassembly, exercising exactly the detection/recovery split the
+    paper assigns to AAL5 vs NCS error control.
+    """
+    cells = aal5_segment(frame, vpi, vci)
+    if injector is not None:
+        cells = injector.filter_cells(cells)
+    return aal5_reassemble(cells)
+
+
 def cells_for_frame(frame_size: int) -> int:
     """How many cells a frame of ``frame_size`` bytes occupies.
 

@@ -12,7 +12,10 @@ from repro.core.errors import (
     ConnectionClosedError,
     ConnectRejectedError,
     ConnectTimeoutError,
+    LinkDialError,
     NcsError,
+    NCSTimeout,
+    NCSUnavailable,
     SendFailedError,
 )
 from repro.core.handles import SendHandle, SendStatus
@@ -27,7 +30,10 @@ __all__ = [
     "ConnectionConfig",
     "ConnectRejectedError",
     "ConnectTimeoutError",
+    "LinkDialError",
     "NcsError",
+    "NCSTimeout",
+    "NCSUnavailable",
     "Node",
     "NodeConfig",
     "SendFailedError",

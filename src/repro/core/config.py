@@ -50,6 +50,10 @@ class ConnectionConfig:
     loss_rate: float = 0.0
     corrupt_rate: float = 0.0
     fault_seed: int = 0
+    #: Full fault schedule (repro.faults.FaultPlan) applied to this
+    #: connection's data interface; None defers to the NCS_FAULTS
+    #: environment variable.  Supersedes loss_rate/corrupt_rate when set.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self):
         if self.flow_control not in FC_ALGORITHMS:

@@ -28,7 +28,7 @@ import time
 from typing import Optional
 
 from repro.core.config import ConnectionConfig
-from repro.core.errors import ConnectionClosedError
+from repro.core.errors import ConnectionClosedError, NCSTimeout
 from repro.core.handles import SendHandle, SendStatus
 from repro.errorcontrol import make_error_control
 from repro.flowcontrol import make_flow_control
@@ -69,7 +69,30 @@ class Connection:
         self.peer_link = peer_link
         self.config = config
         self._recorder = node.recorder
-        if config.loss_rate or config.corrupt_rate:
+        fault_plan = config.fault_plan
+        if fault_plan is None:
+            from repro.faults.plan import plan_from_env
+
+            fault_plan = plan_from_env()
+        if fault_plan:
+            # Full fault schedule: wraps the data interface (never the
+            # control links) and reports every injected fault to the
+            # flight recorder so dumps show cause alongside symptom.
+            from repro.faults.injector import (
+                PlannedFaultyInterface,
+                PlannedInjector,
+            )
+
+            def _record_fault(kind: str, **detail) -> None:
+                self._recorder.record("fault", kind, conn=conn_id, **detail)
+
+            interface = PlannedFaultyInterface(
+                interface,
+                PlannedInjector(
+                    fault_plan, clock=node.clock.now, on_fault=_record_fault
+                ),
+            )
+        elif config.loss_rate or config.corrupt_rate:
             interface = FaultyInterface(
                 interface,
                 FaultInjector(
@@ -225,7 +248,7 @@ class Connection:
             instrument["exit"] = time.perf_counter_ns()
         if wait:
             if not handle.wait(timeout):
-                raise TimeoutError(
+                raise NCSTimeout(
                     f"send of message {msg_id} not confirmed within {timeout}s"
                 )
         return handle
@@ -273,6 +296,31 @@ class Connection:
             if self._recv_waiters_count <= 0:
                 self._recv_waiters_count = 0
                 self._recv_wait_since = None
+
+    def pending_sends(self) -> list:
+        """Unacknowledged in-flight messages as ``(msg_id, payload)``.
+
+        Reconstructed from the error-control window state; the recovery
+        layer replays these over a fresh incarnation after a reconnect.
+        Best taken once the connection is quiescent or dead (the engines
+        run on the protocol thread in threaded mode).
+        """
+        if self.config.mode == "bypass":
+            with self._engine_lock:
+                return self.ec_sender.pending()
+        return self.ec_sender.pending()
+
+    def held_deliveries(self) -> list:
+        """Reassembled-but-held inbound messages (reorder buffer).
+
+        These were acknowledged on completion, so the peer will never
+        retransmit them; a dying connection must surrender them to the
+        application instead of discarding them with the engine.
+        """
+        if self.config.mode == "bypass":
+            with self._engine_lock:
+                return self.ec_receiver.held_deliveries()
+        return self.ec_receiver.held_deliveries()
 
     @property
     def peer_gone(self) -> bool:
@@ -351,9 +399,10 @@ class Connection:
                      "dropped_messages", "discarded_out_of_order"):
             if hasattr(self.ec_receiver, attr):
                 stats[attr] = getattr(self.ec_receiver, attr)
-        if isinstance(self.interface, FaultyInterface):
-            stats["injected_drops"] = self.interface.injector.dropped
-            stats["injected_corruptions"] = self.interface.injector.corrupted
+        injector = getattr(self.interface, "injector", None)
+        if injector is not None:
+            stats["injected_drops"] = injector.dropped
+            stats["injected_corruptions"] = injector.corrupted
         return stats
 
     def metrics_totals(self) -> dict:
@@ -480,6 +529,7 @@ class Connection:
             try:
                 self.interface.send(sdu.encode())
             except InterfaceClosed:
+                self._note_transport_loss("send")
                 return
             if instrument is not None:
                 instrument["transmitted"] = time.perf_counter_ns()
@@ -502,8 +552,24 @@ class Connection:
                         self._maybe_recv_gc()
                         continue
             except InterfaceClosed:
+                self._note_transport_loss("recv")
                 return
             self._process_frame(frame)
+
+    def _note_transport_loss(self, where: str) -> None:
+        """The data interface died under us (not a local close).
+
+        Flags ``peer_gone`` so blocked receivers unblock with a typed
+        error and the health/recovery layers see the outage instead of
+        a silently parked thread.
+        """
+        if self._closed or self._peer_closed:
+            return
+        self._peer_closed = True
+        self._recorder.record(
+            "state", "transport_lost",
+            conn=self.conn_id, peer=self.peer_name, where=where,
+        )
 
     def _process_frame(self, frame: bytes) -> None:
         """Receiver path shared by threaded and bypass modes."""
@@ -652,6 +718,7 @@ class Connection:
                 try:
                     self.interface.send(sdu.encode())
                 except InterfaceClosed:
+                    self._note_transport_loss("send")
                     return
             else:
                 self._send_chan.put((sdu, instrument))
@@ -720,7 +787,7 @@ class Connection:
                 else:
                     frame = self.interface.try_recv()
             except InterfaceClosed:
-                self._peer_closed = True
+                self._note_transport_loss("recv")
                 return
             if frame is not None:
                 self._process_frame(frame)

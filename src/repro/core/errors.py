@@ -7,7 +7,45 @@ class NcsError(Exception):
     """Base class for all NCS runtime errors."""
 
 
-class ConnectTimeoutError(NcsError):
+class NCSTimeout(NcsError, TimeoutError):
+    """A primitive's deadline expired before the operation finished.
+
+    Every timeout the NCS API surfaces raises this one type (it also
+    subclasses the builtin :class:`TimeoutError`, so pre-existing
+    ``except TimeoutError`` handlers keep working).  See the contract
+    note in :mod:`repro.core.primitives`.
+    """
+
+
+class NCSUnavailable(NcsError):
+    """The connection's recovery budget is exhausted.
+
+    Raised by a supervised connection (see :mod:`repro.recovery`) after
+    reconnect retries and interface failover have all failed — the
+    graceful-degradation signal: callers get a typed error instead of a
+    hang.
+    """
+
+    def __init__(self, peer: str, attempts: int, reason: str = ""):
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"peer {peer} unavailable after {attempts} recovery attempts{detail}"
+        )
+        self.peer = peer
+        self.attempts = attempts
+        self.reason = reason
+
+
+class LinkDialError(NcsError, ConnectionError):
+    """Dialing a peer's control or data endpoint failed.
+
+    Wraps the socket-layer OSError so callers handle one typed NCS
+    error; subclassing :class:`ConnectionError` (itself an OSError)
+    keeps ``except OSError`` paths — like the heartbeat prober — intact.
+    """
+
+
+class ConnectTimeoutError(NCSTimeout):
     """Connection establishment did not complete within the deadline."""
 
 

@@ -71,6 +71,10 @@ class FailureDetector:
         self.suspect_after = suspect_after
         self.on_failure = on_failure
         self.on_recovery = on_recovery
+        #: Additional (on_failure, on_recovery) listener pairs; recovery
+        #: supervisors subscribe here without displacing the app's
+        #: callbacks.
+        self._listeners: list = []
         self._peers: Dict[Tuple[str, int], PeerStatus] = {}
         self._lock = threading.Lock()
         self._sequence = 0
@@ -82,6 +86,33 @@ class FailureDetector:
         )
 
     # ------------------------------------------------------------------
+
+    def add_listener(
+        self,
+        on_failure: Optional[Callable[[Tuple[str, int]], None]] = None,
+        on_recovery: Optional[Callable[[Tuple[str, int]], None]] = None,
+    ) -> None:
+        """Subscribe an extra (failure, recovery) callback pair.
+
+        Listeners fire after the constructor-supplied callbacks, with
+        the same once-per-outage semantics.
+        """
+        with self._lock:
+            self._listeners.append((on_failure, on_recovery))
+
+    def _fire_failure(self, address: Tuple[str, int]) -> None:
+        if self.on_failure is not None:
+            self.on_failure(address)
+        for fail, _recover in list(self._listeners):
+            if fail is not None:
+                fail(address)
+
+    def _fire_recovery(self, address: Tuple[str, int]) -> None:
+        if self.on_recovery is not None:
+            self.on_recovery(address)
+        for _fail, recover in list(self._listeners):
+            if recover is not None:
+                recover(address)
 
     def monitor(self, peer: Tuple[str, int]) -> None:
         """Start probing ``peer`` (a node's control address)."""
@@ -152,8 +183,7 @@ class FailureDetector:
                 f"peer {status.address[0]}:{status.address[1]} suspected",
                 silent_for=round(silent_for, 3),
             )
-            if self.on_failure is not None:
-                self.on_failure(status.address)
+            self._fire_failure(status.address)
 
     def _on_reply(self, pdu: HeartbeatPdu, link) -> None:
         """Called by the node's control reader for heartbeat replies."""
@@ -162,6 +192,7 @@ class FailureDetector:
         except OSError:
             return
         now = self.node.clock.now()
+        recovered = None
         with self._lock:
             # Replies come back on the link we dialed; match by the
             # dialed address the link is cached under.
@@ -171,13 +202,15 @@ class FailureDetector:
                     status.last_reply_at = now
                     if status.suspected:
                         status.suspected = False
+                        recovered = status.address
                         self.node.recorder.record(
                             "health", "peer_recovered",
                             peer=f"{status.address[0]}:{status.address[1]}",
                         )
-                        if self.on_recovery is not None:
-                            self.on_recovery(status.address)
                     break
+        if recovered is not None:
+            # Fire outside the lock: listeners may call back into us.
+            self._fire_recovery(recovered)
 
     def _link_matches(
         self, monitored: Tuple[str, int], link_peer: Tuple[str, int]

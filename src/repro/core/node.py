@@ -28,6 +28,7 @@ from repro.core.connection import Connection
 from repro.core.errors import (
     ConnectRejectedError,
     ConnectTimeoutError,
+    LinkDialError,
     NcsError,
 )
 from repro.interfaces.aci import aci_open
@@ -142,6 +143,10 @@ class Node:
         self.accept_router: Optional[
             Callable[[ConnectRequestPdu, Connection], bool]
         ] = None
+        #: Additional accept routers consulted after ``accept_router``;
+        #: the recovery Responder registers here so group forwarding and
+        #: reconnect claiming coexist.
+        self._accept_routers: list = []
         #: Installed by a FailureDetector to receive heartbeat replies.
         self.heartbeat_reply_handler: Optional[
             Callable[[HeartbeatPdu, object], None]
@@ -228,7 +233,12 @@ class Node:
             self._pending.pop(conn_id, None)
 
         if config.interface == "sci":
-            interface = sci_connect(peer[0], accept.data_port)
+            try:
+                interface = sci_connect(peer[0], accept.data_port)
+            except OSError as exc:
+                raise LinkDialError(
+                    f"data dial to {peer[0]}:{accept.data_port} failed: {exc}"
+                ) from exc
         elif config.interface == "aci":
             endpoint.bind_peer(peer[0], accept.data_port)
             interface = endpoint
@@ -332,6 +342,23 @@ class Node:
         and other services send their control PDUs over these)."""
         return self._get_link(peer)
 
+    def add_accept_router(
+        self, router: Callable[[ConnectRequestPdu, Connection], bool]
+    ) -> None:
+        """Register an interceptor for accepted connections.
+
+        Routers run in registration order (after the legacy
+        ``accept_router`` attribute); the first to return True consumes
+        the connection, keeping it off ``accepted_queue``.
+        """
+        self._accept_routers.append(router)
+
+    def remove_accept_router(self, router) -> None:
+        try:
+            self._accept_routers.remove(router)
+        except ValueError:
+            pass
+
     def close(self) -> None:
         """Tear down every connection and stop the control plane."""
         if self._closed:
@@ -373,7 +400,12 @@ class Node:
             link = self._links.get(peer)
             if link is not None and not link.closed:
                 return link
-        link = sci_connect(peer[0], peer[1])
+        try:
+            link = sci_connect(peer[0], peer[1])
+        except OSError as exc:
+            raise LinkDialError(
+                f"cannot reach {peer[0]}:{peer[1]}: {exc}"
+            ) from exc
         with self._links_lock:
             self._links[peer] = link
         self.pkg.spawn(self._link_reader, link, name=f"{self.name}-ctrlrecv")
@@ -626,6 +658,11 @@ class Node:
         consumed = False
         if self.accept_router is not None:
             consumed = bool(self.accept_router(request, connection))
+        if not consumed:
+            for router in list(self._accept_routers):
+                if bool(router(request, connection)):
+                    consumed = True
+                    break
         if not consumed:
             self.accepted_queue.put(connection)
         self.recorder.record(

@@ -4,6 +4,30 @@ The original NCS API is procedural (``NCS_send``, ``NCS_recv``,
 ``NCS_thread_yield`` ...).  These thin wrappers give examples and ported
 code that exact surface over the object API; new code should prefer the
 methods on :class:`~repro.core.connection.Connection` directly.
+
+Timeout contract
+----------------
+
+Every NCS primitive handles deadlines the same way — no raw socket
+errors, no mixed conventions:
+
+* ``NCS_send(wait=True, timeout=T)`` raises
+  :class:`~repro.core.errors.NCSTimeout` if delivery is unconfirmed
+  after ``T`` seconds (the message may still complete later; the handle
+  remains valid).  ``NCSTimeout`` subclasses the builtin
+  :class:`TimeoutError`, so generic handlers keep working.
+* ``NCS_recv(timeout=T)`` returns ``None`` on timeout — polling for "no
+  message yet" is the normal case, not an error.  It raises
+  :class:`~repro.core.errors.ConnectionClosedError` only when the
+  connection is closed *and* drained.
+* Connection establishment raises
+  :class:`~repro.core.errors.ConnectTimeoutError` (an ``NCSTimeout``
+  subclass) past its deadline, and
+  :class:`~repro.core.errors.LinkDialError` when the peer cannot be
+  dialed at all.
+* A supervised connection (see :mod:`repro.recovery`) whose recovery
+  budget is exhausted raises
+  :class:`~repro.core.errors.NCSUnavailable` instead of hanging.
 """
 
 from __future__ import annotations

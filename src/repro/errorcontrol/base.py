@@ -58,6 +58,16 @@ class SenderErrorControl(ABC):
     def inflight_count(self) -> int:
         """Messages handed to ``send`` but not yet completed or failed."""
 
+    def pending(self) -> list:
+        """Unacknowledged in-flight messages as ``(msg_id, payload)``.
+
+        The recovery layer replays these after a reconnect — the window
+        state *is* the replay buffer, no shadow copy needed.  Engines
+        that keep no retransmission state (``none``) return nothing:
+        with no delivery guarantee there is nothing to replay.
+        """
+        return []
+
     def idle(self) -> bool:
         return self.inflight_count() == 0
 
@@ -79,6 +89,17 @@ class ReceiverErrorControl(ABC):
     def on_timer(self, now: float) -> Effects:
         """Periodic housekeeping (unreliable engines GC stale state)."""
         return Effects()
+
+    def held_deliveries(self) -> list:
+        """Fully reassembled messages held back (e.g. for ordering).
+
+        These have been acknowledged — the sender considers them
+        delivered and will never retransmit them — so a dying connection
+        must hand them to the application rather than discard them.
+        Engines that deliver strictly in order with no reorder buffer
+        have nothing to surrender.
+        """
+        return []
 
     def metrics(self) -> dict:
         """Observable counters for the metrics collector."""

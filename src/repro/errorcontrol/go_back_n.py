@@ -131,6 +131,13 @@ class GoBackNSender(SenderErrorControl):
     def inflight_count(self) -> int:
         return len(self._outgoing)
 
+    def pending(self) -> list:
+        """Unacknowledged messages, reassembled from the window state."""
+        return [
+            (msg_id, b"".join(sdu.payload for sdu in state.sdus))
+            for msg_id, state in sorted(self._outgoing.items())
+        ]
+
     def _next_deadline(self) -> Optional[float]:
         if not self._outgoing:
             return None
@@ -197,6 +204,10 @@ class GoBackNReceiver(ReceiverErrorControl):
         effects.deliveries.extend(self._ordering.release_stale(now))
         effects.timer_at = self._ordering.next_deadline(now)
         return effects
+
+    def held_deliveries(self) -> list:
+        """Acked-but-held messages surrendered at connection teardown."""
+        return self._ordering.flush()
 
     def _ack(self, msg_id: int, total_sdus: int) -> CumAckPdu:
         return self._ack_value(msg_id, total_sdus)

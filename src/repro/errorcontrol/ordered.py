@@ -62,6 +62,21 @@ class OrderedDelivery:
         self.gaps_forced += 1
         return self._drain()
 
+    def flush(self) -> List[bytes]:
+        """Surrender everything held, in id order, gaps notwithstanding.
+
+        Used at connection teardown: a held message has already been
+        acknowledged, so the sender will never replay it — discarding it
+        here would be silent loss.  The recovery layer's session dedup
+        tolerates the resulting reordering.
+        """
+        ready: List[bytes] = []
+        for msg_id in sorted(self._held):
+            payload, _when = self._held.pop(msg_id)
+            ready.append(payload)
+            self._next_id = msg_id + 1
+        return ready
+
     def next_deadline(self, now: float) -> Optional[float]:
         """When ``release_stale`` next needs a look (None if empty)."""
         if not self._held:

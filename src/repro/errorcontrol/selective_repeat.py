@@ -154,6 +154,13 @@ class SelectiveRepeatSender(SenderErrorControl):
     def inflight_count(self) -> int:
         return len(self._outgoing)
 
+    def pending(self) -> list:
+        """Unacknowledged messages, reassembled from the window state."""
+        return [
+            (msg_id, b"".join(sdu.payload for sdu in state.sdus))
+            for msg_id, state in sorted(self._outgoing.items())
+        ]
+
     def _next_deadline(self) -> Optional[float]:
         if not self._outgoing:
             return None
@@ -230,6 +237,10 @@ class SelectiveRepeatReceiver(ReceiverErrorControl):
         effects.deliveries.extend(self._ordering.release_stale(now))
         effects.timer_at = self._ordering.next_deadline(now)
         return effects
+
+    def held_deliveries(self) -> list:
+        """Acked-but-held messages surrendered at connection teardown."""
+        return self._ordering.flush()
 
     def _ack(self, msg_id: int, total_sdus: int) -> AckPdu:
         bitmap = self._reassembler.bitmap_for(msg_id, total_sdus)

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for every layer of the NCS stack.
+
+The paper's control/data separation exists because the data plane —
+especially the unreliable ACI interface — *will* lose, reorder, and
+corrupt frames.  This package turns that assumption into a test
+instrument: a seedable :class:`~repro.faults.plan.FaultPlan` describes
+*what* goes wrong (drop / delay / duplicate / corrupt / partition /
+peer-crash, each with rate, burst, and time-window knobs), and a
+:class:`~repro.faults.injector.PlannedInjector` executes the plan
+against any transport — live interfaces (via
+:class:`~repro.faults.injector.PlannedFaultyInterface`), simnet links,
+or AAL5 cell streams.  Same plan + same seed ⇒ the identical fault
+sequence, so chaos tests replay exactly.
+
+Plans come from code (``FaultPlan([FaultSpec("drop", rate=0.1)])``) or
+from the ``NCS_FAULTS`` environment variable (see
+:func:`~repro.faults.plan.parse_fault_plan` for the grammar)::
+
+    NCS_FAULTS="drop:rate=0.1,burst=2;partition:start=1,stop=2;seed:7"
+
+Every injected fault is reported through the injector's ``on_fault``
+callback, which the connection layer wires to the flight recorder — so
+an anomaly dump shows the injected *cause* alongside the protocol
+*symptom*.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    parse_fault_plan,
+    plan_from_env,
+)
+from repro.faults.injector import PlannedFaultyInterface, PlannedInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "PlannedFaultyInterface",
+    "PlannedInjector",
+    "parse_fault_plan",
+    "plan_from_env",
+]

@@ -1,0 +1,304 @@
+"""Executors that apply a :class:`~repro.faults.plan.FaultPlan`.
+
+:class:`PlannedInjector` is transport-agnostic: it takes a clock (wall
+clock for live interfaces, ``lambda: sim.now`` for the discrete-event
+kernel) and turns each outgoing frame into a list of *deliveries* —
+``(extra_delay_seconds, frame_bytes)`` pairs — which the caller
+schedules however its transport schedules things.  An empty list means
+the frame was dropped.  Crash specs surface via :meth:`crash_due`.
+
+:class:`PlannedFaultyInterface` adapts the injector to the live
+:class:`~repro.interfaces.base.CommInterface` contract, generalizing
+the original loss/corruption-only ``FaultyInterface`` to the full
+taxonomy (delayed deliveries ride short timer threads; an injected
+peer-crash severs the inner transport without a Close handshake).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.interfaces.base import CommInterface, InterfaceClosed
+
+
+class PlannedInjector:
+    """Stateful, deterministic executor of one fault plan.
+
+    Decisions depend only on the plan, the seed, the frame sequence,
+    and elapsed time — two injectors armed over the same schedule make
+    identical choices.  ``on_fault(kind, **detail)`` fires for every
+    injected fault; the connection layer points it at the flight
+    recorder so dumps show cause alongside symptom.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        clock: Optional[Callable[[], float]] = None,
+        on_fault: Optional[Callable[..., None]] = None,
+    ):
+        self.plan = plan
+        self._clock = clock or time.monotonic
+        self.on_fault = on_fault
+        self._rng = random.Random(plan.seed)
+        self._armed_at = self._clock()
+        #: spec index -> frames left in the current burst.
+        self._burst_left = {}
+        self._crashes_fired = set()
+        # Counters (exposed through metrics()).
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.partition_drops = 0
+        self.crashes = 0
+        self.frames_seen = 0
+        self.cells_seen = 0
+        self.cells_dropped = 0
+        self.cells_corrupted = 0
+
+    # ------------------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return self._clock() - self._armed_at
+
+    def _report(self, kind: str, **detail) -> None:
+        if self.on_fault is not None:
+            self.on_fault(kind, **detail)
+
+    def _triggered(self, index: int, spec: FaultSpec) -> bool:
+        """Rate/burst trigger decision for one spec on one frame."""
+        left = self._burst_left.get(index, 0)
+        if left > 0:
+            self._burst_left[index] = left - 1
+            return True
+        if spec.rate and self._rng.random() < spec.rate:
+            if spec.burst > 1:
+                self._burst_left[index] = spec.burst - 1
+            return True
+        return False
+
+    def crash_due(self) -> bool:
+        """Has an un-fired peer_crash spec reached its trigger time?
+
+        Calling this *consumes* the trigger (each crash spec fires
+        once); the caller is expected to sever its transport when True.
+        """
+        now = self.elapsed()
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind != "peer_crash" or index in self._crashes_fired:
+                continue
+            if now >= spec.crash_time():
+                self._crashes_fired.add(index)
+                self.crashes += 1
+                self._report("peer_crash", at=round(now, 4))
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def decide(self, frame: bytes) -> List[Tuple[float, bytes]]:
+        """Deliveries for one outgoing frame: (extra_delay, bytes) pairs.
+
+        Empty list = dropped.  Specs apply in plan order; a partition
+        or drop short-circuits the rest (a lost frame cannot also be
+        delayed).
+        """
+        self.frames_seen += 1
+        now = self.elapsed()
+        deliveries: List[Tuple[float, bytes]] = [(0.0, frame)]
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind == "peer_crash" or not spec.active(now):
+                continue
+            if spec.kind == "partition":
+                self.partition_drops += 1
+                self.dropped += 1
+                self._report("partition", at=round(now, 4), size=len(frame))
+                return []
+            if not self._triggered(index, spec):
+                continue
+            if spec.kind == "drop":
+                self.dropped += 1
+                self._report("drop", at=round(now, 4), size=len(frame))
+                return []
+            if spec.kind == "corrupt":
+                self.corrupted += 1
+                deliveries = [
+                    (delay, self._flip_bit(data)) for delay, data in deliveries
+                ]
+                self._report("corrupt", at=round(now, 4), size=len(frame))
+            elif spec.kind == "delay":
+                self.delayed += 1
+                extra = self._jittered_delay(spec)
+                deliveries = [
+                    (delay + extra, data) for delay, data in deliveries
+                ]
+                self._report(
+                    "delay", at=round(now, 4), by_ms=round(extra * 1e3, 3)
+                )
+            elif spec.kind == "duplicate":
+                self.duplicated += 1
+                extra = self._jittered_delay(spec)
+                deliveries = deliveries + [
+                    (delay + extra, data) for delay, data in deliveries
+                ]
+                self._report("duplicate", at=round(now, 4), size=len(frame))
+        return deliveries
+
+    def _jittered_delay(self, spec: FaultSpec) -> float:
+        if not spec.delay_jitter:
+            return spec.delay
+        return max(
+            0.0,
+            spec.delay + self._rng.uniform(-spec.delay_jitter, spec.delay_jitter),
+        )
+
+    def _flip_bit(self, frame: bytes) -> bytes:
+        if not frame:
+            return frame
+        damaged = bytearray(frame)
+        # Prefer the back half so the header magic usually survives and
+        # the payload CRC is what catches the damage (same policy as the
+        # original FaultInjector).
+        index = (
+            self._rng.randrange(len(damaged) // 2, len(damaged))
+            if len(damaged) > 1
+            else 0
+        )
+        damaged[index] ^= 1 << self._rng.randrange(8)
+        return bytes(damaged)
+
+    # ------------------------------------------------------------------
+
+    def filter_cells(self, cells: list) -> list:
+        """Apply drop/corrupt specs per ATM *cell* (the AAL5 layer).
+
+        One lost or damaged cell fails the whole CPCS-PDU's CRC at
+        reassembly — exactly the failure unit NCS error control sees on
+        a congested VC.  Delay/duplicate/partition specs are frame-level
+        concepts and are ignored here.
+        """
+        import dataclasses
+
+        now = self.elapsed()
+        survivors = []
+        for cell in cells:
+            self.cells_seen += 1
+            dropped = False
+            payload = cell.payload
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind not in ("drop", "corrupt") or not spec.active(now):
+                    continue
+                if not self._triggered(index, spec):
+                    continue
+                if spec.kind == "drop":
+                    self.cells_dropped += 1
+                    self._report("cell_drop", at=round(now, 4))
+                    dropped = True
+                    break
+                self.cells_corrupted += 1
+                payload = self._flip_bit(payload)
+                self._report("cell_corrupt", at=round(now, 4))
+            if not dropped:
+                if payload is not cell.payload:
+                    cell = dataclasses.replace(cell, payload=payload)
+                survivors.append(cell)
+        return survivors
+
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        return {
+            "frames_seen": self.frames_seen,
+            "injected_drops": self.dropped,
+            "injected_delays": self.delayed,
+            "injected_duplicates": self.duplicated,
+            "injected_corruptions": self.corrupted,
+            "injected_partition_drops": self.partition_drops,
+            "injected_crashes": self.crashes,
+            "cells_seen": self.cells_seen,
+            "cells_dropped": self.cells_dropped,
+            "cells_corrupted": self.cells_corrupted,
+        }
+
+
+class PlannedFaultyInterface(CommInterface):
+    """Live-interface decorator executing a fault plan on the send side.
+
+    Drops and corruption happen inline; delayed and duplicated frames
+    ride short daemon timers so the caller never blocks; a peer-crash
+    spec severs the inner transport abruptly (no Close handshake) the
+    moment any I/O touches the interface after the trigger time —
+    modeling a crashed peer process or a wedged adapter.
+    """
+
+    reliable = False
+
+    def __init__(self, inner: CommInterface, injector: PlannedInjector):
+        self._inner = inner
+        self.injector = injector
+        self.name = inner.name
+        self.max_frame = inner.max_frame
+        self._timers: List[threading.Timer] = []
+        self._timer_lock = threading.Lock()
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+
+    def _maybe_crash(self) -> None:
+        if self._crashed:
+            raise InterfaceClosed("injected peer crash")
+        if self.injector.crash_due():
+            self._crashed = True
+            self._inner.close()
+            raise InterfaceClosed("injected peer crash")
+
+    def send(self, frame: bytes) -> None:
+        self._maybe_crash()
+        for delay, data in self.injector.decide(frame):
+            if delay <= 0:
+                self._inner.send(data)
+            else:
+                timer = threading.Timer(delay, self._late_send, args=(data,))
+                timer.daemon = True
+                with self._timer_lock:
+                    self._timers = [
+                        t for t in self._timers if t.is_alive()
+                    ]
+                    self._timers.append(timer)
+                timer.start()
+
+    def _late_send(self, data: bytes) -> None:
+        try:
+            if not self._inner.closed:
+                self._inner.send(data)
+        except (InterfaceClosed, OSError):
+            pass  # the connection died while the frame was "in flight"
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        self._maybe_crash()
+        return self._inner.recv(timeout)
+
+    def try_recv(self) -> Optional[bytes]:
+        self._maybe_crash()
+        return self._inner.try_recv()
+
+    def close(self) -> None:
+        with self._timer_lock:
+            timers, self._timers = self._timers, []
+        for timer in timers:
+            timer.cancel()
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def metrics(self) -> dict:
+        data = self._inner.metrics()
+        data.update(self.injector.metrics())
+        return data

@@ -1,0 +1,244 @@
+"""Fault plans: declarative, seedable schedules of injected failures.
+
+A :class:`FaultSpec` describes one failure mode; a :class:`FaultPlan`
+is an ordered list of specs plus the seed that makes the whole schedule
+deterministic.  Plans are pure data — execution lives in
+:mod:`repro.faults.injector` — so one plan can drive a live SCI socket,
+a simnet link in virtual time, and an AAL5 cell stream identically.
+
+Kinds and their knobs
+---------------------
+
+``drop``
+    Lose the frame.  ``rate`` is the per-frame trigger probability;
+    once triggered, ``burst`` consecutive frames are lost.
+``delay``
+    Deliver the frame late by ``delay`` seconds (± ``delay_jitter``).
+``duplicate``
+    Deliver the frame twice (the copy trails by ``delay`` seconds).
+``corrupt``
+    Flip one random bit of the payload (the per-SDU CRC — the AAL5
+    analogue — turns this into a detected, recoverable error).
+``partition``
+    Between ``start`` and ``stop`` seconds every frame is lost —
+    a link-level partition.  ``rate`` is ignored (implicitly 1.0).
+``peer_crash``
+    At ``at`` seconds the transport is severed abruptly (no Close
+    handshake), modeling a crashed peer or wedged adapter.
+
+``start``/``stop`` bound *any* spec to a time window (seconds since the
+injector was armed); outside the window the spec is inert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+FAULT_KINDS = (
+    "drop",
+    "delay",
+    "duplicate",
+    "corrupt",
+    "partition",
+    "peer_crash",
+)
+
+#: Environment variable carrying a fault plan applied to every data
+#: interface a Connection opens (see the grammar in parse_fault_plan).
+FAULTS_ENV = "NCS_FAULTS"
+
+
+class FaultPlanError(ValueError):
+    """A fault plan (or its NCS_FAULTS spelling) is malformed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure mode with its trigger and shape knobs."""
+
+    kind: str
+    #: Per-frame trigger probability (drop/delay/duplicate/corrupt).
+    rate: float = 0.0
+    #: Consecutive frames affected once the rate triggers.
+    burst: int = 1
+    #: Window start, seconds since the injector was armed.
+    start: float = 0.0
+    #: Window end (None = forever).
+    stop: Optional[float] = None
+    #: Added latency for delay/duplicate kinds (seconds).
+    delay: float = 0.05
+    #: Uniform jitter applied to ``delay`` (seconds, ±).
+    delay_jitter: float = 0.0
+    #: One-shot trigger time for peer_crash (seconds since armed).
+    at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(
+                f"{self.kind}: rate must be in [0,1], got {self.rate}"
+            )
+        if self.burst < 1:
+            raise FaultPlanError(
+                f"{self.kind}: burst must be >= 1, got {self.burst}"
+            )
+        if self.stop is not None and self.stop <= self.start:
+            raise FaultPlanError(
+                f"{self.kind}: stop ({self.stop}) must exceed start "
+                f"({self.start})"
+            )
+        if self.delay < 0 or self.delay_jitter < 0:
+            raise FaultPlanError(
+                f"{self.kind}: delay/delay_jitter must be >= 0"
+            )
+        if self.kind == "peer_crash" and self.at is None and self.start == 0.0:
+            # A crash needs a moment; default immediately is almost
+            # never intended and breaks connection setup.
+            raise FaultPlanError(
+                "peer_crash needs an 'at' (or 'start') trigger time"
+            )
+
+    def active(self, elapsed: float) -> bool:
+        """Is this spec's time window open at ``elapsed`` seconds?"""
+        if elapsed < self.start:
+            return False
+        return self.stop is None or elapsed < self.stop
+
+    def crash_time(self) -> float:
+        """Trigger time for peer_crash specs."""
+        return self.at if self.at is not None else self.start
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seedable schedule of fault specs.
+
+    The plan itself is immutable and shareable; call
+    :meth:`~repro.faults.injector.PlannedInjector` (via
+    ``PlannedInjector(plan, ...)``) to get a stateful executor.  Two
+    executors built from the same plan produce the same decisions for
+    the same frame sequence.
+    """
+
+    specs: Sequence[FaultSpec] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def describe(self) -> List[str]:
+        """One human-readable line per spec (ncs_stat faults)."""
+        lines = []
+        for spec in self.specs:
+            parts = [spec.kind]
+            if spec.kind == "partition":
+                parts.append(
+                    f"window [{spec.start:g}s, "
+                    f"{'∞' if spec.stop is None else f'{spec.stop:g}s'})"
+                )
+            elif spec.kind == "peer_crash":
+                parts.append(f"at {spec.crash_time():g}s")
+            else:
+                parts.append(f"rate {spec.rate:g}")
+                if spec.burst > 1:
+                    parts.append(f"burst {spec.burst}")
+                if spec.start or spec.stop is not None:
+                    parts.append(
+                        f"window [{spec.start:g}s, "
+                        f"{'∞' if spec.stop is None else f'{spec.stop:g}s'})"
+                    )
+            if spec.kind in ("delay", "duplicate"):
+                jitter = (
+                    f" ±{spec.delay_jitter * 1e3:g}ms"
+                    if spec.delay_jitter
+                    else ""
+                )
+                parts.append(f"delay {spec.delay * 1e3:g}ms{jitter}")
+            lines.append("  ".join(parts))
+        return lines
+
+
+_FLOAT_KEYS = ("rate", "start", "stop", "delay", "delay_jitter", "at")
+_INT_KEYS = ("burst",)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the ``NCS_FAULTS`` grammar into a :class:`FaultPlan`.
+
+    Grammar: specs separated by ``;``, each ``kind:key=value,...``; a
+    ``seed:N`` item sets the plan seed.  Examples::
+
+        drop:rate=0.1
+        drop:rate=0.05,burst=3;corrupt:rate=0.02;seed:42
+        partition:start=1.0,stop=2.5
+        delay:rate=0.2,delay=0.01;peer_crash:at=5
+    """
+    specs: List[FaultSpec] = []
+    seed = 0
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        kind, _, arg_text = chunk.partition(":")
+        kind = kind.strip().lower()
+        if kind == "seed":
+            try:
+                seed = int(arg_text.strip() or "0")
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"seed must be an integer, got {arg_text!r}"
+                ) from exc
+            continue
+        kwargs = {}
+        for pair in arg_text.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, value = pair.partition("=")
+            key = key.strip()
+            if not sep:
+                raise FaultPlanError(
+                    f"{kind}: expected key=value, got {pair!r}"
+                )
+            if key not in _FLOAT_KEYS and key not in _INT_KEYS:
+                raise FaultPlanError(
+                    f"{kind}: unknown knob {key!r} (valid: "
+                    f"{', '.join(_FLOAT_KEYS + _INT_KEYS)})"
+                )
+            try:
+                kwargs[key] = (
+                    float(value) if key in _FLOAT_KEYS else int(value)
+                )
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"{kind}: bad value for {key}: {value!r}"
+                ) from exc
+        specs.append(FaultSpec(kind, **kwargs))
+    return FaultPlan(tuple(specs), seed=seed)
+
+
+def plan_from_env(environ: Optional[dict] = None) -> Optional[FaultPlan]:
+    """The plan named by ``NCS_FAULTS``, or None when unset/empty.
+
+    A malformed value raises :class:`FaultPlanError` — silently
+    ignoring a typo'd chaos schedule would make every "passing" run a
+    lie.
+    """
+    import os
+
+    raw = (environ if environ is not None else os.environ).get(
+        FAULTS_ENV, ""
+    ).strip()
+    if not raw:
+        return None
+    return parse_fault_plan(raw)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Optional
 
 from repro.interfaces.base import CommInterface, InterfaceClosed
@@ -29,6 +30,13 @@ class SciInterface(CommInterface):
     max_frame = MAX_FRAME
     reliable = True
 
+    #: Upper bound on how long a *committed* frame (length header seen)
+    #: may take to finish arriving.  A peer that crashes mid-frame used
+    #: to wedge the receive thread forever — the stream can never
+    #: resynchronize anyway, so after this deadline we raise a clean
+    #: transport error that feeds the health detector instead.
+    mid_frame_timeout = 5.0
+
     def __init__(self, sock: socket.socket):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
@@ -40,6 +48,7 @@ class SciInterface(CommInterface):
         self.received_frames = 0
         self.sent_bytes = 0
         self.received_bytes = 0
+        self.mid_frame_stalls = 0
 
     def peer_address(self) -> tuple:
         """The remote (host, port) of the underlying TCP stream."""
@@ -56,6 +65,7 @@ class SciInterface(CommInterface):
             try:
                 self._sock.sendall(header + frame)
             except OSError as exc:
+                self._mark_dead()
                 raise InterfaceClosed(f"peer connection lost: {exc}") from exc
         self.sent_frames += 1
         self.sent_bytes += _LEN_SIZE + len(frame)
@@ -80,11 +90,23 @@ class SciInterface(CommInterface):
         (length,) = struct.unpack(_LEN_FMT, length_bytes)
         if length > MAX_FRAME:
             raise InterfaceClosed(f"insane frame length {length}: stream desync")
-        # The header committed us to a frame; finish it without timeout so
-        # the stream cannot desynchronize on a partial read.
-        frame = self._read_exact(length, None)
-        if frame is None:
-            raise InterfaceClosed("peer closed mid-frame")
+        # The header committed us to a frame; finish it regardless of the
+        # caller's timeout so the stream cannot desynchronize on a partial
+        # read — but bound the wait: a peer that died mid-frame leaves a
+        # stream that can never resynchronize, so past the deadline the
+        # interface is declared dead rather than wedging the thread.
+        deadline = time.monotonic() + self.mid_frame_timeout
+        frame = None
+        while frame is None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.mid_frame_stalls += 1
+                self._mark_dead()
+                raise InterfaceClosed(
+                    f"peer stalled mid-frame ({length}-byte frame unfinished "
+                    f"after {self.mid_frame_timeout}s)"
+                )
+            frame = self._read_exact(length, min(remaining, 0.25))
         self.received_frames += 1
         self.received_bytes += _LEN_SIZE + len(frame)
         return frame
@@ -103,8 +125,13 @@ class SciInterface(CommInterface):
             except OSError as exc:
                 if self._closed:
                     raise InterfaceClosed("recv on closed interface") from exc
+                self._mark_dead()
                 raise InterfaceClosed(f"peer connection lost: {exc}") from exc
             if not chunk:
+                # Mark the interface dead so holders of a cached link (the
+                # node's control-link table) re-dial instead of reusing a
+                # half-closed stream.
+                self._mark_dead()
                 if self._recv_buffer:
                     raise InterfaceClosed("peer closed mid-frame")
                 raise InterfaceClosed("peer closed the connection")
@@ -112,6 +139,16 @@ class SciInterface(CommInterface):
         data = self._recv_buffer[:count]
         self._recv_buffer = self._recv_buffer[count:]
         return data
+
+    def _mark_dead(self) -> None:
+        """Record a transport failure: flag closed and drop the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def close(self) -> None:
         if self._closed:
@@ -126,6 +163,15 @@ class SciInterface(CommInterface):
     @property
     def closed(self) -> bool:
         return self._closed
+
+    def metrics(self) -> dict:
+        return {
+            "sent_frames": self.sent_frames,
+            "received_frames": self.received_frames,
+            "sent_bytes": self.sent_bytes,
+            "received_bytes": self.received_bytes,
+            "mid_frame_stalls": self.mid_frame_stalls,
+        }
 
 
 class SciListener:

@@ -30,6 +30,11 @@ class MulticastEnvelope:
     #: for repetitive send (the origin reaches everyone directly).
     forward: bool
     payload: bytes
+    #: Per-origin sequence number.  Tree repair can race an in-flight
+    #: multicast (origin and forwarders computing different trees), so
+    #: one member may legitimately be sent the same envelope twice;
+    #: receivers dedup on (origin, seq) to keep delivery exactly-once.
+    seq: int = 0
 
     def encode(self) -> bytes:
         writer = ByteWriter()
@@ -37,6 +42,7 @@ class MulticastEnvelope:
         writer.lp_str(self.group)
         writer.lp_str(self.origin)
         writer.u32(self.version)
+        writer.u64(self.seq)
         writer.u8(1 if self.forward else 0)
         writer.lp_bytes(self.payload)
         return writer.getvalue()
@@ -52,6 +58,7 @@ class MulticastEnvelope:
                 group=reader.lp_str(),
                 origin=reader.lp_str(),
                 version=reader.u32(),
+                seq=reader.u64(),
                 forward=bool(reader.u8()),
                 payload=reader.lp_bytes(),
             )

@@ -15,13 +15,15 @@ deterministic spanning tree of :mod:`repro.multicast.tree`.
 
 from __future__ import annotations
 
+import itertools
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ConnectionConfig
 from repro.core.connection import Connection
-from repro.core.errors import NcsError
+from repro.core.errors import NcsError, SendFailedError
 from repro.multicast.envelope import EnvelopeError, MulticastEnvelope
 from repro.multicast.tree import spanning_tree_children
 from repro.protocol.pdus import (
@@ -33,6 +35,35 @@ from repro.protocol.pdus import (
 
 #: dst_node prefix marking a connection as group-layer traffic.
 GROUP_PEER_PREFIX = "#group"
+
+
+class _EnvelopeDedup:
+    """Exactly-once admission of one origin's envelope sequence numbers.
+
+    A member sees only the subset of an origin's seqs addressed to it,
+    so a contiguous watermark never compacts; instead keep a bounded
+    window of recent seqs (duplicates are produced by repair races and
+    arrive within the EC retry horizon, far inside the window) plus a
+    floor below which everything is stale.
+    """
+
+    WINDOW = 4096
+
+    def __init__(self):
+        self._seen: set = set()
+        self._order: deque = deque()
+        self._floor = 0
+
+    def accept(self, seq: int) -> bool:
+        if seq <= self._floor or seq in self._seen:
+            return False
+        self._seen.add(seq)
+        self._order.append(seq)
+        while len(self._order) > self.WINDOW:
+            evicted = self._order.popleft()
+            self._seen.discard(evicted)
+            self._floor = max(self._floor, evicted)
+        return True
 
 
 class GroupError(NcsError):
@@ -91,6 +122,22 @@ class GroupManager:
         #: Sum of per-multicast target counts: divide by multicasts_sent
         #: for the mean first-hop fan-out of the chosen algorithm.
         self.fanout_total = 0
+        #: Members whose data connection failed: multicasts route around
+        #: them and the coordinator is told to drop them (tree repair).
+        self._dead_members: set = set()
+        #: Dead members whose removal we have seen in a membership push;
+        #: if such a member reappears in a later push it rejoined and is
+        #: revived.
+        self._confirmed_left: set = set()
+        self.route_arounds = 0
+        self.members_marked_dead = 0
+        #: Outgoing envelope sequence (per manager, so per origin) and
+        #: the per-origin admission filters: tree repair racing an
+        #: in-flight multicast can cover one member twice, and the
+        #: duplicate must die here, not reach the application.
+        self._seq = itertools.count(1)
+        self._seen: Dict[str, _EnvelopeDedup] = {}
+        self.duplicate_envelopes = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -166,24 +213,47 @@ class GroupManager:
         """
         view = self.view(group)
         wire = wire_group or group
+        seq = next(self._seq)
         if algorithm == "repetitive":
             targets = view.others(self.me)
-            envelope = MulticastEnvelope(wire, self.me, view.version, False, payload)
+            envelope = MulticastEnvelope(
+                wire, self.me, view.version, False, payload, seq=seq
+            )
         elif algorithm == "spanning_tree":
             targets = spanning_tree_children(
                 view.members, origin=self.me, me=self.me, fanout=self.fanout
             )
-            envelope = MulticastEnvelope(wire, self.me, view.version, True, payload)
+            envelope = MulticastEnvelope(
+                wire, self.me, view.version, True, payload, seq=seq
+            )
         else:
             raise ValueError(
                 f"unknown multicast algorithm {algorithm!r}; "
                 "choose 'repetitive' or 'spanning_tree'"
             )
         frame = envelope.encode()
-        handles = []
-        for member in targets:
-            connection = self._data_conn(member)
-            handles.append(connection.send(frame))
+        # Graceful degradation: a dead child's subtree would have received
+        # the message by forwarding — cover those members with direct
+        # sends until the coordinator repairs the tree.  Failures show up
+        # either synchronously (_try_send returns None) or, for a peer
+        # that died mid-flight, at handle.wait() as SendFailedError; both
+        # paths feed the same route-around.
+        pending: List[tuple] = []  # (member, handle) awaiting wait()
+        covered = {self.me}
+        to_send = list(targets)
+        while to_send:
+            failed = []
+            for member in to_send:
+                handle = self._try_send(group, member, frame)
+                if handle is None:
+                    failed.append(member)
+                else:
+                    pending.append((member, handle))
+                    covered.add(member)
+            if failed and algorithm == "spanning_tree":
+                to_send = self._route_around(view, self.me, failed, covered)
+            else:
+                to_send = []
         self.multicasts_sent += 1
         self.fanout_total += len(targets)
         if self.node.tracer.enabled:
@@ -196,8 +266,23 @@ class GroupManager:
                 size=len(payload),
             )
         if wait:
-            for handle in handles:
-                handle.wait(timeout)
+            while pending:
+                failed = []
+                for member, handle in pending:
+                    try:
+                        handle.wait(timeout)
+                    except SendFailedError:
+                        self._mark_dead(group, member, "send retries exhausted")
+                        covered.discard(member)
+                        failed.append(member)
+                if not (failed and algorithm == "spanning_tree"):
+                    break
+                pending = []
+                for member in self._route_around(view, self.me, failed, covered):
+                    handle = self._try_send(group, member, frame)
+                    if handle is not None:
+                        pending.append((member, handle))
+                        covered.add(member)
 
     def unicast(
         self,
@@ -210,7 +295,8 @@ class GroupManager:
         (the building block of gather/scatter)."""
         view = self.view(group)
         envelope = MulticastEnvelope(
-            wire_group or group, self.me, view.version, False, payload
+            wire_group or group, self.me, view.version, False, payload,
+            seq=next(self._seq),
         )
         self._data_conn(member).send(envelope.encode())
 
@@ -303,6 +389,16 @@ class GroupManager:
     def _apply_membership(self, pdu: GroupInfoPdu) -> None:
         with self._lock:
             view = self._views.get(pdu.group)
+            old_members = set(view.members) if view is not None else set()
+            new_members = set(pdu.members)
+            # Dead-member lifecycle: once a push omits a member we marked
+            # dead, its removal is confirmed; if a confirmed-removed
+            # member shows up in a later push it rejoined — revive it.
+            departed = (self._dead_members & old_members) - new_members
+            self._dead_members -= departed
+            self._confirmed_left |= departed
+            revived = self._confirmed_left & new_members
+            self._confirmed_left -= revived
             coordinator = view.coordinator if view is not None else (
                 self.me if pdu.group in self._coordinating else None
             )
@@ -344,6 +440,84 @@ class GroupManager:
             event = self._barrier_events.get((pdu.group, pdu.epoch))
         if event is not None:
             event.set()
+
+    # ------------------------------------------------------------------
+    # Fault handling: dead members, route-around, tree repair
+    # ------------------------------------------------------------------
+
+    def _try_send(self, group: str, member: str, frame: bytes):
+        """Send to one member; on failure mark it dead and return None."""
+        if member in self._dead_members:
+            return None
+        try:
+            return self._data_conn(member).send(frame)
+        except (NcsError, OSError) as exc:
+            self._mark_dead(group, member, str(exc))
+            return None
+
+    def _mark_dead(self, group: str, member: str, reason: str) -> None:
+        with self._lock:
+            if member in self._dead_members:
+                return
+            self._dead_members.add(member)
+            stale = self._data_conns.pop(member, None)
+        self.members_marked_dead += 1
+        self.node.recorder.record(
+            "recovery", "member_dead",
+            group=group, member=member, reason=reason[:80],
+        )
+        if stale is not None and not stale.closed:
+            stale.close(notify_peer=False)
+        # Tree repair: tell the coordinator so the next membership push
+        # rebuilds the spanning tree without the dead member.
+        view = self._views.get(group)
+        if view is None:
+            return
+        if view.coordinator == self.me:
+            self._coordinator_remove(group, member)
+        else:
+            try:
+                host, port = view.coordinator.rsplit(":", 1)
+                link = self.node.control_link((host, int(port)))
+                self.node.control_send(link, GroupLeavePdu(group, member))
+            except (NcsError, OSError):
+                pass  # coordinator unreachable; local route-around stands
+
+    def _route_around(
+        self, view: GroupView, origin: str, failed: List[str], covered: set
+    ) -> List[str]:
+        """Alive members in the subtrees of ``failed`` children.
+
+        Walks each dead child's subtree (in the tree rooted at
+        ``origin``); alive descendants get direct delivery, dead ones
+        are descended through so *their* subtrees stay covered too.
+        """
+        result: List[str] = []
+        stack = list(failed)
+        seen = set(failed)
+        while stack:
+            dead = stack.pop()
+            self.route_arounds += 1
+            try:
+                children = spanning_tree_children(
+                    view.members, origin=origin, me=dead, fanout=self.fanout
+                )
+            except ValueError:
+                continue
+            for child in children:
+                if child in seen or child in covered:
+                    continue
+                seen.add(child)
+                if child in self._dead_members:
+                    stack.append(child)
+                else:
+                    result.append(child)
+        if result:
+            self.node.recorder.record(
+                "recovery", "route_around",
+                group=view.name, dead=len(failed), rerouted=len(result),
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Data-plane plumbing
@@ -403,6 +577,19 @@ class GroupManager:
             self._handle_envelope(envelope)
 
     def _handle_envelope(self, envelope: MulticastEnvelope) -> None:
+        # Exactly-once admission: a route-around racing a tree repair can
+        # legitimately send us the same envelope twice (origin and
+        # forwarders computing different trees); drop the second copy —
+        # and do not forward it, the first copy already did.
+        if envelope.seq:
+            with self._lock:
+                dedup = self._seen.get(envelope.origin)
+                if dedup is None:
+                    dedup = self._seen[envelope.origin] = _EnvelopeDedup()
+                fresh = dedup.accept(envelope.seq)
+            if not fresh:
+                self.duplicate_envelopes += 1
+                return
         # Collective operations address pseudo-groups ("team#gather:3"):
         # membership and forwarding come from the base group, delivery
         # goes to the pseudo-group's own queue tagged with the origin.
@@ -425,9 +612,22 @@ class GroupManager:
         except ValueError:
             return  # stale membership: origin or we left the group
         frame = envelope.encode()
+        failed = []
         for child in children:
-            self._data_conn(child).send(frame)
-            self.envelopes_forwarded += 1
+            if self._try_send(base_group, child, frame) is None:
+                failed.append(child)
+            else:
+                self.envelopes_forwarded += 1
+        if failed:
+            # Forwarders repair locally too: a dead child's subtree gets
+            # the envelope by direct send (still tagged forward=True so
+            # grandchildren keep forwarding from their own position).
+            covered = {self.me, *children} - set(failed)
+            for member in self._route_around(
+                view, envelope.origin, failed, covered
+            ):
+                if self._try_send(base_group, member, frame) is not None:
+                    self.envelopes_forwarded += 1
         if children and self.node.tracer.enabled:
             self.node.tracer.emit(
                 "multicast",
@@ -460,6 +660,10 @@ class GroupManager:
             "multicasts_sent": self.multicasts_sent,
             "envelopes_forwarded": self.envelopes_forwarded,
             "fanout_total": self.fanout_total,
+            "dead_members": len(self._dead_members),
+            "members_marked_dead": self.members_marked_dead,
+            "route_arounds": self.route_arounds,
+            "duplicate_envelopes": self.duplicate_envelopes,
         }
 
     def close(self) -> None:

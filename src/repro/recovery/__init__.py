@@ -1,0 +1,59 @@
+"""Automatic connection recovery: reconnect, replay, failover, degrade.
+
+PR 2 gave the runtime *detection* — heartbeat suspicion, health
+classification, the flight recorder.  This package adds the *reaction*:
+
+* :class:`~repro.recovery.supervisor.Supervisor` wraps the dialing end
+  of a connection.  Driven by transport loss and heartbeat signals, it
+  reconnects with exponential backoff + seeded jitter under a retry
+  budget, walks an interface **failover ladder** (e.g. ACI → SCI) when
+  the native path keeps failing, and **replays** every unacknowledged
+  message — sourced from the error-control engine's ``pending()``
+  window view — over the fresh incarnation.
+* :class:`~repro.recovery.supervisor.Responder` is the accepting end:
+  it claims re-dialed incarnations off the node's accept-router chain,
+  adopts them, and replays its own unacknowledged side of the
+  conversation.
+* Replay is made idempotent by a tiny session envelope
+  (:mod:`repro.recovery.envelope`) carrying a per-session message id;
+  the receiving end deduplicates, so the application sees each message
+  exactly once across any number of reconnects.
+* When the budget is exhausted the supervisor **degrades gracefully**:
+  ``send``/``recv`` raise the typed
+  :class:`~repro.core.errors.NCSUnavailable` instead of hanging.
+
+Every recovery step is recorded under the flight recorder's
+``recovery`` category; ``ncs_stat recovery`` renders the counters.
+"""
+
+from repro.recovery.envelope import (
+    ENVELOPE_MAGIC,
+    FLAG_REPLAY,
+    decode_envelope,
+    encode_envelope,
+)
+from repro.recovery.supervisor import (
+    CONNECTED,
+    RECONNECTING,
+    UNAVAILABLE,
+    CLOSED,
+    DedupFilter,
+    RecoveryPolicy,
+    Responder,
+    Supervisor,
+)
+
+__all__ = [
+    "CLOSED",
+    "CONNECTED",
+    "DedupFilter",
+    "ENVELOPE_MAGIC",
+    "FLAG_REPLAY",
+    "RECONNECTING",
+    "RecoveryPolicy",
+    "Responder",
+    "Supervisor",
+    "UNAVAILABLE",
+    "decode_envelope",
+    "encode_envelope",
+]

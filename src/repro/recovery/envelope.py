@@ -1,0 +1,46 @@
+"""Session envelope: the tiny header that makes replay idempotent.
+
+A connection's error-control msg_ids restart at 1 for every incarnation,
+so they cannot identify a message *across* a reconnect.  The recovery
+layer therefore prefixes each payload with a session-scoped header —
+magic, flags, and a monotonically increasing 64-bit message id owned by
+the supervisor, not the connection.  Replayed messages keep their id, so
+the receiving end's :class:`~repro.recovery.supervisor.DedupFilter`
+drops the copies and the application sees each message exactly once.
+
+Because the envelope travels *inside* the ordinary payload, the EC
+engines segment/reassemble it like any other message — which is exactly
+what lets ``pending()`` frames be replayed verbatim: the id rides along.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+#: 4-byte magic; the leading 0xAB makes an accidental match with ASCII
+#: application payloads unlikely.
+ENVELOPE_MAGIC = b"\xabNSE"
+#: Set on messages retransmitted over a fresh incarnation.
+FLAG_REPLAY = 0x01
+
+_HEADER_FMT = "!4sBQ"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+def encode_envelope(msg_id: int, payload: bytes, flags: int = 0) -> bytes:
+    """Wrap ``payload`` with the session header."""
+    return struct.pack(_HEADER_FMT, ENVELOPE_MAGIC, flags, msg_id) + payload
+
+
+def decode_envelope(data: bytes) -> Optional[Tuple[int, int, bytes]]:
+    """``(msg_id, flags, payload)``, or None if ``data`` is not enveloped.
+
+    None (rather than an exception) because a supervised endpoint may
+    coexist with plain senders on the same node; un-enveloped messages
+    pass through the recovery layer untouched.
+    """
+    if len(data) < _HEADER_SIZE or not data.startswith(ENVELOPE_MAGIC):
+        return None
+    _magic, flags, msg_id = struct.unpack_from(_HEADER_FMT, data)
+    return msg_id, flags, data[_HEADER_SIZE:]

@@ -1,0 +1,655 @@
+"""Per-connection recovery supervision.
+
+:class:`Supervisor` owns the dialing end of a supervised session; its
+monitor thread watches the live :class:`~repro.core.connection.Connection`
+(and, optionally, the heartbeat failure detector) and reacts to an
+outage with the full recovery ladder:
+
+1. capture the unacknowledged window from the error-control engine's
+   ``pending()`` view, plus anything the application sent while the
+   link was down;
+2. reconnect with exponential backoff + seeded jitter under a retry
+   budget, advancing through the interface **failover ladder** (e.g.
+   ACI → SCI) after repeated failures on one path;
+3. **replay** the captured messages over the fresh incarnation, tagged
+   ``FLAG_REPLAY``; the peer's :class:`DedupFilter` drops duplicates,
+   so the application sees each message exactly once;
+4. past the budget, **degrade gracefully**: the session enters
+   UNAVAILABLE and ``send``/``recv`` raise
+   :class:`~repro.core.errors.NCSUnavailable` instead of hanging.
+
+:class:`Responder` is the accepting half: it claims re-dialed
+incarnations off the node's accept-router chain (requests whose
+``dst_node`` is ``#recover:<session>``), adopts each one, and replays
+its own unacknowledged sends.
+
+Both ends record every step under the flight recorder's ``recovery``
+category; ``ncs_stat recovery`` renders the counters.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ConnectionConfig
+from repro.core.errors import (
+    ConnectionClosedError,
+    NcsError,
+    NCSTimeout,
+    NCSUnavailable,
+)
+from repro.core.handles import SendStatus
+from repro.recovery.envelope import (
+    FLAG_REPLAY,
+    decode_envelope,
+    encode_envelope,
+)
+
+CONNECTED = "CONNECTED"
+RECONNECTING = "RECONNECTING"
+UNAVAILABLE = "UNAVAILABLE"
+CLOSED = "CLOSED"
+
+#: dst_node prefix by which the Responder claims supervised dials.
+RECOVER_PREFIX = "#recover:"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for the reconnect loop."""
+
+    #: First backoff delay (seconds); doubles (``backoff_factor``) per
+    #: failed attempt up to ``backoff_max``.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: ± fraction of the delay drawn from a seeded RNG, so a fleet of
+    #: supervisors does not thunder in lockstep (yet tests replay).
+    jitter: float = 0.2
+    #: Retry budget per outage; exhaustion ⇒ UNAVAILABLE.
+    max_attempts: int = 8
+    #: Consecutive failures on one interface before advancing the ladder.
+    failover_after: int = 3
+    #: Interface preference order; None = native interface, then "sci"
+    #: (the TCP path — the most conservative fallback).
+    ladder: Optional[Sequence[str]] = None
+    #: Deadline for each connection-establishment attempt.
+    connect_timeout: float = 2.0
+    seed: int = 0
+
+    def ladder_for(self, interface: str) -> Tuple[str, ...]:
+        if self.ladder is not None:
+            return tuple(self.ladder)
+        if interface == "sci":
+            return ("sci",)
+        return (interface, "sci")
+
+
+class DedupFilter:
+    """Exactly-once admission of session msg_ids.
+
+    Contiguous-high-watermark + sparse-set: O(1) memory under ordered
+    arrival, correct under the bounded reordering a replay can cause.
+    """
+
+    def __init__(self):
+        self._high = 0
+        self._seen = set()
+        self.accepted = 0
+        self.rejected = 0
+
+    def accept(self, msg_id: int) -> bool:
+        if msg_id <= self._high or msg_id in self._seen:
+            self.rejected += 1
+            return False
+        self._seen.add(msg_id)
+        while self._high + 1 in self._seen:
+            self._high += 1
+            self._seen.discard(self._high)
+        self.accepted += 1
+        return True
+
+
+@dataclass
+class _LedgerEntry:
+    """One message the session still owes the peer."""
+
+    msg_id: int
+    payload: bytes
+    #: SendHandle on the current incarnation (None while the link is
+    #: down — the entry is then awaiting replay).
+    handle: object = None
+    replays: int = 0
+
+
+class _SupervisedEndpoint:
+    """Machinery shared by the dialing and accepting ends."""
+
+    def __init__(self, node, session: str):
+        self.node = node
+        self.session = session
+        self._recorder = node.recorder
+        self._conn = None
+        self._state = RECONNECTING
+        self._state_lock = threading.RLock()
+        self._next_id = 0
+        self._ledger: Dict[int, _LedgerEntry] = {}
+        self._ledger_lock = threading.Lock()
+        self._dedup = DedupFilter()
+        self._delivery = node.pkg.channel()
+        self._wake = threading.Event()
+        self._running = True
+        self._unavailable_reason = ""
+        # Counters (status()).
+        self.incarnations = 0
+        self.outages = 0
+        self.reconnect_attempts = 0
+        self.replayed_messages = 0
+        self.replayed_from_window = 0
+        self.failovers = 0
+        self.last_downtime = 0.0
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._state_lock:
+            return self._state
+
+    @property
+    def connection(self):
+        """The current incarnation (None while down)."""
+        with self._state_lock:
+            return self._conn
+
+    def send(self, payload: bytes) -> int:
+        """Queue ``payload`` for exactly-once delivery; returns its
+        session msg_id.
+
+        While the link is down the message is ledgered and replayed
+        after reconnect; only a CLOSED session or an exhausted recovery
+        budget raises.
+        """
+        self._check_usable()
+        with self._ledger_lock:
+            self._next_id += 1
+            msg_id = self._next_id
+            entry = _LedgerEntry(msg_id, payload)
+            self._ledger[msg_id] = entry
+        with self._state_lock:
+            conn, state = self._conn, self._state
+        if state == CONNECTED and conn is not None:
+            self._transmit(conn, entry, flags=0)
+        return msg_id
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Next message from the peer, or None on timeout."""
+        try:
+            return self._delivery.get(timeout=timeout)
+        except TimeoutError:
+            self._check_usable()
+            return None
+
+    def flush(self, timeout: float = 10.0) -> None:
+        """Block until every ledgered message is confirmed delivered."""
+        deadline = self.node.clock.now() + timeout
+        while True:
+            self._check_usable()
+            with self._ledger_lock:
+                outstanding = len(self._ledger)
+            if outstanding == 0:
+                return
+            if self.node.clock.now() >= deadline:
+                raise NCSTimeout(
+                    f"session {self.session}: {outstanding} messages "
+                    f"unconfirmed after {timeout}s"
+                )
+            self._wake.set()  # nudge the monitor's ledger sweep
+            self.node.pkg.sleep(0.02)
+
+    def status(self) -> dict:
+        with self._state_lock:
+            state = self._state
+            conn = self._conn
+        with self._ledger_lock:
+            outstanding = len(self._ledger)
+        return {
+            "session": self.session,
+            "state": state,
+            "interface": conn.config.interface if conn is not None else None,
+            "incarnations": self.incarnations,
+            "outages": self.outages,
+            "reconnect_attempts": self.reconnect_attempts,
+            "replayed_messages": self.replayed_messages,
+            "replayed_from_window": self.replayed_from_window,
+            "failovers": self.failovers,
+            "outstanding": outstanding,
+            "dedup_accepted": self._dedup.accepted,
+            "dedup_rejected": self._dedup.rejected,
+            "last_downtime": round(self.last_downtime, 4),
+            "unavailable_reason": self._unavailable_reason,
+        }
+
+    def close(self) -> None:
+        with self._state_lock:
+            if self._state == CLOSED:
+                return
+            self._state = CLOSED
+            conn = self._conn
+            self._conn = None
+        self._running = False
+        self._wake.set()
+        if conn is not None:
+            conn.close()
+
+    # -- internals -----------------------------------------------------
+
+    def _check_usable(self) -> None:
+        with self._state_lock:
+            state = self._state
+        if state == CLOSED:
+            raise ConnectionClosedError(f"session {self.session} is closed")
+        if state == UNAVAILABLE:
+            raise NCSUnavailable(
+                self._peer_label(), self.reconnect_attempts,
+                self._unavailable_reason,
+            )
+
+    def _peer_label(self) -> str:
+        return self.session
+
+    def _transmit(self, conn, entry: _LedgerEntry, flags: int) -> None:
+        env = encode_envelope(entry.msg_id, entry.payload, flags)
+        try:
+            entry.handle = conn.send(env)
+        except Exception:
+            # Any send failure here means the incarnation just died under
+            # us; the entry stays ledgered and the monitor reconnects and
+            # replays it.
+            entry.handle = None
+            self._wake.set()
+
+    def _adopt(self, conn) -> None:
+        """Install a fresh incarnation: pump it, replay the ledger."""
+        with self._state_lock:
+            self._conn = conn
+            self.incarnations += 1
+        self.node.pkg.spawn(
+            self._pump, conn, name=f"{self.session}-pump{self.incarnations}"
+        )
+        self._replay(conn)
+        with self._state_lock:
+            if self._state != CLOSED:
+                self._state = CONNECTED
+        # A send() that ledgered after the replay snapshot but read the
+        # state before the flip above skipped its own transmission; one
+        # more pass picks up those stragglers (entries ledgered after
+        # the flip transmit themselves, so the window is closed).
+        self._replay(conn)
+
+    def _replay(self, conn) -> None:
+        with self._ledger_lock:
+            entries = [
+                self._ledger[k] for k in sorted(self._ledger)
+                if self._ledger[k].handle is None
+            ]
+        for entry in entries:
+            entry.replays += 1
+            self.replayed_messages += 1
+            self._transmit(conn, entry, flags=FLAG_REPLAY)
+        if entries:
+            self._recorder.record(
+                "recovery", "replay",
+                session=self.session, messages=len(entries),
+                incarnation=self.incarnations,
+            )
+
+    def _capture_window(self, conn) -> None:
+        """Detach in-flight messages from a dying incarnation.
+
+        The EC engine's ``pending()`` view *is* the replay buffer: any
+        ledger entry whose envelope id appears there (or whose handle
+        never resolved) is marked for replay by clearing its handle.
+        """
+        window_ids = set()
+        if conn is not None:
+            try:
+                for _ec_id, frame in conn.pending_sends():
+                    decoded = decode_envelope(frame)
+                    if decoded is not None:
+                        window_ids.add(decoded[0])
+            except Exception:  # engine state may be torn down already
+                pass
+        with self._ledger_lock:
+            for entry in self._ledger.values():
+                if entry.msg_id in window_ids:
+                    self.replayed_from_window += 1
+                if entry.handle is None or not (
+                    entry.handle.done()
+                    and entry.handle.status is SendStatus.COMPLETED
+                ):
+                    entry.handle = None  # schedule for replay
+
+    def _sweep_ledger(self) -> None:
+        """Retire confirmed entries; a FAILED handle signals an outage."""
+        failed = False
+        with self._ledger_lock:
+            for msg_id in list(self._ledger):
+                handle = self._ledger[msg_id].handle
+                if handle is None or not handle.done():
+                    continue
+                if handle.status is SendStatus.COMPLETED:
+                    del self._ledger[msg_id]
+                else:
+                    self._ledger[msg_id].handle = None
+                    failed = True
+        if failed:
+            # Retransmission budget exhausted without transport closure
+            # (persistent loss): treat it as an outage.
+            self._force_outage("send retries exhausted")
+
+    def _force_outage(self, reason: str) -> None:
+        self._wake.set()
+
+    def _deliver_frame(self, data: bytes) -> None:
+        """De-envelope, dedup, deliver one inbound frame."""
+        decoded = decode_envelope(data)
+        if decoded is None:
+            self._delivery.put(data)  # un-enveloped passthrough
+            return
+        msg_id, flags, payload = decoded
+        if self._dedup.accept(msg_id):
+            self._delivery.put(payload)
+        else:
+            self._recorder.record(
+                "recovery", "dedup_drop",
+                session=self.session, msg=msg_id,
+                replay=bool(flags & FLAG_REPLAY),
+            )
+
+    def _drain(self, conn) -> None:
+        """Deliver messages still queued on a dying incarnation.
+
+        A message the EC engine has acknowledged is *delivered* as far
+        as the peer is concerned — it will never be replayed — so the
+        reassembled copies parked in the connection's receive queue must
+        reach the application before the incarnation is discarded.
+        """
+        while True:
+            try:
+                data = conn.try_recv()
+            except NcsError:
+                break
+            if data is None:
+                break
+            self._deliver_frame(data)
+        # Acked messages parked in the receiver's reorder buffer (held
+        # for in-order delivery behind a gap) die with the engine unless
+        # surrendered here — the sender saw the ACK and won't replay.
+        try:
+            for data in conn.held_deliveries():
+                self._deliver_frame(data)
+        except Exception:  # engine state may be torn down already
+            pass
+
+    def _retire(self, conn) -> None:
+        """Tear down a dying incarnation without losing anything: drain
+        its receive queue, capture its unacknowledged send window, then
+        close it quietly."""
+        self._drain(conn)
+        self._capture_window(conn)
+        conn.close(notify_peer=False)
+
+    def _pump(self, conn) -> None:
+        """Per-incarnation receive loop: de-envelope, dedup, deliver."""
+        while self._running and conn is self.connection and not conn.closed:
+            try:
+                data = conn.recv(timeout=0.1)
+            except ConnectionClosedError:
+                break
+            if data is None:
+                continue
+            self._deliver_frame(data)
+        self._wake.set()  # incarnation over; monitor decides what's next
+
+
+class Supervisor(_SupervisedEndpoint):
+    """The dialing end of a supervised session.
+
+    Establishes the initial connection in the constructor (raising
+    :class:`~repro.core.errors.NCSUnavailable` if even the initial
+    budget fails) and keeps it alive until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        node,
+        peer: Tuple[str, int],
+        config: Optional[ConnectionConfig] = None,
+        session: str = "session",
+        policy: Optional[RecoveryPolicy] = None,
+        detector=None,
+    ):
+        super().__init__(node, session)
+        self.peer = peer
+        self.config = config or ConnectionConfig()
+        self.policy = policy or RecoveryPolicy()
+        self._ladder = self.policy.ladder_for(self.config.interface)
+        self._ladder_index = 0
+        self._rng = random.Random(self.policy.seed)
+        self._outage_flag = threading.Event()
+        if detector is not None:
+            detector.add_listener(on_failure=self._on_peer_suspected)
+            detector.monitor(peer)
+        # Initial connect runs the same machinery as recovery, so a peer
+        # that is slow to start gets the same backoff + budget.
+        self._reconnect(initial=True)
+        self._monitor_handle = node.pkg.spawn(
+            self._monitor, name=f"{session}-supervisor"
+        )
+
+    def _peer_label(self) -> str:
+        return f"{self.peer[0]}:{self.peer[1]}"
+
+    def _on_peer_suspected(self, address) -> None:
+        if tuple(address) == tuple(self.peer):
+            self._outage_flag.set()
+            self._wake.set()
+
+    def _force_outage(self, reason: str) -> None:
+        self._outage_flag.set()
+        self._wake.set()
+
+    # -- monitor -------------------------------------------------------
+
+    def _monitor(self) -> None:
+        while self._running:
+            self._wake.wait(timeout=0.05)
+            self._wake.clear()
+            if not self._running:
+                return
+            with self._state_lock:
+                conn, state = self._conn, self._state
+            if state == CONNECTED:
+                dead = conn is None or conn.closed or conn.peer_gone
+                if dead or self._outage_flag.is_set():
+                    self._outage_flag.clear()
+                    self._reconnect(initial=False)
+                else:
+                    self._sweep_ledger()
+
+    def _reconnect(self, initial: bool) -> None:
+        started = self.node.clock.now()
+        with self._state_lock:
+            if self._state == CLOSED:
+                return
+            self._state = RECONNECTING
+            old, self._conn = self._conn, None
+        if not initial:
+            self.outages += 1
+            self._recorder.record(
+                "recovery", "outage",
+                session=self.session, peer=self._peer_label(),
+                incarnation=self.incarnations,
+            )
+        if old is not None:
+            self._retire(old)
+
+        consecutive = 0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if not self._running:
+                return
+            interface = self._ladder[self._ladder_index]
+            self.reconnect_attempts += 1
+            self._recorder.record(
+                "recovery", "reconnect_attempt",
+                session=self.session, attempt=attempt, interface=interface,
+            )
+            try:
+                conn = self.node.connect(
+                    self.peer,
+                    config=self._config_for(interface),
+                    timeout=self.policy.connect_timeout,
+                    peer_name=RECOVER_PREFIX + self.session,
+                )
+            except (NcsError, OSError) as exc:
+                consecutive += 1
+                if (
+                    consecutive >= self.policy.failover_after
+                    and self._ladder_index < len(self._ladder) - 1
+                ):
+                    self._ladder_index += 1
+                    consecutive = 0
+                    self.failovers += 1
+                    self._recorder.record(
+                        "recovery", "failover",
+                        session=self.session,
+                        interface=self._ladder[self._ladder_index],
+                    )
+                if attempt < self.policy.max_attempts:
+                    self._backoff_sleep(attempt)
+                last_error = exc
+                continue
+            self._adopt(conn)
+            self.last_downtime = self.node.clock.now() - started
+            self._recorder.record(
+                "recovery", "reconnected",
+                session=self.session, attempts=attempt,
+                interface=interface,
+                downtime=round(self.last_downtime, 4),
+            )
+            return
+
+        self._unavailable_reason = f"last error: {last_error}"
+        with self._state_lock:
+            if self._state != CLOSED:
+                self._state = UNAVAILABLE
+        self._recorder.record(
+            "recovery", "unavailable",
+            session=self.session, peer=self._peer_label(),
+            attempts=self.reconnect_attempts,
+        )
+        self._recorder.auto_dump(
+            f"session {self.session} unavailable: "
+            f"budget of {self.policy.max_attempts} attempts exhausted"
+        )
+        if initial:
+            raise NCSUnavailable(
+                self._peer_label(), self.policy.max_attempts,
+                self._unavailable_reason,
+            )
+
+    def _config_for(self, interface: str) -> ConnectionConfig:
+        if interface == self.config.interface:
+            return self.config
+        return self.config.with_overrides(interface=interface)
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        delay = min(
+            self.policy.backoff_base * self.policy.backoff_factor ** (attempt - 1),
+            self.policy.backoff_max,
+        )
+        if self.policy.jitter:
+            delay *= 1.0 + self.policy.jitter * self._rng.uniform(-1.0, 1.0)
+        deadline = self.node.clock.now() + max(0.0, delay)
+        while self._running and self.node.clock.now() < deadline:
+            self.node.pkg.sleep(0.01)
+
+
+class Responder(_SupervisedEndpoint):
+    """The accepting end: claims and adopts supervised incarnations.
+
+    Registers on the node's accept-router chain for connect requests
+    whose ``dst_node`` is ``#recover:<session>``.  It never dials — a
+    down link is repaired by the remote Supervisor re-dialing — but it
+    does replay its own unacknowledged sends over each new incarnation.
+    """
+
+    def __init__(self, node, session: str = "session"):
+        super().__init__(node, session)
+        self._adoption = node.pkg.channel()
+        self._router = self._route_accepted
+        node.add_accept_router(self._router)
+        self._monitor_handle = node.pkg.spawn(
+            self._monitor, name=f"{session}-responder"
+        )
+
+    def _route_accepted(self, request, connection) -> bool:
+        if request.dst_node != RECOVER_PREFIX + self.session:
+            return False
+        # Claim fast (this runs on the Master Thread); the monitor does
+        # the adoption work.
+        self._adoption.put(connection)
+        self._wake.set()
+        return True
+
+    def _monitor(self) -> None:
+        while self._running:
+            try:
+                incoming = self._adoption.get(timeout=0.05)
+            except TimeoutError:
+                incoming = None
+            if not self._running:
+                return
+            if incoming is not None:
+                self._adopt_incarnation(incoming)
+                continue
+            with self._state_lock:
+                conn, state = self._conn, self._state
+            if state == CONNECTED:
+                if conn is None or conn.closed or conn.peer_gone:
+                    self._note_outage(conn)
+                else:
+                    self._sweep_ledger()
+
+    def _adopt_incarnation(self, conn) -> None:
+        with self._state_lock:
+            old = self._conn
+        if old is not None and old is not conn:
+            self._retire(old)
+        self._recorder.record(
+            "recovery", "adopted",
+            session=self.session, conn=conn.conn_id,
+            incarnation=self.incarnations + 1,
+        )
+        self._adopt(conn)
+
+    def _note_outage(self, conn) -> None:
+        self.outages += 1
+        self._recorder.record(
+            "recovery", "outage",
+            session=self.session, incarnation=self.incarnations,
+        )
+        with self._state_lock:
+            self._conn = None
+            if self._state != CLOSED:
+                self._state = RECONNECTING
+        if conn is not None:
+            self._retire(conn)
+
+    def close(self) -> None:
+        self.node.remove_accept_router(self._router)
+        super().close()

@@ -31,6 +31,7 @@ class Link:
         prop_delay: float = 50e-6,
         loss_rate: float = 0.0,
         seed: int = 0,
+        fault_plan=None,
     ):
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be > 0, got {bandwidth_bps}")
@@ -45,6 +46,31 @@ class Link:
         self.frames_sent = 0
         self.frames_dropped = 0
         self.bytes_sent = 0
+        #: PlannedInjector running the fault schedule in *virtual* time —
+        #: the same FaultPlan drives live sockets and the kernel alike.
+        self._injector = None
+        #: Set when a peer_crash spec fires: the link is severed and
+        #: everything offered afterwards is lost.
+        self.severed = False
+        if fault_plan:
+            from repro.faults.injector import PlannedInjector
+
+            self._injector = PlannedInjector(
+                fault_plan, clock=lambda: self.sim.now
+            )
+
+    @property
+    def injector(self):
+        return self._injector
+
+    def _plan_deliveries(self, frame: bytes):
+        """Run the fault plan; None = no plan (deliver normally)."""
+        if self._injector is None:
+            return None
+        if self.severed or self._injector.crash_due():
+            self.severed = True
+            return []
+        return self._injector.decide(frame)
 
     def wire_bytes(self, frame_size: int) -> int:
         """Bytes actually occupying the wire for a frame (subclasses add
@@ -68,10 +94,18 @@ class Link:
         self._busy_until = tx_done
         self.frames_sent += 1
         self.bytes_sent += size
+        arrival = tx_done + self.prop_delay - self.sim.now
         if self._dropped(len(frame)):
             self.frames_dropped += 1
+            return tx_done
+        planned = self._plan_deliveries(frame)
+        if planned is None:
+            self.sim.schedule(arrival, deliver, frame)
+        elif not planned:
+            self.frames_dropped += 1
         else:
-            self.sim.schedule(tx_done + self.prop_delay - self.sim.now, deliver, frame)
+            for extra_delay, data in planned:
+                self.sim.schedule(arrival + extra_delay, deliver, data)
         return tx_done
 
     def transfer_size(
@@ -87,10 +121,20 @@ class Link:
         self._busy_until = tx_done
         self.frames_sent += 1
         self.bytes_sent += size
+        arrival = tx_done + self.prop_delay - self.sim.now
         if self._dropped(frame_size):
             self.frames_dropped += 1
+            return tx_done
+        # Size-only transfers carry no bytes to corrupt; drop/delay/
+        # duplicate/partition/crash specs still apply.
+        planned = self._plan_deliveries(b"")
+        if planned is None:
+            self.sim.schedule(arrival, deliver)
+        elif not planned:
+            self.frames_dropped += 1
         else:
-            self.sim.schedule(tx_done + self.prop_delay - self.sim.now, deliver)
+            for extra_delay, _data in planned:
+                self.sim.schedule(arrival + extra_delay, deliver)
         return tx_done
 
 
@@ -104,8 +148,12 @@ class AtmLinkModel(Link):
         prop_delay: float = 50e-6,
         cell_loss_rate: float = 0.0,
         seed: int = 0,
+        fault_plan=None,
     ):
-        super().__init__(sim, bandwidth_bps, prop_delay, loss_rate=0.0, seed=seed)
+        super().__init__(
+            sim, bandwidth_bps, prop_delay,
+            loss_rate=0.0, seed=seed, fault_plan=fault_plan,
+        )
         if not 0.0 <= cell_loss_rate < 1.0:
             raise ValueError(
                 f"cell_loss_rate must be in [0,1), got {cell_loss_rate}"

@@ -6,6 +6,8 @@ Subcommands::
     python -m repro.tools.ncs_stat snapshot --load FILE [--json]
     python -m repro.tools.ncs_stat trace FILE
     python -m repro.tools.ncs_stat health [--starve] [--json]
+    python -m repro.tools.ncs_stat faults [SPEC]
+    python -m repro.tools.ncs_stat recovery [--faults SPEC] [--json]
 
 * **demo** (the default with no subcommand): run a short in-process echo
   exchange with metrics enabled and print the resulting registry
@@ -23,6 +25,15 @@ Subcommands::
   frames dropped) so the STALLED classification and the flight
   recorder's anomaly dump can be seen live.  Exits 0 when the final
   state is OK, 1 otherwise.
+* **faults [SPEC]**: validate and describe a fault plan (``NCS_FAULTS``
+  grammar).  With no SPEC argument, reads the ``NCS_FAULTS`` variable.
+  A malformed plan exits 1 with the parser's explanation — the fastest
+  way to debug a chaos schedule before committing a test to it.
+* **recovery**: run a supervised echo exchange, sever the transport
+  mid-stream (optionally under an extra ``--faults`` schedule), and
+  print the supervisor's status plus the recovery timeline from the
+  flight recorder.  Exits 0 when the session ends CONNECTED with every
+  message delivered exactly once.
 
 The pre-subcommand spellings (``--load FILE``, ``--trace FILE``) are
 still accepted at the top level.
@@ -230,6 +241,107 @@ def summarize_trace(path: str) -> str:
     return "\n".join(lines)
 
 
+def run_recovery_demo(
+    faults: Optional[str] = None,
+    messages: int = 24,
+    sever_at: int = 12,
+) -> Tuple[dict, list, int, int]:
+    """A supervised echo stream with a mid-stream transport severing.
+
+    Returns ``(status, recovery_events, sent, received)``; the caller
+    judges success (CONNECTED, received == sent).
+    """
+    from repro.core import ConnectionConfig, Node, NodeConfig
+    from repro.core.errors import NcsError
+    from repro.faults import parse_fault_plan
+    from repro.recovery import RecoveryPolicy, Responder, Supervisor
+
+    config = ConnectionConfig(
+        fault_plan=parse_fault_plan(faults) if faults else None,
+    )
+    policy = RecoveryPolicy(
+        backoff_base=0.02, backoff_max=0.25, jitter=0.1,
+        max_attempts=12, connect_timeout=2.0,
+    )
+    server = Node(NodeConfig(name="recovery-server"))
+    client = Node(NodeConfig(name="recovery-client"))
+    received = 0
+    try:
+        responder = Responder(server, session="demo")
+
+        def echo_loop() -> None:
+            while True:
+                try:
+                    payload = responder.recv(timeout=0.1)
+                except NcsError:
+                    return
+                if payload is not None:
+                    try:
+                        responder.send(payload)
+                    except NcsError:
+                        pass
+
+        import threading
+
+        threading.Thread(target=echo_loop, daemon=True).start()
+        sup = Supervisor(
+            client, server.address, config=config,
+            session="demo", policy=policy,
+        )
+        for index in range(messages):
+            if index == sever_at and sup.connection is not None:
+                inner = getattr(
+                    sup.connection.interface, "_inner",
+                    sup.connection.interface,
+                )
+                inner.close()
+            sup.send(b"recovery-%03d" % index)
+            time.sleep(0.01)
+        deadline = time.monotonic() + 30.0
+        while received < messages and time.monotonic() < deadline:
+            try:
+                got = sup.recv(timeout=0.2)
+            except NcsError:
+                break
+            if got is not None:
+                received += 1
+        status = sup.status()
+        status["state"] = sup.state
+        events = [
+            entry for entry in client.recorder.snapshot()
+            if entry["category"] == "recovery"
+        ]
+        sup.close()
+        responder.close()
+    finally:
+        client.close()
+        server.close()
+    return status, events, messages, received
+
+
+def format_recovery(status: dict, events: list, sent: int, received: int) -> str:
+    lines = [
+        f"session {status['session']}: {status['state']}  "
+        f"({received}/{sent} messages echoed exactly once)",
+        f"  incarnations={status['incarnations']} "
+        f"outages={status['outages']} "
+        f"reconnect_attempts={status['reconnect_attempts']} "
+        f"failovers={status['failovers']}",
+        f"  replayed_messages={status['replayed_messages']} "
+        f"dedup_rejected={status['dedup_rejected']} "
+        f"last_downtime={status['last_downtime']}s",
+        "  timeline:",
+    ]
+    for entry in events:
+        detail = {
+            k: v for k, v in entry.items()
+            if k not in ("ts", "category", "name")
+        }
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+        lines.append(f"    {entry['ts']:.3f}  {entry['name']}  {rendered}")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -286,6 +398,47 @@ def _cmd_health(args) -> int:
                 )
             )
     return 0 if report["state"] == "OK" else 1
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import FAULTS_ENV, FaultPlanError, parse_fault_plan
+
+    spec = args.spec if args.spec is not None else os.environ.get(FAULTS_ENV)
+    if not spec:
+        print(
+            f"ncs_stat faults: no plan given (pass SPEC or set {FAULTS_ENV})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = parse_fault_plan(spec)
+    except FaultPlanError as exc:
+        print(f"ncs_stat: invalid fault plan: {exc}", file=sys.stderr)
+        return 1
+    print(f"fault plan (seed {plan.seed}):")
+    for line in plan.describe():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_recovery(args) -> int:
+    try:
+        status, events, sent, received = run_recovery_demo(
+            faults=args.faults, messages=args.messages,
+        )
+    except Exception as exc:  # noqa: BLE001 — demo must not traceback
+        print(f"ncs_stat: recovery demo failed: {exc}", file=sys.stderr)
+        return 1
+    ok = status["state"] == "CONNECTED" and received == sent
+    if args.json:
+        print(json.dumps(
+            {"status": status, "events": events, "sent": sent,
+             "received": received, "ok": ok},
+            indent=2,
+        ))
+    else:
+        print(format_recovery(status, events, sent, received))
+    return 0 if ok else 1
 
 
 class FlightRecorderFormatter:
@@ -352,6 +505,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--period", type=float, default=0.2, help="watchdog period (s)"
     )
     health.add_argument("--json", action="store_true")
+
+    faults = sub.add_parser(
+        "faults", help="validate and describe an NCS_FAULTS plan"
+    )
+    faults.add_argument(
+        "spec", nargs="?", default=None,
+        help="fault plan spec (default: the NCS_FAULTS variable)",
+    )
+
+    recovery = sub.add_parser(
+        "recovery", help="supervised echo demo with a mid-stream outage"
+    )
+    recovery.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="extra fault schedule for the data plane",
+    )
+    recovery.add_argument(
+        "--messages", type=int, default=24, help="messages to echo"
+    )
+    recovery.add_argument("--json", action="store_true")
     return parser
 
 
@@ -365,6 +538,10 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_trace(args)
     if args.command == "health":
         return _cmd_health(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
+    if args.command == "recovery":
+        return _cmd_recovery(args)
     if args.command == "demo":
         return _cmd_demo(args)
 

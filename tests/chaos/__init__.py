@@ -1,0 +1,7 @@
+"""Chaos suite: seeded fault schedules against the recovery layer.
+
+Every test here runs a deterministic :class:`repro.faults.FaultPlan`
+(or an abrupt manual severing) against live connections or the simnet
+kernel and asserts the recovery invariants: no application-visible
+message loss, no duplicates, and bounded recovery time.
+"""

@@ -1,0 +1,102 @@
+"""Shared machinery for the chaos suite: supervised echo workloads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core import ConnectionConfig
+from repro.core.errors import NcsError
+from repro.recovery import RecoveryPolicy, Responder, Supervisor
+
+#: Aggressive reconnect settings so chaos tests converge in seconds.
+FAST_POLICY = RecoveryPolicy(
+    backoff_base=0.02,
+    backoff_max=0.25,
+    jitter=0.1,
+    max_attempts=12,
+    connect_timeout=2.0,
+)
+
+
+class EchoServer:
+    """A Responder that echoes every received message back."""
+
+    def __init__(self, node, session: str = "chaos"):
+        self.responder = Responder(node, session=session)
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="chaos-echo", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                payload = self.responder.recv(timeout=0.1)
+            except NcsError:
+                # UNAVAILABLE or closed; poll until the test tears down.
+                time.sleep(0.05)
+                continue
+            if payload is not None:
+                try:
+                    self.responder.send(payload)
+                except NcsError:
+                    pass
+
+    def close(self) -> None:
+        self._running = False
+        self.responder.close()
+        self._thread.join(timeout=2.0)
+
+
+def supervised_echo_pair(node_factory, config=None, policy=None,
+                         session: str = "chaos"):
+    """(supervisor, echo_server) over two fresh nodes."""
+    server_node = node_factory(f"{session}-server")
+    client_node = node_factory(f"{session}-client")
+    echo = EchoServer(server_node, session=session)
+    sup = Supervisor(
+        client_node,
+        server_node.address,
+        config=config or ConnectionConfig(),
+        session=session,
+        policy=policy or FAST_POLICY,
+    )
+    return sup, echo
+
+
+def sever_transport(supervisor) -> None:
+    """Abruptly kill the supervisor's current transport (no handshake),
+    as a crashed peer or yanked cable would."""
+    conn = supervisor.connection
+    if conn is None:
+        return
+    interface = conn.interface
+    inner = getattr(interface, "_inner", interface)
+    inner.close()
+
+
+def collect_echoes(supervisor, count: int, deadline: float = 30.0) -> list:
+    """Drain up to ``count`` echoed messages within ``deadline``."""
+    received = []
+    end = time.monotonic() + deadline
+    while len(received) < count and time.monotonic() < end:
+        try:
+            got = supervisor.recv(timeout=0.2)
+        except NcsError:
+            time.sleep(0.05)
+            continue
+        if got is not None:
+            received.append(got)
+    return received
+
+
+def assert_exactly_once(supervisor, expected: list, received: list) -> None:
+    """No loss, no duplicates, and nothing extra trailing in the pipe."""
+    assert sorted(received) == sorted(expected), (
+        f"lost={set(expected) - set(received)} "
+        f"extra={set(received) - set(expected)}"
+    )
+    leftover = supervisor.recv(timeout=0.3)
+    assert leftover is None, f"duplicate delivery after the fact: {leftover!r}"

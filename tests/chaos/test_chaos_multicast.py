@@ -1,0 +1,117 @@
+"""Multicast graceful degradation: a crashed tree child must not cost
+its whole subtree the message, and the coordinator must repair the
+membership so later multicasts run clean.
+"""
+
+import time
+
+import pytest
+
+from repro.multicast import GroupManager
+from repro.multicast.tree import spanning_tree_children
+
+
+@pytest.fixture
+def team(node_factory):
+    """Five nodes with managers; node 0 coordinates group 'team'."""
+    nodes = [node_factory(f"c{i}") for i in range(5)]
+    managers = [GroupManager(node) for node in nodes]
+    managers[0].create("team")
+    for manager in managers[1:]:
+        manager.join("team", nodes[0].address, timeout=5.0)
+    return nodes, managers
+
+
+def first_tree_child_index(managers) -> int:
+    """Index of the coordinator's first spanning-tree child — the member
+    whose death orphans the largest subtree."""
+    coordinator = managers[0]
+    view = coordinator.view("team")
+    children = spanning_tree_children(
+        view.members, origin=coordinator.me, me=coordinator.me,
+        fanout=coordinator.fanout,
+    )
+    victim = children[0]
+    return next(i for i, m in enumerate(managers) if m.me == victim)
+
+
+def drain_all(managers, skip, payload, timeout=10.0):
+    for index, manager in enumerate(managers):
+        if index in skip:
+            continue
+        assert manager.recv("team", timeout=timeout) == payload, (
+            f"member {index} missed {payload!r}"
+        )
+
+
+def test_route_around_a_crashed_child(team):
+    nodes, managers = team
+    managers[0].multicast("team", b"baseline", wait=True)
+    drain_all(managers, {0}, b"baseline")
+
+    victim = first_tree_child_index(managers)
+    nodes[victim].close()  # crash: no leave handshake
+
+    managers[0].multicast("team", b"after the crash", wait=True, timeout=20.0)
+    drain_all(managers, {0, victim}, b"after the crash", timeout=20.0)
+
+    metrics = managers[0].metrics()
+    assert metrics["members_marked_dead"] >= 1
+    assert metrics["route_arounds"] >= 1, (
+        "the dead child's subtree must be re-covered by direct sends"
+    )
+
+
+def test_coordinator_repairs_membership_after_crash(team):
+    nodes, managers = team
+    victim = first_tree_child_index(managers)
+    nodes[victim].close()
+
+    managers[0].multicast("team", b"discovery", wait=True, timeout=20.0)
+    drain_all(managers, {0, victim}, b"discovery", timeout=20.0)
+
+    # The coordinator evicts the dead member and pushes the new view.
+    survivors = [m for i, m in enumerate(managers) if i != victim]
+    for _ in range(200):
+        if all(len(m.view("team").members) == 4 for m in survivors):
+            break
+        time.sleep(0.02)
+    for manager in survivors:
+        assert len(manager.view("team").members) == 4, (
+            "membership repair never propagated"
+        )
+
+    # Post-repair the tree no longer contains the dead node: multicasts
+    # run clean, with no further route-arounds.
+    before = managers[0].metrics()["route_arounds"]
+    managers[0].multicast("team", b"steady state", wait=True, timeout=20.0)
+    drain_all(managers, {0, victim}, b"steady state", timeout=20.0)
+    assert managers[0].metrics()["route_arounds"] == before
+
+
+def test_forwarder_detects_death_of_its_own_child(team):
+    """A crash deeper in the tree is discovered by the forwarding member,
+    not the origin; the subtree is still covered."""
+    nodes, managers = team
+    view = managers[0].view("team")
+    # The origin's first child forwards to its own children; kill one of
+    # those grandchildren.
+    children = spanning_tree_children(
+        view.members, origin=managers[0].me, me=managers[0].me,
+        fanout=managers[0].fanout,
+    )
+    grandchildren = spanning_tree_children(
+        view.members, origin=managers[0].me, me=children[0],
+        fanout=managers[0].fanout,
+    )
+    if not grandchildren:
+        pytest.skip("tree too shallow for a grandchild at this fanout")
+    victim = next(
+        i for i, m in enumerate(managers) if m.me == grandchildren[0]
+    )
+    nodes[victim].close()
+
+    managers[0].multicast("team", b"deep crash", wait=True, timeout=20.0)
+    drain_all(managers, {0, victim}, b"deep crash", timeout=20.0)
+    forwarder = next(i for i, m in enumerate(managers) if m.me == children[0])
+    assert managers[forwarder].metrics()["members_marked_dead"] >= 1

@@ -1,0 +1,174 @@
+"""Fault plans: grammar, validation, and deterministic execution."""
+
+import pytest
+
+from repro.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    PlannedInjector,
+    parse_fault_plan,
+    plan_from_env,
+)
+
+
+class TestGrammar:
+    def test_single_spec(self):
+        plan = parse_fault_plan("drop:rate=0.1")
+        assert len(plan.specs) == 1
+        assert plan.specs[0].kind == "drop"
+        assert plan.specs[0].rate == pytest.approx(0.1)
+
+    def test_multi_spec_with_seed(self):
+        plan = parse_fault_plan(
+            "drop:rate=0.05,burst=3;corrupt:rate=0.02;seed:42"
+        )
+        assert [s.kind for s in plan.specs] == ["drop", "corrupt"]
+        assert plan.specs[0].burst == 3
+        assert plan.seed == 42
+
+    def test_partition_window(self):
+        plan = parse_fault_plan("partition:start=1.0,stop=2.5")
+        spec = plan.specs[0]
+        assert spec.active(1.5)
+        assert not spec.active(0.5)
+        assert not spec.active(2.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            parse_fault_plan("explode:rate=1.0")
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown knob"):
+            parse_fault_plan("drop:frequency=0.1")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(FaultPlanError, match="rate"):
+            parse_fault_plan("drop:rate=1.5")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(FaultPlanError, match="stop"):
+            parse_fault_plan("drop:rate=0.1,start=2.0,stop=1.0")
+
+    def test_peer_crash_needs_trigger_time(self):
+        with pytest.raises(FaultPlanError, match="trigger time"):
+            parse_fault_plan("peer_crash:")
+        assert parse_fault_plan("peer_crash:at=5").specs[0].crash_time() == 5.0
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            parse_fault_plan("seed:abc")
+
+    def test_describe_covers_every_spec(self):
+        plan = parse_fault_plan(
+            "drop:rate=0.1;delay:rate=0.2,delay=0.01;partition:start=1,stop=2;"
+            "peer_crash:at=3"
+        )
+        lines = plan.describe()
+        assert len(lines) == 4
+        assert any("drop" in line for line in lines)
+        assert any("at 3s" in line for line in lines)
+
+
+class TestEnv:
+    def test_unset_means_no_plan(self):
+        assert plan_from_env(environ={}) is None
+        assert plan_from_env(environ={FAULTS_ENV: "  "}) is None
+
+    def test_set_parses(self):
+        plan = plan_from_env(environ={FAULTS_ENV: "drop:rate=0.2;seed:7"})
+        assert plan.seed == 7
+        assert plan.specs[0].rate == pytest.approx(0.2)
+
+    def test_malformed_env_raises(self):
+        # A typo'd chaos schedule must fail loudly, not silently no-op.
+        with pytest.raises(FaultPlanError):
+            plan_from_env(environ={FAULTS_ENV: "dorp:rate=0.2"})
+
+
+class TestInjector:
+    def make(self, text, t):
+        return PlannedInjector(parse_fault_plan(text), clock=lambda: t[0])
+
+    def test_drop_all(self):
+        t = [0.0]
+        inj = self.make("drop:rate=1.0", t)
+        assert inj.decide(b"x") == []
+        assert inj.dropped == 1
+
+    def test_delay_shifts_delivery(self):
+        t = [0.0]
+        inj = self.make("delay:rate=1.0,delay=0.5", t)
+        [(extra, data)] = inj.decide(b"payload")
+        assert extra == pytest.approx(0.5)
+        assert data == b"payload"
+
+    def test_duplicate_doubles_delivery(self):
+        t = [0.0]
+        inj = self.make("duplicate:rate=1.0,delay=0.01", t)
+        deliveries = inj.decide(b"twin")
+        assert len(deliveries) == 2
+        assert all(data == b"twin" for _, data in deliveries)
+        assert deliveries[1][0] > deliveries[0][0]
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        t = [0.0]
+        inj = self.make("corrupt:rate=1.0", t)
+        [(_, damaged)] = inj.decide(b"\x00" * 64)
+        assert damaged != b"\x00" * 64
+        diff = sum(
+            bin(a ^ b).count("1") for a, b in zip(damaged, b"\x00" * 64)
+        )
+        assert diff == 1
+
+    def test_partition_window_in_virtual_time(self):
+        t = [0.0]
+        inj = self.make("partition:start=1.0,stop=2.0", t)
+        assert inj.decide(b"before") != []
+        t[0] = 1.5
+        assert inj.decide(b"during") == []
+        t[0] = 2.5
+        assert inj.decide(b"after") != []
+        assert inj.partition_drops == 1
+
+    def test_crash_fires_once_at_trigger_time(self):
+        t = [0.0]
+        inj = self.make("peer_crash:at=1.0", t)
+        assert not inj.crash_due()
+        t[0] = 1.25
+        assert inj.crash_due()
+        assert not inj.crash_due()  # one-shot
+        assert inj.crashes == 1
+
+    def test_burst_extends_a_trigger(self):
+        spec = FaultSpec("drop", rate=1.0, burst=4)
+        t = [0.0]
+        inj = PlannedInjector(FaultPlan((spec,)), clock=lambda: t[0])
+        for _ in range(4):
+            assert inj.decide(b"x") == []
+        assert inj.dropped == 4
+
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            t = [0.0]
+            inj = PlannedInjector(
+                parse_fault_plan(f"drop:rate=0.3;seed:{seed}"),
+                clock=lambda: t[0],
+            )
+            return [bool(inj.decide(b"f%d" % i)) for i in range(200)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_on_fault_reports_each_injection(self):
+        t = [0.0]
+        events = []
+        inj = PlannedInjector(
+            parse_fault_plan("drop:rate=1.0"),
+            clock=lambda: t[0],
+            on_fault=lambda kind, **detail: events.append(kind),
+        )
+        inj.decide(b"x")
+        inj.decide(b"y")
+        assert events == ["drop", "drop"]

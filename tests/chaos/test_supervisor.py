@@ -1,0 +1,180 @@
+"""Recovery layer units: dedup, envelope, policy, budget exhaustion."""
+
+import time
+
+import pytest
+
+from repro.core import ConnectionConfig
+from repro.core.errors import NCSUnavailable
+from repro.errorcontrol.go_back_n import GoBackNSender
+from repro.errorcontrol.selective_repeat import SelectiveRepeatSender
+from repro.recovery import (
+    CONNECTED,
+    UNAVAILABLE,
+    DedupFilter,
+    RecoveryPolicy,
+    Supervisor,
+    decode_envelope,
+    encode_envelope,
+)
+
+from tests.chaos.harness import FAST_POLICY, supervised_echo_pair
+
+
+class TestDedupFilter:
+    def test_accepts_fresh_ids(self):
+        dedup = DedupFilter()
+        assert all(dedup.accept(i) for i in (1, 2, 3))
+        assert dedup.accepted == 3
+
+    def test_rejects_replayed_ids(self):
+        dedup = DedupFilter()
+        dedup.accept(1)
+        dedup.accept(2)
+        assert not dedup.accept(1)
+        assert not dedup.accept(2)
+        assert dedup.rejected == 2
+
+    def test_out_of_order_then_backfill(self):
+        dedup = DedupFilter()
+        assert dedup.accept(3)  # reordered ahead
+        assert dedup.accept(1)
+        assert dedup.accept(2)
+        assert not dedup.accept(3)  # replay of the straggler
+        assert dedup.accept(4)
+
+    def test_watermark_bounds_memory(self):
+        dedup = DedupFilter()
+        for i in range(1, 1000):
+            dedup.accept(i)
+        assert len(dedup._seen) == 0  # all contiguous, all compacted
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        msg_id, flags, payload = decode_envelope(
+            encode_envelope(42, b"hello", flags=1)
+        )
+        assert (msg_id, flags, payload) == (42, 1, b"hello")
+
+    def test_plain_payload_passes_through(self):
+        assert decode_envelope(b"just bytes") is None
+        assert decode_envelope(b"") is None
+
+
+class TestRecoveryPolicy:
+    def test_native_sci_has_no_fallback(self):
+        assert RecoveryPolicy().ladder_for("sci") == ("sci",)
+
+    def test_unreliable_interfaces_fail_over_to_sci(self):
+        assert RecoveryPolicy().ladder_for("aci") == ("aci", "sci")
+
+    def test_explicit_ladder_wins(self):
+        policy = RecoveryPolicy(ladder=("hpi", "aci", "sci"))
+        assert policy.ladder_for("aci") == ("hpi", "aci", "sci")
+
+
+class TestECPendingView:
+    """The engines' pending() view is the recovery replay buffer."""
+
+    @pytest.mark.parametrize("engine_cls", [SelectiveRepeatSender, GoBackNSender])
+    def test_unacked_sends_are_pending(self, engine_cls):
+        sender = engine_cls(connection_id=1, sdu_size=4096)
+        sender.send(1, b"alpha", now=0.0)
+        sender.send(2, b"beta", now=0.0)
+        assert sender.pending() == [(1, b"alpha"), (2, b"beta")]
+
+    @pytest.mark.parametrize("engine_cls", [SelectiveRepeatSender, GoBackNSender])
+    def test_completed_sends_leave_the_window(self, engine_cls):
+        sender = engine_cls(connection_id=1, sdu_size=4096)
+        effects = sender.send(1, b"alpha", now=0.0)
+        for control in self._acks_for(sender, effects):
+            sender.on_control(control, now=0.0)
+        assert sender.pending() == []
+
+    @staticmethod
+    def _acks_for(sender, effects):
+        """Feed every transmitted SDU into a paired receiver; return the
+        resulting ACK controls."""
+        from repro.errorcontrol.go_back_n import GoBackNReceiver, GoBackNSender
+        from repro.errorcontrol.selective_repeat import SelectiveRepeatReceiver
+
+        receiver = (
+            GoBackNReceiver(connection_id=1)
+            if isinstance(sender, GoBackNSender)
+            else SelectiveRepeatReceiver(connection_id=1)
+        )
+        controls = []
+        for sdu in effects.transmits:
+            result = receiver.on_sdu(sdu, now=0.0)
+            controls.extend(result.controls)
+        return controls
+
+
+class TestSupervisorLifecycle:
+    def test_unreachable_peer_exhausts_budget(self, node_factory):
+        node = node_factory("budget")
+        policy = RecoveryPolicy(
+            backoff_base=0.01, backoff_max=0.02, max_attempts=2,
+            connect_timeout=0.2,
+        )
+        with pytest.raises(NCSUnavailable) as info:
+            Supervisor(
+                node, ("127.0.0.1", 1), config=ConnectionConfig(),
+                session="doomed", policy=policy,
+            )
+        assert info.value.attempts == 2
+        assert "127.0.0.1:1" in str(info.value)
+
+    def test_clean_exchange_exactly_once(self, node_factory):
+        sup, echo = supervised_echo_pair(node_factory, session="clean")
+        try:
+            expected = [b"clean-%d" % i for i in range(5)]
+            for payload in expected:
+                sup.send(payload)
+            received = [sup.recv(timeout=5.0) for _ in expected]
+            assert received == expected
+            assert sup.state == CONNECTED
+            sup.flush(timeout=5.0)
+            assert sup.status()["outstanding"] == 0
+        finally:
+            sup.close()
+            echo.close()
+
+    def test_dead_server_degrades_to_unavailable(self, node_factory):
+        policy = RecoveryPolicy(
+            backoff_base=0.01, backoff_max=0.05, jitter=0.0,
+            max_attempts=3, connect_timeout=0.3,
+        )
+        sup, echo = supervised_echo_pair(
+            node_factory, policy=policy, session="degrade"
+        )
+        try:
+            sup.send(b"probe")
+            assert sup.recv(timeout=5.0) == b"probe"
+            # Kill the whole server node: nothing left to re-dial.
+            echo.close()
+            echo.responder.node.close()
+            deadline = time.monotonic() + 15.0
+            while sup.state != UNAVAILABLE and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert sup.state == UNAVAILABLE
+            with pytest.raises(NCSUnavailable):
+                sup.send(b"after the end")
+            status = sup.status()
+            assert status["outages"] >= 1
+            assert status["unavailable_reason"]
+        finally:
+            sup.close()
+
+    def test_status_shape(self, node_factory):
+        sup, echo = supervised_echo_pair(node_factory, session="shape")
+        try:
+            status = sup.status()
+            assert status["state"] == CONNECTED
+            assert status["session"] == "shape"
+            assert status["incarnations"] == 1
+            assert status["interface"] == "sci"
+        finally:
+            sup.close()
+            echo.close()

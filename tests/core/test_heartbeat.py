@@ -93,3 +93,91 @@ class TestDetector:
         a = node_factory("hb-j")
         with pytest.raises(ValueError, match="suspect_after"):
             FailureDetector(a, interval=0.1, suspect_after=0.05)
+
+
+class TestOutageSemantics:
+    """on_failure fires exactly once per outage and re-arms on recovery."""
+
+    def wait_for(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def test_failure_fires_once_per_outage(self, node_factory):
+        a = node_factory("hb-once-a")
+        b = node_factory("hb-once-b")
+        failures = []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.2, on_failure=failures.append
+        )
+        detector.monitor(b.address)
+        assert self.wait_for(lambda: detector.status(b.address).replies >= 2)
+        b.close()
+        assert self.wait_for(lambda: len(failures) == 1)
+        # Three more suspicion windows of continued silence: no repeats.
+        time.sleep(3 * 0.2)
+        assert failures == [b.address]
+        detector.stop()
+
+    def test_detector_rearms_after_recovery(self, node_factory):
+        a = node_factory("hb-arm-a")
+        b = node_factory("hb-arm-b")
+        failures, recoveries = [], []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.2,
+            on_failure=failures.append, on_recovery=recoveries.append,
+        )
+        detector.monitor(b.address)
+        assert self.wait_for(lambda: detector.status(b.address).replies >= 2)
+
+        # Mute the probes: to the detector the peer has gone silent.
+        real_probe = detector._probe
+        detector._probe = lambda status: None
+        assert self.wait_for(lambda: len(failures) == 1)
+
+        # Speech resumes: recovery fires, and the next outage counts anew.
+        detector._probe = real_probe
+        assert self.wait_for(lambda: recoveries == [b.address])
+        assert not detector.status(b.address).suspected
+        detector._probe = lambda status: None
+        assert self.wait_for(lambda: len(failures) == 2)
+        assert failures == [b.address, b.address]
+        detector.stop()
+
+    def test_dial_failure_counts_as_silence(self, node_factory):
+        import socket
+
+        a = node_factory("hb-dial-a")
+        # A port that refuses connections: bound, closed, never listening.
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        dead_address = probe_sock.getsockname()
+        probe_sock.close()
+        failures = []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.2, on_failure=failures.append
+        )
+        detector.monitor(dead_address)
+        assert self.wait_for(lambda: failures == [dead_address]), (
+            "an undialable peer must be reported, not probed forever"
+        )
+        assert detector.status(dead_address).probes == 0
+        detector.stop()
+
+    def test_added_listeners_fire_alongside_callbacks(self, node_factory):
+        a = node_factory("hb-lsn-a")
+        b = node_factory("hb-lsn-b")
+        primary, secondary = [], []
+        detector = FailureDetector(
+            a, interval=0.03, suspect_after=0.2, on_failure=primary.append
+        )
+        detector.add_listener(on_failure=secondary.append)
+        detector.monitor(b.address)
+        assert self.wait_for(lambda: detector.status(b.address).replies >= 2)
+        b.close()
+        assert self.wait_for(lambda: primary == [b.address])
+        assert self.wait_for(lambda: secondary == [b.address])
+        detector.stop()

@@ -37,3 +37,21 @@ def test_compute_thread_spawn_and_yield(node_factory):
         assert handle.join(5.0)
     assert sorted(log) == [0, 1, 2]
     assert [h.result for h in handles] == [0, 1, 2]
+
+
+def test_ncs_send_timeout_is_typed_and_nonfatal(connected_pair):
+    """The uniform timeout contract: an unconfirmed NCS_send(wait=True)
+    raises NCSTimeout (a TimeoutError), and the handle stays valid —
+    delivery can still complete afterwards."""
+    import pytest
+
+    from repro.core.errors import NCSTimeout, NcsError
+
+    conn, peer = connected_pair()
+    with pytest.raises(NCSTimeout) as excinfo:
+        # Zero deadline: confirmation cannot possibly have arrived yet.
+        NCS_send(conn, b"deadline-zero", wait=True, timeout=0.0)
+    assert isinstance(excinfo.value, TimeoutError)
+    assert isinstance(excinfo.value, NcsError)
+    # The timeout aborted the wait, not the transfer.
+    assert NCS_recv(peer, timeout=5.0) == b"deadline-zero"

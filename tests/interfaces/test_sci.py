@@ -115,3 +115,49 @@ class TestListener:
         accepted.close()
         result["iface"].close()
         listener.close()
+
+
+class TestMidFrameStall:
+    def test_half_a_frame_fails_cleanly(self, pair):
+        """A peer that sends a length header and then goes quiet must
+        produce a transport error within the mid-frame deadline — not
+        hang the receiver forever."""
+        import struct
+        import time
+
+        from repro.interfaces.sci import _LEN_FMT
+
+        a, b = pair
+        b.mid_frame_timeout = 0.3
+        a._sock.sendall(struct.pack(_LEN_FMT, 100) + b"only-a-prefix")
+        started = time.monotonic()
+        with pytest.raises(InterfaceClosed, match="stalled mid-frame"):
+            b.recv(timeout=5.0)
+        assert time.monotonic() - started < 2.0, "deadline was not bounded"
+        assert b.mid_frame_stalls == 1
+        # The interface is dead, not wedged: later calls fail fast too.
+        with pytest.raises(InterfaceClosed):
+            b.recv(timeout=0.1)
+
+    def test_slow_but_progressing_frame_survives(self, pair):
+        """The deadline punishes stalls, not slowness: a frame trickling
+        in chunks inside the window is still delivered."""
+        a, b = pair
+        b.mid_frame_timeout = 2.0
+        payload = bytes(range(200)) * 10
+
+        def trickle():
+            import struct
+
+            from repro.interfaces.sci import _LEN_FMT
+
+            a._sock.sendall(struct.pack(_LEN_FMT, len(payload)))
+            for i in range(0, len(payload), 500):
+                a._sock.sendall(payload[i:i + 500])
+                threading.Event().wait(0.05)
+
+        thread = threading.Thread(target=trickle)
+        thread.start()
+        assert b.recv(timeout=10.0) == payload
+        thread.join(5.0)
+        assert b.mid_frame_stalls == 0
