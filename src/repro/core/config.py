@@ -33,6 +33,12 @@ class ConnectionConfig:
     interface: str = "sci"
     sdu_size: int = DEFAULT_SDU_SIZE
     mode: str = "threaded"  # "threaded" | "bypass"
+    #: Most SDUs/frames a single vectored transmit or receive drain may
+    #: coalesce.  1 restores the pre-batching per-frame data path (one
+    #: syscall and one credit PDU per packet); higher values trade a
+    #: little per-packet latency under load for far fewer syscalls and
+    #: control PDUs.
+    batch_max: int = 64
 
     # Flow control knobs.
     initial_credits: int = 4
@@ -80,6 +86,8 @@ class ConnectionConfig:
             )
         if self.initial_credits < 1:
             raise ValueError("initial_credits must be >= 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1 (1 disables batching)")
         if self.retransmit_timeout <= 0:
             raise ValueError("retransmit_timeout must be > 0")
 

@@ -163,7 +163,11 @@ class Connection:
         #: Receiver-side GC deadline (unreliable connections).
         self._recv_gc_at: Optional[float] = None
 
-        # Statistics.
+        # Statistics.  The hot counters are read-modify-write from
+        # several threads at once (any number of app threads in send(),
+        # the receive thread, the watchdog reading) — a dedicated lock
+        # keeps increments from losing updates under contention.
+        self._stats_lock = threading.Lock()
         self.messages_sent = 0
         self.messages_received = 0
         self.bytes_sent = 0
@@ -171,13 +175,17 @@ class Connection:
         self.frames_malformed = 0
         #: Sends the error control engine confirmed delivered.
         self.messages_completed = 0
+        #: Per-SDU acknowledgment PDUs superseded within one receive
+        #: batch (a later ACK for the same message already carried the
+        #: final bitmap) and therefore never sent.
+        self.acks_deduped = 0
 
-        # Blocked-receiver bookkeeping for the health watchdog: how many
-        # recv() calls are currently parked and since when the earliest
-        # of them has waited.
+        # Blocked-receiver bookkeeping for the health watchdog: each
+        # parked recv() registers its own start time so the "oldest
+        # waiter" clock survives any *other* waiter leaving.
         self._waiters_lock = threading.Lock()
-        self._recv_waiters_count = 0
-        self._recv_wait_since: Optional[float] = None
+        self._waiter_tokens = itertools.count(1)
+        self._recv_wait_starts: dict[int, float] = {}
 
         if config.mode == "threaded":
             self._proto_chan = self._pkg.channel()
@@ -218,12 +226,21 @@ class Connection:
             instrument["entry"] = time.perf_counter_ns()
         if self._closed:
             raise ConnectionClosedError(f"connection {self.conn_id} is closed")
+        if self._peer_closed:
+            # The transport is gone (peer Close or interface death):
+            # accepting more work would only grow queues that nothing
+            # will ever drain.  The recovery layer replays pending sends
+            # over a fresh incarnation instead.
+            raise ConnectionClosedError(
+                f"connection {self.conn_id}: peer is gone (closed or transport lost)"
+            )
         msg_id = next(self._msg_ids)
         handle = SendHandle(msg_id, len(payload))
         with self._handles_lock:
             self._handles[msg_id] = handle
-        self.messages_sent += 1
-        self.bytes_sent += len(payload)
+        with self._stats_lock:
+            self.messages_sent += 1
+            self.bytes_sent += len(payload)
         if self._h_send_size is not None:
             self._h_send_size.observe(len(payload))
         self._recorder.record(
@@ -258,7 +275,7 @@ class Connection:
         if self.config.mode == "bypass":
             return self._bypass_recv(timeout)
         deadline = None if timeout is None else time.monotonic() + timeout
-        self._enter_recv_wait()
+        token = self._enter_recv_wait()
         try:
             while True:
                 remaining = 0.05
@@ -275,7 +292,7 @@ class Connection:
                                 f"connection {self.conn_id} closed with no pending data"
                             ) from None
         finally:
-            self._exit_recv_wait()
+            self._exit_recv_wait(token)
 
     def try_recv(self) -> Optional[bytes]:
         """Non-blocking NCS_recv variant."""
@@ -284,18 +301,15 @@ class Connection:
         ok, item = self.recv_queue.try_get()
         return item if ok else None
 
-    def _enter_recv_wait(self) -> None:
+    def _enter_recv_wait(self) -> int:
+        token = next(self._waiter_tokens)
         with self._waiters_lock:
-            self._recv_waiters_count += 1
-            if self._recv_wait_since is None:
-                self._recv_wait_since = self._clock.now()
+            self._recv_wait_starts[token] = self._clock.now()
+        return token
 
-    def _exit_recv_wait(self) -> None:
+    def _exit_recv_wait(self, token: int) -> None:
         with self._waiters_lock:
-            self._recv_waiters_count -= 1
-            if self._recv_waiters_count <= 0:
-                self._recv_waiters_count = 0
-                self._recv_wait_since = None
+            self._recv_wait_starts.pop(token, None)
 
     def pending_sends(self) -> list:
         """Unacknowledged in-flight messages as ``(msg_id, payload)``.
@@ -330,14 +344,20 @@ class Connection:
     @property
     def recv_waiters(self) -> int:
         """recv() calls currently parked waiting for a message."""
-        return self._recv_waiters_count
+        with self._waiters_lock:
+            return len(self._recv_wait_starts)
 
     def recv_blocked_for(self, now: float) -> float:
-        """Seconds the oldest still-waiting recv() has been blocked."""
+        """Seconds the oldest *still-waiting* recv() has been blocked.
+
+        Each waiter's start time is tracked individually: a short-lived
+        waiter arriving and leaving must neither reset nor inherit the
+        clock of a long-blocked survivor.
+        """
         with self._waiters_lock:
-            if self._recv_waiters_count > 0 and self._recv_wait_since is not None:
-                return max(0.0, now - self._recv_wait_since)
-        return 0.0
+            if not self._recv_wait_starts:
+                return 0.0
+            return max(0.0, now - min(self._recv_wait_starts.values()))
 
     def health_sample(self, now: Optional[float] = None) -> dict:
         """A point-in-time sample for the health detectors."""
@@ -390,6 +410,7 @@ class Connection:
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
             "frames_malformed": self.frames_malformed,
+            "acks_deduped": self.acks_deduped,
             "fc_queued": self.fc_sender.queued(),
         }
         for attr in ("retransmitted_sdus", "full_retransmits"):
@@ -418,6 +439,7 @@ class Connection:
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
             "frames_malformed": self.frames_malformed,
+            "acks_deduped": self.acks_deduped,
         }
         for prefix, engine in (
             ("fc_tx", self.fc_sender),
@@ -513,7 +535,14 @@ class Connection:
                 self._run_ec_timer(now, transmit_inline=False)
 
     def _send_loop(self) -> None:
-        """The paper's Send Thread: transmit flow-released SDUs."""
+        """The paper's Send Thread: transmit flow-released SDUs.
+
+        Blocks for the first queued SDU, then drains whatever else the
+        channel already holds (up to ``batch_max``) into a single
+        vectored ``send_many`` — one interface call, and on stream
+        interfaces one syscall, per burst instead of per packet.
+        """
+        batch_max = self.config.batch_max
         while True:
             try:
                 item = self._send_chan.get(timeout=0.1)
@@ -523,38 +552,59 @@ class Connection:
                 continue
             if item is _STOP:
                 return
-            sdu, instrument = item
-            if instrument is not None:
-                instrument["send_thread_dequeued"] = time.perf_counter_ns()
+            batch = [item]
+            stop = False
+            while len(batch) < batch_max:
+                ok, extra = self._send_chan.try_get()
+                if not ok:
+                    break
+                if extra is _STOP:
+                    stop = True  # transmit what we collected, then exit
+                    break
+                batch.append(extra)
+            dequeued_ns = time.perf_counter_ns()
+            sdus = []
+            for sdu, instrument in batch:
+                if instrument is not None:
+                    instrument["send_thread_dequeued"] = dequeued_ns
+                sdus.append(sdu)
             try:
-                self.interface.send(sdu.encode())
+                self.interface.send_many(sdus)
             except InterfaceClosed:
                 self._note_transport_loss("send")
                 return
-            if instrument is not None:
-                instrument["transmitted"] = time.perf_counter_ns()
+            if any(instrument is not None for _, instrument in batch):
+                transmitted_ns = time.perf_counter_ns()
+                for _, instrument in batch:
+                    if instrument is not None:
+                        instrument["transmitted"] = transmitted_ns
+            if stop:
+                return
 
     def _recv_loop(self) -> None:
         """The paper's Receive Thread: poll-and-yield on the user-level
-        package, blocking-with-timeout on the kernel package."""
+        package, blocking-with-timeout on the kernel package.
+
+        Drains every frame the interface already has ready (up to
+        ``batch_max``) and processes them as one batch — single clock
+        read, coalesced credit grants, deduplicated ACKs.
+        """
         poll_mode = self._pkg.kind == "user"
+        batch_max = self.config.batch_max
         while not self._closed:
             try:
-                if poll_mode:
-                    frame = self.interface.try_recv()
-                    if frame is None:
-                        self._maybe_recv_gc()
-                        self._pkg.yield_control()
-                        continue
-                else:
-                    frame = self.interface.recv(timeout=0.05)
-                    if frame is None:
-                        self._maybe_recv_gc()
-                        continue
+                frames = self.interface.recv_many(
+                    batch_max, timeout=0.0 if poll_mode else 0.05
+                )
             except InterfaceClosed:
                 self._note_transport_loss("recv")
                 return
-            self._process_frame(frame)
+            if not frames:
+                self._maybe_recv_gc()
+                if poll_mode:
+                    self._pkg.yield_control()
+                continue
+            self._process_frames(frames)
 
     def _note_transport_loss(self, where: str) -> None:
         """The data interface died under us (not a local close).
@@ -573,49 +623,97 @@ class Connection:
 
     def _process_frame(self, frame: bytes) -> None:
         """Receiver path shared by threaded and bypass modes."""
+        self._process_frames([frame])
+
+    def _dedup_acks(self, pdus: list) -> list:
+        """Collapse superseded acknowledgments generated within one
+        receive batch.
+
+        Every :class:`AckPdu` carries the message's *full* current
+        bitmap (and :class:`CumAckPdu` the current high-water mark), so
+        when a batch produces several for the same ``(connection,
+        message)`` only the last reflects the post-batch state — the
+        earlier ones are obsolete before they could leave the node.
+        Other control PDUs pass through; relative order is preserved.
+        """
+        if len(pdus) <= 1:
+            return pdus
+        last_seen: dict = {}
+        for index, pdu in enumerate(pdus):
+            if isinstance(pdu, (AckPdu, CumAckPdu)):
+                last_seen[(type(pdu), pdu.connection_id, pdu.msg_id)] = index
+        kept = []
+        for index, pdu in enumerate(pdus):
+            if isinstance(pdu, (AckPdu, CumAckPdu)):
+                if last_seen[(type(pdu), pdu.connection_id, pdu.msg_id)] != index:
+                    self.acks_deduped += 1
+                    continue
+            kept.append(pdu)
+        return kept
+
+    def _process_frames(self, frames: list) -> None:
+        """Run one batch of raw frames through the receiver engines.
+
+        The whole batch shares one clock reading, one coalesced flow
+        control pass (a single CreditPdu on the credit path) and one
+        deduplicated ACK flush.  Profiler stage stamps are per *batch*:
+        each stage's cost is amortized over every frame it handled.
+        """
         profiler = self.profiler
         stamps = None
         if profiler is not None:
             stamps = {"recv_entry": time.perf_counter_ns()}
-        try:
-            sdu = Sdu.decode(frame)
-        except HeaderError:
-            self.frames_malformed += 1
+        sdus = []
+        for frame in frames:
+            try:
+                sdus.append(Sdu.decode(frame))
+            except HeaderError:
+                self.frames_malformed += 1
+        if not sdus:
             return
         if stamps is not None:
             stamps["decoded"] = time.perf_counter_ns()
         now = self._clock.now()
         # Fig. 4 steps 8-9: Receive Thread activates the Flow Control
         # Thread, which returns credit over the control connection...
-        for pdu in self.fc_receiver.on_sdu(sdu, now):
+        for pdu in self.fc_receiver.on_sdu_batch(sdus, now):
             self.node.control_send(self.peer_link, pdu)
         if stamps is not None:
             stamps["fc_done"] = time.perf_counter_ns()
         # ...then the Error Control Thread reassembles and acknowledges.
-        effects = self.ec_receiver.on_sdu(sdu, now)
-        self._recv_gc_at = effects.timer_at
-        for pdu in effects.controls:
+        controls: list = []
+        deliveries: list = []
+        delivered_msg = None
+        for sdu in sdus:
+            effects = self.ec_receiver.on_sdu(sdu, now)
+            self._recv_gc_at = effects.timer_at
+            controls.extend(effects.controls)
+            if effects.deliveries:
+                delivered_msg = sdu.header.msg_id
+                deliveries.extend(effects.deliveries)
+        for pdu in self._dedup_acks(controls):
             self.node.control_send(self.peer_link, pdu)
         if stamps is not None:
             stamps["ec_done"] = time.perf_counter_ns()
-        for message in effects.deliveries:
-            self.messages_received += 1
-            self.bytes_received += len(message)
-            if self._h_recv_size is not None:
-                self._h_recv_size.observe(len(message))
-            self.recv_queue.put(message)
-        if effects.deliveries:
+        if deliveries:
+            with self._stats_lock:
+                self.messages_received += len(deliveries)
+                self.bytes_received += sum(len(m) for m in deliveries)
+            for message in deliveries:
+                if self._h_recv_size is not None:
+                    self._h_recv_size.observe(len(message))
+                self.recv_queue.put(message)
             self._recorder.record(
                 "data", "deliver",
-                conn=self.conn_id, msg=sdu.header.msg_id,
-                messages=len(effects.deliveries),
+                conn=self.conn_id, msg=delivered_msg,
+                messages=len(deliveries),
             )
-        if effects.deliveries and self._tracer.enabled:
-            self._tracer.emit(
-                "data", "deliver",
-                conn_id=self.conn_id, msg_id=sdu.header.msg_id,
-                messages=len(effects.deliveries),
-            )
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "data", "deliver",
+                    conn_id=self.conn_id, msg_id=delivered_msg,
+                    messages=len(deliveries),
+                )
         if stamps is not None:
             stamps["delivered"] = time.perf_counter_ns()
             profiler.record_recv(stamps)
@@ -627,10 +725,14 @@ class Connection:
         if now >= self._recv_gc_at:
             effects = self.ec_receiver.on_timer(now)
             self._recv_gc_at = effects.timer_at
+            if effects.deliveries:
+                with self._stats_lock:
+                    self.messages_received += len(effects.deliveries)
+                    self.bytes_received += sum(
+                        len(m) for m in effects.deliveries
+                    )
             for message in effects.deliveries:
                 # Ordered delivery released messages held behind a gap.
-                self.messages_received += 1
-                self.bytes_received += len(message)
                 self.recv_queue.put(message)
 
     # ------------------------------------------------------------------
@@ -710,6 +812,15 @@ class Connection:
         instrument: Optional[dict] = None,
     ) -> None:
         """Release whatever flow control currently allows (Fig. 7 step 3)."""
+        if self._peer_closed or self._closed:
+            # The data path is dead (transport lost, peer closed, or we
+            # closed): the Send Thread has exited or is exiting, so
+            # releasing SDUs would only pile them into a channel nobody
+            # drains.  Leave them queued in the flow controller — the
+            # recovery layer replays pending sends over a fresh
+            # incarnation.
+            self._fc_ready_at = None
+            return
         released = self.fc_sender.pull(now)
         if instrument is not None:
             instrument["flow_released"] = time.perf_counter_ns()
@@ -757,7 +868,7 @@ class Connection:
 
     def _bypass_recv(self, timeout: Optional[float]) -> Optional[bytes]:
         deadline = None if timeout is None else time.monotonic() + timeout
-        self._enter_recv_wait()
+        token = self._enter_recv_wait()
         try:
             while True:
                 ok, item = self.recv_queue.try_get()
@@ -774,21 +885,21 @@ class Connection:
                         return None
                 self._bypass_pump_once(blocking=True, timeout=remaining)
         finally:
-            self._exit_recv_wait()
+            self._exit_recv_wait(token)
 
     def _bypass_pump_once(
         self, blocking: bool, timeout: float = 0.05
     ) -> None:
-        """Pull and process one frame inline (the procedure variant)."""
+        """Pull and process all ready frames inline (procedure variant)."""
         with self._recv_lock:
             try:
-                if blocking:
-                    frame = self.interface.recv(timeout=timeout)
-                else:
-                    frame = self.interface.try_recv()
+                frames = self.interface.recv_many(
+                    self.config.batch_max,
+                    timeout=timeout if blocking else 0.0,
+                )
             except InterfaceClosed:
                 self._note_transport_loss("recv")
                 return
-            if frame is not None:
-                self._process_frame(frame)
+            if frames:
+                self._process_frames(frames)
             self._maybe_recv_gc()

@@ -219,6 +219,7 @@ class Node:
             initial_credits=config.initial_credits,
             window_size=config.window_size,
             rate_pps=config.rate_pps,
+            batch_max=config.batch_max,
         )
         self.control_send(link, request)
         try:
@@ -572,6 +573,7 @@ class Node:
                     initial_credits=request.initial_credits,
                     window_size=request.window_size,
                     rate_pps=request.rate_pps,
+                    batch_max=request.batch_max,
                 )
             except ValueError as exc:
                 self.control_send(link, ConnectRejectPdu(conn_id, str(exc)))

@@ -279,6 +279,11 @@ class PlannedFaultyInterface(CommInterface):
         except (InterfaceClosed, OSError):
             pass  # the connection died while the frame was "in flight"
 
+    # send_many intentionally keeps the per-frame base-class loop: the
+    # plan must decide drop/corrupt/duplicate/delay independently for
+    # every frame in a batch (and check the crash trigger each time),
+    # so batched senders see exactly the faults unbatched ones would.
+
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         self._maybe_crash()
         return self._inner.recv(timeout)
@@ -286,6 +291,12 @@ class PlannedFaultyInterface(CommInterface):
     def try_recv(self) -> Optional[bytes]:
         self._maybe_crash()
         return self._inner.try_recv()
+
+    def recv_many(
+        self, max_n: int = 64, timeout: Optional[float] = None
+    ) -> List[bytes]:
+        self._maybe_crash()
+        return self._inner.recv_many(max_n, timeout)
 
     def close(self) -> None:
         with self._timer_lock:

@@ -70,6 +70,20 @@ class ReceiverFlowControl(ABC):
     def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
         """Observe an arriving SDU; return credit PDUs to send back."""
 
+    def on_sdu_batch(self, sdus: List[Sdu], now: float) -> List[ControlPdu]:
+        """Observe a batch of SDUs processed together by the receive
+        path; return the control PDUs to send back.
+
+        The default simply chains :meth:`on_sdu`.  Engines whose grants
+        are additive (credit) override this to *coalesce*: accumulate
+        every grant the batch earned and emit one PDU, cutting the
+        control plane from one PDU per packet toward one per batch.
+        """
+        pdus: List[ControlPdu] = []
+        for sdu in sdus:
+            pdus.extend(self.on_sdu(sdu, now))
+        return pdus
+
     def metrics(self) -> dict:
         """Observable counters for the metrics collector."""
         return {"packets_seen": getattr(self, "packets_seen", 0)}

@@ -175,15 +175,28 @@ class CreditReceiver(ReceiverFlowControl):
         self.packets_seen = 0
         self.bonus_grants = 0
         self.credits_granted = 0
+        #: CreditPdus actually emitted (vs credits carried) — the
+        #: control-plane cost the coalescing path is built to cut.
+        self.credit_pdus_sent = 0
+        #: Grants that were folded into an earlier PDU of the same batch
+        #: instead of riding their own — per-packet grants saved.
+        self.coalesced_credits = 0
 
-    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+    def _grants_for(self, sdu: Sdu, now: float) -> List[int]:
+        """Credit amounts this SDU earns ([] if not ours).
+
+        One base credit per consumed packet, plus the dynamic-adjustment
+        bonus every ``adjust_interval`` packets (§3.3) — returned as raw
+        amounts so callers decide the PDU packaging (one PDU each on the
+        unbatched path, one PDU per batch on the coalesced path).
+        """
         if sdu.header.connection_id != self.connection_id:
             return []
         self.packets_seen += 1
         self._since_adjust += 1
         if self._window_start is None:
             self._window_start = now
-        grants: List[ControlPdu] = [CreditPdu(self.connection_id, 1)]
+        amounts = [1]
         if self._since_adjust >= self.adjust_interval:
             elapsed = max(now - self._window_start, 1e-9)
             rate = self._since_adjust / elapsed
@@ -192,15 +205,46 @@ class CreditReceiver(ReceiverFlowControl):
                 if bonus > 0:
                     self.allotment += bonus
                     self.bonus_grants += 1
-                    grants.append(CreditPdu(self.connection_id, bonus))
+                    amounts.append(bonus)
             elif rate < self.active_threshold_pps and self.allotment > self.initial_credits:
                 # Shrink the working allotment; realized lazily (we simply
                 # stop topping the sender up past the reduced target).
                 self.allotment = max(self.initial_credits, self.allotment // 2)
             self._since_adjust = 0
             self._window_start = now
-        self.credits_granted += sum(g.credits for g in grants)
+        self.credits_granted += sum(amounts)
+        return amounts
+
+    def on_sdu(self, sdu: Sdu, now: float) -> List[ControlPdu]:
+        grants = [
+            CreditPdu(self.connection_id, amount)
+            for amount in self._grants_for(sdu, now)
+        ]
+        self.credit_pdus_sent += len(grants)
         return grants
+
+    def on_sdu_batch(self, sdus: List[Sdu], now: float) -> List[ControlPdu]:
+        """Coalesced grants: one CreditPdu carrying the whole batch's
+        credits.
+
+        Credits are additive at the sender, so folding N per-packet
+        grants into one PDU is semantically identical — the sender's
+        pool ends at the same value — while the control connection
+        carries O(1) PDUs per batch instead of O(packets).  Loss safety
+        is unchanged: a lost coalesced grant is recovered by the same
+        credit resynchronization that recovers lost per-packet grants.
+        """
+        total = 0
+        folded = 0
+        for sdu in sdus:
+            for amount in self._grants_for(sdu, now):
+                total += amount
+                folded += 1
+        if total == 0:
+            return []
+        self.credit_pdus_sent += 1
+        self.coalesced_credits += folded - 1
+        return [CreditPdu(self.connection_id, total)]
 
     def metrics(self) -> dict:
         return {
@@ -208,4 +252,6 @@ class CreditReceiver(ReceiverFlowControl):
             "allotment": self.allotment,
             "bonus_grants": self.bonus_grants,
             "credits_granted": self.credits_granted,
+            "credit_pdus_sent": self.credit_pdus_sent,
+            "coalesced_credits": self.coalesced_credits,
         }

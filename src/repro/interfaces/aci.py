@@ -27,6 +27,7 @@ from repro.interfaces.base import (
     FaultInjector,
     FaultyInterface,
     InterfaceClosed,
+    frame_bytes,
 )
 
 #: Frame cap modeling the ATM API's SDU restriction (paper §3.2).
@@ -51,6 +52,8 @@ class AciInterface(CommInterface):
         self.received_frames = 0
         self.sent_bytes = 0
         self.received_bytes = 0
+        self.batched_sends = 0
+        self.batched_frames = 0
         self.host, self.port = sock.getsockname()[:2]
 
     def bind_peer(self, host: str, port: int) -> None:
@@ -69,6 +72,32 @@ class AciInterface(CommInterface):
             raise InterfaceClosed(f"datagram send failed: {exc}") from exc
         self.sent_frames += 1
         self.sent_bytes += len(frame)
+
+    def send_many(self, frames) -> int:
+        """Vectored transmit: datagrams keep one ``sendto`` per frame
+        (UDP has no coalescing without breaking frame boundaries), but
+        the batch shares one closed-check and peer lookup."""
+        if not frames:
+            return 0
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        if self._peer is None:
+            raise RuntimeError("ACI endpoint has no peer bound yet")
+        sent_bytes = 0
+        for frame in frames:
+            frame = frame_bytes(frame)
+            self.check_frame_size(frame)
+            try:
+                self._sock.sendto(frame, self._peer)
+            except OSError as exc:
+                raise InterfaceClosed(f"datagram send failed: {exc}") from exc
+            sent_bytes += len(frame)
+        self.sent_frames += len(frames)
+        self.sent_bytes += sent_bytes
+        if len(frames) > 1:
+            self.batched_sends += 1
+            self.batched_frames += len(frames)
+        return len(frames)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         if self._closed:

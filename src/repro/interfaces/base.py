@@ -11,11 +11,25 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 
 class InterfaceClosed(Exception):
     """The interface was closed (locally or by the peer)."""
+
+
+def frame_bytes(frame) -> bytes:
+    """Materialize a wire frame from bytes or a wire-encodable object.
+
+    The vectored send path hands interfaces either raw ``bytes`` or an
+    object exposing ``encode() -> bytes`` /
+    ``encode_into(bytearray) -> int`` (an :class:`~repro.protocol.headers.Sdu`);
+    coalescing interfaces use ``encode_into`` to build one contiguous
+    buffer, everything else falls back to this helper.
+    """
+    if isinstance(frame, (bytes, bytearray, memoryview)):
+        return bytes(frame)
+    return frame.encode()
 
 
 class CommInterface(ABC):
@@ -46,6 +60,43 @@ class CommInterface(ABC):
         poll-then-``thread_yield`` loop (§4.1).
         """
 
+    def send_many(self, frames: Sequence) -> int:
+        """Vectored transmit: hand a whole batch to the transport.
+
+        ``frames`` holds raw ``bytes`` or wire-encodable objects (see
+        :func:`frame_bytes`).  The default is a per-frame loop so fault
+        wrappers still see — and can drop/corrupt/duplicate — every
+        individual frame; concrete interfaces override with a real
+        coalesced transmit (one syscall / one lock round for the whole
+        batch).  Returns the number of frames handed over.
+        """
+        for frame in frames:
+            self.send(frame_bytes(frame))
+        return len(frames)
+
+    def recv_many(
+        self, max_n: int = 64, timeout: Optional[float] = None
+    ) -> List[bytes]:
+        """Vectored receive: every ready frame, up to ``max_n``.
+
+        Waits up to ``timeout`` for the first frame (``0`` polls, like
+        :meth:`try_recv`), then drains whatever else is already pending
+        without blocking again.  Returns ``[]`` when nothing arrived.
+        """
+        if timeout is not None and timeout <= 0:
+            first = self.try_recv()
+        else:
+            first = self.recv(timeout)
+        if first is None:
+            return []
+        frames = [first]
+        while len(frames) < max_n:
+            nxt = self.try_recv()
+            if nxt is None:
+                break
+            frames.append(nxt)
+        return frames
+
     @abstractmethod
     def close(self) -> None:
         """Release the endpoint; further sends raise InterfaceClosed."""
@@ -70,6 +121,11 @@ class CommInterface(ABC):
             "received_frames": getattr(self, "received_frames", 0),
             "sent_bytes": getattr(self, "sent_bytes", 0),
             "received_bytes": getattr(self, "received_bytes", 0),
+            # Vectored-path counters: batched_sends counts send_many
+            # calls that actually coalesced (>1 frame); batched_frames
+            # the frames they carried.
+            "batched_sends": getattr(self, "batched_sends", 0),
+            "batched_frames": getattr(self, "batched_frames", 0),
         }
 
 
@@ -131,11 +187,22 @@ class FaultyInterface(CommInterface):
             return  # dropped "on the wire"
         self._inner.send(survivor)
 
+    # send_many intentionally keeps the per-frame base-class loop: the
+    # injector must make an independent drop/corrupt decision for every
+    # frame in a batch, exactly as it would for unbatched traffic.
+
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         return self._inner.recv(timeout)
 
     def try_recv(self) -> Optional[bytes]:
         return self._inner.try_recv()
+
+    def recv_many(
+        self, max_n: int = 64, timeout: Optional[float] = None
+    ) -> List[bytes]:
+        # Faults apply on the send side; draining can use the inner
+        # interface's vectored receive directly.
+        return self._inner.recv_many(max_n, timeout)
 
     def close(self) -> None:
         self._inner.close()

@@ -13,7 +13,7 @@ import time
 from collections import deque
 from typing import Optional
 
-from repro.interfaces.base import CommInterface, InterfaceClosed
+from repro.interfaces.base import CommInterface, InterfaceClosed, frame_bytes
 
 
 class _SharedState:
@@ -43,6 +43,8 @@ class QueueInterface(CommInterface):
         #: High-water mark of the *peer-bound* queue at our send time —
         #: the in-process analogue of transmit-queue depth.
         self.peak_tx_queue_depth = 0
+        self.batched_sends = 0
+        self.batched_frames = 0
 
     def send(self, frame: bytes) -> None:
         if self._closed:
@@ -58,6 +60,32 @@ class QueueInterface(CommInterface):
             self.sent_bytes += len(frame)
             self.peak_tx_queue_depth = max(self.peak_tx_queue_depth, len(peer_queue))
             self._state.cond.notify_all()
+
+    def send_many(self, frames) -> int:
+        """Vectored transmit: one condition round for the whole batch
+        (one acquire, one extend, one notify) instead of one per frame."""
+        if not frames:
+            return 0
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        encoded = [frame_bytes(frame) for frame in frames]
+        for frame in encoded:
+            self.check_frame_size(frame)
+        with self._state.cond:
+            if self._state.open_ends < 2:
+                raise InterfaceClosed("peer endpoint is closed")
+            peer_queue = self._state.queues[1 - self._side]
+            peer_queue.extend(encoded)
+            self.sent_frames += len(encoded)
+            self.sent_bytes += sum(len(frame) for frame in encoded)
+            self.peak_tx_queue_depth = max(
+                self.peak_tx_queue_depth, len(peer_queue)
+            )
+            if len(encoded) > 1:
+                self.batched_sends += 1
+                self.batched_frames += len(encoded)
+            self._state.cond.notify_all()
+        return len(encoded)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -88,6 +116,29 @@ class QueueInterface(CommInterface):
                 self.received_bytes += len(frame)
                 return frame
             return None
+
+    def recv_many(self, max_n: int = 64, timeout: Optional[float] = None) -> list:
+        """Drain up to ``max_n`` queued frames in one condition round."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._state.cond:
+            queue = self._state.queues[self._side]
+            while not queue:
+                if self._closed:
+                    raise InterfaceClosed("recv on closed interface")
+                if self._state.open_ends < 2:
+                    return []  # peer gone, nothing buffered
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                self._state.cond.wait(remaining if remaining is not None else 0.1)
+            frames = []
+            while queue and len(frames) < max_n:
+                frames.append(queue.popleft())
+            self.received_frames += len(frames)
+            self.received_bytes += sum(len(frame) for frame in frames)
+            return frames
 
     def rx_queue_depth(self) -> int:
         """Frames waiting in our receive queue right now."""

@@ -15,7 +15,7 @@ import threading
 import time
 from typing import Optional
 
-from repro.interfaces.base import CommInterface, InterfaceClosed
+from repro.interfaces.base import CommInterface, InterfaceClosed, frame_bytes
 
 _LEN_FMT = "!I"
 _LEN_SIZE = struct.calcsize(_LEN_FMT)
@@ -49,6 +49,8 @@ class SciInterface(CommInterface):
         self.sent_bytes = 0
         self.received_bytes = 0
         self.mid_frame_stalls = 0
+        self.batched_sends = 0
+        self.batched_frames = 0
 
     def peer_address(self) -> tuple:
         """The remote (host, port) of the underlying TCP stream."""
@@ -70,6 +72,51 @@ class SciInterface(CommInterface):
         self.sent_frames += 1
         self.sent_bytes += _LEN_SIZE + len(frame)
 
+    def send_many(self, frames) -> int:
+        """Vectored transmit: one ``sendall`` of a coalesced buffer.
+
+        Every frame's length prefix and body are appended to a single
+        ``bytearray`` (wire-encodable frames write themselves in via
+        ``encode_into``, so an SDU's payload is copied exactly once —
+        into this buffer), then the whole batch rides one blocking
+        socket write instead of one per frame.
+        """
+        if not frames:
+            return 0
+        if len(frames) == 1:
+            self.send(frame_bytes(frames[0]))
+            return 1
+        if self._closed:
+            raise InterfaceClosed("send on closed interface")
+        buf = bytearray()
+        for frame in frames:
+            encode_into = getattr(frame, "encode_into", None)
+            if encode_into is not None:
+                prefix_at = len(buf)
+                buf += b"\x00\x00\x00\x00"  # length back-patched below
+                size = encode_into(buf)
+                struct.pack_into(_LEN_FMT, buf, prefix_at, size)
+            else:
+                size = len(frame)
+                buf += struct.pack(_LEN_FMT, size)
+                buf += frame
+            if self.max_frame is not None and size > self.max_frame:
+                raise ValueError(
+                    f"{self.name} frame of {size} bytes exceeds the "
+                    f"interface maximum of {self.max_frame}"
+                )
+        with self._send_lock:
+            try:
+                self._sock.sendall(buf)
+            except OSError as exc:
+                self._mark_dead()
+                raise InterfaceClosed(f"peer connection lost: {exc}") from exc
+        self.sent_frames += len(frames)
+        self.sent_bytes += len(buf)
+        self.batched_sends += 1
+        self.batched_frames += len(frames)
+        return len(frames)
+
     # -- receiving -----------------------------------------------------------
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
@@ -80,6 +127,29 @@ class SciInterface(CommInterface):
         # Zero timeout => non-blocking poll (the user-level thread rule).
         with self._recv_lock:
             return self._recv_frame(0.0)
+
+    def recv_many(self, max_n: int = 64, timeout: Optional[float] = None) -> list:
+        """Drain every complete frame already buffered or readable.
+
+        Blocks up to ``timeout`` for the first frame, then keeps
+        parsing frames out of the stream buffer (topping it up with
+        non-blocking reads) until the socket runs dry or ``max_n`` is
+        reached — one lock round for the whole batch.
+        """
+        with self._recv_lock:
+            if timeout is not None and timeout <= 0:
+                first = self._recv_frame(0.0)
+            else:
+                first = self._recv_frame(timeout)
+            if first is None:
+                return []
+            frames = [first]
+            while len(frames) < max_n:
+                nxt = self._recv_frame(0.0)
+                if nxt is None:
+                    break
+                frames.append(nxt)
+            return frames
 
     def _recv_frame(self, timeout: Optional[float]) -> Optional[bytes]:
         if self._closed:
@@ -165,13 +235,9 @@ class SciInterface(CommInterface):
         return self._closed
 
     def metrics(self) -> dict:
-        return {
-            "sent_frames": self.sent_frames,
-            "received_frames": self.received_frames,
-            "sent_bytes": self.sent_bytes,
-            "received_bytes": self.received_bytes,
-            "mid_frame_stalls": self.mid_frame_stalls,
-        }
+        data = super().metrics()
+        data["mid_frame_stalls"] = self.mid_frame_stalls
+        return data
 
 
 class SciListener:

@@ -81,6 +81,31 @@ class SduHeader:
             self.payload_crc,
         )
 
+    def encode_into(self, buf: bytearray) -> int:
+        """Append the encoded header to ``buf``; returns bytes written.
+
+        The coalesced-write fast path: batching interfaces build one
+        contiguous transmit buffer, so the header is packed straight
+        into it instead of through a temporary ``bytes`` object.
+        """
+        offset = len(buf)
+        buf += bytes(HEADER_SIZE)
+        struct.pack_into(
+            _HEADER_FMT,
+            buf,
+            offset,
+            MAGIC,
+            VERSION,
+            _FLAG_END if self.end_bit else 0,
+            self.connection_id,
+            self.msg_id,
+            self.seqno,
+            self.total_sdus,
+            self.payload_len,
+            self.payload_crc,
+        )
+        return HEADER_SIZE
+
     @classmethod
     def decode(cls, data: bytes) -> "SduHeader":
         if len(data) < HEADER_SIZE:
@@ -107,7 +132,12 @@ class SduHeader:
 
 @dataclass(frozen=True)
 class Sdu:
-    """A framed Service Data Unit: header plus payload bytes."""
+    """A framed Service Data Unit: header plus payload bytes.
+
+    ``payload`` is any bytes-like object; the segmentation layer hands
+    in zero-copy ``memoryview`` slices of the original message, which
+    the encode paths copy exactly once — into the wire buffer.
+    """
 
     header: SduHeader
     payload: bytes
@@ -135,7 +165,20 @@ class Sdu:
 
     def encode(self) -> bytes:
         """Serialize for the wire: header immediately followed by payload."""
-        return self.header.encode() + self.payload
+        # join() accepts memoryview payloads and allocates the result
+        # exactly once (a `bytes + memoryview` concat would TypeError).
+        return b"".join((self.header.encode(), self.payload))
+
+    def encode_into(self, buf: bytearray) -> int:
+        """Append the full wire frame to ``buf``; returns the frame size.
+
+        Used by coalescing interfaces (SCI's vectored ``send_many``) so
+        a batch of SDUs becomes one contiguous buffer with no per-frame
+        ``bytes`` intermediates.
+        """
+        self.header.encode_into(buf)
+        buf += self.payload
+        return HEADER_SIZE + len(self.payload)
 
     @classmethod
     def decode(cls, data: bytes) -> "Sdu":

@@ -158,6 +158,10 @@ class ConnectRequestPdu(ControlPdu):
     initial_credits: int
     window_size: int
     rate_pps: float
+    #: Vectored-path coalescing width; both ends honor the initiator's
+    #: choice so batch_max=1 really restores per-frame behavior
+    #: end-to-end.
+    batch_max: int = 64
 
     def _encode_body(self, writer: ByteWriter) -> None:
         writer.u32(self.connection_id)
@@ -171,6 +175,7 @@ class ConnectRequestPdu(ControlPdu):
         writer.u32(self.initial_credits)
         writer.u32(self.window_size)
         writer.f64(self.rate_pps)
+        writer.u32(self.batch_max)
 
     @classmethod
     def _decode_body(cls, reader: ByteReader) -> "ConnectRequestPdu":
@@ -186,6 +191,7 @@ class ConnectRequestPdu(ControlPdu):
             initial_credits=reader.u32(),
             window_size=reader.u32(),
             rate_pps=reader.f64(),
+            batch_max=reader.u32(),
         )
 
 

@@ -43,7 +43,13 @@ def segment_message(
     receiver has something to acknowledge.
     """
     validate_sdu_size(sdu_size)
-    chunks = [payload[i : i + sdu_size] for i in range(0, len(payload), sdu_size)]
+    if not isinstance(payload, bytes):
+        payload = bytes(payload)  # snapshot mutable buffers before aliasing
+    # memoryview slices alias the message instead of copying each chunk;
+    # the bytes are copied exactly once, when an interface serializes
+    # the SDU into its wire buffer.
+    view = memoryview(payload)
+    chunks = [view[i : i + sdu_size] for i in range(0, len(payload), sdu_size)]
     if not chunks:
         chunks = [b""]
     total = len(chunks)
@@ -105,6 +111,12 @@ class Reassembler:
     def __init__(self, gc_timeout: Optional[float] = None):
         self._inflight: Dict[int, ReassemblyState] = {}
         self._completed: "dict[int, None]" = {}  # insertion-ordered set
+        #: Highest msg_id ever *evicted* from the completed memory.
+        #: Message ids are monotonically increasing per direction, so a
+        #: retransmit at or below the floor is for a message finished
+        #: long ago — treat it as a duplicate rather than opening a
+        #: phantom reassembly that would re-deliver the message.
+        self._completed_floor = 0
         self._gc_timeout = gc_timeout
         self.corrupted_count = 0
         self.duplicate_count = 0
@@ -116,7 +128,10 @@ class Reassembler:
     def add(self, sdu: Sdu, now: float = 0.0) -> Optional[bytes]:
         """Merge one SDU; return the whole message if now complete."""
         header = sdu.header
-        if header.msg_id in self._completed:
+        if header.msg_id in self._completed or (
+            header.msg_id <= self._completed_floor
+            and header.msg_id not in self._inflight
+        ):
             self.duplicate_count += 1  # late retransmit of a finished message
             return None
         state = self._inflight.get(header.msg_id)
@@ -147,24 +162,32 @@ class Reassembler:
             del self._inflight[header.msg_id]
             self._completed[header.msg_id] = None
             while len(self._completed) > self.COMPLETED_MEMORY:
-                self._completed.pop(next(iter(self._completed)))
+                evicted = next(iter(self._completed))
+                self._completed.pop(evicted)
+                self._completed_floor = max(self._completed_floor, evicted)
             return state.assemble()
         return None
 
     def bitmap_for(self, msg_id: int, total_sdus: int) -> AckBitmap:
         """Current ACK bitmap for ``msg_id``.
 
-        If the message already completed (state dropped), every bit is
-        clear; if it was never seen, every bit is set.
+        A message known to have completed gets an all-clear bitmap; an
+        in-flight message gets a snapshot of its real bitmap; anything
+        else — never seen, *or completed so long ago that it was evicted
+        from the completed memory* — gets every bit set.  Never-seen must
+        not alias completed: an all-clear bitmap in an AckPdu tells the
+        sender "fully received", and answering that for a message this
+        side has no record of would silently retire data the receiver
+        never assembled.  All-set errs in the safe direction (the sender
+        retransmits; genuine stale retransmits die at the sender as
+        duplicate ACKs for an already-retired message).
         """
         state = self._inflight.get(msg_id)
         if state is not None:
             return AckBitmap.from_bytes(state.bitmap.to_bytes(), total_sdus)
-        # Unknown: either fully delivered (all clear) or never started.
-        # The caller distinguishes via its own delivery bookkeeping; default
-        # to all-clear for completed messages, which `add` guarantees by
-        # removing finished state.
-        return AckBitmap(total_sdus, all_set=False)
+        if msg_id in self._completed:
+            return AckBitmap(total_sdus, all_set=False)
+        return AckBitmap(total_sdus, all_set=True)
 
     def gc(self, now: float) -> list[int]:
         """Drop in-flight messages older than ``gc_timeout``; return ids.

@@ -62,6 +62,14 @@ class AtmVcLink:
         self.frames_sent += 1
         return self.network.sim.now
 
+    def transfer_many(self, frames: list, deliver) -> float:
+        """Vectored variant of the ncs_sim link interface; the NIC
+        already serializes injected frames back-to-back per VC."""
+        done = self.network.sim.now
+        for frame in frames:
+            done = self.transfer(frame, deliver)
+        return done
+
 
 def build_switched_pair(
     sim: Simulator,

@@ -46,6 +46,9 @@ class Link:
         self.frames_sent = 0
         self.frames_dropped = 0
         self.bytes_sent = 0
+        #: transfer_many calls that carried more than one frame.
+        self.batched_transfers = 0
+        self.batched_frames = 0
         #: PlannedInjector running the fault schedule in *virtual* time —
         #: the same FaultPlan drives live sockets and the kernel alike.
         self._injector = None
@@ -106,6 +109,26 @@ class Link:
         else:
             for extra_delay, data in planned:
                 self.sim.schedule(arrival + extra_delay, deliver, data)
+        return tx_done
+
+    def transfer_many(
+        self,
+        frames: list,
+        deliver: Callable[[bytes], None],
+    ) -> float:
+        """Queue a whole flow-released batch back-to-back on the wire.
+
+        Frames serialize contiguously (``_busy_until`` chains them with
+        no inter-frame gap), mirroring the live interfaces' coalesced
+        vectored writes; loss/fault decisions stay per frame.  Returns
+        the time the last frame finishes serializing.
+        """
+        tx_done = self.sim.now
+        for frame in frames:
+            tx_done = self.transfer(frame, deliver)
+        if len(frames) > 1:
+            self.batched_transfers += 1
+            self.batched_frames += len(frames)
         return tx_done
 
     def transfer_size(

@@ -1,0 +1,166 @@
+"""Regression tests for the data-path bugfix batch.
+
+Each class pins one of the bugs fixed alongside the vectored-send work:
+recv-wait bookkeeping, send-after-transport-loss queue growth, and the
+thread safety of the hot send counters.  (The reassembler's completed-
+memory bugs are pinned in tests/protocol/test_segmentation.py.)
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ConnectionClosedError, ConnectionConfig
+
+
+class TestRecvWaitTracking:
+    """`recv_blocked_for` must report the oldest *surviving* waiter.
+
+    The old bookkeeping kept one count plus the first waiter's start
+    time, cleared only when the count hit zero — so a long-gone first
+    waiter kept aging the clock for everyone after it.
+    """
+
+    def test_departed_first_waiter_does_not_age_survivors(self, connected_pair):
+        conn, _ = connected_pair()
+        clock = conn._clock
+        token_old = conn._enter_recv_wait()
+        time.sleep(0.30)
+        token_young = conn._enter_recv_wait()
+        conn._exit_recv_wait(token_old)  # the *old* waiter leaves
+        assert conn.recv_waiters == 1
+        blocked = conn.recv_blocked_for(clock.now())
+        # Only the young waiter remains; its wait started just now.  The
+        # buggy bookkeeping reported >= 0.30s here.
+        assert blocked < 0.25
+        conn._exit_recv_wait(token_young)
+        assert conn.recv_waiters == 0
+        assert conn.recv_blocked_for(clock.now()) == 0.0
+
+    def test_oldest_survivor_wins(self, connected_pair):
+        conn, _ = connected_pair()
+        clock = conn._clock
+        token_a = conn._enter_recv_wait()
+        time.sleep(0.15)
+        token_b = conn._enter_recv_wait()
+        conn._exit_recv_wait(token_b)  # younger leaves, older stays
+        assert conn.recv_blocked_for(clock.now()) >= 0.15
+        conn._exit_recv_wait(token_a)
+
+    def test_live_staggered_waiters(self, connected_pair):
+        """Two real recv() calls: the short-timeout one comes and goes;
+        afterwards the long one must still be counted and aged."""
+        conn, _ = connected_pair()
+        results = {}
+
+        def long_waiter():
+            results["long"] = conn.recv(timeout=1.2)
+
+        thread = threading.Thread(target=long_waiter, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        assert conn.recv(timeout=0.05) is None  # short waiter in and out
+        assert conn.recv_waiters == 1
+        blocked = conn.recv_blocked_for(conn._clock.now())
+        assert blocked >= 0.15, "long waiter's age was lost"
+        thread.join(timeout=3.0)
+        assert results["long"] is None
+
+
+class TestSendAfterTransportLoss:
+    """Once the transport is gone the connection must stop feeding the
+    Send Thread's channel: the thread has exited, so anything queued
+    there is growth without a consumer."""
+
+    def test_send_raises_once_peer_is_gone(self, connected_pair):
+        conn, peer = connected_pair()
+        conn.send(b"before", wait=True, timeout=5.0)
+        assert peer.recv(timeout=5.0) == b"before"
+        # Sever the peer's transport abruptly: no Close handshake.
+        peer.interface.close()
+        # The sender notices via its receive thread (InterfaceClosed).
+        deadline = time.monotonic() + 5.0
+        while not conn.peer_gone and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert conn.peer_gone
+        with pytest.raises(ConnectionClosedError):
+            conn.send(b"after the loss")
+
+    def test_no_send_channel_growth_after_loss(self, connected_pair):
+        conn, peer = connected_pair(
+            ConnectionConfig(initial_credits=2, max_credits=4)
+        )
+        conn.send(b"warmup", wait=True, timeout=5.0)
+        assert peer.recv(timeout=5.0) == b"warmup"
+        peer.interface.close()
+        deadline = time.monotonic() + 5.0
+        while not conn.peer_gone and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert conn.peer_gone
+        # Anything the flow controller would now release must *not* be
+        # pushed into the send channel (its consumer thread has exited).
+        baseline = conn._send_chan.qsize()
+        from repro.protocol.pdus import CreditPdu
+
+        for _ in range(8):
+            conn.on_control_pdu(CreditPdu(conn.conn_id, 4))
+        time.sleep(0.2)
+        assert conn._send_chan.qsize() <= baseline
+
+    def test_queued_work_stays_with_flow_control_for_replay(self, connected_pair):
+        """SDUs stranded by the loss remain reconstructible: the
+        recovery layer replays pending_sends() over a new incarnation."""
+        conn, peer = connected_pair(
+            ConnectionConfig(initial_credits=1, max_credits=2)
+        )
+        conn.send(b"landed", wait=True, timeout=5.0)
+        assert peer.recv(timeout=5.0) == b"landed"
+        peer.interface.close()
+        deadline = time.monotonic() + 5.0
+        while not conn.peer_gone and time.monotonic() < deadline:
+            time.sleep(0.01)
+        # The message sent just before/after the loss is still pending.
+        try:
+            conn.send(b"stranded")
+        except ConnectionClosedError:
+            pass
+        time.sleep(0.1)
+        pending = conn.pending_sends()
+        assert all(isinstance(m, int) for m, _ in pending)
+
+
+class TestCounterThreadSafety:
+    """messages_sent/bytes_sent are incremented from arbitrarily many
+    app threads; the increments must not lose updates."""
+
+    def test_concurrent_senders_count_exactly(self, connected_pair):
+        conn, peer = connected_pair(
+            ConnectionConfig(flow_control="none", error_control="none")
+        )
+        threads_n, per_thread = 8, 150
+        payload = b"m" * 32
+        barrier = threading.Barrier(threads_n)
+
+        def sender():
+            barrier.wait()
+            for _ in range(per_thread):
+                conn.send(payload)
+
+        threads = [
+            threading.Thread(target=sender, daemon=True)
+            for _ in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert conn.messages_sent == threads_n * per_thread
+        assert conn.bytes_sent == threads_n * per_thread * len(payload)
+        # Drain the peer so teardown isn't racing deliveries.
+        got = 0
+        deadline = time.monotonic() + 10.0
+        while got < threads_n * per_thread and time.monotonic() < deadline:
+            if peer.recv(timeout=0.2) is not None:
+                got += 1
+        assert got == threads_n * per_thread

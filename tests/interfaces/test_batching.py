@@ -1,0 +1,217 @@
+"""Vectored send_many/recv_many across every interface family."""
+
+import pytest
+
+from repro.faults import parse_fault_plan
+from repro.faults.injector import PlannedFaultyInterface, PlannedInjector
+from repro.interfaces.aci import aci_pair
+from repro.interfaces.base import InterfaceClosed
+from repro.interfaces.loopback import LoopbackPair
+from repro.interfaces.sci import sci_pair
+from repro.protocol.headers import Sdu
+
+
+@pytest.fixture
+def sci():
+    a, b = sci_pair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+@pytest.fixture
+def loopback():
+    pair = LoopbackPair()
+    yield pair.a, pair.b
+    pair.a.close()
+    pair.b.close()
+
+
+@pytest.fixture
+def aci():
+    a, b = aci_pair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+FRAMES = [b"alpha", b"", b"gamma" * 100, bytes(range(256))]
+
+
+class TestSendManyRoundtrip:
+    def test_sci_batch_roundtrip(self, sci):
+        a, b = sci
+        assert a.send_many(FRAMES) == len(FRAMES)
+        for frame in FRAMES:
+            assert b.recv(1.0) == frame
+
+    def test_loopback_batch_roundtrip(self, loopback):
+        a, b = loopback
+        assert a.send_many(FRAMES) == len(FRAMES)
+        for frame in FRAMES:
+            assert b.recv(1.0) == frame
+
+    def test_aci_batch_roundtrip(self, aci):
+        a, b = aci
+        assert a.send_many(FRAMES) == len(FRAMES)
+        for frame in FRAMES:
+            assert b.recv(1.0) == frame
+
+    def test_sci_batch_interleaves_with_single_sends(self, sci):
+        a, b = sci
+        a.send(b"one")
+        a.send_many([b"two", b"three"])
+        a.send(b"four")
+        for expected in (b"one", b"two", b"three", b"four"):
+            assert b.recv(1.0) == expected
+
+    def test_empty_batch_is_a_noop(self, sci):
+        a, _ = sci
+        assert a.send_many([]) == 0
+        assert a.metrics()["batched_sends"] == 0
+
+    def test_single_frame_batch_not_counted_as_batched(self, sci):
+        a, b = sci
+        assert a.send_many([b"solo"]) == 1
+        assert b.recv(1.0) == b"solo"
+        assert a.metrics()["batched_sends"] == 0
+
+    @pytest.mark.parametrize("family", ["sci", "loopback", "aci"])
+    def test_batched_counters(self, family, request):
+        a, b = request.getfixturevalue(family)
+        a.send_many([b"x", b"y", b"z"])
+        metrics = a.metrics()
+        assert metrics["batched_sends"] == 1
+        assert metrics["batched_frames"] == 3
+        assert metrics["sent_frames"] == 3
+
+
+class TestEncodables:
+    def test_sci_coalesces_wire_encodables(self, sci):
+        """Sdu objects ride the encode_into fast path: the receiver
+        must see byte-identical frames to per-frame Sdu.encode()."""
+        a, b = sci
+        sdus = [
+            Sdu.build(
+                connection_id=7, msg_id=1, seqno=i, total_sdus=3,
+                payload=bytes([i]) * (i * 500 + 1), end_bit=(i == 2),
+            )
+            for i in range(3)
+        ]
+        a.send_many(sdus)
+        for sdu in sdus:
+            assert b.recv(1.0) == sdu.encode()
+
+    def test_loopback_accepts_wire_encodables(self, loopback):
+        a, b = loopback
+        sdu = Sdu.build(
+            connection_id=1, msg_id=1, seqno=0, total_sdus=1,
+            payload=b"payload", end_bit=True,
+        )
+        a.send_many([sdu, sdu])
+        assert b.recv(1.0) == sdu.encode()
+        assert b.recv(1.0) == sdu.encode()
+
+    def test_sci_oversize_frame_in_batch_rejected(self, sci):
+        a, _ = sci
+        a.max_frame = 64
+        with pytest.raises(ValueError, match="exceeds"):
+            a.send_many([b"ok", b"x" * 65, b"ok"])
+
+
+class TestRecvMany:
+    def test_recv_many_drains_ready_frames(self, sci):
+        a, b = sci
+        a.send_many([b"1", b"2", b"3", b"4"])
+        got = []
+        while len(got) < 4:
+            got.extend(b.recv_many(max_n=8, timeout=1.0))
+        assert got == [b"1", b"2", b"3", b"4"]
+
+    def test_recv_many_respects_max_n(self, loopback):
+        a, b = loopback
+        a.send_many([b"1", b"2", b"3"])
+        assert b.recv_many(max_n=2, timeout=1.0) == [b"1", b"2"]
+        assert b.recv_many(max_n=2, timeout=1.0) == [b"3"]
+
+    def test_recv_many_zero_timeout_polls(self, loopback):
+        _, b = loopback
+        assert b.recv_many(max_n=4, timeout=0.0) == []
+
+    def test_recv_many_times_out_empty(self, sci):
+        _, b = sci
+        assert b.recv_many(max_n=4, timeout=0.05) == []
+
+    def test_recv_many_on_closed_interface_raises(self, loopback):
+        _, b = loopback
+        b.close()
+        with pytest.raises(InterfaceClosed):
+            b.recv_many(max_n=4, timeout=0.05)
+
+
+class TestBatchedFaults:
+    def test_planned_faults_apply_per_frame_within_batch(self, loopback):
+        """A batch must offer every frame to the fault plan individually:
+        drop:rate=1.0 between 'armed' and forever kills each frame, and
+        the injector's counter shows one decision per frame."""
+        a, b = loopback
+        injector = PlannedInjector(
+            parse_fault_plan("drop:rate=1.0;seed:3"), clock=lambda: 0.0
+        )
+        faulty = PlannedFaultyInterface(a, injector)
+        faulty.send_many([b"one", b"two", b"three"])
+        assert injector.dropped == 3
+        assert b.recv_many(max_n=8, timeout=0.05) == []
+
+    def test_batched_sends_replay_unbatched_fault_decisions(self):
+        """Same seed, same frame order => the batched path must lose
+        exactly the frames the per-frame path loses.  This is the
+        contract that lets chaos suites interleave send()/send_many()
+        without changing the fault schedule."""
+        frames = [f"frame-{i}".encode() for i in range(32)]
+
+        def run(batched: bool) -> list:
+            pair = LoopbackPair()
+            injector = PlannedInjector(
+                parse_fault_plan("drop:rate=0.4,burst=2;seed:11"),
+                clock=lambda: 0.0,
+            )
+            faulty = PlannedFaultyInterface(pair.a, injector)
+            if batched:
+                faulty.send_many(frames)
+            else:
+                for frame in frames:
+                    faulty.send(frame)
+            received = pair.b.recv_many(max_n=64, timeout=0.05)
+            pair.a.close()
+            pair.b.close()
+            return received
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_duplicate_plan_doubles_batch_frames(self, loopback):
+        a, b = loopback
+        injector = PlannedInjector(
+            parse_fault_plan("duplicate:rate=1.0,delay=0;seed:1"),
+            clock=lambda: 0.0,
+        )
+        faulty = PlannedFaultyInterface(a, injector)
+        faulty.send_many([b"x", b"y"])
+        got = []
+        deadline = 50
+        while len(got) < 4 and deadline:
+            got.extend(b.recv_many(max_n=8, timeout=0.1))
+            deadline -= 1
+        assert sorted(got) == [b"x", b"x", b"y", b"y"]
+
+    def test_faulty_recv_many_checks_crash(self, loopback):
+        a, b = loopback
+        injector = PlannedInjector(
+            parse_fault_plan("peer_crash:at=0.0001"), clock=None
+        )
+        faulty = PlannedFaultyInterface(b, injector)
+        import time
+
+        time.sleep(0.01)
+        with pytest.raises(InterfaceClosed):
+            faulty.recv_many(max_n=4, timeout=0.05)

@@ -165,3 +165,50 @@ class TestReassembly:
         bitmap = reassembler.bitmap_for(1, len(sdus))
         assert not bitmap.is_pending(1)
         assert bitmap.is_pending(0)
+
+
+class TestCompletedMemoryEviction:
+    """Never-seen must not alias completed — including after eviction
+    from the bounded completed memory (the bug: `bitmap_for` answered
+    "fully received" for any message it had no record of, silently
+    retiring data at the sender that this side never assembled)."""
+
+    def _complete_one(self, reassembler, msg_id):
+        payload = bytes([msg_id % 256]) * 64
+        for sdu in segment_message(5, msg_id, payload, DEFAULT_SDU_SIZE):
+            reassembler.add(sdu)
+        return payload
+
+    def test_bitmap_for_never_seen_is_all_set(self):
+        reassembler = Reassembler()
+        bitmap = reassembler.bitmap_for(99, 4)
+        assert all(bitmap.is_pending(i) for i in range(4))
+        assert not bitmap.all_received()
+
+    def test_bitmap_for_evicted_message_is_all_set(self):
+        reassembler = Reassembler()
+        limit = Reassembler.COMPLETED_MEMORY
+        for msg_id in range(1, limit + 2):  # one past the memory bound
+            self._complete_one(reassembler, msg_id)
+        # msg 1 was evicted; msg 2 survived at the edge of the window.
+        evicted = reassembler.bitmap_for(1, 1)
+        assert evicted.is_pending(0), (
+            "an evicted message must not be reported all-clear"
+        )
+        survivor = reassembler.bitmap_for(2, 1)
+        assert survivor.all_received()
+
+    def test_evicted_retransmit_counts_duplicate_not_phantom(self):
+        """A stale retransmit for an evicted message must die as a
+        duplicate, not open a phantom reassembly that re-delivers the
+        message to the application."""
+        reassembler = Reassembler()
+        limit = Reassembler.COMPLETED_MEMORY
+        for msg_id in range(1, limit + 2):
+            self._complete_one(reassembler, msg_id)
+        duplicates_before = reassembler.duplicate_count
+        stale = segment_message(5, 1, b"\x01" * 64, DEFAULT_SDU_SIZE)
+        assert reassembler.add(stale[0]) is None
+        assert reassembler.duplicate_count == duplicates_before + 1
+        assert reassembler.inflight_count == 0
+        assert reassembler.state_of(1) is None
