@@ -1,0 +1,81 @@
+"""Overload protection under offered load: bounded memory past
+saturation, admission waits instead of queue growth, microsecond
+fail-fast rejection.  Not a paper figure — the pressure subsystem is
+this repo's extension — but persisted like one so regressions show up
+in CI.
+"""
+
+import pytest
+
+from conftest import emit, persist
+from repro.bench import overload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def results():
+    results = overload.run_overload_bench(duration_s=1.2)
+    emit(overload.format_results(results))
+    persist(
+        "overload",
+        results,
+        config={
+            "consumer_delay_s": overload.CONSUMER_DELAY_S,
+            "payload_bytes": overload.PAYLOAD_BYTES,
+            "tx_node_bytes": overload.TX_NODE_BYTES,
+            "rx_node_bytes": overload.RX_NODE_BYTES,
+            "rx_delivery_quota": overload.RX_DELIVERY_QUOTA,
+        },
+    )
+    return results
+
+
+def _point(results, label):
+    return next(p for p in results["load_points"] if p["label"] == label)
+
+
+def test_all_load_points_deliver_everything(results):
+    for point in results["load_points"]:
+        assert point["received"] == point["sent"], point["label"]
+
+
+def test_overload_keeps_memory_bounded(results):
+    # The entire purpose of the subsystem: 2x offered load must not
+    # push budget occupancy past the configured ceilings.
+    point = _point(results, "2x")
+    assert point["tx_peak_used"] <= point["tx_node_bytes"]
+    assert point["rx_peak_used"] <= point["rx_node_bytes"]
+
+
+def test_overload_engages_backpressure_not_shedding(results):
+    # Block policy: past saturation the sender waits (admission gate,
+    # credit stalls); nothing is shed and the control plane never is.
+    point = _point(results, "2x")
+    assert point["admission_waits"] > 0
+    assert point["fc_credit_stalls"] > 0
+    assert point["shed_control_pdus"] == 0
+    for p in results["load_points"]:
+        assert p["shed_control_pdus"] == 0, p["label"]
+
+
+def test_underload_is_untouched_by_pressure(results):
+    # At half capacity the gate must be invisible: no waits, no stalls.
+    point = _point(results, "0.5x")
+    assert point["admission_waits"] == 0
+    assert point["received"] == point["sent"]
+
+
+def test_fail_fast_rejects_in_microseconds(results):
+    assert results["fail_fast"]["median_reject_ms"] < 1.0
+
+
+def test_benchmark_fail_fast(benchmark_or_skip, results):
+    benchmark_or_skip(lambda: overload.bench_fail_fast(attempts=50))
+
+
+@pytest.fixture
+def benchmark_or_skip(request):
+    """pytest-benchmark when available; plain call otherwise."""
+    benchmark = request.getfixturevalue("benchmark") if (
+        request.config.pluginmanager.hasplugin("benchmark")
+    ) else (lambda fn: fn())
+    return benchmark

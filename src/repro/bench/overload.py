@@ -1,0 +1,263 @@
+"""Overload benchmark: throughput and latency under memory pressure.
+
+A paced producer offers load at 0.5x, 1x, and 2x the consumer's service
+rate while both nodes run with deliberately small memory budgets.  The
+interesting number is not peak throughput — it is what happens *past*
+saturation: with end-to-end backpressure the 2x point must degrade to
+the consumer's capacity with bounded memory (peak budget occupancy at or
+under the ceiling), not grow queues without limit.
+
+Each load point reports offered/achieved rates, delivery latency
+percentiles (send-stamp to recv), peak budget occupancy on both nodes,
+and the backpressure counters that explain *how* the node survived:
+admission waits on the sender, flow-control credit stalls, sheds, and —
+critically — ``shed_control_pdus`` staying zero (the control plane is
+never load-shed).
+
+A separate fail-fast phase times admission rejections against an
+exhausted budget: overload refusal must cost microseconds, not a
+round trip.
+
+Results are shaped for :func:`repro.bench.persist.persist_run` and
+checked into ``benchmarks/baselines/BENCH_overload.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import struct
+import threading
+import time
+from typing import Optional
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.core.errors import NCSOverloaded
+from repro.pressure import PressureConfig
+
+#: Consumer service time per message: 2 ms -> capacity ~500 msg/s.
+CONSUMER_DELAY_S = 0.002
+#: Consumer capacity implied by the service delay (msg/s).
+CAPACITY_MSGS = 1.0 / CONSUMER_DELAY_S
+PAYLOAD_BYTES = 4096
+#: Sender-side budget: small enough that 2x load hits the admission
+#: gate (~32 in-flight 4 KB messages), the *binding* constraint.
+TX_NODE_BYTES = 128 * 1024
+#: Receiver-side budget: generous overall, but a small delivery quota
+#: so a slow consumer trips the credit gate instead of buffering.
+RX_NODE_BYTES = 1 << 20
+RX_DELIVERY_QUOTA = 64 * 1024
+
+_STAMP = struct.Struct("<Id")  # seq, send perf_counter
+
+
+class _PacedConsumer(threading.Thread):
+    """Drains a connection at a fixed service rate, recording latency."""
+
+    def __init__(self, conn, delay_s: float):
+        super().__init__(name="overload-consumer", daemon=True)
+        self.conn = conn
+        self.delay_s = delay_s
+        self.received = 0
+        self.latencies: list = []
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            message = self.conn.recv(timeout=0.2)
+            if message is None:
+                continue
+            _seq, sent_at = _STAMP.unpack_from(message)
+            self.latencies.append(time.perf_counter() - sent_at)
+            self.received += 1
+            time.sleep(self.delay_s)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def _offer_load(conn, rate_msgs: float, duration_s: float) -> int:
+    """Paced open-loop producer; ``send`` may block on admission."""
+    interval = 1.0 / rate_msgs
+    sent = 0
+    start = time.perf_counter()
+    next_at = start
+    end = start + duration_s
+    padding = b"\0" * (PAYLOAD_BYTES - _STAMP.size)
+    while time.perf_counter() < end:
+        now = time.perf_counter()
+        if now < next_at:
+            time.sleep(min(next_at - now, 0.005))
+            continue
+        conn.send(_STAMP.pack(sent, time.perf_counter()) + padding)
+        sent += 1
+        next_at += interval
+        # An admission stall banks "debt"; forgive anything older than
+        # 250 ms so the producer offers a rate, not a burst avalanche.
+        if next_at < time.perf_counter() - 0.25:
+            next_at = time.perf_counter()
+    return sent
+
+
+def bench_load_point(
+    label: str, rate_msgs: float, duration_s: float = 1.2
+) -> dict:
+    """One offered-load point on a fresh node pair with tight budgets."""
+    tx_cfg = PressureConfig(
+        node_bytes=TX_NODE_BYTES, conn_bytes=TX_NODE_BYTES, policy="block"
+    )
+    rx_cfg = PressureConfig(
+        node_bytes=RX_NODE_BYTES,
+        conn_bytes=RX_NODE_BYTES,
+        delivery_quota_bytes=RX_DELIVERY_QUOTA,
+    )
+    producer = Node(NodeConfig(name=f"ovl-tx-{label}", pressure=tx_cfg))
+    consumer_node = Node(NodeConfig(name=f"ovl-rx-{label}", pressure=rx_cfg))
+    try:
+        conn = producer.connect(
+            consumer_node.address,
+            ConnectionConfig(interface="hpi"),
+            peer_name="ovl-rx",
+        )
+        peer = consumer_node.accept(timeout=5.0)
+        consumer = _PacedConsumer(peer, CONSUMER_DELAY_S)
+        consumer.start()
+        started = time.perf_counter()
+        sent = _offer_load(conn, rate_msgs, duration_s)
+        # Drain: wait for every sent message to reach the consumer.
+        deadline = time.monotonic() + 30.0
+        while consumer.received < sent and time.monotonic() < deadline:
+            time.sleep(0.01)
+        elapsed = time.perf_counter() - started
+        consumer.stop()
+        totals = conn.metrics_totals()
+        conn_stats = conn.stats()
+        tx_snap = producer.pressure.snapshot()
+        rx_snap = consumer_node.pressure.snapshot()
+        latencies = sorted(consumer.latencies)
+        return {
+            "label": label,
+            "offered_rate_msgs": rate_msgs,
+            "duration_s": duration_s,
+            "sent": sent,
+            "received": consumer.received,
+            "achieved_rate_msgs": round(consumer.received / elapsed, 1),
+            "p50_ms": round(latencies[len(latencies) // 2] * 1e3, 3)
+            if latencies else None,
+            "p99_ms": round(
+                latencies[max(0, int(len(latencies) * 0.99) - 1)] * 1e3, 3
+            ) if latencies else None,
+            "tx_peak_used": tx_snap["peak_used"],
+            "tx_node_bytes": tx_snap["node_bytes"],
+            "rx_peak_used": rx_snap["peak_used"],
+            "rx_node_bytes": rx_snap["node_bytes"],
+            "admission_waits": tx_snap["admission_waits"],
+            "fc_credit_stalls": totals.get("fc_tx_credit_stalls", 0),
+            "slow_consumer_trips": conn_stats.get("slow_consumer_trips", 0),
+            "deliveries_shed": tx_snap["deliveries_shed"]
+            + rx_snap["deliveries_shed"],
+            "shed_control_pdus": tx_snap["shed_control_pdus"]
+            + rx_snap["shed_control_pdus"],
+        }
+    finally:
+        producer.close()
+        consumer_node.close()
+
+
+def bench_fail_fast(attempts: int = 300) -> dict:
+    """Rejection latency with the send budget exhausted (fail-fast)."""
+    cfg = PressureConfig(node_bytes=64 * 1024, conn_bytes=64 * 1024)
+    node_a = Node(NodeConfig(name="ovl-ff-a", pressure=cfg))
+    node_b = Node(NodeConfig(name="ovl-ff-b", pressure=cfg))
+    try:
+        conn = node_a.connect(
+            node_b.address,
+            ConnectionConfig(interface="hpi", admission="fail-fast"),
+            peer_name="ovl-ff-b",
+        )
+        node_b.accept(timeout=5.0)
+        node_a.pressure.force_reserve("send", conn.conn_id, cfg.conn_bytes)
+        rejects = []
+        for _ in range(attempts):
+            started = time.perf_counter()
+            try:
+                conn.send(b"x")
+            except NCSOverloaded:
+                pass
+            rejects.append(time.perf_counter() - started)
+        node_a.pressure.release("send", conn.conn_id, cfg.conn_bytes)
+        rejects.sort()
+        return {
+            "attempts": attempts,
+            "median_reject_ms": round(statistics.median(rejects) * 1e3, 4),
+            "p99_reject_ms": round(
+                rejects[max(0, int(len(rejects) * 0.99) - 1)] * 1e3, 4
+            ),
+        }
+    finally:
+        node_a.close()
+        node_b.close()
+
+
+def run_overload_bench(duration_s: float = 1.2) -> dict:
+    points = [
+        bench_load_point("0.5x", CAPACITY_MSGS * 0.5, duration_s),
+        bench_load_point("1x", CAPACITY_MSGS * 1.0, duration_s),
+        bench_load_point("2x", CAPACITY_MSGS * 2.0, duration_s),
+    ]
+    return {
+        "capacity_msgs": CAPACITY_MSGS,
+        "payload_bytes": PAYLOAD_BYTES,
+        "load_points": points,
+        "fail_fast": bench_fail_fast(),
+    }
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        "Overload benchmark "
+        f"(consumer capacity {results['capacity_msgs']:.0f} msg/s, "
+        f"{results['payload_bytes']} B payloads)",
+        "  load    offered   achieved     p50      p99   "
+        "tx_peak  waits  stalls  shed",
+    ]
+    for point in results["load_points"]:
+        lines.append(
+            f"  {point['label']:<6}"
+            f"{point['offered_rate_msgs']:>8.0f}"
+            f"{point['achieved_rate_msgs']:>11.1f}"
+            f"{point['p50_ms'] if point['p50_ms'] is not None else 0:>8.2f}"
+            f"{point['p99_ms'] if point['p99_ms'] is not None else 0:>9.2f}"
+            f"{point['tx_peak_used']:>10}"
+            f"{point['admission_waits']:>7}"
+            f"{point['fc_credit_stalls']:>8}"
+            f"{point['deliveries_shed']:>6}"
+        )
+    fast = results["fail_fast"]
+    lines.append(
+        f"  fail-fast rejection: median {fast['median_reject_ms']} ms, "
+        f"p99 {fast['p99_reject_ms']} ms over {fast['attempts']} attempts"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    from repro.bench.persist import persist_run
+
+    results = run_overload_bench()
+    print(format_results(results))
+    persist_run(
+        "overload",
+        results,
+        config={
+            "consumer_delay_s": CONSUMER_DELAY_S,
+            "payload_bytes": PAYLOAD_BYTES,
+            "tx_node_bytes": TX_NODE_BYTES,
+            "rx_node_bytes": RX_NODE_BYTES,
+            "rx_delivery_quota": RX_DELIVERY_QUOTA,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,13 @@ class ConnectionConfig:
     #: environment variable.  Supersedes loss_rate/corrupt_rate when set.
     fault_plan: Optional[object] = None
 
+    #: Admission policy NCS_send applies when the node's MemoryBudget is
+    #: full: "block" (wait, NCSTimeout at the deadline), "fail-fast"
+    #: (typed NCSOverloaded immediately), or "shed-oldest" (evict the
+    #: stalest queued delivery to make room).  None defers to the node's
+    #: PressureConfig.policy.
+    admission: Optional[str] = None
+
     def __post_init__(self):
         if self.flow_control not in FC_ALGORITHMS:
             raise ValueError(
@@ -90,6 +97,15 @@ class ConnectionConfig:
             raise ValueError("batch_max must be >= 1 (1 disables batching)")
         if self.retransmit_timeout <= 0:
             raise ValueError("retransmit_timeout must be > 0")
+        if self.admission is not None and self.admission not in (
+            "block",
+            "fail-fast",
+            "shed-oldest",
+        ):
+            raise ValueError(
+                "admission must be None, 'block', 'fail-fast', or "
+                f"'shed-oldest'; got {self.admission!r}"
+            )
 
     def with_overrides(self, **changes) -> "ConnectionConfig":
         """A copy with some fields replaced (validation re-runs)."""
@@ -157,6 +173,21 @@ class NodeConfig:
     watchdog: Optional[bool] = None
     #: Watchdog sampling period (seconds).
     watchdog_period: float = 0.25
+    #: Overload-protection settings (repro.pressure.PressureConfig).
+    #: None defers to the NCS_PRESSURE_* environment knobs.
+    pressure: Optional[object] = None
+    #: Ceiling for the batch_max a *peer* may request on a
+    #: ConnectRequestPdu; a hostile or buggy peer must not pick our
+    #: memory profile (values above are clamped, non-positive rejected).
+    batch_max_ceiling: int = 1024
+
+    def pressure_config(self):
+        """Resolve the effective PressureConfig (explicit or from env)."""
+        if self.pressure is not None:
+            return self.pressure
+        from repro.pressure import pressure_from_env
+
+        return pressure_from_env()
 
     def trace_enabled(self) -> bool:
         return self.trace if self.trace is not None else _env_flag("NCS_TRACE")

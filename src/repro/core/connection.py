@@ -27,8 +27,10 @@ import threading
 import time
 from typing import Optional
 
+from collections import deque
+
 from repro.core.config import ConnectionConfig
-from repro.core.errors import ConnectionClosedError, NCSTimeout
+from repro.core.errors import ConnectionClosedError, NCSOverloaded, NCSTimeout
 from repro.core.handles import SendHandle, SendStatus
 from repro.errorcontrol import make_error_control
 from repro.flowcontrol import make_flow_control
@@ -187,6 +189,34 @@ class Connection:
         self._waiter_tokens = itertools.count(1)
         self._recv_wait_starts: dict[int, float] = {}
 
+        # Overload protection: every payload byte this connection
+        # buffers is charged to the node's MemoryBudget (None when the
+        # subsystem is disabled).  Control PDUs are never charged.
+        self._budget = getattr(node, "pressure", None)
+        pressure_cfg = getattr(node, "pressure_cfg", None)
+        self._admission = config.admission or (
+            pressure_cfg.policy if pressure_cfg is not None else "block"
+        )
+        self._delivery_quota = (
+            pressure_cfg.delivery_quota_bytes if pressure_cfg is not None else 0
+        )
+        self._resume_below = int(
+            self._delivery_quota
+            * (pressure_cfg.resume_fraction if pressure_cfg is not None else 0.5)
+        )
+        self._pressure_lock = threading.Lock()
+        #: FIFO of (enqueue_ts, nbytes) mirroring recv_queue, for
+        #: shed-oldest victim selection and delivery-site release.
+        self._delivery_log: deque = deque()
+        self._credit_gate_closed = False
+        self._withheld_credits = 0
+        self.admission_rejections = 0
+        self.admission_waits = 0
+        self.deliveries_shed = 0
+        self.credits_withheld = 0
+        self.credit_pdus_withheld = 0
+        self.slow_consumer_trips = 0
+
         if config.mode == "threaded":
             self._proto_chan = self._pkg.channel()
             self._send_chan = self._pkg.channel()
@@ -234,6 +264,7 @@ class Connection:
             raise ConnectionClosedError(
                 f"connection {self.conn_id}: peer is gone (closed or transport lost)"
             )
+        self._admit_send(len(payload), timeout)
         msg_id = next(self._msg_ids)
         handle = SendHandle(msg_id, len(payload))
         with self._handles_lock:
@@ -284,7 +315,9 @@ class Connection:
                     if remaining <= 0:
                         return None
                 try:
-                    return self.recv_queue.get(timeout=remaining)
+                    return self._delivery_popped(
+                        self.recv_queue.get(timeout=remaining)
+                    )
                 except TimeoutError:
                     if self._closed or self._peer_closed:
                         if self.recv_queue.empty():
@@ -299,7 +332,7 @@ class Connection:
         if self.config.mode == "bypass":
             self._bypass_pump_once(blocking=False)
         ok, item = self.recv_queue.try_get()
-        return item if ok else None
+        return self._delivery_popped(item) if ok else None
 
     def _enter_recv_wait(self) -> int:
         token = next(self._waiter_tokens)
@@ -310,6 +343,204 @@ class Connection:
     def _exit_recv_wait(self, token: int) -> None:
         with self._waiters_lock:
             self._recv_wait_starts.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # Overload protection: admission, delivery accounting, credit gating
+    # ------------------------------------------------------------------
+
+    def _admit_send(self, nbytes: int, timeout: Optional[float]) -> None:
+        """Charge ``nbytes`` to the send site or apply the admission policy.
+
+        ``block`` waits for room (NCSTimeout at the deadline, matching
+        the NCS_recv timeout contract); ``fail-fast`` raises a typed
+        :class:`NCSOverloaded` immediately; ``shed-oldest`` evicts the
+        stalest queued deliveries node-wide until the reservation fits.
+        """
+        budget = self._budget
+        if budget is None:
+            return
+        if budget.try_reserve("send", self.conn_id, nbytes):
+            return
+        policy = self._admission
+        if policy == "fail-fast":
+            budget.count_rejection()
+            with self._stats_lock:
+                self.admission_rejections += 1
+            self._recorder.record(
+                "pressure", "reject", conn=self.conn_id, size=nbytes
+            )
+            raise NCSOverloaded(
+                f"connection {self.conn_id}: send of {nbytes} bytes rejected, "
+                f"memory budget full",
+                site="send",
+                requested=nbytes,
+                used=budget.used(),
+                limit=budget.node_bytes,
+            )
+        if policy == "shed-oldest":
+            if self.node.shed_for(self, nbytes):
+                return
+            budget.count_rejection()
+            with self._stats_lock:
+                self.admission_rejections += 1
+            raise NCSOverloaded(
+                f"connection {self.conn_id}: send of {nbytes} bytes rejected, "
+                f"budget full and nothing left to shed",
+                site="send",
+                requested=nbytes,
+                used=budget.used(),
+                limit=budget.node_bytes,
+            )
+        # block (default)
+        with self._stats_lock:
+            self.admission_waits += 1
+        self._recorder.record(
+            "pressure", "admission_wait", conn=self.conn_id, size=nbytes
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        outcome = budget.reserve_blocking(
+            "send",
+            self.conn_id,
+            nbytes,
+            deadline=deadline,
+            should_abort=lambda: self._closed or self._peer_closed,
+        )
+        if outcome == "ok":
+            return
+        if outcome == "aborted":
+            raise ConnectionClosedError(
+                f"connection {self.conn_id} closed while waiting for budget"
+            )
+        raise NCSTimeout(
+            f"connection {self.conn_id}: send admission not granted within "
+            f"{timeout}s (budget full)"
+        )
+
+    def _release_send_site(self, nbytes: int) -> None:
+        if self._budget is not None and nbytes > 0:
+            self._budget.release("send", self.conn_id, nbytes)
+
+    def _account_delivery_put(self, nbytes: int) -> None:
+        """Charge an inbound complete message parked for the application.
+
+        Forced, not admitted: the data was already acknowledged to the
+        peer, so refusing it would break exactly-once.  Crossing the
+        delivery quota instead closes the credit gate — pressure
+        propagates to the sender through withheld grants.
+        """
+        budget = self._budget
+        if budget is None:
+            return
+        budget.force_reserve("delivery", self.conn_id, nbytes)
+        with self._pressure_lock:
+            self._delivery_log.append((self._clock.now(), nbytes))
+            if (
+                not self._credit_gate_closed
+                and self._delivery_quota > 0
+                and budget.site_used("delivery", self.conn_id)
+                > self._delivery_quota
+            ):
+                self._credit_gate_closed = True
+                self.slow_consumer_trips += 1
+                self._recorder.record(
+                    "pressure", "slow_consumer",
+                    conn=self.conn_id,
+                    queued=budget.site_used("delivery", self.conn_id),
+                    quota=self._delivery_quota,
+                )
+
+    def _delivery_popped(self, message):
+        """Release delivery-site bytes after the application consumed one."""
+        budget = self._budget
+        if budget is None or message is None:
+            return message
+        budget.release("delivery", self.conn_id, len(message))
+        flush = 0
+        with self._pressure_lock:
+            if self._delivery_log:
+                self._delivery_log.popleft()
+            if (
+                self._credit_gate_closed
+                and budget.site_used("delivery", self.conn_id)
+                <= self._resume_below
+            ):
+                self._credit_gate_closed = False
+                flush, self._withheld_credits = self._withheld_credits, 0
+        if flush:
+            # Flush the withheld grants as one coalesced CreditPdu on the
+            # priority lane so the sender resumes promptly.
+            self._recorder.record(
+                "pressure", "credit_gate_open",
+                conn=self.conn_id, credits=flush,
+            )
+            try:
+                self.node.control_send(
+                    self.peer_link, CreditPdu(self.conn_id, flush)
+                )
+            except Exception:
+                pass  # peer gone; recovery handles it
+        return message
+
+    def _gate_credit(self, pdu) -> bool:
+        """Withhold a credit grant while this end is a slow consumer.
+
+        Returns True when the PDU was absorbed (not sent).  Only
+        CreditPdus are ever gated — ACKs and other control traffic
+        always pass (the priority lane).
+        """
+        if self._budget is None or not isinstance(pdu, CreditPdu):
+            return False
+        with self._pressure_lock:
+            if not self._credit_gate_closed:
+                return False
+            self._withheld_credits += pdu.credits
+            self.credits_withheld += pdu.credits
+            self.credit_pdus_withheld += 1
+            return True
+
+    def _sync_reassembly_site(self) -> None:
+        if self._budget is None:
+            return
+        buffered = getattr(self.ec_receiver, "buffered_bytes", None)
+        if callable(buffered):
+            self._budget.set_level("reassembly", self.conn_id, buffered())
+
+    def shed_oldest_delivery(self) -> int:
+        """Evict the oldest queued delivery; returns bytes freed (0 if none).
+
+        Only *delivery-site* bytes are sheddable: the message was
+        acknowledged at the protocol level but not yet observed by the
+        application, so dropping it trades exactly-once for survival —
+        which is why it only happens under the explicit ``shed-oldest``
+        policy, is counted, and lands in the flight recorder.
+        """
+        ok, message = self.recv_queue.try_get()
+        if not ok:
+            with self._pressure_lock:
+                self._delivery_log.clear()
+            return 0
+        nbytes = len(message)
+        if self._budget is not None:
+            self._budget.release("delivery", self.conn_id, nbytes)
+            self._budget.record_shed(nbytes)
+        with self._pressure_lock:
+            if self._delivery_log:
+                self._delivery_log.popleft()
+        with self._stats_lock:
+            self.deliveries_shed += 1
+        self._recorder.record(
+            "pressure", "shed", conn=self.conn_id, size=nbytes
+        )
+        return nbytes
+
+    def oldest_delivery_ts(self) -> Optional[float]:
+        """Enqueue time of the stalest queued delivery (None when empty)."""
+        with self._pressure_lock:
+            return self._delivery_log[0][0] if self._delivery_log else None
+
+    @property
+    def credit_gate_closed(self) -> bool:
+        return self._credit_gate_closed
 
     def pending_sends(self) -> list:
         """Unacknowledged in-flight messages as ``(msg_id, payload)``.
@@ -412,6 +643,11 @@ class Connection:
             "frames_malformed": self.frames_malformed,
             "acks_deduped": self.acks_deduped,
             "fc_queued": self.fc_sender.queued(),
+            "admission_rejections": self.admission_rejections,
+            "admission_waits": self.admission_waits,
+            "deliveries_shed": self.deliveries_shed,
+            "credits_withheld": self.credits_withheld,
+            "slow_consumer_trips": self.slow_consumer_trips,
         }
         for attr in ("retransmitted_sdus", "full_retransmits"):
             if hasattr(self.ec_sender, attr):
@@ -440,7 +676,16 @@ class Connection:
             "bytes_received": self.bytes_received,
             "frames_malformed": self.frames_malformed,
             "acks_deduped": self.acks_deduped,
+            "pressure_admission_rejections": self.admission_rejections,
+            "pressure_admission_waits": self.admission_waits,
+            "pressure_deliveries_shed": self.deliveries_shed,
+            "pressure_credits_withheld": self.credits_withheld,
+            "pressure_credit_pdus_withheld": self.credit_pdus_withheld,
+            "pressure_slow_consumer_trips": self.slow_consumer_trips,
+            "pressure_credit_gate_closed": int(self._credit_gate_closed),
         }
+        if self._budget is not None:
+            totals["pressure_conn_used"] = self._budget.used(self.conn_id)
         for prefix, engine in (
             ("fc_tx", self.fc_sender),
             ("fc_rx", self.fc_receiver),
@@ -677,6 +922,8 @@ class Connection:
         # Fig. 4 steps 8-9: Receive Thread activates the Flow Control
         # Thread, which returns credit over the control connection...
         for pdu in self.fc_receiver.on_sdu_batch(sdus, now):
+            if self._gate_credit(pdu):
+                continue  # slow consumer: grant withheld, not lost
             self.node.control_send(self.peer_link, pdu)
         if stamps is not None:
             stamps["fc_done"] = time.perf_counter_ns()
@@ -702,6 +949,7 @@ class Connection:
             for message in deliveries:
                 if self._h_recv_size is not None:
                     self._h_recv_size.observe(len(message))
+                self._account_delivery_put(len(message))
                 self.recv_queue.put(message)
             self._recorder.record(
                 "data", "deliver",
@@ -714,6 +962,7 @@ class Connection:
                     conn_id=self.conn_id, msg_id=delivered_msg,
                     messages=len(deliveries),
                 )
+        self._sync_reassembly_site()
         if stamps is not None:
             stamps["delivered"] = time.perf_counter_ns()
             profiler.record_recv(stamps)
@@ -733,7 +982,9 @@ class Connection:
                     )
             for message in effects.deliveries:
                 # Ordered delivery released messages held behind a gap.
+                self._account_delivery_put(len(message))
                 self.recv_queue.put(message)
+            self._sync_reassembly_site()
 
     # ------------------------------------------------------------------
     # Shared sender-side effect dispatch
@@ -839,6 +1090,7 @@ class Connection:
         with self._handles_lock:
             handle = self._handles.pop(msg_id, None)
         if handle is not None:
+            self._release_send_site(handle.size)
             if status is SendStatus.COMPLETED:
                 self.messages_completed += 1
             else:
@@ -873,7 +1125,7 @@ class Connection:
             while True:
                 ok, item = self.recv_queue.try_get()
                 if ok:
-                    return item
+                    return self._delivery_popped(item)
                 if self._closed or self._peer_closed:
                     raise ConnectionClosedError(
                         f"connection {self.conn_id} closed with no pending data"

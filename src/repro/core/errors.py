@@ -36,6 +36,32 @@ class NCSUnavailable(NcsError):
         self.reason = reason
 
 
+class NCSOverloaded(NcsError):
+    """The node's memory budget rejected a send (fail-fast admission).
+
+    Raised by ``NCS_send`` on a connection whose admission policy is
+    ``fail-fast`` when the reservation would exceed the node or
+    per-connection ceiling, and by ``shed-oldest`` when nothing is left
+    to shed.  Typed so applications can distinguish transient overload
+    (back off and retry) from delivery failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str = "",
+        requested: int = 0,
+        used: int = 0,
+        limit: int = 0,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.requested = requested
+        self.used = used
+        self.limit = limit
+
+
 class LinkDialError(NcsError, ConnectionError):
     """Dialing a peer's control or data endpoint failed.
 

@@ -95,6 +95,18 @@ class Node:
             )
         else:
             self.recorder = NULL_RECORDER
+        # Overload protection: one MemoryBudget shared by every
+        # connection on this node (None when disabled via NCS_PRESSURE).
+        from repro.pressure import MemoryBudget
+
+        self.pressure_cfg = config.pressure_config()
+        self.pressure = (
+            MemoryBudget(
+                self.pressure_cfg.node_bytes, self.pressure_cfg.conn_bytes
+            )
+            if self.pressure_cfg.enabled
+            else None
+        )
         self.tracer = Tracer(self.clock, enabled=config.trace_enabled())
         if self.tracer.enabled:
             env_sink = jsonl_sink_from_env()
@@ -321,7 +333,40 @@ class Node:
                 report["state"] = worst([report["state"], DEAD])
         report["peers"] = peers
         report["recorder_dumps"] = getattr(self.recorder, "auto_dumps", 0)
+        if self.pressure is not None:
+            from repro.obs.health import OVERLOADED
+
+            snap = self.pressure.snapshot()
+            report["pressure"] = snap
+            gated = any(
+                conn.credit_gate_closed for conn in self.connections()
+            )
+            if gated or snap["used"] >= 0.9 * snap["node_bytes"]:
+                report["state"] = worst([report["state"], OVERLOADED])
         return report
+
+    def shed_for(self, conn, nbytes: int) -> bool:
+        """Make room for a ``shed-oldest`` send by evicting the stalest
+        queued delivery node-wide, repeatedly, until the reservation
+        fits.  Returns False when nothing sheddable remains.
+
+        Only application deliveries are candidates; control PDUs never
+        pass through here (the priority lane).
+        """
+        budget = self.pressure
+        if budget is None:
+            return True
+        while not budget.try_reserve("send", conn.conn_id, nbytes):
+            victim = None
+            oldest = None
+            for candidate in self.connections():
+                ts = candidate.oldest_delivery_ts()
+                if ts is not None and (oldest is None or ts < oldest):
+                    oldest, victim = ts, candidate
+            if victim is None:
+                return False
+            victim.shed_oldest_delivery()
+        return True
 
     def control_send(self, link, pdu: ControlPdu) -> None:
         """Queue a PDU for the Control Send Thread."""
@@ -551,6 +596,24 @@ class Node:
                 link, ConnectRejectPdu(conn_id, "connection id already in use")
             )
             return
+        # The peer's batch_max shapes *our* memory profile (receive-drain
+        # width, coalescing buffers), so never trust it blindly: reject
+        # non-positive values outright and clamp the rest to our ceiling.
+        if request.batch_max <= 0:
+            self.control_send(
+                link,
+                ConnectRejectPdu(
+                    conn_id,
+                    f"invalid batch_max {request.batch_max} (must be >= 1)",
+                ),
+            )
+            return
+        batch_max = min(request.batch_max, self.config.batch_max_ceiling)
+        if batch_max != request.batch_max:
+            self.tracer.emit(
+                "node", "batch_max_clamped",
+                conn_id=conn_id, requested=request.batch_max, granted=batch_max,
+            )
         decision: AcceptDecision = True
         if self.accept_handler is not None:
             decision = self.accept_handler(request)
@@ -573,7 +636,7 @@ class Node:
                     initial_credits=request.initial_credits,
                     window_size=request.window_size,
                     rate_pps=request.rate_pps,
-                    batch_max=request.batch_max,
+                    batch_max=batch_max,
                 )
             except ValueError as exc:
                 self.control_send(link, ConnectRejectPdu(conn_id, str(exc)))
@@ -713,6 +776,24 @@ class Node:
             registry.gauge(
                 "ncs_closed_conn_total_" + key, node=self.name
             ).set(value)
+        if self.pressure is not None:
+            snap = self.pressure.snapshot()
+            for key in (
+                "used",
+                "peak_used",
+                "admission_rejections",
+                "admission_waits",
+                "deliveries_shed",
+                "shed_bytes",
+                "forced_bytes",
+            ):
+                registry.gauge("ncs_pressure_" + key, node=self.name).set(
+                    snap[key]
+                )
+            for site, value in snap["sites"].items():
+                registry.gauge(
+                    "ncs_pressure_site_bytes", node=self.name, site=site
+                ).set(value)
 
     def _new_conn_id(self) -> int:
         while True:
@@ -731,3 +812,5 @@ class Node:
                     self._closed_conn_totals[key] = (
                         self._closed_conn_totals.get(key, 0) + value
                     )
+        if self.pressure is not None:
+            self.pressure.forget_connection(conn_id)

@@ -28,6 +28,14 @@ errors, no mixed conventions:
 * A supervised connection (see :mod:`repro.recovery`) whose recovery
   budget is exhausted raises
   :class:`~repro.core.errors.NCSUnavailable` instead of hanging.
+* Under memory pressure (see :mod:`repro.pressure`) admission depends
+  on the connection's policy: ``fail-fast`` raises
+  :class:`~repro.core.errors.NCSOverloaded` immediately when the budget
+  cannot fit the message; ``block`` (the default) waits for budget up
+  to ``timeout`` and raises ``NCSTimeout`` at the deadline —
+  indistinguishable, by design, from a slow network; ``shed-oldest``
+  evicts the stalest undelivered message to make room and only raises
+  ``NCSOverloaded`` when nothing is left to shed.
 """
 
 from __future__ import annotations

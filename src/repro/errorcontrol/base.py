@@ -101,6 +101,14 @@ class ReceiverErrorControl(ABC):
         """
         return []
 
+    def buffered_bytes(self) -> int:
+        """Payload bytes currently parked in reassembly/reorder buffers.
+
+        The node's MemoryBudget charges this as the "reassembly" site.
+        Engines that buffer nothing report 0.
+        """
+        return 0
+
     def metrics(self) -> dict:
         """Observable counters for the metrics collector."""
         return {"acks_sent": getattr(self, "acks_sent", 0)}

@@ -209,6 +209,15 @@ class GoBackNReceiver(ReceiverErrorControl):
         """Acked-but-held messages surrendered at connection teardown."""
         return self._ordering.flush()
 
+    def buffered_bytes(self) -> int:
+        """Partial in-order fragments plus reorder-held payloads."""
+        partial = sum(
+            len(fragment)
+            for _next, fragments in self._incoming.values()
+            for fragment in fragments
+        )
+        return partial + self._ordering.held_bytes
+
     def _ack(self, msg_id: int, total_sdus: int) -> CumAckPdu:
         return self._ack_value(msg_id, total_sdus)
 

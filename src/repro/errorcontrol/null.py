@@ -72,6 +72,9 @@ class NullReceiver(ReceiverErrorControl):
             effects.timer_at = now + self._gc_timeout
         return effects
 
+    def buffered_bytes(self) -> int:
+        return self._reassembler.buffered_bytes
+
     def metrics(self) -> dict:
         return {
             "dropped_messages": self.dropped_messages,

@@ -34,6 +34,11 @@ class OrderedDelivery:
     def held_count(self) -> int:
         return len(self._held)
 
+    @property
+    def held_bytes(self) -> int:
+        """Payload bytes parked behind ordering gaps."""
+        return sum(len(payload) for payload, _when in self._held.values())
+
     def push(self, msg_id: int, payload: bytes, now: float) -> List[bytes]:
         """Accept a completed message; return whatever is now deliverable."""
         if msg_id < self._next_id:

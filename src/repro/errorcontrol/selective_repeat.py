@@ -242,6 +242,10 @@ class SelectiveRepeatReceiver(ReceiverErrorControl):
         """Acked-but-held messages surrendered at connection teardown."""
         return self._ordering.flush()
 
+    def buffered_bytes(self) -> int:
+        """In-flight fragments plus reorder-held payloads."""
+        return self._reassembler.buffered_bytes + self._ordering.held_bytes
+
     def _ack(self, msg_id: int, total_sdus: int) -> AckPdu:
         bitmap = self._reassembler.bitmap_for(msg_id, total_sdus)
         self.acks_sent += 1

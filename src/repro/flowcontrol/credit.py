@@ -66,6 +66,10 @@ class CreditSender(SenderFlowControl):
         self.peak_queue = 0
         #: pull() calls that found packets gated behind zero credits.
         self.blocked_pulls = 0
+        #: Distinct stall *episodes* (a new zero-credit period began).
+        #: Rises when a slow consumer's withheld grants starve us —
+        #: the sender-visible face of receive-side backpressure.
+        self.credit_stalls = 0
         #: Cumulative seconds spent stalled at zero credits with work
         #: queued — the paper's "flow control wait" made visible.
         self.stall_seconds = 0.0
@@ -91,6 +95,7 @@ class CreditSender(SenderFlowControl):
             self.blocked_pulls += 1
             if self._stalled_since is None:
                 self._stalled_since = now
+                self.credit_stalls += 1
             elif now - self._stalled_since >= self.resync_timeout - 1e-9:
                 # (epsilon guards float rounding: the wake-up timer can
                 # fire at a timestamp that rounds a hair below the deadline)
@@ -135,6 +140,7 @@ class CreditSender(SenderFlowControl):
             "resyncs": self.resyncs,
             "peak_queue": self.peak_queue,
             "blocked_pulls": self.blocked_pulls,
+            "credit_stalls": self.credit_stalls,
             "stall_seconds": self.stall_seconds,
             "released_sdus": self.released_sdus,
         }

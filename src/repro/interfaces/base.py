@@ -69,6 +69,11 @@ class CommInterface(ABC):
         individual frame; concrete interfaces override with a real
         coalesced transmit (one syscall / one lock round for the whole
         batch).  Returns the number of frames handed over.
+
+        Backpressure contract: an interface with a bounded peer buffer
+        (e.g. loopback with ``max_buffered_bytes``) may *block* here
+        until the receiver drains room for the batch, raising
+        :class:`InterfaceClosed` if either end closes while waiting.
         """
         for frame in frames:
             self.send(frame_bytes(frame))

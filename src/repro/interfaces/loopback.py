@@ -21,6 +21,8 @@ class _SharedState:
 
     def __init__(self):
         self.queues = (deque(), deque())
+        #: Bytes currently buffered in each queue, indexed like ``queues``.
+        self.queue_bytes = [0, 0]
         self.cond = threading.Condition()
         self.open_ends = 2
 
@@ -32,10 +34,18 @@ class QueueInterface(CommInterface):
     max_frame = None
     reliable = True
 
-    def __init__(self, state: _SharedState, side: int):
+    def __init__(
+        self,
+        state: _SharedState,
+        side: int,
+        max_buffered_bytes: Optional[int] = None,
+    ):
         self._state = state
         self._side = side
         self._closed = False
+        #: Byte cap on the peer-bound queue; ``None`` disables
+        #: backpressure (historical unbounded behaviour).
+        self.max_buffered_bytes = max_buffered_bytes
         self.sent_frames = 0
         self.received_frames = 0
         self.sent_bytes = 0
@@ -45,6 +55,33 @@ class QueueInterface(CommInterface):
         self.peak_tx_queue_depth = 0
         self.batched_sends = 0
         self.batched_frames = 0
+        #: Times a send blocked because the peer-bound queue was at its
+        #: byte cap (only moves when ``max_buffered_bytes`` is set).
+        self.backpressure_waits = 0
+
+    def _wait_for_room(self, nbytes: int) -> None:
+        """Block (cond held) until the peer-bound queue has room.
+
+        An oversize burst (``nbytes`` > cap) is admitted once the queue
+        is empty, mirroring the budget oversize exemption — progress
+        beats strict ceilings for a single outsized frame batch.
+        """
+        if self.max_buffered_bytes is None:
+            return
+        peer_idx = 1 - self._side
+        waited = False
+        while True:
+            buffered = self._state.queue_bytes[peer_idx]
+            if buffered + nbytes <= self.max_buffered_bytes or buffered == 0:
+                return
+            if self._closed:
+                raise InterfaceClosed("send on closed interface")
+            if self._state.open_ends < 2:
+                raise InterfaceClosed("peer endpoint is closed")
+            if not waited:
+                waited = True
+                self.backpressure_waits += 1
+            self._state.cond.wait(0.1)
 
     def send(self, frame: bytes) -> None:
         if self._closed:
@@ -53,9 +90,11 @@ class QueueInterface(CommInterface):
         with self._state.cond:
             if self._state.open_ends < 2:
                 raise InterfaceClosed("peer endpoint is closed")
+            self._wait_for_room(len(frame))
             # Our peer reads from the queue indexed by the *other* side.
             peer_queue = self._state.queues[1 - self._side]
             peer_queue.append(bytes(frame))
+            self._state.queue_bytes[1 - self._side] += len(frame)
             self.sent_frames += 1
             self.sent_bytes += len(frame)
             self.peak_tx_queue_depth = max(self.peak_tx_queue_depth, len(peer_queue))
@@ -63,7 +102,10 @@ class QueueInterface(CommInterface):
 
     def send_many(self, frames) -> int:
         """Vectored transmit: one condition round for the whole batch
-        (one acquire, one extend, one notify) instead of one per frame."""
+        (one acquire, one extend, one notify) instead of one per frame.
+
+        With a byte cap configured this may block until the peer drains
+        enough room for the whole batch (see base-class contract)."""
         if not frames:
             return 0
         if self._closed:
@@ -71,13 +113,16 @@ class QueueInterface(CommInterface):
         encoded = [frame_bytes(frame) for frame in frames]
         for frame in encoded:
             self.check_frame_size(frame)
+        total = sum(len(frame) for frame in encoded)
         with self._state.cond:
             if self._state.open_ends < 2:
                 raise InterfaceClosed("peer endpoint is closed")
+            self._wait_for_room(total)
             peer_queue = self._state.queues[1 - self._side]
             peer_queue.extend(encoded)
+            self._state.queue_bytes[1 - self._side] += total
             self.sent_frames += len(encoded)
-            self.sent_bytes += sum(len(frame) for frame in encoded)
+            self.sent_bytes += total
             self.peak_tx_queue_depth = max(
                 self.peak_tx_queue_depth, len(peer_queue)
             )
@@ -104,7 +149,9 @@ class QueueInterface(CommInterface):
                 self._state.cond.wait(remaining if remaining is not None else 0.1)
             self.received_frames += 1
             frame = queue.popleft()
+            self._state.queue_bytes[self._side] -= len(frame)
             self.received_bytes += len(frame)
+            self._state.cond.notify_all()  # wake byte-capped senders
             return frame
 
     def try_recv(self) -> Optional[bytes]:
@@ -113,7 +160,9 @@ class QueueInterface(CommInterface):
             if queue:
                 self.received_frames += 1
                 frame = queue.popleft()
+                self._state.queue_bytes[self._side] -= len(frame)
                 self.received_bytes += len(frame)
+                self._state.cond.notify_all()  # wake byte-capped senders
                 return frame
             return None
 
@@ -136,8 +185,11 @@ class QueueInterface(CommInterface):
             frames = []
             while queue and len(frames) < max_n:
                 frames.append(queue.popleft())
+            drained = sum(len(frame) for frame in frames)
+            self._state.queue_bytes[self._side] -= drained
             self.received_frames += len(frames)
-            self.received_bytes += sum(len(frame) for frame in frames)
+            self.received_bytes += drained
+            self._state.cond.notify_all()  # wake byte-capped senders
             return frames
 
     def rx_queue_depth(self) -> int:
@@ -145,10 +197,17 @@ class QueueInterface(CommInterface):
         with self._state.cond:
             return len(self._state.queues[self._side])
 
+    def rx_queue_bytes(self) -> int:
+        """Bytes waiting in our receive queue right now."""
+        with self._state.cond:
+            return self._state.queue_bytes[self._side]
+
     def metrics(self) -> dict:
         data = super().metrics()
         data["rx_queue_depth"] = self.rx_queue_depth()
+        data["rx_queue_bytes"] = self.rx_queue_bytes()
         data["peak_tx_queue_depth"] = self.peak_tx_queue_depth
+        data["backpressure_waits"] = self.backpressure_waits
         return data
 
     def close(self) -> None:
@@ -165,12 +224,17 @@ class QueueInterface(CommInterface):
 
 
 class LoopbackPair:
-    """Factory producing the two joined :class:`QueueInterface` ends."""
+    """Factory producing the two joined :class:`QueueInterface` ends.
 
-    def __init__(self):
+    ``max_buffered_bytes`` bounds each direction's in-flight bytes; a
+    sender blocks (backpressure) instead of growing the queue without
+    limit.  ``None`` keeps the historical unbounded behaviour.
+    """
+
+    def __init__(self, max_buffered_bytes: Optional[int] = None):
         state = _SharedState()
-        self.a = QueueInterface(state, 0)
-        self.b = QueueInterface(state, 1)
+        self.a = QueueInterface(state, 0, max_buffered_bytes=max_buffered_bytes)
+        self.b = QueueInterface(state, 1, max_buffered_bytes=max_buffered_bytes)
 
     def endpoints(self) -> tuple[QueueInterface, QueueInterface]:
         return self.a, self.b

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import ConnectionConfig
 from repro.core.connection import Connection
-from repro.core.errors import NcsError, SendFailedError
+from repro.core.errors import NcsError, NCSOverloaded, SendFailedError
 from repro.multicast.envelope import EnvelopeError, MulticastEnvelope
 from repro.multicast.tree import spanning_tree_children
 from repro.protocol.pdus import (
@@ -131,6 +131,10 @@ class GroupManager:
         self._confirmed_left: set = set()
         self.route_arounds = 0
         self.members_marked_dead = 0
+        #: Fan-out sends refused by the node's memory budget: the member
+        #: stays alive (it's *our* budget, not their failure) and the
+        #: caller gets typed backpressure.
+        self.fanout_overloads = 0
         #: Outgoing envelope sequence (per manager, so per origin) and
         #: the per-origin admission filters: tree repair racing an
         #: in-flight multicast can cover one member twice, and the
@@ -446,11 +450,24 @@ class GroupManager:
     # ------------------------------------------------------------------
 
     def _try_send(self, group: str, member: str, frame: bytes):
-        """Send to one member; on failure mark it dead and return None."""
+        """Send to one member; on failure mark it dead and return None.
+
+        :class:`NCSOverloaded` is the exception to the death rule: the
+        member is healthy, *this node's* memory budget refused the send.
+        Marking it dead would amputate a live subtree over local
+        pressure, so the overload is counted and re-raised for the
+        caller to apply backpressure.
+        """
         if member in self._dead_members:
             return None
         try:
             return self._data_conn(member).send(frame)
+        except NCSOverloaded:
+            self.fanout_overloads += 1
+            self.node.recorder.record(
+                "pressure", "fanout_overload", group=group, member=member
+            )
+            raise
         except (NcsError, OSError) as exc:
             self._mark_dead(group, member, str(exc))
             return None
@@ -614,7 +631,14 @@ class GroupManager:
         frame = envelope.encode()
         failed = []
         for child in children:
-            if self._try_send(base_group, child, frame) is None:
+            try:
+                sent = self._try_send(base_group, child, frame)
+            except NCSOverloaded:
+                # Local budget refused the forward: skip this child for
+                # now (counted in _try_send); the origin's retransmission
+                # covers the subtree, and the child is NOT dead.
+                continue
+            if sent is None:
                 failed.append(child)
             else:
                 self.envelopes_forwarded += 1
@@ -626,8 +650,11 @@ class GroupManager:
             for member in self._route_around(
                 view, envelope.origin, failed, covered
             ):
-                if self._try_send(base_group, member, frame) is not None:
-                    self.envelopes_forwarded += 1
+                try:
+                    if self._try_send(base_group, member, frame) is not None:
+                        self.envelopes_forwarded += 1
+                except NCSOverloaded:
+                    continue
         if children and self.node.tracer.enabled:
             self.node.tracer.emit(
                 "multicast",
@@ -662,6 +689,7 @@ class GroupManager:
             "fanout_total": self.fanout_total,
             "dead_members": len(self._dead_members),
             "members_marked_dead": self.members_marked_dead,
+            "fanout_overloads": self.fanout_overloads,
             "route_arounds": self.route_arounds,
             "duplicate_envelopes": self.duplicate_envelopes,
         }

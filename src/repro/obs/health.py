@@ -39,11 +39,14 @@ from typing import Dict, List, Optional
 
 OK = "OK"
 DEGRADED = "DEGRADED"
+OVERLOADED = "OVERLOADED"
 STALLED = "STALLED"
 DEAD = "DEAD"
 
-#: Severity order for worst-of aggregation.
-_RANK = {OK: 0, DEGRADED: 1, STALLED: 2, DEAD: 3}
+#: Severity order for worst-of aggregation.  OVERLOADED sits between
+#: DEGRADED and STALLED: the node is protecting itself (shedding,
+#: withholding credits, rejecting admissions) but still making progress.
+_RANK = {OK: 0, DEGRADED: 1, OVERLOADED: 2, STALLED: 3, DEAD: 4}
 
 
 def worst(states) -> str:
@@ -127,6 +130,21 @@ def sample_connection(conn, now: float) -> dict:
         "completions": conn.messages_completed,
         "recv_waiters": conn.recv_waiters,
         "recv_blocked_for": conn.recv_blocked_for(now),
+        # Overload-protection signals (0/False on endpoints without the
+        # pressure subsystem, e.g. sim endpoints).
+        "credit_gate_closed": bool(getattr(conn, "credit_gate_closed", False)),
+        "deliveries_shed": getattr(conn, "deliveries_shed", 0),
+        "admission_rejections": getattr(conn, "admission_rejections", 0),
+        "pressure_used": (
+            conn._budget.used(conn.conn_id)
+            if getattr(conn, "_budget", None) is not None
+            else 0
+        ),
+        "pressure_limit": (
+            conn._budget.conn_bytes
+            if getattr(conn, "_budget", None) is not None
+            else 0
+        ),
     }
 
 
@@ -241,6 +259,37 @@ def classify(
                     f"{progress} delivered messages "
                     f"(ratio {retransmit_delta / progress:.1f})",
                 )
+
+    # -- overload protection engaged -----------------------------------
+    if sample.get("credit_gate_closed"):
+        diag.escalate(
+            OVERLOADED,
+            "slow consumer: delivery quota exceeded, credit grants withheld",
+        )
+    used = sample.get("pressure_used", 0)
+    limit = sample.get("pressure_limit", 0)
+    if limit > 0 and used >= 0.9 * limit:
+        diag.escalate(
+            OVERLOADED,
+            f"memory budget nearly exhausted: {used}/{limit} bytes buffered",
+        )
+    if prev is not None:
+        shed_delta = sample.get("deliveries_shed", 0) - prev.get(
+            "deliveries_shed", 0
+        )
+        reject_delta = sample.get("admission_rejections", 0) - prev.get(
+            "admission_rejections", 0
+        )
+        if shed_delta > 0:
+            diag.escalate(
+                OVERLOADED,
+                f"{shed_delta} delivery(ies) shed under memory pressure",
+            )
+        if reject_delta > 0:
+            diag.escalate(
+                OVERLOADED,
+                f"{reject_delta} send(s) rejected by admission control",
+            )
 
     # -- blocked receive threads ---------------------------------------
     blocked_for = sample.get("recv_blocked_for", 0.0)

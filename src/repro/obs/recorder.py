@@ -17,6 +17,7 @@ recorder costs a single attribute check at each call site.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -77,6 +78,10 @@ class FlightRecorder:
         self.on_dump: Optional[Callable[[dict], None]] = None
         #: Bound how many dumps are retained in memory.
         self.max_dumps = 16
+        #: Monotonic file-name sequence: two dumps in the same clock
+        #: tick (or a manual dump() between auto_dumps) must never
+        #: overwrite each other's JSON file.
+        self._dump_seq = itertools.count(1)
 
     # -- recording ---------------------------------------------------------
 
@@ -151,8 +156,8 @@ class FlightRecorder:
     def _write(self, record: dict) -> None:
         os.makedirs(self.dump_dir, exist_ok=True)
         fname = (
-            f"flight_{self.name or 'node'}_{self.auto_dumps}_"
-            f"{os.getpid()}.json"
+            f"flight_{self.name or 'node'}_{os.getpid()}_"
+            f"{next(self._dump_seq):04d}.json"
         )
         path = os.path.join(self.dump_dir, fname)
         try:

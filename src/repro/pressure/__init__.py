@@ -1,0 +1,46 @@
+"""Node-wide overload protection: budgets, admission, circuit breaking.
+
+The paper's credit scheme (§3.2) bounds what a *sender* may put on the
+wire; nothing in the original design bounds what a *node* may buffer.
+This package closes that gap:
+
+* :class:`MemoryBudget` accounts bytes across the three buffering sites
+  of the runtime (per-connection send channel, reassembler, delivery
+  queue) against a node ceiling and a per-connection ceiling;
+* ``NCS_send`` consults the budget through an admission gate whose
+  policy — ``block``, ``fail-fast``, or ``shed-oldest`` — is chosen per
+  connection (see :class:`PressureConfig` and
+  :attr:`repro.core.config.ConnectionConfig.admission`);
+* :class:`CircuitBreaker` keeps the recovery layer's reconnect loop
+  from turning a dead peer under load into a dial storm.
+
+Control-plane PDUs (credits, ACKs, heartbeats, recovery signaling)
+travel the control links and are *never* accounted, gated, or shed —
+the priority lane that lets the protocol drain itself out of overload.
+"""
+
+from repro.pressure.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from repro.pressure.budget import (
+    ADMISSION_POLICIES,
+    SITES,
+    MemoryBudget,
+    PressureConfig,
+    pressure_from_env,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "MemoryBudget",
+    "PressureConfig",
+    "SITES",
+    "pressure_from_env",
+]

@@ -1,0 +1,141 @@
+"""Circuit breaker for the recovery layer's reconnect loop.
+
+A dead peer under load turns every supervised send into a dial attempt;
+without a breaker the node burns CPU and file descriptors redialing a
+host that is not coming back this millisecond.  The breaker converts
+that storm into a bounded probe schedule:
+
+* **CLOSED** — dials flow freely; failures within a sliding window are
+  counted.
+* **OPEN** — after ``failure_threshold`` failures inside ``window``
+  seconds, dials are rejected until the probe deadline.  Each
+  consecutive OPEN doubles the hold time (capped at ``open_max``) with
+  seeded jitter so restarting fleets don't probe in lockstep.
+* **HALF_OPEN** — the probe deadline passed; exactly the dials the
+  caller makes next are allowed through.  A success snaps back to
+  CLOSED and resets history; a failure re-opens with a longer hold.
+
+All methods take ``now`` explicitly so the recovery layer's injected
+clock (live or simnet virtual time) drives the state machine and tests
+stay deterministic.
+"""
+
+import random
+from collections import deque
+from typing import Deque, Dict, Optional
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure breaker with exponential OPEN holds.
+
+    ``failure_threshold=0`` disables the breaker: ``allow`` always
+    returns True and every other method is a cheap no-op.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        window: float = 2.0,
+        open_base: float = 0.5,
+        open_max: float = 4.0,
+        jitter: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if failure_threshold < 0:
+            raise ValueError("failure_threshold must be >= 0")
+        if window <= 0 or open_base <= 0 or open_max <= 0:
+            raise ValueError("window and open durations must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.open_base = open_base
+        self.open_max = open_max
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._state = BREAKER_CLOSED
+        self._failures: Deque[float] = deque()
+        self._probe_at: Optional[float] = None
+        self._consecutive_opens = 0
+        self.trips = 0
+        self.rejected = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        while self._failures and self._failures[0] <= horizon:
+            self._failures.popleft()
+
+    def _open(self, now: float) -> None:
+        self._consecutive_opens += 1
+        hold = min(
+            self.open_base * (2.0 ** (self._consecutive_opens - 1)),
+            self.open_max,
+        )
+        if self.jitter:
+            hold *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        self._state = BREAKER_OPEN
+        self._probe_at = now + hold
+        self._failures.clear()
+        self.trips += 1
+
+    def allow(self, now: float) -> bool:
+        """May the caller attempt a dial right now?"""
+        if self.failure_threshold == 0:
+            return True
+        if self._state == BREAKER_OPEN:
+            if self._probe_at is not None and now >= self._probe_at:
+                self._state = BREAKER_HALF_OPEN
+                self.probes += 1
+                return True
+            self.rejected += 1
+            return False
+        return True
+
+    def record_failure(self, now: float) -> None:
+        if self.failure_threshold == 0:
+            return
+        if self._state == BREAKER_HALF_OPEN:
+            # The probe failed: re-open with a longer hold.
+            self._open(now)
+            return
+        if self._state == BREAKER_OPEN:
+            return
+        self._failures.append(now)
+        self._prune(now)
+        if len(self._failures) >= self.failure_threshold:
+            self._open(now)
+
+    def record_success(self, now: float) -> None:
+        if self.failure_threshold == 0:
+            return
+        self._state = BREAKER_CLOSED
+        self._failures.clear()
+        self._probe_at = None
+        self._consecutive_opens = 0
+
+    def probe_eta(self, now: float) -> float:
+        """Seconds until the next probe is allowed (0 when not OPEN)."""
+        if self._state != BREAKER_OPEN or self._probe_at is None:
+            return 0.0
+        return max(0.0, self._probe_at - now)
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "state": self._state,
+            "failure_threshold": self.failure_threshold,
+            "window": self.window,
+            "recent_failures": len(self._failures),
+            "consecutive_opens": self._consecutive_opens,
+            "trips": self.trips,
+            "rejected": self.rejected,
+            "probes": self.probes,
+        }

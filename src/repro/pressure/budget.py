@@ -1,0 +1,354 @@
+"""Byte budgets for the three buffering sites of an NCS node.
+
+Every byte of application payload that sits inside the runtime lives at
+one of three sites:
+
+``send``
+    queued in a connection's send channel, admitted by ``NCS_send`` but
+    not yet completed (acked, or transmitted for unreliable modes);
+``reassembly``
+    fragment and reorder state held by the receive-side error control
+    until a message is complete and in order;
+``delivery``
+    complete messages parked in the delivery queue waiting for the
+    application to call ``NCS_recv``.
+
+:class:`MemoryBudget` charges each site against two ceilings — a
+node-wide one and a per-connection one — under a single condition
+variable so blocked senders wake as soon as any release frees room.
+Control-plane PDUs are never charged: they are the priority lane.
+
+Accounting rules:
+
+* ``try_reserve`` / ``reserve_blocking`` are the *admission* edge, used
+  by the send path.  A reservation larger than a ceiling is still
+  admitted when the relevant usage is zero ("oversize exemption") so a
+  single message bigger than the ceiling degrades to serialized sends
+  instead of deadlocking.
+* ``force_reserve`` is the *overdraft* edge, used for inbound data the
+  protocol has already acknowledged — refusing it would break the
+  exactly-once contract, so it is charged unconditionally and surfaced
+  via ``forced_bytes`` / slow-consumer credit withholding instead.
+* ``set_level`` is the *sync* edge for reassembly state, whose size is
+  computed by the error-control engine rather than tracked per event.
+"""
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+SITES: Tuple[str, ...] = ("send", "reassembly", "delivery")
+
+ADMISSION_POLICIES: Tuple[str, ...] = ("block", "fail-fast", "shed-oldest")
+
+_WAIT_SLICE = 0.05
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse ``"64m"``-style sizes (k/m/g suffixes, case-insensitive)."""
+    text = text.strip().lower()
+    factor = 1
+    if text and text[-1] in "kmg":
+        factor = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[text[-1]]
+        text = text[:-1]
+    value = int(float(text) * factor)
+    if value <= 0:
+        raise ValueError(f"byte size must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """Knobs for the overload-protection subsystem.
+
+    Defaults are generous on purpose: a node that never approaches
+    256 MiB of buffered payload behaves exactly as it did before this
+    subsystem existed.
+    """
+
+    enabled: bool = True
+    #: node-wide ceiling across all sites and connections
+    node_bytes: int = 256 * 1024 * 1024
+    #: per-connection ceiling across all sites
+    conn_bytes: int = 64 * 1024 * 1024
+    #: per-connection delivery-queue quota; beyond it the receiver is a
+    #: slow consumer and credit grants are withheld
+    delivery_quota_bytes: int = 16 * 1024 * 1024
+    #: reopen the credit gate once delivery usage falls below
+    #: quota * resume_fraction (hysteresis against flapping)
+    resume_fraction: float = 0.5
+    #: default admission policy for connections that don't override it
+    policy: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.node_bytes < 1:
+            raise ValueError("node_bytes must be >= 1")
+        if self.conn_bytes < 1:
+            raise ValueError("conn_bytes must be >= 1")
+        if self.delivery_quota_bytes < 1:
+            raise ValueError("delivery_quota_bytes must be >= 1")
+        if not 0.0 <= self.resume_fraction <= 1.0:
+            raise ValueError("resume_fraction must be in [0, 1]")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {self.policy!r}"
+            )
+
+
+def pressure_from_env() -> PressureConfig:
+    """Build a :class:`PressureConfig` from ``NCS_PRESSURE_*`` knobs.
+
+    ``NCS_PRESSURE=off|0|false`` disables accounting entirely;
+    ``NCS_PRESSURE_NODE_BYTES`` / ``NCS_PRESSURE_CONN_BYTES`` /
+    ``NCS_PRESSURE_DELIVERY_BYTES`` accept k/m/g suffixes;
+    ``NCS_PRESSURE_POLICY`` picks the default admission policy.
+    """
+    kwargs: Dict[str, object] = {}
+    master = os.environ.get("NCS_PRESSURE", "").strip().lower()
+    if master in ("off", "0", "false", "no"):
+        kwargs["enabled"] = False
+    node_bytes = os.environ.get("NCS_PRESSURE_NODE_BYTES")
+    if node_bytes:
+        kwargs["node_bytes"] = _parse_bytes(node_bytes)
+    conn_bytes = os.environ.get("NCS_PRESSURE_CONN_BYTES")
+    if conn_bytes:
+        kwargs["conn_bytes"] = _parse_bytes(conn_bytes)
+    delivery = os.environ.get("NCS_PRESSURE_DELIVERY_BYTES")
+    if delivery:
+        kwargs["delivery_quota_bytes"] = _parse_bytes(delivery)
+    policy = os.environ.get("NCS_PRESSURE_POLICY")
+    if policy:
+        kwargs["policy"] = policy.strip().lower()
+    return PressureConfig(**kwargs)  # type: ignore[arg-type]
+
+
+class MemoryBudget:
+    """Thread-safe byte accounting against node + per-connection ceilings."""
+
+    def __init__(self, node_bytes: int, conn_bytes: int) -> None:
+        if node_bytes < 1 or conn_bytes < 1:
+            raise ValueError("budget ceilings must be >= 1 byte")
+        self.node_bytes = node_bytes
+        self.conn_bytes = conn_bytes
+        self._cond = threading.Condition()
+        # site -> total bytes at that site (all connections)
+        self._site_used: Dict[str, int] = {site: 0 for site in SITES}
+        # conn_id -> site -> bytes
+        self._conns: Dict[int, Dict[str, int]] = {}
+        self._used = 0
+        # telemetry (all guarded by _cond's lock)
+        self.peak_used = 0
+        self._site_peaks: Dict[str, int] = {site: 0 for site in SITES}
+        self.admission_rejections = 0
+        self.admission_waits = 0
+        self.admission_wait_seconds = 0.0
+        self.deliveries_shed = 0
+        self.shed_bytes = 0
+        self.forced_bytes = 0
+        # control PDUs are structurally exempt from shedding; the counter
+        # exists so "zero shed control-plane PDUs" is observable, not
+        # merely asserted in prose.
+        self.shed_control_pdus = 0
+
+    # -- internal helpers (call with self._cond held) ------------------
+
+    def _conn_slots(self, conn_id: int) -> Dict[str, int]:
+        slots = self._conns.get(conn_id)
+        if slots is None:
+            slots = {site: 0 for site in SITES}
+            self._conns[conn_id] = slots
+        return slots
+
+    def _conn_total(self, conn_id: int) -> int:
+        slots = self._conns.get(conn_id)
+        return sum(slots.values()) if slots else 0
+
+    def _fits(self, conn_id: int, nbytes: int) -> bool:
+        conn_total = self._conn_total(conn_id)
+        if self._used + nbytes <= self.node_bytes:
+            if conn_total + nbytes <= self.conn_bytes:
+                return True
+        # Oversize exemption: a message larger than a ceiling is
+        # admitted when the constrained scope is empty, so it can only
+        # ever be in flight alone — serialized, not deadlocked.
+        if self._used + nbytes > self.node_bytes and self._used != 0:
+            return False
+        if conn_total + nbytes > self.conn_bytes and conn_total != 0:
+            return False
+        return True
+
+    def _charge(self, site: str, conn_id: int, nbytes: int) -> None:
+        self._site_used[site] += nbytes
+        self._conn_slots(conn_id)[site] += nbytes
+        self._used += nbytes
+        if self._used > self.peak_used:
+            self.peak_used = self._used
+        if self._site_used[site] > self._site_peaks[site]:
+            self._site_peaks[site] = self._site_used[site]
+
+    def _credit(self, site: str, conn_id: int, nbytes: int) -> None:
+        slots = self._conns.get(conn_id)
+        held = slots[site] if slots else 0
+        nbytes = min(nbytes, held)
+        if nbytes <= 0:
+            return
+        self._site_used[site] -= nbytes
+        slots[site] -= nbytes  # type: ignore[index]
+        self._used -= nbytes
+        self._cond.notify_all()
+
+    # -- admission edge -------------------------------------------------
+
+    def try_reserve(self, site: str, conn_id: int, nbytes: int) -> bool:
+        """Admit ``nbytes`` at ``site`` if both ceilings allow it."""
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._cond:
+            if not self._fits(conn_id, nbytes):
+                return False
+            self._charge(site, conn_id, nbytes)
+            return True
+
+    def reserve_blocking(
+        self,
+        site: str,
+        conn_id: int,
+        nbytes: int,
+        deadline: Optional[float] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
+        clock: Callable[[], float] = None,  # type: ignore[assignment]
+    ) -> str:
+        """Block until the reservation fits; returns ``"ok"``,
+        ``"timeout"``, or ``"aborted"``.
+
+        Waits in short slices so ``should_abort`` (connection closed,
+        node stopping) is honored promptly even without a deadline.
+        """
+        if clock is None:
+            import time as _time
+
+            clock = _time.monotonic
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+        waited = False
+        start = clock()
+        with self._cond:
+            while True:
+                if self._fits(conn_id, nbytes):
+                    self._charge(site, conn_id, nbytes)
+                    if waited:
+                        self.admission_wait_seconds += clock() - start
+                    return "ok"
+                if should_abort is not None and should_abort():
+                    if waited:
+                        self.admission_wait_seconds += clock() - start
+                    return "aborted"
+                now = clock()
+                if deadline is not None and now >= deadline:
+                    if waited:
+                        self.admission_wait_seconds += clock() - start
+                    return "timeout"
+                if not waited:
+                    waited = True
+                    self.admission_waits += 1
+                slice_ = _WAIT_SLICE
+                if deadline is not None:
+                    slice_ = min(slice_, max(0.0, deadline - now))
+                self._cond.wait(timeout=slice_)
+
+    def force_reserve(self, site: str, conn_id: int, nbytes: int) -> None:
+        """Charge unconditionally (inbound data already acked to the peer)."""
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+        if nbytes <= 0:
+            return
+        with self._cond:
+            over = max(0, (self._used + nbytes) - self.node_bytes)
+            if over:
+                self.forced_bytes += min(nbytes, over)
+            self._charge(site, conn_id, nbytes)
+
+    def release(self, site: str, conn_id: int, nbytes: int) -> None:
+        """Return ``nbytes`` at ``site`` to the pool, waking blocked senders."""
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+        if nbytes <= 0:
+            return
+        with self._cond:
+            self._credit(site, conn_id, nbytes)
+
+    def set_level(self, site: str, conn_id: int, nbytes: int) -> None:
+        """Sync ``site`` for ``conn_id`` to an absolute level (reassembly)."""
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._cond:
+            current = self._conn_slots(conn_id)[site]
+            if nbytes > current:
+                self._charge(site, conn_id, nbytes - current)
+            elif nbytes < current:
+                self._credit(site, conn_id, current - nbytes)
+
+    def forget_connection(self, conn_id: int) -> None:
+        """Drop all accounting for a closed connection."""
+        with self._cond:
+            slots = self._conns.pop(conn_id, None)
+            if not slots:
+                return
+            for site, held in slots.items():
+                if held:
+                    self._site_used[site] -= held
+                    self._used -= held
+            self._cond.notify_all()
+
+    # -- telemetry edge -------------------------------------------------
+
+    def count_rejection(self) -> None:
+        with self._cond:
+            self.admission_rejections += 1
+
+    def record_shed(self, nbytes: int) -> None:
+        with self._cond:
+            self.deliveries_shed += 1
+            self.shed_bytes += nbytes
+
+    def used(self, conn_id: Optional[int] = None) -> int:
+        with self._cond:
+            if conn_id is None:
+                return self._used
+            return self._conn_total(conn_id)
+
+    def site_used(self, site: str, conn_id: Optional[int] = None) -> int:
+        with self._cond:
+            if conn_id is None:
+                return self._site_used[site]
+            slots = self._conns.get(conn_id)
+            return slots[site] if slots else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time view for health reports and ``ncs_stat pressure``."""
+        with self._cond:
+            return {
+                "node_bytes": self.node_bytes,
+                "conn_bytes": self.conn_bytes,
+                "used": self._used,
+                "peak_used": self.peak_used,
+                "sites": dict(self._site_used),
+                "site_peaks": dict(self._site_peaks),
+                "connections": {
+                    conn_id: dict(slots)
+                    for conn_id, slots in self._conns.items()
+                    if any(slots.values())
+                },
+                "admission_rejections": self.admission_rejections,
+                "admission_waits": self.admission_waits,
+                "admission_wait_seconds": self.admission_wait_seconds,
+                "deliveries_shed": self.deliveries_shed,
+                "shed_bytes": self.shed_bytes,
+                "forced_bytes": self.forced_bytes,
+                "shed_control_pdus": self.shed_control_pdus,
+            }

@@ -120,6 +120,9 @@ class Reassembler:
         self._gc_timeout = gc_timeout
         self.corrupted_count = 0
         self.duplicate_count = 0
+        #: Payload bytes currently held in in-flight fragment buffers —
+        #: the reassembly site the node's MemoryBudget accounts.
+        self.buffered_bytes = 0
 
     def state_of(self, msg_id: int) -> Optional[ReassemblyState]:
         """In-flight reassembly state for ``msg_id`` (None if unknown)."""
@@ -158,7 +161,11 @@ class Reassembler:
             return None
         state.fragments[header.seqno] = sdu.payload
         state.bitmap.mark_received(header.seqno)
+        self.buffered_bytes += len(sdu.payload)
         if state.complete():
+            self.buffered_bytes -= sum(
+                len(fragment) for fragment in state.fragments.values()
+            )
             del self._inflight[header.msg_id]
             self._completed[header.msg_id] = None
             while len(self._completed) > self.COMPLETED_MEMORY:
@@ -203,6 +210,10 @@ class Reassembler:
             if now - state.started_at > self._gc_timeout
         ]
         for msg_id in stale:
+            self.buffered_bytes -= sum(
+                len(fragment)
+                for fragment in self._inflight[msg_id].fragments.values()
+            )
             del self._inflight[msg_id]
         return stale
 

@@ -79,6 +79,15 @@ class RecoveryPolicy:
     #: Deadline for each connection-establishment attempt.
     connect_timeout: float = 2.0
     seed: int = 0
+    #: Circuit breaker: this many dial failures inside ``breaker_window``
+    #: seconds OPEN the breaker (0 disables it).  While OPEN, dials are
+    #: withheld until a half-open probe is due; the probe's outcome
+    #: either closes the breaker or re-opens it with a doubled hold
+    #: (capped at ``breaker_open_max``, jittered from ``seed``).
+    breaker_failures: int = 5
+    breaker_window: float = 2.0
+    breaker_open_secs: float = 0.5
+    breaker_open_max: float = 4.0
 
     def ladder_for(self, interface: str) -> Tuple[str, ...]:
         if self.ladder is not None:
@@ -441,6 +450,18 @@ class Supervisor(_SupervisedEndpoint):
         self._ladder_index = 0
         self._rng = random.Random(self.policy.seed)
         self._outage_flag = threading.Event()
+        # Reconnect circuit breaker: a dead peer under load must produce
+        # a bounded probe schedule, not a dial storm.
+        from repro.pressure import CircuitBreaker
+
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.policy.breaker_failures,
+            window=self.policy.breaker_window,
+            open_base=self.policy.breaker_open_secs,
+            open_max=self.policy.breaker_open_max,
+            jitter=self.policy.jitter,
+            seed=self.policy.seed,
+        )
         if detector is not None:
             detector.add_listener(on_failure=self._on_peer_suspected)
             detector.monitor(peer)
@@ -502,6 +523,9 @@ class Supervisor(_SupervisedEndpoint):
         for attempt in range(1, self.policy.max_attempts + 1):
             if not self._running:
                 return
+            self._await_breaker()
+            if not self._running:
+                return
             interface = self._ladder[self._ladder_index]
             self.reconnect_attempts += 1
             self._recorder.record(
@@ -516,6 +540,14 @@ class Supervisor(_SupervisedEndpoint):
                     peer_name=RECOVER_PREFIX + self.session,
                 )
             except (NcsError, OSError) as exc:
+                was_open = self.breaker.state
+                self.breaker.record_failure(self.node.clock.now())
+                if self.breaker.state == "open" and was_open != "open":
+                    self._recorder.record(
+                        "recovery", "breaker_open",
+                        session=self.session, peer=self._peer_label(),
+                        trips=self.breaker.trips,
+                    )
                 consecutive += 1
                 if (
                     consecutive >= self.policy.failover_after
@@ -534,6 +566,7 @@ class Supervisor(_SupervisedEndpoint):
                 last_error = exc
                 continue
             self._adopt(conn)
+            self.breaker.record_success(self.node.clock.now())
             self.last_downtime = self.node.clock.now() - started
             self._recorder.record(
                 "recovery", "reconnected",
@@ -561,6 +594,36 @@ class Supervisor(_SupervisedEndpoint):
                 self._peer_label(), self.policy.max_attempts,
                 self._unavailable_reason,
             )
+
+    def _await_breaker(self) -> None:
+        """Hold the reconnect loop while the breaker is OPEN.
+
+        The half-open probe *is* the next dial attempt: allow() flips
+        OPEN → HALF_OPEN when the hold expires, and the attempt's
+        outcome closes or re-opens the breaker.
+        """
+        waited = False
+        while self._running and not self.breaker.allow(self.node.clock.now()):
+            if not waited:
+                waited = True
+                self._recorder.record(
+                    "recovery", "breaker_wait",
+                    session=self.session,
+                    eta=round(
+                        self.breaker.probe_eta(self.node.clock.now()), 4
+                    ),
+                )
+            self.node.pkg.sleep(0.01)
+        if waited and self.breaker.state == "half-open":
+            self._recorder.record(
+                "recovery", "breaker_probe",
+                session=self.session, probes=self.breaker.probes,
+            )
+
+    def status(self) -> dict:
+        status = super().status()
+        status["breaker"] = self.breaker.status()
+        return status
 
     def _config_for(self, interface: str) -> ConnectionConfig:
         if interface == self.config.interface:

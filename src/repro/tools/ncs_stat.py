@@ -342,6 +342,135 @@ def format_recovery(status: dict, events: list, sent: int, received: int) -> str
     return "\n".join(lines)
 
 
+def run_pressure_demo(
+    quota_bytes: int = 8192,
+    messages: int = 40,
+    payload_size: int = 2048,
+    rejects: int = 50,
+) -> dict:
+    """Exercise the overload-protection subsystem; returns a report dict.
+
+    Two phases between two in-process nodes:
+
+    1. *Slow consumer*: blast ``messages`` messages at a peer that never
+       calls ``recv`` until the delivery quota trips the credit gate —
+       showing withheld credits and the sender's flow-control stall.
+    2. *Fail-fast probe*: with the send budget artificially exhausted,
+       time ``rejects`` fail-fast admission rejections (median/p99 ms).
+    """
+    from repro.core import ConnectionConfig, Node, NodeConfig
+    from repro.core.errors import NCSOverloaded
+    from repro.pressure import PressureConfig
+
+    cfg = PressureConfig(
+        node_bytes=1 << 20,
+        conn_bytes=1 << 20,
+        delivery_quota_bytes=quota_bytes,
+    )
+    node_a = Node(NodeConfig(name="pressure-a", pressure=cfg))
+    node_b = Node(NodeConfig(name="pressure-b", pressure=cfg))
+    report: dict = {}
+    try:
+        conn = node_a.connect(
+            node_b.address, ConnectionConfig(), peer_name="pressure-b"
+        )
+        peer = node_b.accept(timeout=5.0)
+        payload = bytes(payload_size)
+        for _ in range(messages):
+            conn.send(payload)
+        deadline = time.monotonic() + 3.0
+        while not peer.credit_gate_closed and time.monotonic() < deadline:
+            time.sleep(0.02)
+        time.sleep(0.3)  # let the sender hit the credit stall
+        peer_stats = peer.stats()
+        report["slow_consumer"] = {
+            "gate_closed": peer.credit_gate_closed,
+            "slow_consumer_trips": peer_stats.get("slow_consumer_trips", 0),
+            "credits_withheld": peer_stats.get("credits_withheld", 0),
+            "delivery_bytes": node_b.pressure.site_used(
+                "delivery", peer.conn_id
+            ),
+            "sender_credit_stalls": conn.metrics_totals().get(
+                "fc_tx_credit_stalls", 0
+            ),
+        }
+        drained = 0
+        while peer.recv(0.5) is not None:
+            drained += 1
+        report["slow_consumer"]["drained"] = drained
+        report["slow_consumer"]["gate_after_drain"] = peer.credit_gate_closed
+
+        # Fail-fast probe: exhaust the per-connection send budget, then
+        # time how fast admission turns requests away.
+        probe = node_a.connect(
+            node_b.address,
+            ConnectionConfig(admission="fail-fast"),
+            peer_name="pressure-b",
+        )
+        node_b.accept(timeout=5.0)
+        node_a.pressure.force_reserve("send", probe.conn_id, cfg.conn_bytes)
+        latencies = []
+        for _ in range(rejects):
+            start = time.perf_counter()
+            try:
+                probe.send(b"x")
+            except NCSOverloaded:
+                pass
+            latencies.append((time.perf_counter() - start) * 1000.0)
+        node_a.pressure.release("send", probe.conn_id, cfg.conn_bytes)
+        latencies.sort()
+        report["fail_fast"] = {
+            "rejections": len(latencies),
+            "median_ms": latencies[len(latencies) // 2],
+            "p99_ms": latencies[int(len(latencies) * 0.99) - 1],
+        }
+        report["budget_a"] = node_a.pressure.snapshot()
+        report["budget_b"] = node_b.pressure.snapshot()
+    finally:
+        node_a.close()
+        node_b.close()
+    return report
+
+
+def format_pressure(report: dict) -> str:
+    slow = report.get("slow_consumer", {})
+    fast = report.get("fail_fast", {})
+    lines = [
+        "overload protection demo",
+        "  slow consumer:",
+        f"    credit gate tripped: {slow.get('gate_closed')}"
+        f" (trips={slow.get('slow_consumer_trips')})",
+        f"    credits withheld: {slow.get('credits_withheld')}",
+        f"    delivery bytes at peak: {slow.get('delivery_bytes')}",
+        f"    sender credit stalls: {slow.get('sender_credit_stalls')}",
+        f"    drained {slow.get('drained')} messages; "
+        f"gate after drain: {slow.get('gate_after_drain')}",
+        "  fail-fast admission:",
+        f"    {fast.get('rejections')} rejections: "
+        f"median {fast.get('median_ms', 0):.3f} ms, "
+        f"p99 {fast.get('p99_ms', 0):.3f} ms",
+    ]
+    for label in ("budget_a", "budget_b"):
+        snap = report.get(label, {})
+        lines.append(f"  {label}:")
+        lines.append(
+            f"    used={snap.get('used')} peak={snap.get('peak_used')} "
+            f"of node_bytes={snap.get('node_bytes')}"
+        )
+        sites = snap.get("site_peaks", {})
+        lines.append(
+            "    site peaks: "
+            + " ".join(f"{site}={sites.get(site, 0)}" for site in sorted(sites))
+        )
+        lines.append(
+            f"    rejections={snap.get('admission_rejections')} "
+            f"waits={snap.get('admission_waits')} "
+            f"shed={snap.get('deliveries_shed')} "
+            f"shed_control_pdus={snap.get('shed_control_pdus')}"
+        )
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -441,6 +570,27 @@ def _cmd_recovery(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_pressure(args) -> int:
+    try:
+        report = run_pressure_demo(
+            quota_bytes=args.quota,
+            messages=args.messages,
+            payload_size=args.size,
+        )
+    except Exception as exc:  # noqa: BLE001 — demo must not traceback
+        print(f"ncs_stat: pressure demo failed: {exc}", file=sys.stderr)
+        return 1
+    ok = (
+        report.get("slow_consumer", {}).get("gate_closed")
+        and report.get("fail_fast", {}).get("rejections", 0) > 0
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=repr))
+    else:
+        print(format_pressure(report))
+    return 0 if ok else 1
+
+
 class FlightRecorderFormatter:
     """Thin indirection so the import stays local to the health path."""
 
@@ -525,6 +675,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--messages", type=int, default=24, help="messages to echo"
     )
     recovery.add_argument("--json", action="store_true")
+
+    pressure = sub.add_parser(
+        "pressure", help="overload-protection demo: credit gate + fail-fast"
+    )
+    pressure.add_argument(
+        "--quota", type=int, default=8192,
+        help="delivery quota bytes before the credit gate closes",
+    )
+    pressure.add_argument(
+        "--messages", type=int, default=40, help="messages to blast"
+    )
+    pressure.add_argument(
+        "--size", type=int, default=2048, help="payload bytes per message"
+    )
+    pressure.add_argument("--json", action="store_true")
     return parser
 
 
@@ -542,6 +707,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_faults(args)
     if args.command == "recovery":
         return _cmd_recovery(args)
+    if args.command == "pressure":
+        return _cmd_pressure(args)
     if args.command == "demo":
         return _cmd_demo(args)
 

@@ -51,10 +51,13 @@ class EchoServer:
 
 
 def supervised_echo_pair(node_factory, config=None, policy=None,
-                         session: str = "chaos"):
-    """(supervisor, echo_server) over two fresh nodes."""
-    server_node = node_factory(f"{session}-server")
-    client_node = node_factory(f"{session}-client")
+                         session: str = "chaos", **node_kwargs):
+    """(supervisor, echo_server) over two fresh nodes.
+
+    Extra keyword arguments (e.g. ``pressure=``) flow into both nodes'
+    :class:`NodeConfig`."""
+    server_node = node_factory(f"{session}-server", **node_kwargs)
+    client_node = node_factory(f"{session}-client", **node_kwargs)
     echo = EchoServer(server_node, session=session)
     sup = Supervisor(
         client_node,

@@ -1,0 +1,211 @@
+"""Chaos under overload: fault injection and memory pressure together.
+
+Three shapes, all pinned to the same invariants — no deadlock, budget
+occupancy stays bounded, the application sees exactly-once delivery,
+and the control plane is never load-shed:
+
+1. supervised echo under 25% frame loss at 2x offered load with a
+   mid-stream transport severing, on nodes with tight memory budgets;
+2. a shed-oldest bulk connection and a block-policy session sharing one
+   node budget — the bulk traffic sheds, the session loses nothing;
+3. a circuit breaker facing a dead peer — reconnect attempts are
+   rate-limited by OPEN windows instead of storming.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.core.errors import NCSUnavailable, NcsError
+from repro.faults import parse_fault_plan
+from repro.pressure import PressureConfig
+from repro.recovery import CONNECTED, RecoveryPolicy
+
+from tests.chaos.harness import (
+    assert_exactly_once,
+    sever_transport,
+    supervised_echo_pair,
+)
+
+#: Tight enough that the admission gate is live during the test, loose
+#: enough that a 256-byte message stream keeps moving under 25% loss.
+TIGHT = PressureConfig(
+    node_bytes=4096, conn_bytes=4096, delivery_quota_bytes=4096
+)
+#: Forced (already-acked) inbound deliveries may overdraft the node
+#: ceiling until the credit gate bites: one delivery quota plus one
+#: credit window (initial_credits * sdu_size) of slack.
+FORCED_SLACK = 4096 + 4 * 4096
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_overloaded_echo_survives_loss_and_severing(node_factory, seed):
+    config = ConnectionConfig(
+        fault_plan=parse_fault_plan(f"drop:rate=0.25;seed:{seed}"),
+    )
+    sup, echo = supervised_echo_pair(
+        node_factory,
+        config=config,
+        session=f"ovl{seed}",
+        pressure=TIGHT,
+    )
+    received = []
+    done = threading.Event()
+
+    def collector(expected_count):
+        end = time.monotonic() + 90.0
+        while len(received) < expected_count and time.monotonic() < end:
+            try:
+                got = sup.recv(timeout=0.2)
+            except NcsError:
+                time.sleep(0.05)
+                continue
+            if got is not None:
+                received.append(got)
+        done.set()
+
+    try:
+        expected = [b"ovl-%03d" % i for i in range(40)]
+        drain = threading.Thread(
+            target=collector, args=(len(expected),), daemon=True
+        )
+        drain.start()
+        for index, payload in enumerate(expected):
+            if index == 20:
+                sever_transport(sup)
+            sup.send(payload)  # 2x load: no pacing at all
+        assert done.wait(90.0), (
+            f"echo stream wedged: {len(received)}/{len(expected)} "
+            f"(state={sup.state})"
+        )
+        assert_exactly_once(sup, expected, received)
+        assert sup.state == CONNECTED, sup.status()
+        client_node = sup.node
+        snap = client_node.pressure.snapshot()
+        # Admission-gated sites never pass the ceiling; forced inbound
+        # deliveries may overdraft by at most the documented slack.
+        assert snap["site_peaks"]["send"] <= TIGHT.node_bytes
+        assert snap["peak_used"] <= TIGHT.node_bytes + FORCED_SLACK
+        assert snap["shed_control_pdus"] == 0
+    finally:
+        sup.close()
+        echo.close()
+
+
+def test_shed_bulk_spares_the_session(node_factory):
+    """A shed-oldest bulk connection and a block session share one tight
+    node budget: bulk deliveries get evicted, the session stream does
+    not lose a single message, and no control PDU is ever shed."""
+    pressure = PressureConfig(
+        node_bytes=24 * 1024,
+        conn_bytes=20 * 1024,
+        delivery_quota_bytes=16 * 1024,
+    )
+    client = node_factory("shed-client", pressure=pressure)
+    server = node_factory("shed-server", pressure=pressure)
+
+    bulk = client.connect(
+        server.address,
+        ConnectionConfig(admission="shed-oldest"),
+        peer_name="shed-server",
+    )
+    bulk_peer = server.accept(timeout=5.0)
+    session = client.connect(
+        server.address,
+        ConnectionConfig(admission="block"),
+        peer_name="shed-server",
+    )
+    session_peer = server.accept(timeout=5.0)
+
+    # Park inbound bulk on the client without ever reading it.
+    for index in range(4):
+        bulk_peer.send(bytes([index]) * 4096, wait=True, timeout=5.0)
+    deadline = time.monotonic() + 5.0
+    while (
+        client.pressure.site_used("delivery", bulk.conn_id) < 4 * 4096
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+
+    # The session stream now runs under the remaining budget; bulk
+    # sends force evictions of the parked bulk deliveries, and once
+    # nothing sheddable remains the *bulk* connection eats the
+    # overload error — never the session.
+    from repro.core.errors import NCSOverloaded
+
+    expected = [b"sess-%03d" % i for i in range(20)]
+    bulk_overloads = 0
+    for payload in expected:
+        try:
+            bulk.send(b"B" * 4096)  # sheds parked deliveries as needed
+        except NCSOverloaded:
+            bulk_overloads += 1
+        session.send(payload, wait=True, timeout=10.0)
+    got = []
+    while len(got) < len(expected):
+        message = session_peer.recv(5.0)
+        assert message is not None, f"session lost a message at {len(got)}"
+        got.append(message)
+    assert got == expected  # exactly-once, in order
+
+    snap = client.pressure.snapshot()
+    assert snap["deliveries_shed"] >= 1, "bulk never shed"
+    assert snap["shed_control_pdus"] == 0
+    assert snap["peak_used"] <= pressure.node_bytes + 4 * 4096
+
+
+def test_breaker_rate_limits_reconnects_to_a_dead_peer(node_factory):
+    policy = RecoveryPolicy(
+        backoff_base=0.02,
+        backoff_max=0.05,
+        jitter=0.0,
+        max_attempts=10,
+        connect_timeout=0.3,
+        breaker_failures=3,
+        breaker_window=5.0,
+        breaker_open_secs=0.1,
+        breaker_open_max=0.4,
+    )
+    sup, echo = supervised_echo_pair(
+        node_factory, policy=policy, session="breaker"
+    )
+    try:
+        sup.send(b"alive")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                if sup.recv(timeout=0.2) is not None:
+                    break
+            except NcsError:
+                time.sleep(0.05)
+        # Kill the peer for good: every reconnect attempt must fail.
+        before = sup.status()
+        attempts_before = before["reconnect_attempts"]
+        outages_before = before["outages"]
+        echo.close()
+        server_node = echo.responder.node
+        server_node.close()
+        sever_transport(sup)
+        deadline = time.monotonic() + 30.0
+        while sup.state != "UNAVAILABLE" and time.monotonic() < deadline:
+            time.sleep(0.05)
+        status = sup.status()
+        assert sup.state == "UNAVAILABLE", status
+        breaker = status["breaker"]
+        assert breaker["trips"] >= 1, breaker
+        assert breaker["rejected"] > 0, breaker
+        # The breaker shapes the schedule; the per-outage attempt
+        # budget still bounds the total work.  (Closing the peer can
+        # race one doomed adoption through the half-closed listener,
+        # which counts as its own outage with its own budget.)
+        outages = max(1, status["outages"] - outages_before)
+        assert (
+            status["reconnect_attempts"] - attempts_before
+            <= policy.max_attempts * outages
+        )
+        with pytest.raises(NCSUnavailable):
+            sup.send(b"too late")
+    finally:
+        sup.close()

@@ -96,3 +96,67 @@ class TestClose:
         a, _ = pair
         a.close()
         a.close()
+
+
+class TestBackpressure:
+    """Optional byte cap on each direction's in-flight queue."""
+
+    def test_unbounded_by_default(self):
+        a, b = LoopbackPair().endpoints()
+        for _ in range(100):
+            a.send(b"x" * 1024)  # never blocks
+        assert a.metrics()["backpressure_waits"] == 0
+
+    def test_send_blocks_until_receiver_drains(self):
+        import threading
+
+        a, b = LoopbackPair(max_buffered_bytes=64).endpoints()
+        a.send(b"x" * 60)
+        sent = threading.Event()
+
+        def blocked_send():
+            a.send(b"y" * 60)  # over the cap: must wait for a drain
+            sent.set()
+
+        thread = threading.Thread(target=blocked_send, daemon=True)
+        thread.start()
+        assert not sent.wait(0.2), "send should have blocked at the cap"
+        assert b.recv(1.0) == b"x" * 60
+        assert sent.wait(2.0), "send never resumed after the drain"
+        assert b.recv(1.0) == b"y" * 60
+        assert a.metrics()["backpressure_waits"] == 1
+
+    def test_oversize_frame_admitted_when_queue_empty(self):
+        a, b = LoopbackPair(max_buffered_bytes=16).endpoints()
+        a.send(b"z" * 100)  # larger than the cap, but the queue is empty
+        assert b.recv(1.0) == b"z" * 100
+
+    def test_send_many_counts_batch_bytes(self):
+        a, b = LoopbackPair(max_buffered_bytes=1024).endpoints()
+        a.send_many([b"a" * 100] * 5)
+        assert b.rx_queue_bytes() == 500
+        assert b.recv_many(max_n=10, timeout=1.0) == [b"a" * 100] * 5
+        assert b.rx_queue_bytes() == 0
+
+    def test_blocked_send_raises_when_peer_closes(self):
+        import threading
+
+        a, b = LoopbackPair(max_buffered_bytes=32).endpoints()
+        a.send(b"x" * 32)
+        outcome = {}
+
+        def blocked_send():
+            try:
+                a.send(b"y" * 32)
+                outcome["result"] = "sent"
+            except InterfaceClosed:
+                outcome["result"] = "closed"
+
+        thread = threading.Thread(target=blocked_send, daemon=True)
+        thread.start()
+        import time
+
+        time.sleep(0.1)
+        b.close()
+        thread.join(3.0)
+        assert outcome.get("result") == "closed"

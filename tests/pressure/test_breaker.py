@@ -1,0 +1,125 @@
+"""CircuitBreaker state machine with an explicit (injected) clock."""
+
+import pytest
+
+from repro.pressure import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+
+def make(threshold=3, **kwargs):
+    kwargs.setdefault("window", 1.0)
+    kwargs.setdefault("open_base", 0.5)
+    kwargs.setdefault("open_max", 4.0)
+    kwargs.setdefault("jitter", 0.0)
+    return CircuitBreaker(failure_threshold=threshold, **kwargs)
+
+
+def test_trips_after_threshold_failures_in_window():
+    breaker = make(threshold=3)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    assert breaker.state == BREAKER_CLOSED
+    breaker.record_failure(0.2)
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.trips == 1
+
+
+def test_failures_outside_window_do_not_trip():
+    breaker = make(threshold=3, window=1.0)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.5)
+    breaker.record_failure(2.0)  # first two pruned by now
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_open_rejects_until_probe_deadline():
+    breaker = make(threshold=1, open_base=0.5)
+    breaker.record_failure(0.0)
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow(0.1)
+    assert not breaker.allow(0.4)
+    assert breaker.rejected == 2
+    assert breaker.probe_eta(0.4) == pytest.approx(0.1)
+    # Deadline passed: one probe allowed, state HALF_OPEN.
+    assert breaker.allow(0.6)
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.probes == 1
+
+
+def test_half_open_failure_reopens_with_doubled_hold():
+    breaker = make(threshold=1, open_base=0.5, open_max=4.0)
+    breaker.record_failure(0.0)  # hold 0.5
+    assert breaker.allow(0.6)
+    breaker.record_failure(0.6)  # re-open: hold 1.0
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow(1.5)
+    assert breaker.allow(1.7)
+
+
+def test_open_hold_caps_at_open_max():
+    breaker = make(threshold=1, open_base=1.0, open_max=2.0)
+    now = 0.0
+    for _ in range(5):
+        breaker.record_failure(now)
+        eta = breaker.probe_eta(now)
+        assert eta <= 2.0
+        now += eta
+        assert breaker.allow(now)
+
+
+def test_success_resets_everything():
+    breaker = make(threshold=2)
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    assert breaker.allow(1.0)  # half-open probe
+    breaker.record_success(1.0)
+    assert breaker.state == BREAKER_CLOSED
+    status = breaker.status()
+    assert status["recent_failures"] == 0
+    assert status["consecutive_opens"] == 0
+    # History cleared: takes a full threshold again to re-trip.
+    breaker.record_failure(1.1)
+    assert breaker.state == BREAKER_CLOSED
+
+
+def test_seeded_jitter_is_deterministic():
+    a = CircuitBreaker(failure_threshold=1, jitter=0.2, seed=42)
+    b = CircuitBreaker(failure_threshold=1, jitter=0.2, seed=42)
+    a.record_failure(0.0)
+    b.record_failure(0.0)
+    assert a.probe_eta(0.0) == b.probe_eta(0.0)
+    c = CircuitBreaker(failure_threshold=1, jitter=0.2, seed=43)
+    c.record_failure(0.0)
+    assert c.probe_eta(0.0) != a.probe_eta(0.0)
+
+
+def test_threshold_zero_disables():
+    breaker = CircuitBreaker(failure_threshold=0)
+    for _ in range(100):
+        breaker.record_failure(0.0)
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allow(0.0)
+    assert breaker.trips == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=-1)
+    with pytest.raises(ValueError):
+        CircuitBreaker(window=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(jitter=1.0)
+
+
+def test_status_shape():
+    breaker = make(threshold=1)
+    breaker.record_failure(0.0)
+    breaker.allow(0.0)
+    status = breaker.status()
+    assert status["state"] == BREAKER_OPEN
+    assert status["trips"] == 1
+    assert status["rejected"] == 1

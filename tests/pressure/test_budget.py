@@ -1,0 +1,196 @@
+"""MemoryBudget accounting: ceilings, oversize exemption, overdraft."""
+
+import threading
+import time
+
+import pytest
+
+from repro.pressure import MemoryBudget, PressureConfig, pressure_from_env
+from repro.pressure.budget import SITES, _parse_bytes
+
+
+def test_reserve_and_release_round_trip():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    assert budget.try_reserve("send", 1, 400)
+    assert budget.used() == 400
+    assert budget.used(1) == 400
+    assert budget.site_used("send") == 400
+    budget.release("send", 1, 400)
+    assert budget.used() == 0
+
+
+def test_node_ceiling_rejects_across_connections():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    assert budget.try_reserve("send", 1, 600)
+    assert not budget.try_reserve("send", 2, 600)
+    assert budget.try_reserve("send", 2, 400)
+
+
+def test_conn_ceiling_rejects_within_connection():
+    budget = MemoryBudget(node_bytes=10_000, conn_bytes=500)
+    assert budget.try_reserve("send", 1, 400)
+    assert not budget.try_reserve("send", 1, 200)
+    # A different connection still has room under the node ceiling.
+    assert budget.try_reserve("send", 2, 400)
+
+
+def test_conn_ceiling_counts_all_sites_together():
+    budget = MemoryBudget(node_bytes=10_000, conn_bytes=500)
+    assert budget.try_reserve("send", 1, 300)
+    budget.force_reserve("delivery", 1, 150)
+    assert not budget.try_reserve("reassembly", 1, 100)
+
+
+def test_oversize_message_admitted_only_when_idle():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    # Bigger than the ceiling but nothing else in flight: admitted, so a
+    # single huge message serializes instead of deadlocking.
+    assert budget.try_reserve("send", 1, 250)
+    # ...but never stacked on top of existing usage.
+    assert not budget.try_reserve("send", 1, 250)
+    assert not budget.try_reserve("send", 2, 10)
+    budget.release("send", 1, 250)
+    assert budget.try_reserve("send", 2, 10)
+
+
+def test_force_reserve_overdrafts_and_counts():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    assert budget.try_reserve("send", 1, 90)
+    budget.force_reserve("delivery", 2, 50)
+    assert budget.used() == 140
+    snap = budget.snapshot()
+    assert snap["forced_bytes"] == 40  # only the part past the ceiling
+
+
+def test_release_clamps_to_held():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    assert budget.try_reserve("send", 1, 100)
+    budget.release("send", 1, 9999)
+    assert budget.used() == 0
+    budget.release("send", 7, 50)  # unknown connection: no-op
+    assert budget.used() == 0
+
+
+def test_set_level_syncs_absolute():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    budget.set_level("reassembly", 1, 300)
+    assert budget.site_used("reassembly", 1) == 300
+    budget.set_level("reassembly", 1, 120)
+    assert budget.site_used("reassembly", 1) == 120
+    budget.set_level("reassembly", 1, 0)
+    assert budget.used() == 0
+
+
+def test_forget_connection_frees_everything():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    assert budget.try_reserve("send", 1, 100)
+    budget.force_reserve("delivery", 1, 200)
+    budget.forget_connection(1)
+    assert budget.used() == 0
+    assert budget.used(1) == 0
+    for site in SITES:
+        assert budget.site_used(site) == 0
+
+
+def test_peaks_and_snapshot_shape():
+    budget = MemoryBudget(node_bytes=1000, conn_bytes=1000)
+    assert budget.try_reserve("send", 1, 700)
+    budget.release("send", 1, 700)
+    snap = budget.snapshot()
+    assert snap["peak_used"] == 700
+    assert snap["site_peaks"]["send"] == 700
+    assert snap["used"] == 0
+    assert snap["shed_control_pdus"] == 0
+    assert snap["connections"] == {}  # empty slots are elided
+
+
+def test_reserve_blocking_ok_after_release():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    assert budget.try_reserve("send", 1, 100)
+    done = []
+
+    def blocked():
+        done.append(budget.reserve_blocking("send", 2, 50))
+
+    thread = threading.Thread(target=blocked, daemon=True)
+    thread.start()
+    time.sleep(0.1)
+    assert not done  # still waiting
+    budget.release("send", 1, 100)
+    thread.join(timeout=2.0)
+    assert done == ["ok"]
+    assert budget.snapshot()["admission_waits"] == 1
+
+
+def test_reserve_blocking_timeout():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    assert budget.try_reserve("send", 1, 100)
+    started = time.monotonic()
+    outcome = budget.reserve_blocking(
+        "send", 2, 50, deadline=time.monotonic() + 0.2
+    )
+    assert outcome == "timeout"
+    assert time.monotonic() - started >= 0.15
+    assert budget.snapshot()["admission_wait_seconds"] > 0
+
+
+def test_reserve_blocking_abort():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    assert budget.try_reserve("send", 1, 100)
+    outcome = budget.reserve_blocking(
+        "send", 2, 50, should_abort=lambda: True
+    )
+    assert outcome == "aborted"
+
+
+def test_invalid_site_and_sizes_raise():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    with pytest.raises(ValueError):
+        budget.try_reserve("bogus", 1, 10)
+    with pytest.raises(ValueError):
+        budget.try_reserve("send", 1, -1)
+    with pytest.raises(ValueError):
+        MemoryBudget(node_bytes=0, conn_bytes=100)
+
+
+def test_record_shed_telemetry():
+    budget = MemoryBudget(node_bytes=100, conn_bytes=100)
+    budget.record_shed(42)
+    budget.count_rejection()
+    snap = budget.snapshot()
+    assert snap["deliveries_shed"] == 1
+    assert snap["shed_bytes"] == 42
+    assert snap["admission_rejections"] == 1
+
+
+def test_pressure_config_validation():
+    with pytest.raises(ValueError):
+        PressureConfig(node_bytes=0)
+    with pytest.raises(ValueError):
+        PressureConfig(resume_fraction=1.5)
+    with pytest.raises(ValueError):
+        PressureConfig(policy="drop-newest")
+
+
+def test_parse_bytes_suffixes():
+    assert _parse_bytes("512") == 512
+    assert _parse_bytes("4k") == 4096
+    assert _parse_bytes("2M") == 2 << 20
+    assert _parse_bytes("1g") == 1 << 30
+    with pytest.raises(ValueError):
+        _parse_bytes("0")
+
+
+def test_pressure_from_env(monkeypatch):
+    monkeypatch.setenv("NCS_PRESSURE_NODE_BYTES", "8m")
+    monkeypatch.setenv("NCS_PRESSURE_CONN_BYTES", "2m")
+    monkeypatch.setenv("NCS_PRESSURE_DELIVERY_BYTES", "256k")
+    monkeypatch.setenv("NCS_PRESSURE_POLICY", "fail-fast")
+    cfg = pressure_from_env()
+    assert cfg.enabled
+    assert cfg.node_bytes == 8 << 20
+    assert cfg.conn_bytes == 2 << 20
+    assert cfg.delivery_quota_bytes == 256 << 10
+    assert cfg.policy == "fail-fast"
+    monkeypatch.setenv("NCS_PRESSURE", "off")
+    assert not pressure_from_env().enabled
