@@ -1,0 +1,77 @@
+"""Observability overhead: tracing + telemetry tax on the hot path.
+
+Not a paper figure — the telemetry plane is this repo's cluster-
+debugging subsystem — but persisted like one so CI's bench_compare gate
+catches the observability tax creeping past its ≤5% budget, and so the
+never-charged invariant (zero telemetry bytes on data-plane budget
+sites under 2x overload) is re-proven on every run.
+"""
+
+import pytest
+
+from conftest import emit, persist
+from repro.bench import obs_overhead
+
+
+@pytest.fixture(scope="module", autouse=True)
+def results():
+    results = obs_overhead.run_obs_overhead_bench()
+    emit(obs_overhead.format_results(results))
+    persist(
+        "obs_overhead",
+        results,
+        config={
+            "messages": obs_overhead.DEFAULT_MESSAGES,
+            "message_bytes": obs_overhead.DEFAULT_MESSAGE_BYTES,
+            "repeats": obs_overhead.DEFAULT_REPEATS,
+            "telemetry_interval_s": obs_overhead.TELEMETRY_INTERVAL_S,
+        },
+    )
+    return results
+
+
+def test_overhead_within_budget(results):
+    # The acceptance bar is ≤5%; interleaved best-of-N keeps the
+    # measurement within ±3% on a quiet host, so 7.5% here leaves
+    # headroom for loaded CI runners without masking a real tax.
+    assert results["overhead_pct"] <= 7.5
+
+
+def test_observability_actually_ran(results):
+    # Guard against "zero overhead because nothing was on".
+    on = results["obs_on"]
+    assert on["trace_events"] > 0
+    assert on["recorder_events"] > 0
+    assert on["telemetry_snapshots"] > 0
+    assert on["collector_nodes"] >= 1
+
+
+def test_zero_telemetry_bytes_charged_under_overload(results):
+    # Count-based, not timing-based: deterministic on any machine.
+    overload = results["overload"]
+    assert overload["telemetry_bytes_charged"] == 0
+    assert overload["telemetry_exempt_bytes"] > 0
+    assert overload["budget_sites"] == sorted(
+        set(overload["budget_sites"]) & {"send", "reassembly", "delivery"}
+    )
+
+
+def test_control_plane_never_shed_under_overload(results):
+    overload = results["overload"]
+    assert overload["shed_control_pdus"] == 0
+    assert overload["collector_snapshots"] > 0
+
+
+def test_benchmark_observed_transfer(benchmark_or_skip, results):
+    benchmark_or_skip(
+        lambda: obs_overhead.bench_transfer(True, messages=2, repeats=1)
+    )
+
+
+@pytest.fixture
+def benchmark_or_skip(request):
+    """pytest-benchmark when available; plain call otherwise."""
+    benchmark = request.getfixturevalue("benchmark") if (
+        request.config.pluginmanager.hasplugin("benchmark")
+    ) else (lambda fn: fn())
+    return benchmark

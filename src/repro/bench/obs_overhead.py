@@ -1,0 +1,334 @@
+"""Observability overhead: the telemetry plane's price on the hot path.
+
+Runs the batched single-stream transfer (the ``BENCH_batching`` regime:
+1 MB messages over the HPI in-process interface) twice — once with every
+observability subsystem off, once with cross-node tracing, the flight
+recorder, and in-band telemetry export all enabled — and reports the
+throughput delta.  The acceptance bar is ≤5% regression: a telemetry
+plane that taxes the data path more than that would be measuring the
+slowdown it causes.
+
+A separate overload leg drives a paced producer at 2x the consumer's
+service rate with tight memory budgets while telemetry keeps exporting,
+and proves the never-charged invariant the exporter is built on: under
+the worst pressure, telemetry bytes ride the control plane *exempt* —
+the budget's data-plane sites (send/reassembly/delivery) never account
+a single telemetry byte, observable via ``telemetry_exempt_bytes``
+growing while no extra site appears in the budget breakdown.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.pressure import PressureConfig
+
+DEFAULT_MESSAGES = 12
+DEFAULT_MESSAGE_BYTES = 1 << 20  # 1 MB, the batching-bench regime
+#: Timed repetitions per mode; the best rep is reported.  Single-stream
+#: throughput on a shared runner swings ±10% from scheduler noise alone,
+#: far above the ≤5% overhead bar this benchmark polices — best-of-N
+#: measures each configuration's capability, not the host's mood.
+DEFAULT_REPEATS = 3
+
+#: Telemetry export cadence during the observed run: fast enough that
+#: several snapshots land inside the timed window.
+TELEMETRY_INTERVAL_S = 0.05
+
+#: Overload leg: 2 ms service time -> ~500 msg/s consumer capacity.
+CONSUMER_DELAY_S = 0.002
+CAPACITY_MSGS = 1.0 / CONSUMER_DELAY_S
+OVERLOAD_PAYLOAD_BYTES = 4096
+OVERLOAD_TX_BYTES = 128 * 1024
+
+_STAMP = struct.Struct("<Id")
+
+
+class _TransferRig:
+    """A live node pair, observability fully off or fully on."""
+
+    def __init__(
+        self, observed: bool, message_bytes: int = DEFAULT_MESSAGE_BYTES
+    ):
+        self.observed = observed
+        self.payload = b"\xab" * message_bytes
+        label = "on" if observed else "off"
+        self.hub: Optional[Node] = None
+        self.collector = None
+        target = None
+        if observed:
+            from repro.obs.telemetry import Collector
+
+            self.hub = Node(NodeConfig(name=f"obs-hub-{label}"))
+            self.collector = Collector(self.hub)
+            target = f"{self.hub.address[0]}:{self.hub.address[1]}"
+        self.node_a = Node(NodeConfig(
+            name=f"obs-tx-{label}",
+            trace=observed,
+            flight_recorder=observed,
+            telemetry=target,
+            telemetry_interval=TELEMETRY_INTERVAL_S,
+        ))
+        self.node_b = Node(NodeConfig(
+            name=f"obs-rx-{label}",
+            trace=observed,
+            flight_recorder=observed,
+            telemetry=target,
+            telemetry_interval=TELEMETRY_INTERVAL_S,
+        ))
+        self.conn = self.node_a.connect(
+            self.node_b.address,
+            ConnectionConfig(
+                interface="hpi",
+                flow_control="credit",
+                error_control="selective_repeat",
+                initial_credits=4,
+                max_credits=64,
+            ),
+            peer_name=self.node_b.name,
+        )
+        self.peer = self.node_b.accept(timeout=5.0)
+        assert self.peer is not None
+        # Warmup: credits ramp, threads settle, first telemetry lands.
+        self.conn.send(self.payload, wait=True, timeout=60.0)
+        assert self.peer.recv(timeout=60.0) is not None
+
+    def run_once(self, messages: int) -> float:
+        """One timed burst; returns elapsed seconds."""
+        start = time.perf_counter()
+        for _ in range(messages):
+            self.conn.send(self.payload, wait=True, timeout=120.0)
+            assert self.peer.recv(timeout=120.0) is not None
+        return time.perf_counter() - start
+
+    def obs_stats(self) -> Dict[str, object]:
+        exporter_stats = self.node_a.telemetry_exporter.stats()
+        return {
+            "trace_events": len(self.node_a.tracer) + len(self.node_b.tracer),
+            "recorder_events": (
+                self.node_a.recorder.recorded + self.node_b.recorder.recorded
+            ),
+            "telemetry_snapshots": exporter_stats["snapshots_sent"],
+            "telemetry_bytes": exporter_stats["bytes_sent"],
+            "collector_nodes": len(self.collector.nodes()),
+        }
+
+    def close(self) -> None:
+        self.node_a.close()
+        self.node_b.close()
+        if self.hub is not None:
+            self.hub.close()
+
+
+def bench_transfer(
+    observed: bool,
+    messages: int = DEFAULT_MESSAGES,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    repeats: int = DEFAULT_REPEATS,
+) -> Dict[str, object]:
+    """One mode in isolation (tests, ad-hoc runs); best-of-``repeats``."""
+    rig = _TransferRig(observed, message_bytes)
+    try:
+        elapsed = min(rig.run_once(messages) for _ in range(repeats))
+        result: Dict[str, object] = {
+            "throughput_mbps": round(
+                messages * message_bytes / elapsed / 1e6, 2
+            ),
+            "elapsed_s": round(elapsed, 4),
+        }
+        if observed:
+            result.update(rig.obs_stats())
+        return result
+    finally:
+        rig.close()
+
+
+class _PacedConsumer(threading.Thread):
+    """Drains a connection at a fixed service rate (overload leg)."""
+
+    def __init__(self, conn, delay_s: float):
+        super().__init__(name="obs-overload-consumer", daemon=True)
+        self.conn = conn
+        self.delay_s = delay_s
+        self.received = 0
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            message = self.conn.recv(timeout=0.2)
+            if message is None:
+                continue
+            self.received += 1
+            time.sleep(self.delay_s)
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def bench_overload_exemption(duration_s: float = 1.2) -> Dict[str, object]:
+    """2x overload with telemetry live: exempt bytes grow, sites don't."""
+    from repro.obs.telemetry import Collector
+
+    hub = Node(NodeConfig(name="obs-ovl-hub"))
+    collector = Collector(hub)
+    target = f"{hub.address[0]}:{hub.address[1]}"
+    tx_cfg = PressureConfig(
+        node_bytes=OVERLOAD_TX_BYTES,
+        conn_bytes=OVERLOAD_TX_BYTES,
+        policy="block",
+    )
+    producer = Node(NodeConfig(
+        name="obs-ovl-tx",
+        pressure=tx_cfg,
+        telemetry=target,
+        telemetry_interval=TELEMETRY_INTERVAL_S,
+    ))
+    consumer_node = Node(NodeConfig(name="obs-ovl-rx"))
+    try:
+        conn = producer.connect(
+            consumer_node.address,
+            ConnectionConfig(interface="hpi"),
+            peer_name="obs-ovl-rx",
+        )
+        peer = consumer_node.accept(timeout=5.0)
+        consumer = _PacedConsumer(peer, CONSUMER_DELAY_S)
+        consumer.start()
+
+        # Paced open-loop producer at 2x the consumer's capacity.
+        rate = CAPACITY_MSGS * 2.0
+        interval = 1.0 / rate
+        padding = b"\0" * (OVERLOAD_PAYLOAD_BYTES - _STAMP.size)
+        sent = 0
+        start = time.perf_counter()
+        next_at = start
+        end = start + duration_s
+        while time.perf_counter() < end:
+            now = time.perf_counter()
+            if now < next_at:
+                time.sleep(min(next_at - now, 0.005))
+                continue
+            conn.send(_STAMP.pack(sent, time.perf_counter()) + padding)
+            sent += 1
+            next_at += interval
+            if next_at < time.perf_counter() - 0.25:
+                next_at = time.perf_counter()
+
+        deadline = time.monotonic() + 30.0
+        while consumer.received < sent and time.monotonic() < deadline:
+            time.sleep(0.01)
+        consumer.stop()
+        producer.telemetry_exporter.export_once()  # final flush
+        snap = producer.pressure.snapshot()
+        exporter_stats = producer.telemetry_exporter.stats()
+        return {
+            "offered_rate_msgs": rate,
+            "sent": sent,
+            "received": consumer.received,
+            "peak_occupancy": round(
+                snap["peak_used"] / snap["node_bytes"], 4
+            ),
+            "budget_sites": sorted(snap["site_peaks"]),
+            "telemetry_exempt_bytes": snap["telemetry_exempt_bytes"],
+            "telemetry_bytes_charged": sum(
+                peak
+                for site, peak in snap["site_peaks"].items()
+                if site not in ("send", "reassembly", "delivery")
+            ),
+            "telemetry_sheds": snap["telemetry_sheds"],
+            "telemetry_snapshots": exporter_stats["snapshots_sent"],
+            "shed_control_pdus": snap["shed_control_pdus"],
+            "collector_snapshots": collector.snapshots_received,
+        }
+    finally:
+        producer.close()
+        consumer_node.close()
+        hub.close()
+
+
+def run_obs_overhead_bench(
+    messages: int = DEFAULT_MESSAGES,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    # Both rigs live at once and the timed reps alternate between them,
+    # so a slow-host window (CPU frequency dips, noisy neighbours on a
+    # CI runner) taxes both modes instead of whichever ran second.
+    rig_off = _TransferRig(False, message_bytes)
+    rig_on = _TransferRig(True, message_bytes)
+    try:
+        off_elapsed = float("inf")
+        on_elapsed = float("inf")
+        for _ in range(repeats):
+            off_elapsed = min(off_elapsed, rig_off.run_once(messages))
+            on_elapsed = min(on_elapsed, rig_on.run_once(messages))
+        volume = messages * message_bytes
+        off: Dict[str, object] = {
+            "throughput_mbps": round(volume / off_elapsed / 1e6, 2),
+            "elapsed_s": round(off_elapsed, 4),
+        }
+        on: Dict[str, object] = {
+            "throughput_mbps": round(volume / on_elapsed / 1e6, 2),
+            "elapsed_s": round(on_elapsed, 4),
+        }
+        on.update(rig_on.obs_stats())
+    finally:
+        rig_off.close()
+        rig_on.close()
+    base = off["throughput_mbps"]
+    overhead_pct = (
+        round((base - on["throughput_mbps"]) / base * 100.0, 2)
+        if base
+        else 0.0
+    )
+    return {
+        "obs_off": off,
+        "obs_on": on,
+        "overhead_pct": overhead_pct,
+        "overload": bench_overload_exemption(),
+    }
+
+
+def format_results(results: dict) -> str:
+    off = results["obs_off"]
+    on = results["obs_on"]
+    ovl = results["overload"]
+    return "\n".join([
+        "Observability overhead (1 MB messages over HPI loopback)",
+        f"  obs off                  {off['throughput_mbps']:8.1f} MB/s",
+        f"  trace+recorder+telemetry {on['throughput_mbps']:8.1f} MB/s   "
+        f"({results['overhead_pct']:+.1f}% overhead)",
+        f"  observed run: {on['trace_events']} trace events, "
+        f"{on['telemetry_snapshots']} telemetry snapshots "
+        f"({on['telemetry_bytes']} B in-band)",
+        f"  2x overload: peak occupancy {ovl['peak_occupancy']:.0%}, "
+        f"{ovl['telemetry_exempt_bytes']} telemetry B exempt, "
+        f"{ovl['telemetry_bytes_charged']} B charged to data sites, "
+        f"{ovl['telemetry_sheds']} sheds, "
+        f"{ovl['shed_control_pdus']} control PDUs shed",
+    ])
+
+
+def main() -> None:
+    from repro.bench.persist import persist_run
+
+    results = run_obs_overhead_bench()
+    print(format_results(results))
+    persist_run(
+        "obs_overhead",
+        results,
+        config={
+            "messages": DEFAULT_MESSAGES,
+            "message_bytes": DEFAULT_MESSAGE_BYTES,
+            "telemetry_interval_s": TELEMETRY_INTERVAL_S,
+            "overload_duration_s": 1.2,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

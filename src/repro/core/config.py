@@ -180,6 +180,13 @@ class NodeConfig:
     #: ConnectRequestPdu; a hostile or buggy peer must not pick our
     #: memory profile (values above are clamped, non-positive rejected).
     batch_max_ceiling: int = 1024
+    #: Collector control address ("host:port") this node ships telemetry
+    #: snapshots to.  None defers to the NCS_TELEMETRY environment
+    #: variable; empty/unset means no exporter thread is started.
+    telemetry: Optional[str] = None
+    #: Telemetry export period (seconds).  None defers to
+    #: NCS_TELEMETRY_INTERVAL (default 0.25).
+    telemetry_interval: Optional[float] = None
 
     def pressure_config(self):
         """Resolve the effective PressureConfig (explicit or from env)."""
@@ -207,3 +214,28 @@ class NodeConfig:
 
     def watchdog_enabled(self) -> bool:
         return self.watchdog if self.watchdog is not None else _env_flag("NCS_WATCHDOG")
+
+    def telemetry_target(self) -> Optional[tuple]:
+        """Collector ``(host, port)`` to export to, or None (no export)."""
+        raw = self.telemetry
+        if raw is None:
+            import os
+
+            raw = os.environ.get("NCS_TELEMETRY", "")
+        raw = raw.strip()
+        if not raw:
+            return None
+        host, _, port = raw.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"telemetry target must be 'host:port', got {raw!r}"
+            )
+        return (host, int(port))
+
+    def telemetry_export_interval(self) -> float:
+        if self.telemetry_interval is not None:
+            return self.telemetry_interval
+        import os
+
+        raw = os.environ.get("NCS_TELEMETRY_INTERVAL", "").strip()
+        return float(raw) if raw else 0.25

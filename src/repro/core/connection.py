@@ -49,6 +49,7 @@ from repro.protocol.pdus import (
     CreditPdu,
     CumAckPdu,
 )
+from repro.util.trace import new_trace_id
 
 _STOP = object()
 
@@ -154,6 +155,9 @@ class Connection:
         self._msg_ids = itertools.count(1)
         self._handles: dict[int, SendHandle] = {}
         self._handles_lock = threading.Lock()
+        #: msg_id -> trace_id for in-flight traced sends; entries live
+        #: exactly as long as the send handle (cleared on completion).
+        self._trace_ids: dict[int, int] = {}
         self.recv_queue = self._pkg.channel()
         self._closed = False
         self._peer_closed = False
@@ -267,15 +271,23 @@ class Connection:
         self._admit_send(len(payload), timeout)
         msg_id = next(self._msg_ids)
         handle = SendHandle(msg_id, len(payload))
+        trace_id = 0
+        if self._tracer.enabled:
+            # Cross-node trace envelope: the id allocated here rides the
+            # SDU headers to the peer, where deliver/ack events adopt it.
+            trace_id = new_trace_id()
         with self._handles_lock:
             self._handles[msg_id] = handle
+            if trace_id:
+                self._trace_ids[msg_id] = trace_id
         with self._stats_lock:
             self.messages_sent += 1
             self.bytes_sent += len(payload)
         if self._h_send_size is not None:
             self._h_send_size.observe(len(payload))
         self._recorder.record(
-            "data", "send", conn=self.conn_id, msg=msg_id, size=len(payload)
+            "data", "send", conn=self.conn_id, msg=msg_id, size=len(payload),
+            trace=trace_id,
         )
         if self._tracer.enabled:
             # Data-plane trace context: the msg_id emitted here reappears
@@ -283,15 +295,16 @@ class Connection:
             self._tracer.emit(
                 "data", "send",
                 conn_id=self.conn_id, msg_id=msg_id, size=len(payload),
+                trace=trace_id,
             )
         if self.config.mode == "threaded":
             if instrument is not None:
                 # Stamp before the put: the protocol thread may dequeue
                 # the instant the request lands.
                 instrument["queued"] = time.perf_counter_ns()
-            self._proto_chan.put(("send", msg_id, payload, instrument))
+            self._proto_chan.put(("send", msg_id, payload, instrument, trace_id))
         else:
-            self._bypass_send(msg_id, payload, instrument)
+            self._bypass_send(msg_id, payload, instrument, trace_id)
         if instrument is not None:
             instrument["exit"] = time.perf_counter_ns()
         if wait:
@@ -764,10 +777,12 @@ class Connection:
             now = self._clock.now()
             kind = event[0]
             if kind == "send":
-                _, msg_id, payload, instrument = event
+                _, msg_id, payload, instrument, trace_id = event
                 if instrument is not None:
                     instrument["dequeued"] = time.perf_counter_ns()
-                effects = self.ec_sender.send(msg_id, payload, now)
+                effects = self.ec_sender.send(
+                    msg_id, payload, now, trace_id=trace_id
+                )
                 if instrument is not None:
                     instrument["segmented"] = time.perf_counter_ns()
                 self._ec_timer_at = effects.timer_at
@@ -818,6 +833,23 @@ class Connection:
             except InterfaceClosed:
                 self._note_transport_loss("send")
                 return
+            if self._tracer.enabled:
+                # One transmit event per traced message in the batch —
+                # the wire-departure span for the cluster trace merger.
+                transmitted: dict = {}
+                for sdu in sdus:
+                    header = sdu.header
+                    if header.trace_id:
+                        entry = transmitted.setdefault(
+                            (header.msg_id, header.trace_id), [0]
+                        )
+                        entry[0] += 1
+                for (msg_id, trace_id), entry in transmitted.items():
+                    self._tracer.emit(
+                        "data", "transmit",
+                        conn_id=self.conn_id, msg_id=msg_id,
+                        sdus=entry[0], trace=trace_id,
+                    )
             if any(instrument is not None for _, instrument in batch):
                 transmitted_ns = time.perf_counter_ns()
                 for _, instrument in batch:
@@ -931,14 +963,27 @@ class Connection:
         controls: list = []
         deliveries: list = []
         delivered_msg = None
+        delivered_trace = 0
+        #: Sender-assigned trace ids seen in this batch, keyed by msg_id
+        #: — lets the receiver tag its ACKs with the originating trace.
+        batch_traces: dict = {}
         for sdu in sdus:
+            if sdu.header.trace_id:
+                batch_traces[sdu.header.msg_id] = sdu.header.trace_id
             effects = self.ec_receiver.on_sdu(sdu, now)
             self._recv_gc_at = effects.timer_at
             controls.extend(effects.controls)
             if effects.deliveries:
                 delivered_msg = sdu.header.msg_id
+                delivered_trace = sdu.header.trace_id
                 deliveries.extend(effects.deliveries)
         for pdu in self._dedup_acks(controls):
+            if self._tracer.enabled and isinstance(pdu, (AckPdu, CumAckPdu)):
+                self._tracer.emit(
+                    "control", "ack_tx",
+                    conn_id=self.conn_id, msg_id=pdu.msg_id,
+                    trace=batch_traces.get(pdu.msg_id, 0),
+                )
             self.node.control_send(self.peer_link, pdu)
         if stamps is not None:
             stamps["ec_done"] = time.perf_counter_ns()
@@ -954,13 +999,13 @@ class Connection:
             self._recorder.record(
                 "data", "deliver",
                 conn=self.conn_id, msg=delivered_msg,
-                messages=len(deliveries),
+                messages=len(deliveries), trace=delivered_trace,
             )
             if self._tracer.enabled:
                 self._tracer.emit(
                     "data", "deliver",
                     conn_id=self.conn_id, msg_id=delivered_msg,
-                    messages=len(deliveries),
+                    messages=len(deliveries), trace=delivered_trace,
                 )
         self._sync_reassembly_site()
         if stamps is not None:
@@ -1023,7 +1068,10 @@ class Connection:
             self._pump_flow(now, transmit_inline=self.config.mode == "bypass")
             return
         if isinstance(pdu, (AckPdu, CumAckPdu)):
-            self._recorder.record("error", "ack", conn=self.conn_id, msg=pdu.msg_id)
+            self._recorder.record(
+                "error", "ack", conn=self.conn_id, msg=pdu.msg_id,
+                trace=self.trace_of(pdu.msg_id),
+            )
             effects = self.ec_sender.on_control(pdu, now)
             if effects.transmits and (
                 getattr(self.ec_sender, "last_retransmit_at", -1.0) == now
@@ -1082,20 +1130,39 @@ class Connection:
                 except InterfaceClosed:
                     self._note_transport_loss("send")
                     return
+                if self._tracer.enabled and sdu.header.trace_id:
+                    self._tracer.emit(
+                        "data", "transmit",
+                        conn_id=self.conn_id, msg_id=sdu.header.msg_id,
+                        sdus=1, trace=sdu.header.trace_id,
+                    )
             else:
                 self._send_chan.put((sdu, instrument))
         self._fc_ready_at = self.fc_sender.next_ready_time(now)
 
+    def trace_of(self, msg_id: int) -> int:
+        """Trace id of an in-flight traced send (0 when untraced/done)."""
+        with self._handles_lock:
+            return self._trace_ids.get(msg_id, 0)
+
     def _resolve_handle(self, msg_id: int, status: SendStatus) -> None:
         with self._handles_lock:
             handle = self._handles.pop(msg_id, None)
+            trace_id = self._trace_ids.pop(msg_id, 0)
         if handle is not None:
             self._release_send_site(handle.size)
             if status is SendStatus.COMPLETED:
                 self.messages_completed += 1
+                if self._tracer.enabled and trace_id:
+                    # Span end on the sender: the ACK round-trip closed.
+                    self._tracer.emit(
+                        "data", "complete",
+                        conn_id=self.conn_id, msg_id=msg_id, trace=trace_id,
+                    )
             else:
                 self._recorder.record(
-                    "error", "send_failed", conn=self.conn_id, msg=msg_id
+                    "error", "send_failed", conn=self.conn_id, msg=msg_id,
+                    trace=trace_id,
                 )
             handle._resolve(status)
 
@@ -1104,11 +1171,15 @@ class Connection:
     # ------------------------------------------------------------------
 
     def _bypass_send(
-        self, msg_id: int, payload: bytes, instrument: Optional[dict]
+        self,
+        msg_id: int,
+        payload: bytes,
+        instrument: Optional[dict],
+        trace_id: int = 0,
     ) -> None:
         now = self._clock.now()
         with self._engine_lock:
-            effects = self.ec_sender.send(msg_id, payload, now)
+            effects = self.ec_sender.send(msg_id, payload, now, trace_id=trace_id)
             if instrument is not None:
                 instrument["segmented"] = time.perf_counter_ns()
             self._ec_timer_at = effects.timer_at

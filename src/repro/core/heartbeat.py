@@ -29,8 +29,20 @@ def is_reply(pdu: HeartbeatPdu) -> bool:
     return bool(pdu.sequence & REPLY_BIT)
 
 
-def make_reply(node_name: str, request: HeartbeatPdu) -> HeartbeatPdu:
-    return HeartbeatPdu(node_name, request.sequence | REPLY_BIT)
+def make_reply(
+    node_name: str, request: HeartbeatPdu, now: float = 0.0
+) -> HeartbeatPdu:
+    """Build the reply: echo the prober's ``t_send``, stamp our clock.
+
+    The echoed/stamped pair turns every heartbeat round-trip into one
+    NTP-style clock-offset sample at the prober.
+    """
+    return HeartbeatPdu(
+        node_name,
+        request.sequence | REPLY_BIT,
+        t_send=request.t_send,
+        t_reply=now,
+    )
 
 
 class PeerStatus:
@@ -165,7 +177,12 @@ class FailureDetector:
             return  # dial failure counts as silence; _judge handles it
         status.probes += 1
         self.node.control_send(
-            link, HeartbeatPdu(self.node.name, self._sequence)
+            link,
+            HeartbeatPdu(
+                self.node.name,
+                self._sequence,
+                t_send=self.node.clock.now(),
+            ),
         )
 
     def _judge(self, status: PeerStatus, now: float) -> None:
@@ -192,6 +209,21 @@ class FailureDetector:
         except OSError:
             return
         now = self.node.clock.now()
+        if pdu.t_send and pdu.t_reply:
+            # NTP-style sample: assume symmetric paths, so the peer's
+            # t_reply stamp sits at the round-trip midpoint.
+            rtt = now - pdu.t_send
+            clock_sync = getattr(self.node, "clock_sync", None)
+            if clock_sync is not None and rtt >= 0:
+                offset = pdu.t_reply - (pdu.t_send + rtt / 2.0)
+                clock_sync.observe(pdu.node, offset=offset, rtt=rtt)
+                if self.node.tracer.enabled:
+                    # Raw samples land in the trace so the offline
+                    # merger can min-RTT filter them itself.
+                    self.node.tracer.emit(
+                        "clock", "offset",
+                        peer=pdu.node, offset=offset, rtt=rtt,
+                    )
         recovered = None
         with self._lock:
             # Replies come back on the link we dialed; match by the

@@ -50,6 +50,7 @@ from repro.protocol.pdus import (
     GroupLeavePdu,
     HeartbeatPdu,
     PduDecodeError,
+    TelemetryPdu,
     decode_control_pdu,
 )
 from repro.threadpkg import make_thread_package
@@ -112,6 +113,12 @@ class Node:
             env_sink = jsonl_sink_from_env()
             if env_sink is not None:
                 self.tracer.add_sink(env_sink)
+        # Clock-offset estimation per peer, fed by heartbeat round-trips
+        # (see FailureDetector._on_reply) and shipped in telemetry
+        # snapshots so cross-node timestamps can share one timeline.
+        from repro.obs.telemetry import ClockSync
+
+        self.clock_sync = ClockSync()
         #: Metrics registry this node publishes into (None = metrics off).
         self.metrics = None
         if config.metrics_enabled():
@@ -165,6 +172,10 @@ class Node:
         ] = None
         #: Installed by a FailureDetector so health() can report peers.
         self.failure_detector = None
+        #: Installed by a telemetry Collector to receive TelemetryPdus.
+        self.telemetry_handler: Optional[
+            Callable[[TelemetryPdu, object], None]
+        ] = None
 
         self._ctrl_chan = self.pkg.channel()
         self._master_chan = self.pkg.channel()
@@ -181,6 +192,19 @@ class Node:
             from repro.obs.health import Watchdog
 
             self.watchdog = Watchdog(self, period=config.watchdog_period)
+
+        #: Telemetry exporter (started only when a collector target is
+        #: configured, via NodeConfig.telemetry or NCS_TELEMETRY).
+        self.telemetry_exporter = None
+        telemetry_target = config.telemetry_target()
+        if telemetry_target is not None:
+            from repro.obs.telemetry import TelemetryExporter
+
+            self.telemetry_exporter = TelemetryExporter(
+                self,
+                telemetry_target,
+                interval=config.telemetry_export_interval(),
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -410,6 +434,8 @@ class Node:
         if self._closed:
             return
         self._closed = True
+        if self.telemetry_exporter is not None:
+            self.telemetry_exporter.stop()
         if self.watchdog is not None:
             self.watchdog.stop()
         for connection in self.connections():
@@ -518,22 +544,28 @@ class Node:
 
     def _route_pdu(self, pdu: ControlPdu, link) -> None:
         if isinstance(pdu, (AckPdu, CumAckPdu, CreditPdu, ClosePdu)):
+            with self._conn_lock:
+                connection = self._connections.get(pdu.connection_id)
             if self.tracer.enabled:
                 # Control-plane arrivals carry the trace context (msg_id)
                 # set by the sender's data plane, tying the two planes of
                 # one transfer together in the event stream.
                 if isinstance(pdu, (AckPdu, CumAckPdu)):
+                    trace = (
+                        connection.trace_of(pdu.msg_id)
+                        if connection is not None
+                        else 0
+                    )
                     self.tracer.emit(
                         "control", "ack",
                         conn_id=pdu.connection_id, msg_id=pdu.msg_id,
+                        trace=trace,
                     )
                 elif isinstance(pdu, CreditPdu):
                     self.tracer.emit(
                         "control", "credit",
                         conn_id=pdu.connection_id, credits=pdu.credits,
                     )
-            with self._conn_lock:
-                connection = self._connections.get(pdu.connection_id)
             if connection is not None:
                 connection.on_control_pdu(pdu)
             return
@@ -564,7 +596,13 @@ class Node:
             else:
                 # Every node answers probes; fault tolerance needs no
                 # opt-in at the probed end.
-                self.control_send(link, make_reply(self.name, pdu))
+                self.control_send(
+                    link, make_reply(self.name, pdu, now=self.clock.now())
+                )
+            return
+        if isinstance(pdu, TelemetryPdu):
+            if self.telemetry_handler is not None:
+                self.telemetry_handler(pdu, link)
             return
         if isinstance(pdu, ConnectRequestPdu):
             self._master_chan.put((pdu, link))

@@ -33,8 +33,15 @@ class SenderErrorControl(ABC):
     name: str
 
     @abstractmethod
-    def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
-        """Segment ``payload`` and request its (initial) transmission."""
+    def send(
+        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0
+    ) -> Effects:
+        """Segment ``payload`` and request its (initial) transmission.
+
+        A non-zero ``trace_id`` stamps the cross-node trace envelope on
+        every SDU of the message; since engines retransmit the stored
+        SDUs, retransmissions inherit the envelope automatically.
+        """
 
     @abstractmethod
     def on_control(self, pdu: ControlPdu, now: float) -> Effects:

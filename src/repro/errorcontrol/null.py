@@ -28,8 +28,13 @@ class NullSender(SenderErrorControl):
         self.connection_id = connection_id
         self.sdu_size = sdu_size
 
-    def send(self, msg_id: int, payload: bytes, now: float) -> Effects:
-        sdus = segment_message(self.connection_id, msg_id, payload, self.sdu_size)
+    def send(
+        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0
+    ) -> Effects:
+        sdus = segment_message(
+            self.connection_id, msg_id, payload, self.sdu_size,
+            trace_id=trace_id,
+        )
         return Effects(transmits=sdus, completed=[msg_id])
 
     def on_control(self, pdu: ControlPdu, now: float) -> Effects:

@@ -58,7 +58,13 @@ class FlightRecorder:
         self.name = name
         self.capacity = capacity
         self.enabled = enabled
-        self._clock = clock or time.monotonic
+        # Default matches repro.util.clock.MonotonicClock (perf_counter):
+        # every observability stamp in the process — tracer events,
+        # telemetry sent_at, recorder entries — must share one epoch or
+        # cross-correlating them silently produces garbage deltas.
+        # (time.monotonic and time.perf_counter are *different* epochs
+        # on most platforms.)
+        self._clock = clock or time.perf_counter
         #: Directory auto-dumps are written to (None = in-memory only).
         #: Explicit argument wins over the NCS_FLIGHT_DIR environment.
         self.dump_dir = (
@@ -121,6 +127,11 @@ class FlightRecorder:
             "recorder": self.name,
             "reason": reason,
             "dumped_at": self._clock(),
+            # Wall-clock companion: the monotonic stamp orders the dump
+            # against other in-process events, but means nothing once
+            # the process exits — the wall stamp anchors on-disk dumps
+            # to syslog/journald time.
+            "dumped_at_wall": time.time(),
             "detail": dict(detail),
             "events": self.snapshot(),
         }

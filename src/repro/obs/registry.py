@@ -141,28 +141,64 @@ class Histogram:
         Linear interpolation inside the owning bucket; values past the
         last bound are clamped to the observed maximum.
         """
+        with self._lock:
+            counts = list(self._counts)
+            summary = self._stats.summary()
+        return self._quantile_from(q, counts, summary)
+
+    def _quantile_from(
+        self, q: float, counts: List[int], summary: "Summary"
+    ) -> float:
+        """Quantile over an already-captured (counts, summary) view."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0,1], got {q}")
+        total = summary.count
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            cumulative += count
+            if cumulative >= target and count:
+                if index >= len(self.buckets):
+                    return summary.maximum
+                upper = self.buckets[index]
+                lower = (
+                    self.buckets[index - 1]
+                    if index > 0
+                    else min(summary.minimum, upper)
+                )
+                fraction = (target - (cumulative - count)) / count
+                return lower + (upper - lower) * fraction
+        return summary.maximum
+
+    def render(self) -> dict:
+        """Coherent one-lock rendering for registry snapshots.
+
+        Summary, quantiles, and bucket counts are all computed from a
+        single view captured under one lock acquisition — rendering
+        each piece through its own public accessor (four separate lock
+        takes) lets concurrent ``observe()`` calls land between them,
+        producing snapshots whose bucket sum disagrees with ``count``
+        and whose p99 describes a different population than the mean.
+        """
         with self._lock:
-            total = self._stats.count
-            if total == 0:
-                return 0.0
-            target = q * total
-            cumulative = 0
-            for index, count in enumerate(self._counts):
-                cumulative += count
-                if cumulative >= target and count:
-                    if index >= len(self.buckets):
-                        return self._stats.maximum
-                    upper = self.buckets[index]
-                    lower = (
-                        self.buckets[index - 1]
-                        if index > 0
-                        else min(self._stats.minimum, upper)
-                    )
-                    fraction = (target - (cumulative - count)) / count
-                    return lower + (upper - lower) * fraction
-            return self._stats.maximum
+            counts = list(self._counts)
+            summary = self._stats.summary()
+        return {
+            "name": self.name,
+            "labels": self.labels,
+            "count": summary.count,
+            "mean": summary.mean,
+            "stddev": summary.stddev,
+            "min": summary.minimum,
+            "max": summary.maximum,
+            "p50": self._quantile_from(0.5, counts, summary),
+            "p99": self._quantile_from(0.99, counts, summary),
+            "buckets": dict(
+                zip([str(b) for b in self.buckets] + ["+inf"], counts)
+            ),
+        }
 
 
 class _NullInstrument:
@@ -275,26 +311,10 @@ class MetricsRegistry:
             metrics, key=lambda item: (item[0][1], item[0][2])
         ):
             if kind == "histogram":
-                summary = metric.summary()
-                out["histograms"].append(
-                    {
-                        "name": name,
-                        "labels": metric.labels,
-                        "count": summary.count,
-                        "mean": summary.mean,
-                        "stddev": summary.stddev,
-                        "min": summary.minimum,
-                        "max": summary.maximum,
-                        "p50": metric.quantile(0.5),
-                        "p99": metric.quantile(0.99),
-                        "buckets": dict(
-                            zip(
-                                [str(b) for b in metric.buckets] + ["+inf"],
-                                metric.bucket_counts(),
-                            )
-                        ),
-                    }
-                )
+                # render() captures counts + summary under ONE lock
+                # acquisition so the snapshot is internally coherent
+                # even while other threads keep observing.
+                out["histograms"].append(metric.render())
             else:
                 out[kind + "s"].append(
                     {"name": name, "labels": metric.labels, "value": metric.value}

@@ -1,0 +1,57 @@
+"""Cluster telemetry plane: cross-node tracing, export, aggregation.
+
+Per-node signals (metrics, health, pressure, traces) die at the node
+boundary; this package carries them across it, strictly subordinate to
+data traffic:
+
+* :class:`ClockSync` turns heartbeat round-trips into per-peer clock
+  offset estimates (NTP-style, min-RTT filtered), so events stamped on
+  different nodes' monotonic clocks can share one timeline;
+* :class:`TelemetryExporter` ships periodic snapshot
+  :class:`~repro.protocol.pdus.TelemetryPdu`\\ s over the control plane —
+  never charged to the data-plane MemoryBudget, degraded and eventually
+  *shed* as pressure rises (the inverse of the control plane's
+  never-shed invariant), with every shed observable;
+* :class:`Collector` aggregates N nodes' snapshots into one cluster view
+  with a bounded :class:`TimeSeriesRing` per metric;
+* :func:`render_prometheus` / :func:`export_jsonl` expose the cluster
+  view for scraping and offline analysis;
+* :func:`merge_traces` / :func:`write_merged_chrome` align per-node
+  JSONL traces into a single clock-corrected Chrome timeline where a
+  message's send/transmit on node A and deliver/ack on node B appear as
+  one causal chain.
+"""
+
+from repro.obs.telemetry.clocksync import ClockSync, OffsetEstimate
+from repro.obs.telemetry.collector import Collector, NodeView, TimeSeriesRing
+from repro.obs.telemetry.exporter import (
+    DEFAULT_DEGRADE_AT,
+    DEFAULT_SHED_AT,
+    TelemetryExporter,
+)
+from repro.obs.telemetry.merge import (
+    estimate_offsets,
+    load_jsonl_events,
+    merge_traces,
+    trace_spans,
+    write_merged_chrome,
+)
+from repro.obs.telemetry.prometheus import export_jsonl, render_prometheus
+
+__all__ = [
+    "ClockSync",
+    "Collector",
+    "DEFAULT_DEGRADE_AT",
+    "DEFAULT_SHED_AT",
+    "NodeView",
+    "OffsetEstimate",
+    "TelemetryExporter",
+    "TimeSeriesRing",
+    "estimate_offsets",
+    "export_jsonl",
+    "load_jsonl_events",
+    "merge_traces",
+    "render_prometheus",
+    "trace_spans",
+    "write_merged_chrome",
+]

@@ -1,0 +1,107 @@
+"""Per-peer clock-offset estimation from heartbeat round-trips.
+
+Every node's :class:`~repro.util.clock.MonotonicClock` counts from an
+arbitrary per-process epoch, so a timestamp from node A and one from
+node B are incomparable until the offset between their clocks is known.
+The heartbeat exchange supplies exactly the NTP client/server sample:
+the prober stamps ``t_send``, the responder echoes it and stamps its own
+``t_reply``, and on reply receipt at local time ``t_recv``::
+
+    rtt    = t_recv - t_send
+    offset = t_reply - (t_send + rtt / 2)        # peer_clock - our_clock
+
+The midpoint assumption (symmetric paths) makes each sample's error at
+most ``rtt / 2``; keeping the offset of the *minimum-RTT* sample in a
+sliding window (Cristian's algorithm) squeezes that bound toward the
+true one-way minimum, which on a LAN is tens of microseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Samples retained per peer; old samples age out so a drifting clock
+#: cannot pin the estimate to a stale minimum forever.
+DEFAULT_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class OffsetEstimate:
+    """Best current estimate of ``peer_clock - local_clock``."""
+
+    peer: str
+    offset: float
+    #: RTT of the sample the offset came from — also its error bound/2.
+    rtt: float
+    samples: int
+
+    def to_dict(self) -> dict:
+        return {
+            "peer": self.peer,
+            "offset": self.offset,
+            "rtt": self.rtt,
+            "samples": self.samples,
+        }
+
+
+class ClockSync:
+    """Aggregates offset samples per peer; thread-safe.
+
+    Fed by the heartbeat reply path (see
+    :meth:`repro.core.heartbeat.FailureDetector._on_reply`); read by the
+    telemetry exporter (offsets ship in every snapshot) and by anything
+    that needs to place a remote timestamp on the local timeline.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        # peer name -> deque[(offset, rtt)]
+        self._samples: Dict[str, deque] = {}
+        self.observations = 0
+
+    def observe(self, peer: str, offset: float, rtt: float) -> None:
+        """Record one (offset, rtt) sample for ``peer``."""
+        if rtt < 0:
+            return  # clock went backwards mid-probe; discard
+        with self._lock:
+            samples = self._samples.get(peer)
+            if samples is None:
+                samples = deque(maxlen=self.window)
+                self._samples[peer] = samples
+            samples.append((offset, rtt))
+            self.observations += 1
+
+    def estimate(self, peer: str) -> Optional[OffsetEstimate]:
+        """Min-RTT-filtered offset estimate for ``peer`` (None = no data)."""
+        with self._lock:
+            samples = self._samples.get(peer)
+            if not samples:
+                return None
+            offset, rtt = min(samples, key=lambda sample: sample[1])
+            return OffsetEstimate(
+                peer=peer, offset=offset, rtt=rtt, samples=len(samples)
+            )
+
+    def offset_to(self, peer: str) -> Optional[float]:
+        """``peer_clock - local_clock``, or None before the first sample."""
+        estimate = self.estimate(peer)
+        return estimate.offset if estimate is not None else None
+
+    def peers(self) -> list:
+        with self._lock:
+            return list(self._samples)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All current estimates, keyed by peer name (JSON-friendly)."""
+        result = {}
+        for peer in self.peers():
+            estimate = self.estimate(peer)
+            if estimate is not None:
+                result[peer] = estimate.to_dict()
+        return result

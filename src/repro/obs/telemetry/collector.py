@@ -1,0 +1,208 @@
+"""Collector: aggregate N nodes' telemetry into one cluster view.
+
+The collector is an ordinary NCS node that installs itself as the
+``telemetry_handler`` of its host node — inbound
+:class:`~repro.protocol.pdus.TelemetryPdu`\\ s are routed here by the
+control plane, decoded, and folded into per-node views with a bounded
+:class:`TimeSeriesRing` per numeric metric.  Because exporters number
+their snapshots (including the ones they *shed*), the collector can
+count holes: ``missed`` on a :class:`NodeView` is the observable remote
+evidence of shedding or loss.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+#: Default points retained per metric series.
+DEFAULT_RING_CAPACITY = 256
+
+#: A node is considered stale when its last snapshot is older than this
+#: many export intervals (the collector cannot know the interval, so the
+#: caller supplies an absolute age via :meth:`Collector.cluster_snapshot`).
+DEFAULT_STALE_AFTER = 2.0
+
+
+class TimeSeriesRing:
+    """Bounded (timestamp, value) series; oldest points fall off."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._points: deque = deque(maxlen=capacity)
+
+    def append(self, timestamp: float, value: float) -> None:
+        self._points.append((timestamp, value))
+
+    def items(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+def _flatten(prefix: str, value, out: Dict[str, float]) -> None:
+    """Flatten nested dicts to dotted numeric leaves (bools excluded)."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+        return
+    if isinstance(value, dict):
+        for key, child in value.items():
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            _flatten(child_prefix, child, out)
+
+
+class NodeView:
+    """Everything the collector knows about one exporting node."""
+
+    def __init__(self, name: str, ring_capacity: int):
+        self.name = name
+        self._ring_capacity = ring_capacity
+        self.last_sequence = 0
+        self.snapshots = 0
+        #: Sequence holes: snapshots the exporter numbered but the
+        #: collector never saw — sheds plus wire loss.
+        self.missed = 0
+        self.last_kind = ""
+        #: Exporter's monotonic clock at serialization time.
+        self.last_sent_at = 0.0
+        #: Collector's local clock when the snapshot arrived.
+        self.last_seen_at = 0.0
+        self.last_state = "UNKNOWN"
+        self.last_body: dict = {}
+        self.rings: Dict[str, TimeSeriesRing] = {}
+
+    def record(self, pdu, body: dict, seen_at: float) -> None:
+        if self.snapshots and pdu.sequence > self.last_sequence + 1:
+            self.missed += pdu.sequence - self.last_sequence - 1
+        self.last_sequence = max(self.last_sequence, pdu.sequence)
+        self.snapshots += 1
+        self.last_kind = pdu.kind
+        self.last_sent_at = pdu.sent_at
+        self.last_seen_at = seen_at
+        self.last_state = body.get("state", "UNKNOWN")
+        self.last_body = body
+        flat: Dict[str, float] = {}
+        _flatten("", body, flat)
+        for key, value in flat.items():
+            ring = self.rings.get(key)
+            if ring is None:
+                ring = TimeSeriesRing(self._ring_capacity)
+                self.rings[key] = ring
+            ring.append(pdu.sent_at, value)
+
+    def series(self, metric: str) -> List[Tuple[float, float]]:
+        ring = self.rings.get(metric)
+        return ring.items() if ring is not None else []
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.name,
+            "state": self.last_state,
+            "kind": self.last_kind,
+            "snapshots": self.snapshots,
+            "missed": self.missed,
+            "last_sequence": self.last_sequence,
+            "last_sent_at": self.last_sent_at,
+            "last_seen_at": self.last_seen_at,
+            "body": self.last_body,
+        }
+
+
+class Collector:
+    """Aggregates telemetry PDUs arriving at ``node`` into node views."""
+
+    def __init__(self, node, ring_capacity: int = DEFAULT_RING_CAPACITY):
+        self.node = node
+        self.ring_capacity = ring_capacity
+        self._lock = threading.Lock()
+        self._views: Dict[str, NodeView] = {}
+        self.snapshots_received = 0
+        self.snapshots_malformed = 0
+        #: Subscribers called (outside the lock) after each snapshot —
+        #: ncs_top hooks here for live refresh.
+        self._listeners: list = []
+        node.telemetry_handler = self.on_telemetry
+
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def on_telemetry(self, pdu, link) -> None:
+        """Control-plane entry point (installed on the host node)."""
+        try:
+            body = json.loads(pdu.body.decode("utf-8"))
+            if not isinstance(body, dict):
+                raise ValueError("telemetry body must be a JSON object")
+        except (ValueError, UnicodeDecodeError):
+            with self._lock:
+                self.snapshots_malformed += 1
+            return
+        seen_at = self.node.clock.now()
+        with self._lock:
+            view = self._views.get(pdu.node)
+            if view is None:
+                view = NodeView(pdu.node, self.ring_capacity)
+                self._views[pdu.node] = view
+            view.record(pdu, body, seen_at)
+            self.snapshots_received += 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(pdu.node)
+            except Exception:
+                pass  # a broken display must not break collection
+
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        with self._lock:
+            return sorted(self._views)
+
+    def view(self, name: str) -> Optional[NodeView]:
+        with self._lock:
+            return self._views.get(name)
+
+    def series(self, node: str, metric: str) -> List[Tuple[float, float]]:
+        with self._lock:
+            view = self._views.get(node)
+            return view.series(metric) if view is not None else []
+
+    def total_missed(self) -> int:
+        with self._lock:
+            return sum(view.missed for view in self._views.values())
+
+    def cluster_snapshot(self, stale_after: float = DEFAULT_STALE_AFTER) -> dict:
+        """One dict describing the whole cluster as currently known."""
+        now = self.node.clock.now()
+        with self._lock:
+            views = [view.to_dict() for view in self._views.values()]
+        for entry in views:
+            entry["age"] = max(0.0, now - entry.pop("last_seen_at"))
+            entry["stale"] = entry["age"] > stale_after
+        views.sort(key=lambda entry: entry["node"])
+        states = [
+            entry["state"] for entry in views if not entry["stale"]
+        ] or ["UNKNOWN"]
+        from repro.obs.health import worst
+
+        return {
+            "collector": self.node.name,
+            "nodes": views,
+            "cluster_state": worst(states),
+            "snapshots_received": self.snapshots_received,
+            "snapshots_malformed": self.snapshots_malformed,
+            "missed": sum(entry["missed"] for entry in views),
+        }

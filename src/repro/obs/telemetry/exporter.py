@@ -1,0 +1,189 @@
+"""Per-node telemetry exporter: in-band snapshots on the control plane.
+
+A :class:`TelemetryExporter` thread periodically serializes this node's
+metric/health/pressure state into a
+:class:`~repro.protocol.pdus.TelemetryPdu` and queues it on the control
+link to a collector node.  Three properties keep it strictly subordinate
+to data traffic:
+
+* **never charged** — telemetry bytes bypass the data-plane
+  :class:`~repro.pressure.MemoryBudget` sites entirely; every exempt
+  byte increments ``telemetry_exempt_bytes`` so "zero telemetry bytes
+  charged" is observable rather than asserted;
+* **degradable** — as budget occupancy rises past ``degrade_at`` (or
+  the node classifies OVERLOADED), the exporter drops to a minimal
+  snapshot so the telemetry plane shrinks exactly when the node needs
+  memory most;
+* **sheddable** — past ``shed_at`` occupancy the snapshot is dropped
+  outright.  This is the *inverse* of the control plane's never-shed
+  invariant, and every shed increments an observable counter (exporter,
+  budget, and — via sequence gaps — the remote collector).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional, Tuple
+
+from repro.protocol.pdus import TelemetryPdu
+
+#: Budget occupancy above which snapshots degrade to the minimal form.
+DEFAULT_DEGRADE_AT = 0.80
+#: Budget occupancy above which snapshots are shed outright.
+DEFAULT_SHED_AT = 0.95
+
+#: Per-connection counters that survive into a degraded snapshot.
+_DEGRADED_CONN_KEYS = (
+    "messages_sent",
+    "messages_received",
+    "bytes_sent",
+    "bytes_received",
+)
+
+
+class TelemetryExporter:
+    """Ships this node's telemetry to a collector's control address."""
+
+    def __init__(
+        self,
+        node,
+        collector: Tuple[str, int],
+        interval: float = 0.25,
+        degrade_at: float = DEFAULT_DEGRADE_AT,
+        shed_at: float = DEFAULT_SHED_AT,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if not 0.0 < degrade_at <= shed_at:
+            raise ValueError(
+                f"need 0 < degrade_at <= shed_at, got {degrade_at}/{shed_at}"
+            )
+        self.node = node
+        self.collector = collector
+        self.interval = interval
+        self.degrade_at = degrade_at
+        self.shed_at = shed_at
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self._running = True
+        self.snapshots_sent = 0
+        self.snapshots_degraded = 0
+        self.snapshots_shed = 0
+        self.export_failures = 0
+        self.bytes_sent = 0
+        self._thread = node.pkg.spawn(
+            self._export_loop, name=f"{node.name}-telemetry"
+        )
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        self._running = False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "snapshots_sent": self.snapshots_sent,
+                "snapshots_degraded": self.snapshots_degraded,
+                "snapshots_shed": self.snapshots_shed,
+                "export_failures": self.export_failures,
+                "bytes_sent": self.bytes_sent,
+            }
+
+    # ------------------------------------------------------------------
+
+    def _export_loop(self) -> None:
+        while self._running and not self.node._closed:
+            self.node.pkg.sleep(self.interval)
+            if not self._running or self.node._closed:
+                return
+            self.export_once()
+
+    def export_once(self) -> Optional[str]:
+        """Run one export cycle; returns the snapshot kind or None (shed).
+
+        Exposed for tests and for tools that want a final flush — the
+        ladder (full / degraded / shed) is decided here from the current
+        budget occupancy and health state.
+        """
+        node = self.node
+        budget = node.pressure
+        occupancy = budget.occupancy() if budget is not None else 0.0
+        if occupancy >= self.shed_at:
+            # Shedding must never be silent: counted locally (exporter +
+            # budget + flight recorder) and remotely (the collector sees
+            # the sequence gap).
+            with self._lock:
+                self._sequence += 1
+                self.snapshots_shed += 1
+            if budget is not None:
+                budget.count_telemetry_shed()
+            node.recorder.record(
+                "telemetry", "shed", occupancy=round(occupancy, 4)
+            )
+            return None
+        try:
+            health = node.health()
+        except Exception:  # health must never kill the exporter
+            health = {"state": "UNKNOWN"}
+        state = health.get("state", "UNKNOWN")
+        degraded = occupancy >= self.degrade_at or state == "OVERLOADED"
+        kind = "degraded" if degraded else "full"
+        body = self._build_body(health, occupancy, degraded)
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        pdu = TelemetryPdu(
+            node=node.name,
+            sequence=sequence,
+            sent_at=node.clock.now(),
+            kind=kind,
+            body=body,
+        )
+        try:
+            link = node.control_link(self.collector)
+        except Exception:
+            with self._lock:
+                self.export_failures += 1
+            return None
+        node.control_send(link, pdu)
+        if budget is not None:
+            budget.count_telemetry_exempt(len(body))
+        with self._lock:
+            self.snapshots_sent += 1
+            if degraded:
+                self.snapshots_degraded += 1
+            self.bytes_sent += len(body)
+        return kind
+
+    def _build_body(
+        self, health: dict, occupancy: float, degraded: bool
+    ) -> bytes:
+        node = self.node
+        conns = {}
+        for conn in node.connections():
+            totals = conn.metrics_totals()
+            if degraded:
+                totals = {
+                    key: totals[key]
+                    for key in _DEGRADED_CONN_KEYS
+                    if key in totals
+                }
+            totals["peer"] = conn.peer_name
+            conns[str(conn.conn_id)] = totals
+        body = {
+            "state": health.get("state", "UNKNOWN"),
+            "occupancy": round(occupancy, 6),
+            "degraded": degraded,
+            "conns": conns,
+        }
+        if not degraded:
+            body["health"] = health
+            if node.pressure is not None:
+                body["pressure"] = node.pressure.snapshot()
+            clock_sync = getattr(node, "clock_sync", None)
+            if clock_sync is not None:
+                body["clock"] = clock_sync.snapshot()
+            body["recorder_dumps"] = getattr(node.recorder, "auto_dumps", 0)
+        return json.dumps(body, default=repr).encode("utf-8")

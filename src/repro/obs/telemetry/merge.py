@@ -1,0 +1,281 @@
+"""Merge per-node traces into one clock-aligned cluster timeline.
+
+Each node's tracer stamps events with its own monotonic clock, so the
+raw JSONL files from two nodes cannot be overlaid directly.  The merger
+recovers per-node clock offsets from two independent signals:
+
+1. **clock events** — the heartbeat reply path emits
+   ``clock.offset`` events carrying min-RTT-filterable (peer, offset,
+   rtt) samples; these give direct edges ``peer_clock - node_clock``;
+2. **trace-envelope midpoints** — for any traced message, the sender's
+   ``data.send``/``data.complete`` pair brackets the round trip, so the
+   receiver's ``data.deliver`` should land at the midpoint; the median
+   residual across traces estimates the offset when no clock events
+   link the pair of nodes (exactly the RTT-halving assumption NTP
+   makes, applied to the data plane itself).
+
+Offsets propagate from a reference node across the edge graph, so any
+connected cluster aligns even if some node pairs never exchanged
+heartbeats.  The result can be written as one Chrome ``trace_event``
+file with one *process* lane per node, where a message's
+send/transmit (node A) and deliver/ack (node B) events sit on a single
+timeline, tied together by an async span per trace id.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Union
+
+EventList = List[dict]
+EventsByNode = Dict[str, Union[str, EventList]]
+
+
+def load_jsonl_events(path: str) -> EventList:
+    """Read one node's JSONL trace (one event object per line)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn final line after a crash
+            if isinstance(event, dict) and "ts" in event:
+                events.append(event)
+    return events
+
+
+def _resolve(events_by_node: EventsByNode) -> Dict[str, EventList]:
+    resolved = {}
+    for node, source in events_by_node.items():
+        resolved[node] = (
+            load_jsonl_events(source) if isinstance(source, str) else source
+        )
+    return resolved
+
+
+def _clock_edges(events: Dict[str, EventList]) -> Dict[tuple, float]:
+    """Direct offset edges from clock.offset events, min-RTT filtered.
+
+    Returns ``(observer, peer) -> offset`` where
+    ``peer_clock = observer_clock + offset``.
+    """
+    best: Dict[tuple, tuple] = {}  # (observer, peer) -> (rtt, offset)
+    for node, node_events in events.items():
+        for event in node_events:
+            if (
+                event.get("category") != "clock"
+                or event.get("name") != "offset"
+            ):
+                continue
+            peer = event.get("peer")
+            offset = event.get("offset")
+            rtt = event.get("rtt", float("inf"))
+            if peer is None or offset is None:
+                continue
+            key = (node, str(peer))
+            if key not in best or rtt < best[key][0]:
+                best[key] = (rtt, float(offset))
+    return {key: offset for key, (_rtt, offset) in best.items()}
+
+
+def _midpoint_edges(events: Dict[str, EventList]) -> Dict[tuple, float]:
+    """Offset edges from traced messages (RTT-midpoint fallback).
+
+    For each trace id: the sender's send/complete pair brackets one
+    round trip, so the receiver's deliver timestamp maps to the
+    bracket's midpoint on the sender clock.  Median over every trace a
+    node pair shares.
+    """
+    sends: Dict[int, tuple] = {}  # trace -> (node, send_ts)
+    completes: Dict[int, float] = {}
+    delivers: Dict[int, tuple] = {}  # trace -> (node, deliver_ts)
+    for node, node_events in events.items():
+        for event in node_events:
+            trace = event.get("trace")
+            if not trace or event.get("category") != "data":
+                continue
+            name = event.get("name")
+            if name == "send":
+                sends[trace] = (node, event["ts"])
+            elif name == "complete":
+                completes[trace] = event["ts"]
+            elif name == "deliver":
+                delivers[trace] = (node, event["ts"])
+    residuals: Dict[tuple, list] = {}
+    for trace, (sender, send_ts) in sends.items():
+        complete_ts = completes.get(trace)
+        delivered = delivers.get(trace)
+        if complete_ts is None or delivered is None:
+            continue
+        receiver, deliver_ts = delivered
+        if receiver == sender:
+            continue
+        midpoint = (send_ts + complete_ts) / 2.0
+        residuals.setdefault((sender, receiver), []).append(
+            deliver_ts - midpoint
+        )
+    return {
+        key: statistics.median(values)
+        for key, values in residuals.items()
+    }
+
+
+def estimate_offsets(
+    events_by_node: EventsByNode, reference: Optional[str] = None
+) -> Dict[str, float]:
+    """Per-node offsets relative to ``reference`` (its offset is 0.0).
+
+    ``offsets[n]`` is ``clock_n - clock_reference``; subtract it from a
+    node-n timestamp to land on the reference timeline.  Clock-event
+    edges are preferred; trace-midpoint edges fill the gaps.  Nodes
+    unreachable by either signal keep offset 0.0 (best effort).
+    """
+    events = _resolve(events_by_node)
+    nodes = sorted(events)
+    if not nodes:
+        return {}
+    if reference is None:
+        reference = nodes[0]
+    if reference not in events:
+        raise ValueError(f"reference node {reference!r} has no events")
+    edges = _midpoint_edges(events)
+    # Clock edges override midpoint edges: a filtered heartbeat sample
+    # bounds its own error, a data midpoint only assumes symmetry.
+    edges.update(_clock_edges(events))
+    adjacency: Dict[str, list] = {node: [] for node in nodes}
+    for (observer, peer), offset in edges.items():
+        if observer in adjacency and peer in adjacency:
+            adjacency[observer].append((peer, offset))
+            adjacency[peer].append((observer, -offset))
+    offsets = {reference: 0.0}
+    queue = deque([reference])
+    while queue:
+        current = queue.popleft()
+        for neighbor, edge_offset in adjacency[current]:
+            if neighbor not in offsets:
+                offsets[neighbor] = offsets[current] + edge_offset
+                queue.append(neighbor)
+    for node in nodes:
+        offsets.setdefault(node, 0.0)
+    return offsets
+
+
+def merge_traces(
+    events_by_node: EventsByNode, reference: Optional[str] = None
+) -> List[dict]:
+    """One time-sorted event list on the reference clock.
+
+    Every event gains ``node`` (who emitted it) and has ``ts`` rebased
+    to the reference timeline; the original stamp is kept as
+    ``ts_local``.
+    """
+    events = _resolve(events_by_node)
+    offsets = estimate_offsets(events, reference)
+    merged = []
+    for node, node_events in events.items():
+        offset = offsets.get(node, 0.0)
+        for event in node_events:
+            rebased = dict(event)
+            rebased["node"] = node
+            rebased["ts_local"] = event["ts"]
+            rebased["ts"] = event["ts"] - offset
+            merged.append(rebased)
+    merged.sort(key=lambda event: event["ts"])
+    return merged
+
+
+def trace_spans(merged: Iterable[dict], trace_id: int) -> List[dict]:
+    """The time-ordered events of one trace across every node."""
+    return sorted(
+        (event for event in merged if event.get("trace") == trace_id),
+        key=lambda event: event["ts"],
+    )
+
+
+def write_merged_chrome(merged: List[dict], path: str) -> None:
+    """Write a merged event list as Chrome ``trace_event`` JSON.
+
+    One *process* lane per node (named via metadata records), instant
+    events for every sample, and an async span per trace id stretching
+    from its first to its last event — so a cross-node message renders
+    as one bar over the instants it ties together.
+    """
+    pids = {
+        node: index + 1
+        for index, node in enumerate(
+            sorted({event["node"] for event in merged})
+        )
+    }
+    records = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": node},
+        }
+        for node, pid in pids.items()
+    ]
+    base_ts = min((event["ts"] for event in merged), default=0.0)
+    traces: Dict[int, list] = {}
+    for event in merged:
+        detail = {
+            key: value
+            for key, value in event.items()
+            if key not in ("ts", "ts_local", "category", "name", "node")
+        }
+        records.append(
+            {
+                "name": f"{event.get('category')}.{event.get('name')}",
+                "cat": str(event.get("category")),
+                "ph": "i",
+                "s": "p",  # process scope: visible across the node lane
+                "ts": (event["ts"] - base_ts) * 1e6,
+                "pid": pids[event["node"]],
+                "tid": 0,
+                "args": detail,
+            }
+        )
+        trace = event.get("trace")
+        if trace:
+            traces.setdefault(trace, []).append(event)
+    for trace, trace_events in traces.items():
+        first = min(trace_events, key=lambda event: event["ts"])
+        last = max(trace_events, key=lambda event: event["ts"])
+        span_id = f"0x{trace:x}"
+        common = {
+            "cat": "trace",
+            "id": span_id,
+            "pid": pids[first["node"]],
+            "tid": 0,
+        }
+        records.append(
+            {
+                "name": f"trace {span_id}",
+                "ph": "b",
+                "ts": (first["ts"] - base_ts) * 1e6,
+                "args": {"msg_id": first.get("msg_id")},
+                **common,
+            }
+        )
+        records.append(
+            {
+                "name": f"trace {span_id}",
+                "ph": "e",
+                "ts": (last["ts"] - base_ts) * 1e6,
+                "args": {},
+                **common,
+            }
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"traceEvents": records, "displayTimeUnit": "ms"},
+            handle,
+            default=repr,
+        )

@@ -1,0 +1,146 @@
+"""Cluster-view exposition: Prometheus text format and JSONL export.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.telemetry.Collector`
+into the Prometheus text exposition format (version 0.0.4) — serve it
+from any HTTP handler or dump it with ``ncs_top --prometheus``.
+:func:`export_jsonl` appends one JSON line per node view, matching the
+JSONL conventions of the trace sinks (safe to tail, crash loses at most
+one line).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Health states mapped to a numeric gauge (mirrors repro.obs.health's
+#: severity ranking so dashboards can alert on `> 0`).
+_STATE_VALUES = {
+    "OK": 0,
+    "DEGRADED": 1,
+    "OVERLOADED": 2,
+    "STALLED": 3,
+    "DEAD": 4,
+}
+
+
+def _metric_name(flat_key: str) -> str:
+    """Sanitize a dotted snapshot key into a Prometheus metric name."""
+    return "ncs_" + _NAME_OK.sub("_", flat_key.replace(".", "_"))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(collector) -> str:
+    """The whole cluster view in Prometheus text exposition format.
+
+    Per-connection counters become ``ncs_conn_<metric>{node,conn,peer}``;
+    pressure counters become ``ncs_pressure_<metric>{node}``; everything
+    else keeps its flattened name under a ``node`` label.  Collector
+    bookkeeping (snapshots seen, sequence holes) is exported too, so the
+    *telemetry plane itself* is monitorable.
+    """
+    lines = [
+        "# NCS cluster telemetry (Prometheus text format 0.0.4)",
+        "# TYPE ncs_telemetry_snapshots_received counter",
+        f"ncs_telemetry_snapshots_received"
+        f"{_render_labels({'collector': collector.node.name})}"
+        f" {collector.snapshots_received}",
+    ]
+    snapshot = collector.cluster_snapshot()
+    lines.append("# TYPE ncs_telemetry_missed counter")
+    lines.append(
+        f"ncs_telemetry_missed"
+        f"{_render_labels({'collector': collector.node.name})}"
+        f" {snapshot['missed']}"
+    )
+    for entry in snapshot["nodes"]:
+        node = entry["node"]
+        base = {"node": node}
+        lines.append(
+            f"ncs_node_health_state{_render_labels(base)}"
+            f" {_STATE_VALUES.get(entry['state'], -1)}"
+        )
+        lines.append(
+            f"ncs_node_telemetry_age_seconds{_render_labels(base)}"
+            f" {entry['age']:.6f}"
+        )
+        lines.append(
+            f"ncs_node_snapshots{_render_labels(base)} {entry['snapshots']}"
+        )
+        lines.append(
+            f"ncs_node_snapshots_missed{_render_labels(base)} {entry['missed']}"
+        )
+        body = entry.get("body", {})
+        for conn_id, totals in sorted(body.get("conns", {}).items()):
+            labels = dict(base, conn=conn_id, peer=str(totals.get("peer", "")))
+            for key, value in sorted(totals.items()):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                lines.append(
+                    f"ncs_conn_{_NAME_OK.sub('_', key)}"
+                    f"{_render_labels(labels)} {value}"
+                )
+        for key, value in sorted(body.get("pressure", {}).items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            lines.append(
+                f"ncs_pressure_{_NAME_OK.sub('_', key)}"
+                f"{_render_labels(base)} {value}"
+            )
+        if "occupancy" in body:
+            lines.append(
+                f"ncs_pressure_occupancy{_render_labels(base)}"
+                f" {body['occupancy']}"
+            )
+        for peer, estimate in sorted(body.get("clock", {}).items()):
+            labels = dict(base, peer=peer)
+            lines.append(
+                f"ncs_clock_offset_seconds{_render_labels(labels)}"
+                f" {estimate.get('offset', 0.0)}"
+            )
+            lines.append(
+                f"ncs_clock_rtt_seconds{_render_labels(labels)}"
+                f" {estimate.get('rtt', 0.0)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def export_jsonl(collector, path: str) -> int:
+    """Append the current cluster view to ``path``; returns lines written.
+
+    One JSON object per node view plus one trailer object with the
+    collector's own bookkeeping — consumable with the same tooling as
+    the JSONL trace files.
+    """
+    snapshot = collector.cluster_snapshot()
+    written = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for entry in snapshot["nodes"]:
+            # "record" discriminates line types; "kind" is taken by the
+            # node entry itself (full/degraded snapshot kind).
+            handle.write(json.dumps({"record": "node", **entry}, default=repr))
+            handle.write("\n")
+            written += 1
+        trailer = {
+            "record": "collector",
+            "collector": snapshot["collector"],
+            "cluster_state": snapshot["cluster_state"],
+            "snapshots_received": snapshot["snapshots_received"],
+            "snapshots_malformed": snapshot["snapshots_malformed"],
+            "missed": snapshot["missed"],
+        }
+        handle.write(json.dumps(trailer, default=repr))
+        handle.write("\n")
+        written += 1
+    return written

@@ -150,6 +150,15 @@ class MemoryBudget:
         # exists so "zero shed control-plane PDUs" is observable, not
         # merely asserted in prose.
         self.shed_control_pdus = 0
+        # Telemetry rides the control plane and is never charged to the
+        # data-plane sites above; every exempt byte is counted here so
+        # "zero telemetry bytes charged" is observable the same way.
+        self.telemetry_exempt_bytes = 0
+        # Telemetry snapshots dropped (not exported) because the node was
+        # under pressure — sheddable is the *inverse* of the control
+        # plane's never-shed invariant, and sheds must not vanish
+        # silently.
+        self.telemetry_sheds = 0
 
     # -- internal helpers (call with self._cond held) ------------------
 
@@ -316,6 +325,21 @@ class MemoryBudget:
             self.deliveries_shed += 1
             self.shed_bytes += nbytes
 
+    def count_telemetry_exempt(self, nbytes: int) -> None:
+        """Record telemetry traffic that bypassed data-plane accounting."""
+        with self._cond:
+            self.telemetry_exempt_bytes += nbytes
+
+    def count_telemetry_shed(self) -> None:
+        """Record one telemetry snapshot dropped under pressure."""
+        with self._cond:
+            self.telemetry_sheds += 1
+
+    def occupancy(self) -> float:
+        """Node-wide budget occupancy in [0, 1+] (1.0 = at the ceiling)."""
+        with self._cond:
+            return self._used / self.node_bytes
+
     def used(self, conn_id: Optional[int] = None) -> int:
         with self._cond:
             if conn_id is None:
@@ -351,4 +375,6 @@ class MemoryBudget:
                 "shed_bytes": self.shed_bytes,
                 "forced_bytes": self.forced_bytes,
                 "shed_control_pdus": self.shed_control_pdus,
+                "telemetry_exempt_bytes": self.telemetry_exempt_bytes,
+                "telemetry_sheds": self.telemetry_sheds,
             }

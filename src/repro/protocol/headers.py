@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.util.crc import crc32_aal5
 
@@ -26,6 +26,14 @@ _HEADER_FMT = "!HBBIIIIII"
 HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 
 _FLAG_END = 0x01
+#: Header carries the optional trace envelope extension (trace_id u64,
+#: span_id u32) immediately after the fixed header.  Absent when tracing
+#: is off, so untraced traffic pays zero wire overhead and old decoders
+#: reject nothing.
+_FLAG_TRACE = 0x02
+
+_TRACE_EXT_FMT = "!QI"
+TRACE_EXT_SIZE = struct.calcsize(_TRACE_EXT_FMT)
 
 
 class PduType(enum.IntEnum):
@@ -44,6 +52,7 @@ class PduType(enum.IntEnum):
     GROUP_INFO = 11
     BARRIER = 12
     HEARTBEAT = 13
+    TELEMETRY = 14
 
 
 class HeaderError(ValueError):
@@ -56,6 +65,11 @@ class SduHeader:
 
     ``total_sdus`` is carried for receiver bitmap sizing; the end bit
     remains authoritative for "last SDU", exactly as in the paper.
+
+    ``trace_id``/``span_id`` form the cross-node causal-trace envelope:
+    when non-zero the header grows by a 12-byte extension so the deliver
+    and ack events on the remote node join the sender's trace.  A zero
+    trace_id means "untraced" and keeps the classic fixed-size header.
     """
 
     connection_id: int
@@ -65,14 +79,26 @@ class SduHeader:
     payload_len: int
     payload_crc: int
     end_bit: bool
+    trace_id: int = 0
+    span_id: int = 0
+
+    @property
+    def header_size(self) -> int:
+        """Encoded size of *this* header (fixed part + trace extension)."""
+        return HEADER_SIZE + (TRACE_EXT_SIZE if self.trace_id else 0)
+
+    def _flags(self) -> int:
+        flags = _FLAG_END if self.end_bit else 0
+        if self.trace_id:
+            flags |= _FLAG_TRACE
+        return flags
 
     def encode(self) -> bytes:
-        flags = _FLAG_END if self.end_bit else 0
-        return struct.pack(
+        fixed = struct.pack(
             _HEADER_FMT,
             MAGIC,
             VERSION,
-            flags,
+            self._flags(),
             self.connection_id,
             self.msg_id,
             self.seqno,
@@ -80,6 +106,9 @@ class SduHeader:
             self.payload_len,
             self.payload_crc,
         )
+        if not self.trace_id:
+            return fixed
+        return fixed + struct.pack(_TRACE_EXT_FMT, self.trace_id, self.span_id)
 
     def encode_into(self, buf: bytearray) -> int:
         """Append the encoded header to ``buf``; returns bytes written.
@@ -89,14 +118,15 @@ class SduHeader:
         into it instead of through a temporary ``bytes`` object.
         """
         offset = len(buf)
-        buf += bytes(HEADER_SIZE)
+        size = self.header_size
+        buf += bytes(size)
         struct.pack_into(
             _HEADER_FMT,
             buf,
             offset,
             MAGIC,
             VERSION,
-            _FLAG_END if self.end_bit else 0,
+            self._flags(),
             self.connection_id,
             self.msg_id,
             self.seqno,
@@ -104,7 +134,15 @@ class SduHeader:
             self.payload_len,
             self.payload_crc,
         )
-        return HEADER_SIZE
+        if self.trace_id:
+            struct.pack_into(
+                _TRACE_EXT_FMT,
+                buf,
+                offset + HEADER_SIZE,
+                self.trace_id,
+                self.span_id,
+            )
+        return size
 
     @classmethod
     def decode(cls, data: bytes) -> "SduHeader":
@@ -119,6 +157,16 @@ class SduHeader:
             raise HeaderError(f"bad magic 0x{magic:04X}")
         if version != VERSION:
             raise HeaderError(f"unsupported protocol version {version}")
+        trace_id = span_id = 0
+        if flags & _FLAG_TRACE:
+            if len(data) < HEADER_SIZE + TRACE_EXT_SIZE:
+                raise HeaderError(
+                    f"short trace extension: {len(data)} bytes < "
+                    f"{HEADER_SIZE + TRACE_EXT_SIZE}"
+                )
+            trace_id, span_id = struct.unpack_from(
+                _TRACE_EXT_FMT, data, HEADER_SIZE
+            )
         return cls(
             connection_id=conn_id,
             msg_id=msg_id,
@@ -127,6 +175,8 @@ class SduHeader:
             payload_len=plen,
             payload_crc=pcrc,
             end_bit=bool(flags & _FLAG_END),
+            trace_id=trace_id,
+            span_id=span_id,
         )
 
 
@@ -151,6 +201,8 @@ class Sdu:
         total_sdus: int,
         payload: bytes,
         end_bit: bool,
+        trace_id: int = 0,
+        span_id: int = 0,
     ) -> "Sdu":
         header = SduHeader(
             connection_id=connection_id,
@@ -160,6 +212,8 @@ class Sdu:
             payload_len=len(payload),
             payload_crc=crc32_aal5(payload),
             end_bit=end_bit,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         return cls(header, payload)
 
@@ -178,13 +232,14 @@ class Sdu:
         """
         self.header.encode_into(buf)
         buf += self.payload
-        return HEADER_SIZE + len(self.payload)
+        return self.header.header_size + len(self.payload)
 
     @classmethod
     def decode(cls, data: bytes) -> "Sdu":
         """Parse a frame; raises :class:`HeaderError` on malformed input."""
         header = SduHeader.decode(data)
-        payload = data[HEADER_SIZE : HEADER_SIZE + header.payload_len]
+        start = header.header_size
+        payload = data[start : start + header.payload_len]
         if len(payload) != header.payload_len:
             raise HeaderError(
                 f"truncated payload: header says {header.payload_len}, "
@@ -198,20 +253,14 @@ class Sdu:
 
     @property
     def wire_size(self) -> int:
-        return HEADER_SIZE + len(self.payload)
+        return self.header.header_size + len(self.payload)
 
     def corrupted_copy(self) -> "Sdu":
         """Return a copy with one payload bit flipped (fault injection)."""
         if not self.payload:
             # No payload bits to damage; corrupt the CRC expectation instead.
-            bad_header = SduHeader(
-                self.header.connection_id,
-                self.header.msg_id,
-                self.header.seqno,
-                self.header.total_sdus,
-                self.header.payload_len,
-                self.header.payload_crc ^ 1,
-                self.header.end_bit,
+            bad_header = replace(
+                self.header, payload_crc=self.header.payload_crc ^ 1
             )
             return Sdu(bad_header, self.payload)
         damaged = bytearray(self.payload)

@@ -334,17 +334,66 @@ class BarrierPdu(ControlPdu):
 
 @_register
 @dataclass(frozen=True)
-class HeartbeatPdu(ControlPdu):
-    """Liveness probe on the control connection."""
+class TelemetryPdu(ControlPdu):
+    """One node-telemetry snapshot shipped in-band on the control plane.
 
-    TYPE = PduType.HEARTBEAT
+    ``kind`` discriminates the snapshot shape ("full" vs "degraded");
+    ``sent_at`` is the emitting node's monotonic clock at serialization
+    time so the collector can align snapshots using the same clock
+    offsets the trace merger uses.  The body is JSON — telemetry values
+    are open-ended (metrics, health, pressure) and never parsed on the
+    hot path, so a self-describing encoding beats a rigid binary one.
+    """
+
+    TYPE = PduType.TELEMETRY
     node: str
     sequence: int
+    sent_at: float
+    kind: str
+    body: bytes
 
     def _encode_body(self, writer: ByteWriter) -> None:
         writer.lp_str(self.node)
         writer.u32(self.sequence)
+        writer.f64(self.sent_at)
+        writer.lp_str(self.kind)
+        writer.lp_bytes(self.body)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "TelemetryPdu":
+        return cls(
+            reader.lp_str(),
+            reader.u32(),
+            reader.f64(),
+            reader.lp_str(),
+            reader.lp_bytes(),
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class HeartbeatPdu(ControlPdu):
+    """Liveness probe on the control connection.
+
+    Doubles as the clock-synchronization carrier: the prober stamps its
+    monotonic clock in ``t_send``, the responder echoes it and stamps its
+    own clock in ``t_reply``, and the prober's reply handler derives RTT
+    and an NTP-style clock offset from the pair (see
+    :class:`repro.obs.telemetry.ClockSync`).  Zero means "not stamped".
+    """
+
+    TYPE = PduType.HEARTBEAT
+    node: str
+    sequence: int
+    t_send: float = 0.0
+    t_reply: float = 0.0
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.lp_str(self.node)
+        writer.u32(self.sequence)
+        writer.f64(self.t_send)
+        writer.f64(self.t_reply)
 
     @classmethod
     def _decode_body(cls, reader: ByteReader) -> "HeartbeatPdu":
-        return cls(reader.lp_str(), reader.u32())
+        return cls(reader.lp_str(), reader.u32(), reader.f64(), reader.f64())

@@ -36,15 +36,24 @@ def segment_message(
     msg_id: int,
     payload: bytes,
     sdu_size: int,
+    trace_id: int = 0,
+    span_id: Optional[int] = None,
 ) -> list[Sdu]:
     """Split ``payload`` into framed SDUs.
 
     A zero-length message still produces one (empty, end-bit) SDU so the
     receiver has something to acknowledge.
+
+    When ``trace_id`` is non-zero every SDU carries the trace envelope,
+    so retransmissions (which replay the stored SDUs) stay in-trace for
+    free.  ``span_id`` defaults to the message id, which is unique per
+    direction — good enough to tell two messages of one trace apart.
     """
     validate_sdu_size(sdu_size)
     if not isinstance(payload, bytes):
         payload = bytes(payload)  # snapshot mutable buffers before aliasing
+    if span_id is None:
+        span_id = (msg_id & 0xFFFFFFFF) if trace_id else 0
     # memoryview slices alias the message instead of copying each chunk;
     # the bytes are copied exactly once, when an interface serializes
     # the SDU into its wire buffer.
@@ -61,6 +70,8 @@ def segment_message(
             total_sdus=total,
             payload=chunk,
             end_bit=(seqno == total - 1),
+            trace_id=trace_id,
+            span_id=span_id,
         )
         for seqno, chunk in enumerate(chunks)
     ]

@@ -1,0 +1,306 @@
+"""ncs_top — live terminal dashboard over the cluster telemetry plane.
+
+Subcommands::
+
+    python -m repro.tools.ncs_top [demo] [--duration S] [--json]
+                                  [--prometheus] [--jsonl FILE]
+    python -m repro.tools.ncs_top listen ADDR [--frames N] [--interval S]
+                                  [--prometheus] [--jsonl FILE]
+
+* **demo** (the default): spin up an in-process cluster — one collector
+  node plus two worker nodes shipping telemetry snapshots over the
+  control plane — run echo traffic between the workers, and render the
+  dashboard from what the collector aggregates.  ``--json`` prints the
+  raw cluster snapshot instead of the dashboard; ``--prometheus`` dumps
+  the Prometheus text exposition at the end.
+* **listen ADDR**: bind a collector node at ``ADDR`` (``host:port``) and
+  refresh the dashboard every ``--interval`` seconds as remote nodes
+  (started with ``NCS_TELEMETRY=ADDR``) report in.  ``--frames 0``
+  runs until interrupted.
+
+The dashboard shows, per node: health state, budget occupancy, snapshot
+kind (full/degraded), sequence holes (= sheds or loss at the source),
+and per-connection throughput (derived from the bytes_sent/received
+time-series rings), credit stalls, and pressure counters.
+
+Examples::
+
+    python -m repro.tools.ncs_top
+    python -m repro.tools.ncs_top demo --prometheus
+    python -m repro.tools.ncs_top listen 127.0.0.1:9200 --frames 0 &
+    NCS_TELEMETRY=127.0.0.1:9200 python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Rendering (pure functions over a Collector — unit-testable)
+# ----------------------------------------------------------------------
+
+_BAR_WIDTH = 20
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _human_rate(bytes_per_s: float) -> str:
+    for unit in ("B/s", "KB/s", "MB/s", "GB/s"):
+        if abs(bytes_per_s) < 1024.0 or unit == "GB/s":
+            return f"{bytes_per_s:8.1f} {unit}"
+        bytes_per_s /= 1024.0
+    return f"{bytes_per_s:8.1f} GB/s"
+
+
+def _ring_rate(points: List[Tuple[float, float]]) -> float:
+    """Counter rate over a ring's window (0.0 if underdetermined)."""
+    if len(points) < 2:
+        return 0.0
+    (t0, v0), (t1, v1) = points[0], points[-1]
+    if t1 <= t0:
+        return 0.0
+    return max(0.0, (v1 - v0) / (t1 - t0))
+
+
+def render_dashboard(collector, stale_after: float = 2.0) -> str:
+    """One text frame of the cluster view (no ANSI, pipe-friendly)."""
+    snapshot = collector.cluster_snapshot(stale_after=stale_after)
+    lines = [
+        f"ncs_top — collector {snapshot['collector']}"
+        f" | cluster {snapshot['cluster_state']}"
+        f" | snapshots {snapshot['snapshots_received']}"
+        f" (missed {snapshot['missed']},"
+        f" malformed {snapshot['snapshots_malformed']})",
+        "",
+    ]
+    if not snapshot["nodes"]:
+        lines.append("  (no telemetry received yet)")
+        return "\n".join(lines) + "\n"
+    for entry in snapshot["nodes"]:
+        body = entry.get("body", {})
+        occupancy = float(body.get("occupancy", 0.0))
+        stale = " STALE" if entry["stale"] else ""
+        lines.append(
+            f"  node {entry['node']:<12} {entry['state']:<10}"
+            f" occ {_bar(occupancy)} {occupancy * 100:5.1f}%"
+            f"  kind={entry['kind'] or '-'}"
+            f" seq={entry['last_sequence']}"
+            f" missed={entry['missed']}"
+            f" age={entry['age']:.2f}s{stale}"
+        )
+        view = collector.view(entry["node"])
+        for conn_id, totals in sorted(body.get("conns", {}).items()):
+            tx_rate = rx_rate = 0.0
+            if view is not None:
+                tx_rate = _ring_rate(
+                    view.series(f"conns.{conn_id}.bytes_sent")
+                )
+                rx_rate = _ring_rate(
+                    view.series(f"conns.{conn_id}.bytes_received")
+                )
+            stalls = int(
+                totals.get("fc_tx_credit_stalls", 0)
+                + totals.get("pressure_credits_withheld", 0)
+            )
+            lines.append(
+                f"    conn {conn_id:>4} -> {str(totals.get('peer', '?')):<12}"
+                f" tx {_human_rate(tx_rate)}"
+                f" rx {_human_rate(rx_rate)}"
+                f" msgs {int(totals.get('messages_sent', 0))}"
+                f"/{int(totals.get('messages_received', 0))}"
+                f" stalls {stalls}"
+                f" shed {int(totals.get('pressure_deliveries_shed', 0))}"
+            )
+        pressure = body.get("pressure", {})
+        if pressure:
+            lines.append(
+                f"    pressure used={int(pressure.get('used', 0))}"
+                f"/{int(pressure.get('node_bytes', 0))}"
+                f" waits={int(pressure.get('admission_waits', 0))}"
+                f" rejects={int(pressure.get('admission_rejections', 0))}"
+                f" tele_exempt={int(pressure.get('telemetry_exempt_bytes', 0))}B"
+                f" tele_sheds={int(pressure.get('telemetry_sheds', 0))}"
+            )
+        for peer, estimate in sorted(body.get("clock", {}).items()):
+            lines.append(
+                f"    clock vs {peer}: offset"
+                f" {estimate.get('offset', 0.0) * 1e3:+.3f} ms"
+                f" (rtt {estimate.get('rtt', 0.0) * 1e3:.3f} ms,"
+                f" {estimate.get('samples', 0)} samples)"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _emit_outputs(collector, args) -> None:
+    """Shared --prometheus/--jsonl handling for both subcommands."""
+    if getattr(args, "prometheus", False):
+        from repro.obs.telemetry import render_prometheus
+
+        sys.stdout.write(render_prometheus(collector))
+    if getattr(args, "jsonl", None):
+        from repro.obs.telemetry import export_jsonl
+
+        written = export_jsonl(collector, args.jsonl)
+        print(f"wrote {written} lines to {args.jsonl}")
+
+
+# ----------------------------------------------------------------------
+# demo: in-process cluster
+# ----------------------------------------------------------------------
+
+
+def _cmd_demo(args) -> int:
+    from repro import ConnectionConfig, Node
+    from repro.core.config import NodeConfig
+    from repro.obs.telemetry import Collector
+
+    hub = Node(NodeConfig(name="hub"))
+    collector = Collector(hub)
+    target = f"{hub.address[0]}:{hub.address[1]}"
+
+    alice = Node(
+        NodeConfig(name="alice", telemetry=target, telemetry_interval=0.05)
+    )
+    bob = Node(
+        NodeConfig(name="bob", telemetry=target, telemetry_interval=0.05)
+    )
+    try:
+        config = ConnectionConfig(
+            interface="sci",
+            flow_control="credit",
+            error_control="selective_repeat",
+            sdu_size=4096,
+        )
+        conn = alice.connect(bob.address, config, peer_name="bob")
+        peer = bob.accept(timeout=5.0)
+        payload = b"t" * args.size
+        deadline = time.monotonic() + args.duration
+        while time.monotonic() < deadline:
+            conn.send(payload, wait=True, timeout=5.0)
+            peer.recv(timeout=5.0)
+            peer.send(payload, wait=True, timeout=5.0)
+            conn.recv(timeout=5.0)
+        # Final flush so the dashboard reflects the last exchanges.
+        for node in (alice, bob):
+            node.telemetry_exporter.export_once()
+        time.sleep(0.1)  # let the control plane deliver the flush
+        if args.json:
+            print(json.dumps(collector.cluster_snapshot(), indent=2,
+                             default=repr))
+        else:
+            sys.stdout.write(render_dashboard(collector))
+        _emit_outputs(collector, args)
+        return 0 if collector.snapshots_received > 0 else 1
+    finally:
+        alice.close()
+        bob.close()
+        hub.close()
+
+
+# ----------------------------------------------------------------------
+# listen: collector for external nodes
+# ----------------------------------------------------------------------
+
+
+def _parse_address(raw: str) -> Tuple[str, int]:
+    host, _, port = raw.rpartition(":")
+    if not host or not port:
+        raise SystemExit(f"ncs_top: ADDR must be host:port, got {raw!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"ncs_top: bad port in {raw!r}")
+
+
+def _cmd_listen(args) -> int:
+    from repro.core.config import NodeConfig
+    from repro.core.node import Node
+    from repro.obs.telemetry import Collector
+
+    host, port = _parse_address(args.address)
+    node = Node(NodeConfig(name="ncs-top", host=host, control_port=port))
+    collector = Collector(node)
+    print(
+        f"ncs_top listening on {node.address[0]}:{node.address[1]} — "
+        f"point nodes at it with NCS_TELEMETRY={node.address[0]}:"
+        f"{node.address[1]}",
+        file=sys.stderr,
+    )
+    frame = 0
+    try:
+        while args.frames <= 0 or frame < args.frames:
+            time.sleep(args.interval)
+            frame += 1
+            if args.clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(render_dashboard(collector))
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _emit_outputs(collector, args)
+        node.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ncs_top", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="in-process cluster demo")
+    demo.add_argument("--duration", type=float, default=1.0,
+                      help="seconds of echo traffic (default 1.0)")
+    demo.add_argument("--size", type=int, default=8192,
+                      help="echo payload bytes (default 8192)")
+    demo.add_argument("--json", action="store_true",
+                      help="print the raw cluster snapshot as JSON")
+    demo.add_argument("--prometheus", action="store_true",
+                      help="also dump Prometheus text exposition")
+    demo.add_argument("--jsonl", metavar="FILE",
+                      help="append the cluster view to FILE as JSONL")
+
+    listen = sub.add_parser("listen", help="collector for external nodes")
+    listen.add_argument("address", metavar="ADDR", help="host:port to bind")
+    listen.add_argument("--frames", type=int, default=0,
+                        help="frames to render before exiting (0 = forever)")
+    listen.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between frames (default 1.0)")
+    listen.add_argument("--clear", action="store_true",
+                        help="clear the terminal between frames")
+    listen.add_argument("--prometheus", action="store_true",
+                        help="dump Prometheus text on exit")
+    listen.add_argument("--jsonl", metavar="FILE",
+                        help="append the final cluster view to FILE")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "listen":
+        return _cmd_listen(args)
+    if args.command != "demo":
+        # Default subcommand: demo with its own defaults.
+        args = parser.parse_args(["demo"] + (argv or sys.argv[1:]))
+    return _cmd_demo(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.stderr.close()
+        sys.exit(0)

@@ -251,6 +251,16 @@ _ENV_SINKS: dict = {}
 _ENV_SINK_LOCK = threading.Lock()
 
 
+def new_trace_id() -> int:
+    """A fresh non-zero 64-bit trace id.
+
+    Random rather than sequential so ids allocated independently on
+    different nodes of a cluster cannot collide; zero is reserved for
+    "untraced" in the SDU header envelope, hence the forced low bit.
+    """
+    return int.from_bytes(os.urandom(8), "big") | 1
+
+
 #: Module-level tracer that components fall back to when none is supplied.
 #: Disabled by default so production paths pay one attribute check.
 GLOBAL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,134 @@
+"""Flight-recorder events carry the active trace id.
+
+An anomaly dump is only useful for cluster-level debugging if its
+entries can be joined against the merged cross-node trace: every
+data-plane recorder event at a traced send/deliver site must carry the
+same ``trace`` id that rides the wire envelope, so a dump taken on one
+node lines up with spans recorded on the peer.
+"""
+
+import time
+
+import pytest
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+
+@pytest.fixture
+def traced_pair():
+    node_a = Node(NodeConfig(name="rectrace-a", trace=True, flight_recorder=True))
+    node_b = Node(NodeConfig(name="rectrace-b", trace=True, flight_recorder=True))
+    conn = node_a.connect(
+        node_b.address,
+        ConnectionConfig(interface="sci"),
+        peer_name="rectrace-b",
+    )
+    peer = node_b.accept(timeout=5.0)
+    yield node_a, node_b, conn, peer
+    node_a.close()
+    node_b.close()
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _events(recorder, category, name):
+    return [
+        e
+        for e in recorder.snapshot()
+        if e["category"] == category and e["name"] == name
+    ]
+
+
+def test_recorder_send_and_deliver_carry_trace(traced_pair):
+    node_a, node_b, conn, peer = traced_pair
+
+    conn.send(b"traced payload")
+    assert peer.recv(timeout=5.0) == b"traced payload"
+
+    sends = _events(node_a.recorder, "data", "send")
+    assert sends, "sender flight recorder has no data.send events"
+    sender_traces = {e.get("trace") for e in sends}
+    assert sender_traces, "data.send events carry no trace field"
+    assert all(t for t in sender_traces), "traced send recorded trace=0"
+
+    # The receiver's deliver event must carry the *same* id the sender
+    # allocated — that is the join key for merged cluster traces.
+    assert _wait_for(
+        lambda: any(
+            e.get("trace") in sender_traces
+            for e in _events(node_b.recorder, "data", "deliver")
+        )
+    ), "receiver data.deliver never matched a sender trace id"
+
+
+def test_recorder_ack_carries_trace(traced_pair):
+    node_a, node_b, conn, peer = traced_pair
+
+    conn.send(b"ack me")
+    assert peer.recv(timeout=5.0) == b"ack me"
+
+    sends = _events(node_a.recorder, "data", "send")
+    sender_traces = {e.get("trace") for e in sends if e.get("trace")}
+    assert sender_traces
+
+    # The sender-side ACK-arrival record resolves the trace through the
+    # connection's in-flight map (the ACK PDU itself has no envelope).
+    assert _wait_for(
+        lambda: any(
+            e.get("trace") in sender_traces
+            for e in _events(node_a.recorder, "error", "ack")
+        )
+    ), "sender error.ack record never carried the originating trace id"
+
+
+def test_anomaly_dump_joins_merged_trace(traced_pair):
+    """A dump's traced events join against the tracer's event stream."""
+    node_a, node_b, conn, peer = traced_pair
+
+    conn.send(b"dump join")
+    assert peer.recv(timeout=5.0) == b"dump join"
+
+    dump = node_a.recorder.dump(reason="test-join")
+    dump_traces = {
+        e.get("trace")
+        for e in dump["events"]
+        if e["category"] == "data" and e["name"] == "send" and e.get("trace")
+    }
+    assert dump_traces, "dump contains no traced data.send events"
+
+    tracer_traces = {
+        e.detail.get("trace") for e in node_a.tracer.select("data", "send")
+    }
+    assert dump_traces <= tracer_traces, (
+        "dump trace ids missing from tracer stream: "
+        f"{dump_traces - tracer_traces}"
+    )
+
+
+def test_untraced_node_records_trace_zero():
+    node_a = Node(NodeConfig(name="rectrace-off-a", flight_recorder=True))
+    node_b = Node(NodeConfig(name="rectrace-off-b", flight_recorder=True))
+    try:
+        conn = node_a.connect(
+            node_b.address,
+            ConnectionConfig(interface="sci"),
+            peer_name="rectrace-off-b",
+        )
+        peer = node_b.accept(timeout=5.0)
+        conn.send(b"plain")
+        assert peer.recv(timeout=5.0) == b"plain"
+        sends = _events(node_a.recorder, "data", "send")
+        assert sends
+        assert all(not e.get("trace") for e in sends), (
+            "untraced sends must not allocate trace ids"
+        )
+    finally:
+        node_a.close()
+        node_b.close()

@@ -1,0 +1,82 @@
+"""MetricsRegistry.snapshot() coherence under concurrent updates.
+
+A histogram rendered through four separate lock acquisitions (summary,
+p50, p99, bucket counts) can interleave with concurrent ``observe()``
+calls and publish a snapshot whose bucket sum disagrees with its count.
+``Histogram.render()`` captures everything under one lock; these tests
+hammer the instruments from writer threads while snapshotting and
+assert every published view is internally consistent.
+"""
+
+import threading
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+class TestHistogramRender:
+    def test_render_matches_individual_accessors_when_quiescent(self):
+        hist = Histogram("lat", {}, buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        rendered = hist.render()
+        assert rendered["count"] == hist.count == 4
+        assert rendered["mean"] == hist.summary().mean
+        assert rendered["p50"] == hist.quantile(0.5)
+        assert rendered["p99"] == hist.quantile(0.99)
+        assert sum(rendered["buckets"].values()) == 4
+        assert list(rendered["buckets"]) == ["1.0", "10.0", "100.0", "+inf"]
+
+    def test_empty_histogram_renders(self):
+        rendered = Histogram("lat", {}, buckets=(1.0,)).render()
+        assert rendered["count"] == 0
+        assert rendered["p50"] == 0.0
+        assert sum(rendered["buckets"].values()) == 0
+
+
+class TestSnapshotUnderConcurrency:
+    def test_bucket_sum_always_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.25, 0.5, 0.75))
+        counter = registry.counter("ops")
+        stop = threading.Event()
+
+        def hammer(seed):
+            value = seed
+            while not stop.is_set():
+                value = (value * 1103515245 + 12345) % 1000
+                hist.observe(value / 1000.0)
+                counter.inc()
+
+        writers = [
+            threading.Thread(target=hammer, args=(seed,), daemon=True)
+            for seed in (1, 2, 3, 4)
+        ]
+        for writer in writers:
+            writer.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()
+                for rendered in snap["histograms"]:
+                    total = sum(rendered["buckets"].values())
+                    assert total == rendered["count"], (
+                        f"incoherent histogram snapshot: bucket sum "
+                        f"{total} != count {rendered['count']}"
+                    )
+                    if rendered["count"]:
+                        assert rendered["min"] <= rendered["mean"]
+                        assert rendered["mean"] <= rendered["max"]
+                        assert rendered["p50"] <= rendered["p99"]
+        finally:
+            stop.set()
+            for writer in writers:
+                writer.join(timeout=5.0)
+
+    def test_quantile_still_validates_range(self):
+        hist = Histogram("lat", {}, buckets=(1.0,))
+        hist.observe(0.5)
+        try:
+            hist.quantile(1.5)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("quantile(1.5) should raise ValueError")

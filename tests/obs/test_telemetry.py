@@ -1,0 +1,289 @@
+"""Telemetry plane: clock sync, exporter ladder, collector, exposition.
+
+The invariants under test mirror the design:
+
+* ClockSync keeps the min-RTT sample per peer (Cristian filter).
+* The exporter degrades at high budget occupancy or OVERLOADED health —
+  an overloaded node still emits (smaller) telemetry — and sheds
+  outright near the ceiling, with every shed observable three ways:
+  the exporter counter, the MemoryBudget counter, and the sequence gap
+  the collector sees.
+* Telemetry bytes are never charged to the data-plane budget.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+from repro.obs.telemetry import (
+    ClockSync,
+    Collector,
+    TelemetryExporter,
+    TimeSeriesRing,
+    render_prometheus,
+    export_jsonl,
+)
+from repro.protocol.pdus import TelemetryPdu
+
+
+class TestClockSync:
+    def test_min_rtt_sample_wins(self):
+        sync = ClockSync()
+        sync.observe("b", offset=0.010, rtt=0.004)
+        sync.observe("b", offset=0.002, rtt=0.001)  # tightest bound
+        sync.observe("b", offset=0.020, rtt=0.009)
+        estimate = sync.estimate("b")
+        assert estimate is not None
+        assert estimate.offset == pytest.approx(0.002)
+        assert estimate.rtt == pytest.approx(0.001)
+        assert estimate.samples == 3
+
+    def test_negative_rtt_discarded(self):
+        sync = ClockSync()
+        sync.observe("b", offset=1.0, rtt=-0.5)
+        assert sync.estimate("b") is None
+
+    def test_window_bounded(self):
+        sync = ClockSync(window=4)
+        for i in range(100):
+            sync.observe("b", offset=float(i), rtt=1.0 + i)
+        estimate = sync.estimate("b")
+        # Only the last 4 samples survive; min rtt among them is i=96.
+        assert estimate.offset == pytest.approx(96.0)
+
+    def test_snapshot_covers_all_peers(self):
+        sync = ClockSync()
+        sync.observe("b", offset=0.1, rtt=0.01)
+        sync.observe("c", offset=-0.2, rtt=0.02)
+        snap = sync.snapshot()
+        assert set(snap) == {"b", "c"}
+        assert snap["b"]["offset"] == pytest.approx(0.1)
+
+
+class TestTimeSeriesRing:
+    def test_bounded_eviction(self):
+        ring = TimeSeriesRing(capacity=3)
+        for i in range(10):
+            ring.append(float(i), float(i * 2))
+        assert len(ring) == 3
+        assert ring.items()[0] == (7.0, 14.0)
+        assert ring.latest() == (9.0, 18.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRing(capacity=0)
+
+
+@pytest.fixture
+def cluster():
+    """Collector hub plus one worker node wired for manual export."""
+    hub = Node(NodeConfig(name="hub"))
+    collector = Collector(hub)
+    worker = Node(NodeConfig(name="worker"))
+    exporter = TelemetryExporter(
+        worker, hub.address, interval=60.0  # loop effectively dormant
+    )
+    yield hub, collector, worker, exporter
+    exporter.stop()
+    worker.close()
+    hub.close()
+
+
+def _drain(collector, minimum, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if collector.snapshots_received >= minimum:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"collector saw {collector.snapshots_received} < {minimum} snapshots"
+    )
+
+
+class TestExporterLadder:
+    def test_full_snapshot_reaches_collector(self, cluster):
+        hub, collector, worker, exporter = cluster
+        assert exporter.export_once() == "full"
+        _drain(collector, 1)
+        view = collector.view("worker")
+        assert view is not None
+        assert view.last_kind == "full"
+        assert "pressure" in view.last_body
+        assert view.last_body["state"] in ("OK", "DEGRADED")
+
+    def test_overloaded_node_still_emits_degraded(self, cluster):
+        hub, collector, worker, exporter = cluster
+        worker.health = lambda: {"state": "OVERLOADED"}
+        assert exporter.export_once() == "degraded"
+        _drain(collector, 1)
+        view = collector.view("worker")
+        assert view.last_kind == "degraded"
+        assert view.last_state == "OVERLOADED"
+        # Degraded bodies shrink: no health/pressure/clock sections.
+        assert "health" not in view.last_body
+        assert "pressure" not in view.last_body
+        assert exporter.snapshots_degraded == 1
+
+    def test_high_occupancy_degrades(self, cluster):
+        hub, collector, worker, exporter = cluster
+        worker.pressure.occupancy = lambda: 0.85
+        assert exporter.export_once() == "degraded"
+
+    def test_shed_past_ceiling_is_observable_everywhere(self, cluster):
+        hub, collector, worker, exporter = cluster
+        # One normal snapshot establishes the sequence baseline.
+        assert exporter.export_once() == "full"
+        _drain(collector, 1)
+        worker.pressure.occupancy = lambda: 0.99
+        assert exporter.export_once() is None  # shed
+        assert exporter.export_once() is None  # shed again
+        # 1) exporter counter
+        assert exporter.snapshots_shed == 2
+        # 2) budget counter
+        assert worker.pressure.snapshot()["telemetry_sheds"] == 2
+        # 3) collector sees the sequence gap once exports resume
+        worker.pressure.occupancy = lambda: 0.0
+        assert exporter.export_once() == "full"
+        _drain(collector, 2)
+        assert collector.view("worker").missed == 2
+        assert collector.total_missed() == 2
+
+    def test_telemetry_bytes_never_charged_to_budget(self, cluster):
+        hub, collector, worker, exporter = cluster
+        budget = worker.pressure
+        used_before = budget.snapshot()["used"]
+        for _ in range(5):
+            assert exporter.export_once() == "full"
+        snap = budget.snapshot()
+        assert snap["used"] == used_before  # zero bytes charged
+        assert snap["telemetry_exempt_bytes"] == exporter.bytes_sent > 0
+
+    def test_sequence_numbers_are_contiguous_without_sheds(self, cluster):
+        hub, collector, worker, exporter = cluster
+        for _ in range(4):
+            exporter.export_once()
+        _drain(collector, 4)
+        view = collector.view("worker")
+        assert view.last_sequence == 4
+        assert view.missed == 0
+
+    def test_rejects_bad_parameters(self, cluster):
+        hub, collector, worker, _ = cluster
+        with pytest.raises(ValueError):
+            TelemetryExporter(worker, hub.address, interval=0.0)
+        with pytest.raises(ValueError):
+            TelemetryExporter(
+                worker, hub.address, degrade_at=0.9, shed_at=0.5
+            )
+
+
+class TestCollector:
+    def test_malformed_body_counted_not_fatal(self, cluster):
+        hub, collector, worker, exporter = cluster
+        pdu = TelemetryPdu(
+            node="evil", sequence=1, sent_at=0.0, kind="full",
+            body=b"\xff not json",
+        )
+        collector.on_telemetry(pdu, link=None)
+        assert collector.snapshots_malformed == 1
+        assert "evil" not in collector.nodes()
+
+    def test_rings_accumulate_series(self, cluster):
+        hub, collector, worker, exporter = cluster
+        for _ in range(3):
+            exporter.export_once()
+        _drain(collector, 3)
+        series = collector.series("worker", "occupancy")
+        assert len(series) == 3
+
+    def test_listener_fires_per_snapshot(self, cluster):
+        hub, collector, worker, exporter = cluster
+        seen = []
+        collector.add_listener(seen.append)
+        exporter.export_once()
+        _drain(collector, 1)
+        assert seen == ["worker"]
+
+    def test_cluster_snapshot_aggregates(self, cluster):
+        hub, collector, worker, exporter = cluster
+        exporter.export_once()
+        _drain(collector, 1)
+        snap = collector.cluster_snapshot()
+        assert snap["collector"] == "hub"
+        assert [entry["node"] for entry in snap["nodes"]] == ["worker"]
+        assert snap["cluster_state"] in ("OK", "DEGRADED")
+
+
+class TestExposition:
+    def test_prometheus_text_format(self, cluster):
+        hub, collector, worker, exporter = cluster
+        exporter.export_once()
+        _drain(collector, 1)
+        text = render_prometheus(collector)
+        assert 'ncs_node_health_state{node="worker"}' in text
+        assert 'ncs_telemetry_snapshots_received{collector="hub"} 1' in text
+        assert text.endswith("\n")
+        # Every sample line is "name{labels} value".
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert " " in line and "{" in line
+
+    def test_jsonl_export_round_trips(self, cluster, tmp_path):
+        hub, collector, worker, exporter = cluster
+        exporter.export_once()
+        _drain(collector, 1)
+        path = str(tmp_path / "cluster.jsonl")
+        written = export_jsonl(collector, path)
+        lines = [json.loads(l) for l in open(path)]
+        assert written == len(lines) == 2  # one node + trailer
+        assert lines[0]["record"] == "node"
+        assert lines[0]["node"] == "worker"
+        assert lines[1]["record"] == "collector"
+
+
+class TestEndToEnd:
+    def test_telemetry_survives_data_traffic(self):
+        """Exporter threads + live traffic: collector converges."""
+        hub = Node(NodeConfig(name="hub"))
+        collector = Collector(hub)
+        target = f"{hub.address[0]}:{hub.address[1]}"
+        alice = Node(NodeConfig(
+            name="alice", telemetry=target, telemetry_interval=0.03
+        ))
+        bob = Node(NodeConfig(
+            name="bob", telemetry=target, telemetry_interval=0.03
+        ))
+        try:
+            conn = alice.connect(
+                bob.address, ConnectionConfig(interface="sci"),
+                peer_name="bob",
+            )
+            peer = bob.accept(timeout=5.0)
+            for _ in range(5):
+                conn.send(b"x" * 20000, wait=True, timeout=5.0)
+                assert peer.recv(timeout=5.0)
+            alice.telemetry_exporter.export_once()
+            bob.telemetry_exporter.export_once()
+            _drain(collector, 4)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if set(collector.nodes()) == {"alice", "bob"}:
+                    break
+                time.sleep(0.01)
+            assert set(collector.nodes()) == {"alice", "bob"}
+            view = collector.view("alice")
+            conns = view.last_body.get("conns", {})
+            assert any(
+                totals.get("messages_sent", 0) >= 5
+                for totals in conns.values()
+            )
+            # Telemetry never charged: exempt counter grew, sheds zero.
+            snap = alice.pressure.snapshot()
+            assert snap["telemetry_exempt_bytes"] > 0
+        finally:
+            alice.close()
+            bob.close()
+            hub.close()

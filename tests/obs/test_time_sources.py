@@ -1,0 +1,79 @@
+"""One epoch for every observability stamp (the time-source audit).
+
+Cross-correlating tracer events, telemetry ``sent_at`` stamps, and
+flight-recorder entries only works if they all share one clock epoch.
+``repro.util.clock.MonotonicClock`` (perf_counter) is that epoch; wall
+clock (``time.time``) is allowed only as an explicitly-labelled
+companion stamp for anchoring on-disk artifacts to external logs.
+"""
+
+import pathlib
+import re
+import time
+
+from repro.obs.recorder import FlightRecorder
+from repro.util.clock import MonotonicClock
+
+OBS_DIR = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+
+#: The only places wall clock may appear inside repro.obs: explicitly
+#: wall-labelled companion stamps.
+WALL_CLOCK_ALLOWED = {"recorder.py"}
+
+
+class TestEpochConsistency:
+    def test_default_recorder_shares_the_node_clock_epoch(self):
+        """A default-constructed recorder must stamp on the same epoch
+        as MonotonicClock — not time.monotonic, not time.time."""
+        recorder = FlightRecorder(name="epoch")
+        clock = MonotonicClock()
+        recorder.record("data", "send", msg=1)
+        entry_ts = recorder.snapshot()[0]["ts"]
+        # Same epoch <=> the delta is tiny; a time.time() regression
+        # would make it the Unix epoch (~1.7e9 seconds off), and a
+        # divergent monotonic epoch is typically boot-relative.
+        assert abs(entry_ts - clock.now()) < 5.0
+
+    def test_dump_carries_wall_clock_companion(self):
+        recorder = FlightRecorder(name="epoch")
+        recorder.record("x", "y")
+        record = recorder.dump(reason="test")
+        # Monotonic stamp for in-process ordering...
+        assert abs(record["dumped_at"] - time.perf_counter()) < 5.0
+        # ...plus the wall stamp that anchors the artifact externally.
+        assert abs(record["dumped_at_wall"] - time.time()) < 5.0
+
+
+class TestStaticAudit:
+    def test_no_bare_wall_clock_in_obs(self):
+        """``time.time()`` must not creep into repro.obs hot paths."""
+        offenders = []
+        for path in sorted(OBS_DIR.rglob("*.py")):
+            if path.name in WALL_CLOCK_ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if re.search(r"\btime\.time\(\)", line):
+                    offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "wall clock in obs hot paths (use the node clock / "
+            "perf_counter, or add an explicit *_wall companion): "
+            + "; ".join(offenders)
+        )
+
+    def test_no_divergent_monotonic_in_obs(self):
+        """time.monotonic() and perf_counter have different epochs on
+        some platforms; obs code must standardize on perf_counter (via
+        the node clock) so stamps stay comparable."""
+        offenders = []
+        for path in sorted(OBS_DIR.rglob("*.py")):
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if re.search(r"\btime\.monotonic\(\)", line):
+                    offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "time.monotonic() in repro.obs — stamp with the node clock "
+            "(perf_counter epoch) instead: " + "; ".join(offenders)
+        )

@@ -1,0 +1,165 @@
+"""Trace merger: offset recovery, rebasing, Chrome export.
+
+Synthetic two-node event streams with a *known* clock skew let the
+tests assert the merger recovers it — from heartbeat clock samples,
+from data-trace midpoints when no clock samples exist, and through
+multi-hop offset propagation.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    estimate_offsets,
+    load_jsonl_events,
+    merge_traces,
+    trace_spans,
+    write_merged_chrome,
+)
+
+#: bob's clock runs 5 seconds ahead of alice's in every scenario.
+SKEW = 5.0
+
+
+def _clock_event(ts, peer, offset, rtt):
+    return {
+        "ts": ts, "category": "clock", "name": "offset",
+        "peer": peer, "offset": offset, "rtt": rtt,
+    }
+
+
+def _data_event(ts, name, trace, msg_id=1):
+    return {
+        "ts": ts, "category": "data", "name": name,
+        "trace": trace, "msg_id": msg_id,
+    }
+
+
+class TestOffsetEstimation:
+    def test_clock_edges_recover_known_skew(self):
+        alice = [
+            _clock_event(1.0, "bob", SKEW + 0.004, rtt=0.010),
+            _clock_event(2.0, "bob", SKEW + 0.001, rtt=0.002),  # min RTT
+            _clock_event(3.0, "bob", SKEW + 0.009, rtt=0.020),
+        ]
+        offsets = estimate_offsets({"alice": alice, "bob": []},
+                                   reference="alice")
+        assert offsets["alice"] == 0.0
+        assert offsets["bob"] == pytest.approx(SKEW, abs=0.01)
+
+    def test_midpoint_fallback_without_clock_events(self):
+        # alice sends at 10.0, completes (ack) at 10.2 -> midpoint 10.1;
+        # bob delivers at local 15.1 == alice 10.1 + SKEW.
+        alice = [
+            _data_event(10.0, "send", trace=7),
+            _data_event(10.2, "complete", trace=7),
+        ]
+        bob = [_data_event(10.1 + SKEW, "deliver", trace=7)]
+        offsets = estimate_offsets({"alice": alice, "bob": bob},
+                                   reference="alice")
+        assert offsets["bob"] == pytest.approx(SKEW, abs=1e-9)
+
+    def test_clock_edge_overrides_midpoint(self):
+        # Midpoint says 4.0, clock sample says SKEW — clock must win.
+        alice = [
+            _data_event(10.0, "send", trace=7),
+            _data_event(10.2, "complete", trace=7),
+            _clock_event(11.0, "bob", SKEW, rtt=0.001),
+        ]
+        bob = [_data_event(14.1, "deliver", trace=7)]
+        offsets = estimate_offsets({"alice": alice, "bob": bob},
+                                   reference="alice")
+        assert offsets["bob"] == pytest.approx(SKEW)
+
+    def test_offsets_propagate_across_hops(self):
+        # alice knows bob (+5), bob knows carol (+2): carol = +7 even
+        # though alice and carol never exchanged anything.
+        alice = [_clock_event(1.0, "bob", 5.0, rtt=0.001)]
+        bob = [_clock_event(1.0, "carol", 2.0, rtt=0.001)]
+        offsets = estimate_offsets(
+            {"alice": alice, "bob": bob, "carol": []}, reference="alice"
+        )
+        assert offsets["carol"] == pytest.approx(7.0)
+
+    def test_unreachable_node_defaults_to_zero(self):
+        offsets = estimate_offsets(
+            {"alice": [_data_event(1.0, "send", trace=1)], "mars": []},
+            reference="alice",
+        )
+        assert offsets["mars"] == 0.0
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_offsets({"alice": []}, reference="nobody")
+
+
+class TestMerge:
+    def _merged(self):
+        alice = [
+            _clock_event(0.5, "bob", SKEW, rtt=0.001),
+            _data_event(1.0, "send", trace=9),
+            _data_event(1.4, "complete", trace=9),
+        ]
+        bob = [_data_event(1.2 + SKEW, "deliver", trace=9)]
+        return merge_traces({"alice": alice, "bob": bob},
+                            reference="alice")
+
+    def test_events_land_on_one_timeline(self):
+        merged = self._merged()
+        by_name = {e["name"]: e for e in merged if e["category"] == "data"}
+        # After rebasing, deliver sits between send and complete.
+        assert by_name["send"]["ts"] < by_name["deliver"]["ts"]
+        assert by_name["deliver"]["ts"] < by_name["complete"]["ts"]
+        assert by_name["deliver"]["ts_local"] == pytest.approx(1.2 + SKEW)
+        assert by_name["deliver"]["node"] == "bob"
+
+    def test_merged_is_time_sorted(self):
+        merged = self._merged()
+        stamps = [e["ts"] for e in merged]
+        assert stamps == sorted(stamps)
+
+    def test_trace_spans_selects_one_trace(self):
+        merged = self._merged()
+        span = trace_spans(merged, 9)
+        assert [e["name"] for e in span] == ["send", "deliver", "complete"]
+        assert {e["node"] for e in span} == {"alice", "bob"}
+
+    def test_chrome_export(self, tmp_path):
+        merged = self._merged()
+        path = str(tmp_path / "merged.json")
+        write_merged_chrome(merged, path)
+        doc = json.load(open(path))
+        records = doc["traceEvents"]
+        names = {r["name"] for r in records}
+        # One process lane per node, named via metadata records.
+        lanes = {
+            r["args"]["name"] for r in records if r["ph"] == "M"
+        }
+        assert lanes == {"alice", "bob"}
+        # The cross-node trace renders as an async begin/end pair.
+        assert "trace 0x9" in names
+        phases = [r["ph"] for r in records if r["name"] == "trace 0x9"]
+        assert sorted(phases) == ["b", "e"]
+        # Instants from both nodes appear with distinct pids.
+        pids = {
+            r["pid"] for r in records if r["ph"] == "i"
+        }
+        assert len(pids) == 2
+
+
+class TestJsonlLoading:
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps(_data_event(1.0, "send", trace=1)) + "\n"
+            + '{"ts": 2.0, "category": "da'  # crash mid-write
+        )
+        events = load_jsonl_events(str(path))
+        assert len(events) == 1
+        assert events[0]["name"] == "send"
+
+    def test_blank_lines_and_non_events_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('\n[1,2]\n{"no_ts": true}\n')
+        assert load_jsonl_events(str(path)) == []
