@@ -1,0 +1,210 @@
+"""X-ray overhead: what per-message latency attribution costs.
+
+Runs the same message stream three times — X-ray off, sampling 1 in 64
+(the always-on production default), and sampling every message — and
+reports the throughput tax of each mode against the off baseline.  The
+acceptance bars come straight from the subsystem's design budget: the
+default 1/64 sampler must cost ≤5%, and the disabled path (one ``is
+None`` branch per send) must be free to within measurement noise.
+
+The full-sampling rig doubles as a live telescoping check: every
+sampled journey's stage sums must reproduce the measured end-to-end
+latency (modulo the inline-delivery overlap ``join_spans`` accounts
+explicitly), so the numbers the waterfalls render are self-consistent
+on every bench run, not just under the unit-test workload.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, Optional
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+#: Small-message regime: per-send costs (the sampler branch, the stamp
+#: dict) are visible against a 16 KB transfer where the 1 MB batching
+#: regime would bury them under memcpy time.
+DEFAULT_MESSAGES = 160
+DEFAULT_MESSAGE_BYTES = 16 * 1024
+#: Interleaved best-of-N, same rationale as repro.bench.obs_overhead:
+#: host noise taxes every mode instead of whichever ran last.  Five reps
+#: because this regime's per-rep window (~60 ms) is short enough that a
+#: single scheduler hiccup swings a rep by more than the 5% bar.
+DEFAULT_REPEATS = 5
+#: The production-default sampling period under test.
+SAMPLED_PERIOD = 64
+
+
+class _XrayRig:
+    """A live node pair with one X-ray sampling mode."""
+
+    def __init__(
+        self,
+        period: Optional[int],
+        message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    ):
+        from repro.obs.xray import XrayConfig
+
+        self.period = period
+        self.payload = b"\xcd" * message_bytes
+        label = "off" if period is None else str(period)
+        xray = False if period is None else XrayConfig(
+            period=period, ring_capacity=4096
+        )
+        self.node_a = Node(NodeConfig(name=f"xray-tx-{label}", xray=xray))
+        self.node_b = Node(NodeConfig(name=f"xray-rx-{label}", xray=xray))
+        self.conn = self.node_a.connect(
+            self.node_b.address,
+            ConnectionConfig(
+                interface="hpi",
+                flow_control="credit",
+                error_control="selective_repeat",
+                initial_credits=4,
+                max_credits=64,
+            ),
+            peer_name=self.node_b.name,
+        )
+        self.peer = self.node_b.accept(timeout=5.0)
+        assert self.peer is not None
+        self.conn.send(self.payload, wait=True, timeout=60.0)  # warmup
+        assert self.peer.recv(timeout=60.0) is not None
+
+    def run_once(self, messages: int) -> float:
+        start = time.perf_counter()
+        for _ in range(messages):
+            self.conn.send(self.payload, wait=True, timeout=120.0)
+            assert self.peer.recv(timeout=120.0) is not None
+        return time.perf_counter() - start
+
+    def spans(self) -> list:
+        if self.node_a.xray is None:
+            return []
+        return self.node_a.xray.spans() + self.node_b.xray.spans()
+
+    def sampled_counts(self) -> Dict[str, int]:
+        if self.node_a.xray is None:
+            return {"sampled_sends": 0, "sampled_recvs": 0}
+        return {
+            "sampled_sends": self.node_a.xray.sampled_sends,
+            "sampled_recvs": self.node_b.xray.sampled_recvs,
+        }
+
+    def close(self) -> None:
+        self.node_a.close()
+        self.node_b.close()
+
+
+def _telescope_stats(spans: list) -> Dict[str, object]:
+    """Stage-sum vs end-to-end agreement across joined spans."""
+    from repro.obs.xray import dominance_report, join_spans
+
+    joined = join_spans(spans)
+    if not joined:
+        return {"joined_spans": 0}
+    ratios = [
+        (sum(span["stages"].values()) - span["overlap_ns"]) / span["e2e_ns"]
+        for span in joined
+        if span["e2e_ns"] > 0
+    ]
+    report = dominance_report(joined)
+    return {
+        "joined_spans": len(joined),
+        "telescope_ratio_median": round(statistics.median(ratios), 4),
+        "telescope_ratio_worst": round(
+            max(ratios, key=lambda r: abs(r - 1.0)), 4
+        ),
+        "e2e_p50_us": round(
+            statistics.median(s["e2e_ns"] for s in joined) / 1e3, 1
+        ),
+        "dominant_stage": report["dominant"],
+        "tail_dominant_stage": report["tail_dominant"],
+    }
+
+
+def run_xray_bench(
+    messages: int = DEFAULT_MESSAGES,
+    message_bytes: int = DEFAULT_MESSAGE_BYTES,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    rigs = {
+        "off": _XrayRig(None, message_bytes),
+        "sampled": _XrayRig(SAMPLED_PERIOD, message_bytes),
+        "full": _XrayRig(1, message_bytes),
+    }
+    try:
+        elapsed = {mode: float("inf") for mode in rigs}
+        for _ in range(repeats):
+            for mode, rig in rigs.items():
+                elapsed[mode] = min(elapsed[mode], rig.run_once(messages))
+        volume = messages * message_bytes
+        results: dict = {}
+        for mode, rig in rigs.items():
+            results[mode] = {
+                "throughput_mbps": round(volume / elapsed[mode] / 1e6, 2),
+                "elapsed_s": round(elapsed[mode], 4),
+                **rig.sampled_counts(),
+            }
+        time.sleep(0.05)  # let trailing recv spans finalize
+        results["telescope"] = _telescope_stats(rigs["full"].spans())
+    finally:
+        for rig in rigs.values():
+            rig.close()
+    base = results["off"]["throughput_mbps"]
+
+    def overhead(mode: str) -> float:
+        if not base:
+            return 0.0
+        return round(
+            (base - results[mode]["throughput_mbps"]) / base * 100.0, 2
+        )
+
+    results["overhead_sampled_pct"] = overhead("sampled")
+    results["overhead_full_pct"] = overhead("full")
+    return results
+
+
+def format_results(results: dict) -> str:
+    tele = results["telescope"]
+    lines = [
+        f"X-ray overhead ({DEFAULT_MESSAGES} x "
+        f"{DEFAULT_MESSAGE_BYTES // 1024} KB over HPI loopback)",
+        f"  xray off        {results['off']['throughput_mbps']:8.1f} MB/s",
+        f"  xray 1/{SAMPLED_PERIOD:<3}      "
+        f"{results['sampled']['throughput_mbps']:8.1f} MB/s   "
+        f"({results['overhead_sampled_pct']:+.1f}%, "
+        f"{results['sampled']['sampled_sends']} spans)",
+        f"  xray 1/1        {results['full']['throughput_mbps']:8.1f} MB/s   "
+        f"({results['overhead_full_pct']:+.1f}%, "
+        f"{results['full']['sampled_sends']} spans)",
+    ]
+    if tele.get("joined_spans"):
+        lines.append(
+            f"  telescoping: {tele['joined_spans']} joined spans, "
+            f"median stage-sum/e2e {tele['telescope_ratio_median']:.3f} "
+            f"(worst {tele['telescope_ratio_worst']:.3f}); "
+            f"e2e p50 {tele['e2e_p50_us']} us, "
+            f"tail dominated by {tele['tail_dominant_stage']}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    from repro.bench.persist import persist_run
+
+    results = run_xray_bench()
+    print(format_results(results))
+    persist_run(
+        "xray",
+        results,
+        config={
+            "messages": DEFAULT_MESSAGES,
+            "message_bytes": DEFAULT_MESSAGE_BYTES,
+            "repeats": DEFAULT_REPEATS,
+            "sampled_period": SAMPLED_PERIOD,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -187,6 +187,10 @@ class NodeConfig:
     #: Telemetry export period (seconds).  None defers to
     #: NCS_TELEMETRY_INTERVAL (default 0.25).
     telemetry_interval: Optional[float] = None
+    #: Latency X-ray sampling (repro.obs.xray): an XrayConfig, a spec
+    #: string like "64" / "1/64;seed=7", or False to force it off.  None
+    #: defers to the NCS_XRAY environment variable (unset = off).
+    xray: Optional[object] = None
 
     def pressure_config(self):
         """Resolve the effective PressureConfig (explicit or from env)."""
@@ -231,6 +235,18 @@ class NodeConfig:
                 f"telemetry target must be 'host:port', got {raw!r}"
             )
         return (host, int(port))
+
+    def xray_config(self):
+        """Resolve the effective XrayConfig, or None (sampling off)."""
+        from repro.obs.xray import XrayConfig
+
+        if self.xray is not None:
+            if self.xray is False:
+                return None
+            if isinstance(self.xray, XrayConfig):
+                return self.xray
+            return XrayConfig.parse(str(self.xray))
+        return XrayConfig.from_env()
 
     def telemetry_export_interval(self) -> float:
         if self.telemetry_interval is not None:

@@ -34,6 +34,7 @@ from repro.core.errors import ConnectionClosedError, NCSOverloaded, NCSTimeout
 from repro.core.handles import SendHandle, SendStatus
 from repro.errorcontrol import make_error_control
 from repro.flowcontrol import make_flow_control
+from repro.obs.xray import XRAY_SPAN_MARK
 from repro.interfaces.base import (
     CommInterface,
     FaultInjector,
@@ -152,6 +153,20 @@ class Connection:
             config.flow_control, conn_id, **fc_options
         )
 
+        # Latency X-ray (repro.obs.xray).  When the node-level recorder
+        # is absent, every hot path below pays exactly one `is not None`
+        # branch; when sampling is on, unsampled messages pay one counter
+        # increment and one modulo — no allocation either way.
+        self._xray = getattr(node, "xray", None)
+        self._xray_ids = itertools.count(1)
+        #: msg_id -> stamp dict for sampled in-flight sends.  Always a
+        #: dict (guards check truthiness, which is falsy when idle).
+        self._xray_send_spans: dict = {}
+        #: msg_id -> stamp dict for sampled inbound mid-reassembly.
+        self._xray_recv_spans: dict = {}
+        #: id(message) -> stamp dict parked in recv_queue with it.
+        self._xray_delivery: dict = {}
+
         self._msg_ids = itertools.count(1)
         self._handles: dict[int, SendHandle] = {}
         self._handles_lock = threading.Lock()
@@ -258,6 +273,9 @@ class Connection:
         """
         if instrument is not None:
             instrument["entry"] = time.perf_counter_ns()
+        span = None
+        if self._xray is not None and self._xray.sampled(next(self._xray_ids)):
+            span = {"entry": time.perf_counter_ns()}
         if self._closed:
             raise ConnectionClosedError(f"connection {self.conn_id} is closed")
         if self._peer_closed:
@@ -269,6 +287,8 @@ class Connection:
                 f"connection {self.conn_id}: peer is gone (closed or transport lost)"
             )
         self._admit_send(len(payload), timeout)
+        if span is not None:
+            span["admitted"] = time.perf_counter_ns()
         msg_id = next(self._msg_ids)
         handle = SendHandle(msg_id, len(payload))
         trace_id = 0
@@ -276,6 +296,19 @@ class Connection:
             # Cross-node trace envelope: the id allocated here rides the
             # SDU headers to the peer, where deliver/ack events adopt it.
             trace_id = new_trace_id()
+        span_mark = 0
+        if span is not None:
+            # A sampled message always carries the trace envelope (the
+            # id is allocated here even when tracing is off) so the
+            # receiver recognizes it from span_id's top bit alone — no
+            # wire-format change, and retransmits inherit the mark with
+            # the stored SDUs.
+            if not trace_id:
+                trace_id = new_trace_id()
+            span_mark = XRAY_SPAN_MARK | (msg_id & 0x7FFFFFFF)
+            span["_trace"] = trace_id
+            span["_size"] = len(payload)
+            self._xray_send_spans[msg_id] = span
         with self._handles_lock:
             self._handles[msg_id] = handle
             if trace_id:
@@ -302,9 +335,13 @@ class Connection:
                 # Stamp before the put: the protocol thread may dequeue
                 # the instant the request lands.
                 instrument["queued"] = time.perf_counter_ns()
-            self._proto_chan.put(("send", msg_id, payload, instrument, trace_id))
+            if span is not None:
+                span["queued"] = time.perf_counter_ns()
+            self._proto_chan.put(
+                ("send", msg_id, payload, instrument, trace_id, span_mark)
+            )
         else:
-            self._bypass_send(msg_id, payload, instrument, trace_id)
+            self._bypass_send(msg_id, payload, instrument, trace_id, span_mark)
         if instrument is not None:
             instrument["exit"] = time.perf_counter_ns()
         if wait:
@@ -464,6 +501,12 @@ class Connection:
 
     def _delivery_popped(self, message):
         """Release delivery-site bytes after the application consumed one."""
+        if message is not None and self._xray_delivery:
+            span = self._xray_delivery.pop(id(message), None)
+            if span is not None and self._xray is not None:
+                span["popped"] = time.perf_counter_ns()
+                span["_size"] = len(message)
+                self._xray.record_recv(self.conn_id, self.peer_name, span)
         budget = self._budget
         if budget is None or message is None:
             return message
@@ -642,6 +685,9 @@ class Connection:
         for handle in self._threads:
             handle.join(timeout=1.0)
         self.interface.close()
+        self._xray_send_spans.clear()
+        self._xray_recv_spans.clear()
+        self._xray_delivery.clear()
         self.node._forget_connection(self.conn_id)
 
     @property
@@ -777,14 +823,22 @@ class Connection:
             now = self._clock.now()
             kind = event[0]
             if kind == "send":
-                _, msg_id, payload, instrument, trace_id = event
+                _, msg_id, payload, instrument, trace_id, span_mark = event
+                span = (
+                    self._xray_send_spans.get(msg_id) if span_mark else None
+                )
                 if instrument is not None:
                     instrument["dequeued"] = time.perf_counter_ns()
+                if span is not None:
+                    span["dequeued"] = time.perf_counter_ns()
                 effects = self.ec_sender.send(
-                    msg_id, payload, now, trace_id=trace_id
+                    msg_id, payload, now, trace_id=trace_id,
+                    span_id=span_mark or None,
                 )
                 if instrument is not None:
                     instrument["segmented"] = time.perf_counter_ns()
+                if span is not None:
+                    span["segmented"] = time.perf_counter_ns()
                 self._ec_timer_at = effects.timer_at
                 self._dispatch_sender_effects(
                     effects, now, transmit_inline=False, instrument=instrument
@@ -823,10 +877,17 @@ class Connection:
                     break
                 batch.append(extra)
             dequeued_ns = time.perf_counter_ns()
+            xray_live = bool(self._xray_send_spans)
             sdus = []
             for sdu, instrument in batch:
                 if instrument is not None:
                     instrument["send_thread_dequeued"] = dequeued_ns
+                if xray_live:
+                    header = sdu.header
+                    if header.span_id & XRAY_SPAN_MARK and header.end_bit:
+                        span = self._xray_send_spans.get(header.msg_id)
+                        if span is not None and "send_dequeued" not in span:
+                            span["send_dequeued"] = dequeued_ns
                 sdus.append(sdu)
             try:
                 self.interface.send_many(sdus)
@@ -850,11 +911,22 @@ class Connection:
                         conn_id=self.conn_id, msg_id=msg_id,
                         sdus=entry[0], trace=trace_id,
                     )
-            if any(instrument is not None for _, instrument in batch):
+            if xray_live or any(
+                instrument is not None for _, instrument in batch
+            ):
                 transmitted_ns = time.perf_counter_ns()
-                for _, instrument in batch:
+                for sdu, instrument in batch:
                     if instrument is not None:
                         instrument["transmitted"] = transmitted_ns
+                    if xray_live:
+                        header = sdu.header
+                        if header.span_id & XRAY_SPAN_MARK and header.end_bit:
+                            # First wire departure of the message's last
+                            # SDU closes the sender span; retransmits of
+                            # it find the span already gone.
+                            self._finish_send_span(
+                                header.msg_id, transmitted_ns
+                            )
             if stop:
                 return
 
@@ -950,6 +1022,25 @@ class Connection:
             return
         if stamps is not None:
             stamps["decoded"] = time.perf_counter_ns()
+        if self._xray is not None:
+            arrival_ns = time.perf_counter_ns()
+            for sdu in sdus:
+                header = sdu.header
+                if (
+                    header.span_id & XRAY_SPAN_MARK
+                    and header.msg_id not in self._xray_recv_spans
+                ):
+                    if len(self._xray_recv_spans) >= 1024:
+                        # Orphans (e.g. duplicate of an already-finished
+                        # message) must not grow the table forever.
+                        self._xray_recv_spans.pop(
+                            next(iter(self._xray_recv_spans))
+                        )
+                    self._xray_recv_spans[header.msg_id] = {
+                        "first_sdu": arrival_ns,
+                        "_trace": header.trace_id,
+                        "_msg": header.msg_id,
+                    }
         now = self._clock.now()
         # Fig. 4 steps 8-9: Receive Thread activates the Flow Control
         # Thread, which returns credit over the control connection...
@@ -976,6 +1067,20 @@ class Connection:
             if effects.deliveries:
                 delivered_msg = sdu.header.msg_id
                 delivered_trace = sdu.header.trace_id
+                if self._xray_recv_spans and (
+                    sdu.header.span_id & XRAY_SPAN_MARK
+                ):
+                    span = self._xray_recv_spans.pop(sdu.header.msg_id, None)
+                    if span is not None:
+                        # The completing SDU's own message is released
+                        # first; held later messages (ordered delivery)
+                        # follow it.
+                        span["reassembled"] = time.perf_counter_ns()
+                        if len(self._xray_delivery) >= 1024:
+                            self._xray_delivery.pop(
+                                next(iter(self._xray_delivery))
+                            )
+                        self._xray_delivery[id(effects.deliveries[0])] = span
                 deliveries.extend(effects.deliveries)
         for pdu in self._dedup_acks(controls):
             if self._tracer.enabled and isinstance(pdu, (AckPdu, CumAckPdu)):
@@ -1096,6 +1201,14 @@ class Connection:
     ) -> None:
         if effects.transmits:
             self.fc_sender.offer(effects.transmits)
+            if self._xray_send_spans:
+                offered_ns = time.perf_counter_ns()
+                for sdu in effects.transmits:
+                    header = sdu.header
+                    if header.span_id & XRAY_SPAN_MARK and header.end_bit:
+                        span = self._xray_send_spans.get(header.msg_id)
+                        if span is not None and "offered" not in span:
+                            span["offered"] = offered_ns
         for pdu in effects.controls:
             self.node.control_send(self.peer_link, pdu)
         for msg_id in effects.completed:
@@ -1123,6 +1236,17 @@ class Connection:
         released = self.fc_sender.pull(now)
         if instrument is not None:
             instrument["flow_released"] = time.perf_counter_ns()
+        xray_live = bool(self._xray_send_spans)
+        if xray_live and released:
+            released_ns = time.perf_counter_ns()
+            for sdu in released:
+                header = sdu.header
+                if header.span_id & XRAY_SPAN_MARK and header.end_bit:
+                    span = self._xray_send_spans.get(header.msg_id)
+                    # First release only: a retransmit re-entering flow
+                    # control must not move the boundary.
+                    if span is not None and "released" not in span:
+                        span["released"] = released_ns
         for sdu in released:
             if transmit_inline:
                 try:
@@ -1136,6 +1260,12 @@ class Connection:
                         conn_id=self.conn_id, msg_id=sdu.header.msg_id,
                         sdus=1, trace=sdu.header.trace_id,
                     )
+                if xray_live:
+                    header = sdu.header
+                    if header.span_id & XRAY_SPAN_MARK and header.end_bit:
+                        self._finish_send_span(
+                            header.msg_id, time.perf_counter_ns()
+                        )
             else:
                 self._send_chan.put((sdu, instrument))
         self._fc_ready_at = self.fc_sender.next_ready_time(now)
@@ -1145,7 +1275,19 @@ class Connection:
         with self._handles_lock:
             return self._trace_ids.get(msg_id, 0)
 
+    def _finish_send_span(self, msg_id: int, transmitted_ns: int) -> None:
+        """Close a sampled sender span at its first wire departure."""
+        span = self._xray_send_spans.pop(msg_id, None)
+        if span is None or self._xray is None:
+            return
+        span["transmitted"] = transmitted_ns
+        self._xray.record_send(self.conn_id, self.peer_name, msg_id, span)
+
     def _resolve_handle(self, msg_id: int, status: SendStatus) -> None:
+        if self._xray_send_spans and status is SendStatus.FAILED:
+            # A send that died before reaching the wire never finalizes;
+            # drop its span so the table cannot grow without bound.
+            self._xray_send_spans.pop(msg_id, None)
         with self._handles_lock:
             handle = self._handles.pop(msg_id, None)
             trace_id = self._trace_ids.pop(msg_id, 0)
@@ -1176,12 +1318,20 @@ class Connection:
         payload: bytes,
         instrument: Optional[dict],
         trace_id: int = 0,
+        span_mark: int = 0,
     ) -> None:
         now = self._clock.now()
         with self._engine_lock:
-            effects = self.ec_sender.send(msg_id, payload, now, trace_id=trace_id)
+            effects = self.ec_sender.send(
+                msg_id, payload, now, trace_id=trace_id,
+                span_id=span_mark or None,
+            )
             if instrument is not None:
                 instrument["segmented"] = time.perf_counter_ns()
+            if span_mark:
+                span = self._xray_send_spans.get(msg_id)
+                if span is not None:
+                    span["segmented"] = time.perf_counter_ns()
             self._ec_timer_at = effects.timer_at
             self._dispatch_sender_effects(
                 effects, now, transmit_inline=True, instrument=instrument

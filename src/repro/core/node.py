@@ -113,19 +113,33 @@ class Node:
             env_sink = jsonl_sink_from_env()
             if env_sink is not None:
                 self.tracer.add_sink(env_sink)
-        # Clock-offset estimation per peer, fed by heartbeat round-trips
-        # (see FailureDetector._on_reply) and shipped in telemetry
-        # snapshots so cross-node timestamps can share one timeline.
-        from repro.obs.telemetry import ClockSync
-
-        self.clock_sync = ClockSync()
         #: Metrics registry this node publishes into (None = metrics off).
+        #: Resolved before ClockSync so heartbeat RTT histograms can
+        #: register against it.
         self.metrics = None
         if config.metrics_enabled():
             from repro.obs.registry import get_registry
 
             self.metrics = config.metrics_registry or get_registry()
             self.metrics.add_collector(self._collect_metrics)
+        # Clock-offset estimation per peer, fed by heartbeat round-trips
+        # (see FailureDetector._on_reply) and shipped in telemetry
+        # snapshots so cross-node timestamps can share one timeline.
+        from repro.obs.telemetry import ClockSync
+
+        self.clock_sync = ClockSync(
+            registry=self.metrics, node_name=self.name
+        )
+        #: Latency X-ray: per-node recorder for sampled per-message stage
+        #: spans (None = sampling off; connections check this once).
+        from repro.obs.xray import XrayRecorder
+
+        xray_cfg = config.xray_config()
+        self.xray = (
+            XrayRecorder(self.name, xray_cfg, tracer=self.tracer)
+            if xray_cfg is not None
+            else None
+        )
         #: Control PDUs queued for sending, by type name (plain-dict
         #: counters: the Control Send path stays lock-free; the metrics
         #: collector publishes them at snapshot time).

@@ -34,13 +34,17 @@ class SenderErrorControl(ABC):
 
     @abstractmethod
     def send(
-        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0
+        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0,
+        span_id=None,
     ) -> Effects:
         """Segment ``payload`` and request its (initial) transmission.
 
         A non-zero ``trace_id`` stamps the cross-node trace envelope on
         every SDU of the message; since engines retransmit the stored
-        SDUs, retransmissions inherit the envelope automatically.
+        SDUs, retransmissions inherit the envelope automatically.  An
+        explicit ``span_id`` overrides the envelope's default msg_id
+        span — the latency X-ray uses its top bit to mark sampled
+        messages (see :data:`repro.obs.xray.XRAY_SPAN_MARK`).
         """
 
     @abstractmethod

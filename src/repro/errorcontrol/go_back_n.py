@@ -65,13 +65,14 @@ class GoBackNSender(SenderErrorControl):
         self.last_retransmit_at = -1.0
 
     def send(
-        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0
+        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0,
+        span_id=None,
     ) -> Effects:
         if msg_id in self._outgoing:
             raise ValueError(f"msg_id {msg_id} already in flight")
         sdus = segment_message(
             self.connection_id, msg_id, payload, self.sdu_size,
-            trace_id=trace_id,
+            trace_id=trace_id, span_id=span_id,
         )
         state = _GbnMessage(msg_id=msg_id, sdus=sdus)
         self._outgoing[msg_id] = state

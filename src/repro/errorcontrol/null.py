@@ -29,11 +29,12 @@ class NullSender(SenderErrorControl):
         self.sdu_size = sdu_size
 
     def send(
-        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0
+        self, msg_id: int, payload: bytes, now: float, trace_id: int = 0,
+        span_id=None,
     ) -> Effects:
         sdus = segment_message(
             self.connection_id, msg_id, payload, self.sdu_size,
-            trace_id=trace_id,
+            trace_id=trace_id, span_id=span_id,
         )
         return Effects(transmits=sdus, completed=[msg_id])
 

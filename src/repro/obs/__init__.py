@@ -11,7 +11,10 @@ JSONL or Chrome ``trace_event`` JSON.  On top of those raw signals,
 storms, blocked receivers, dead peers) via an optional per-node
 :class:`Watchdog`, and :mod:`repro.obs.recorder` keeps a bounded
 :class:`FlightRecorder` ring of recent protocol events that dumps
-automatically on the first sample of an anomaly.
+automatically on the first sample of an anomaly.  :mod:`repro.obs.xray`
+extends Table 1's stage decomposition to *live* traffic: deterministic
+1-in-N sampled per-message spans whose stage sums telescope to the
+measured end-to-end latency, with per-connection streaming quantiles.
 """
 
 from repro.obs.health import (
@@ -34,6 +37,7 @@ from repro.obs.profiler import (
     OverheadProfiler,
     RECV_STAGES,
     SEND_STAGES,
+    TELESCOPE_TOLERANCE,
     profile_echo,
 )
 from repro.obs.recorder import NULL_RECORDER, FlightRecorder
@@ -43,11 +47,20 @@ from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     SIZE_BUCKETS,
     format_snapshot,
     get_registry,
     set_registry,
+)
+from repro.obs.xray import (
+    XRAY_SPAN_MARK,
+    XrayConfig,
+    XrayRecorder,
+    dominance_report,
+    join_spans,
+    load_spans,
 )
 
 __all__ = [
@@ -63,6 +76,7 @@ __all__ = [
     "GLOBAL_REGISTRY",
     "HealthThresholds",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_RECORDER",
     "OK",
@@ -71,11 +85,18 @@ __all__ = [
     "SEND_STAGES",
     "SIZE_BUCKETS",
     "STALLED",
+    "TELESCOPE_TOLERANCE",
     "Watchdog",
+    "XRAY_SPAN_MARK",
+    "XrayConfig",
+    "XrayRecorder",
     "classify",
     "classify_kernel",
+    "dominance_report",
     "format_snapshot",
     "get_registry",
+    "join_spans",
+    "load_spans",
     "profile_echo",
     "sample_connection",
     "sample_sim_endpoint",

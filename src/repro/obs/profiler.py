@@ -21,6 +21,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.util.stats import RunningStats
 
+#: Telescoping tolerance: the per-stage sums must agree with the
+#: measured totals within this relative error.  The stamps share
+#: boundaries, so any real disagreement means a stage is missing or
+#: double-counted; 10% absorbs the samples where one boundary stamp
+#: landed and its partner didn't (a stage skipped on the fast path).
+#: Enforced by tests/obs/test_telescoping.py (tier-1) for both the
+#: offline profiler and the live X-ray spans.
+TELESCOPE_TOLERANCE = 0.10
+
 #: Threaded-mode send stages (label, start stamp, end stamp); the stamp
 #: names match the keys written by the instrumented send path.
 SEND_STAGES: List[Tuple[str, str, str]] = [

@@ -56,7 +56,12 @@ class ClockSync:
     that needs to place a remote timestamp on the local timeline.
     """
 
-    def __init__(self, window: int = DEFAULT_WINDOW):
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        registry=None,
+        node_name: str = "",
+    ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
@@ -64,6 +69,14 @@ class ClockSync:
         # peer name -> deque[(offset, rtt)]
         self._samples: Dict[str, deque] = {}
         self.observations = 0
+        #: Optional MetricsRegistry: every accepted RTT sample also lands
+        #: in a per-peer ``ncs_rtt_seconds`` histogram (µs-resolution
+        #: buckets) instead of being dropped after offset estimation —
+        #: heartbeat RTT is the cheapest always-on network-health signal
+        #: the node has.
+        self._registry = registry
+        self._node_name = node_name
+        self._rtt_hist: Dict[str, object] = {}
 
     def observe(self, peer: str, offset: float, rtt: float) -> None:
         """Record one (offset, rtt) sample for ``peer``."""
@@ -76,6 +89,21 @@ class ClockSync:
                 self._samples[peer] = samples
             samples.append((offset, rtt))
             self.observations += 1
+            hist = None
+            if self._registry is not None:
+                hist = self._rtt_hist.get(peer)
+                if hist is None:
+                    from repro.obs.registry import LATENCY_BUCKETS
+
+                    hist = self._registry.histogram(
+                        "ncs_rtt_seconds",
+                        buckets=LATENCY_BUCKETS,
+                        node=self._node_name,
+                        peer=peer,
+                    )
+                    self._rtt_hist[peer] = hist
+        if hist is not None:
+            hist.observe(rtt)
 
     def estimate(self, peer: str) -> Optional[OffsetEstimate]:
         """Min-RTT-filtered offset estimate for ``peer`` (None = no data)."""

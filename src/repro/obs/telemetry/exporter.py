@@ -185,5 +185,8 @@ class TelemetryExporter:
             clock_sync = getattr(node, "clock_sync", None)
             if clock_sync is not None:
                 body["clock"] = clock_sync.snapshot()
+            xray = getattr(node, "xray", None)
+            if xray is not None:
+                body["xray"] = xray.snapshot()
             body["recorder_dumps"] = getattr(node.recorder, "auto_dumps", 0)
         return json.dumps(body, default=repr).encode("utf-8")

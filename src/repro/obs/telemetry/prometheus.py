@@ -113,6 +113,36 @@ def render_prometheus(collector) -> str:
                 f"ncs_clock_rtt_seconds{_render_labels(labels)}"
                 f" {estimate.get('rtt', 0.0)}"
             )
+        xray = body.get("xray")
+        if xray:
+            # Latency X-ray: per-connection send/recv quantiles plus
+            # node-wide per-stage quantiles, quantile-labelled in the
+            # Prometheus summary convention.
+            for direction in ("sends", "recvs"):
+                lines.append(
+                    f"ncs_xray_sampled_total"
+                    f"{_render_labels(dict(base, direction=direction[:-1]))}"
+                    f" {xray.get('sampled_' + direction, 0)}"
+                )
+            quantiles = (("0.5", "p50_s"), ("0.95", "p95_s"), ("0.99", "p99_s"))
+            for conn_id, stats in sorted(xray.get("conns", {}).items()):
+                for prefix in ("send", "recv"):
+                    for q, suffix in quantiles:
+                        key = f"{prefix}_{suffix}"
+                        if key in stats:
+                            labels = dict(base, conn=conn_id, quantile=q)
+                            lines.append(
+                                f"ncs_xray_{prefix}_seconds"
+                                f"{_render_labels(labels)} {stats[key]}"
+                            )
+            for stage, stats in sorted(xray.get("stages", {}).items()):
+                for q, suffix in quantiles:
+                    if suffix in stats:
+                        labels = dict(base, stage=stage, quantile=q)
+                        lines.append(
+                            f"ncs_xray_stage_seconds"
+                            f"{_render_labels(labels)} {stats[suffix]}"
+                        )
     return "\n".join(lines) + "\n"
 
 

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro.tools.ncs_stat health [--starve] [--json]
     python -m repro.tools.ncs_stat faults [SPEC]
     python -m repro.tools.ncs_stat recovery [--faults SPEC] [--json]
+    python -m repro.tools.ncs_stat xray [--load FILE ...] [--json]
+                                        [--output FILE]
 
 * **demo** (the default with no subcommand): run a short in-process echo
   exchange with metrics enabled and print the resulting registry
@@ -34,6 +36,13 @@ Subcommands::
   print the supervisor's status plus the recovery timeline from the
   flight recorder.  Exits 0 when the session ends CONNECTED with every
   message delivered exactly once.
+* **xray**: the latency critical-path analyzer.  With no arguments it
+  runs an X-ray-sampled echo exchange, joins the sender and receiver
+  spans by trace id, and renders per-message stage waterfalls plus a
+  stage-dominance report ("where did my p99 go").  ``--load FILE ...``
+  joins spans from :meth:`XrayRecorder.dump` files instead (one per
+  node; clock offsets come from ``--offset NODE=SECONDS``), so spans
+  captured on a live cluster can be analyzed offline.
 
 The pre-subcommand spellings (``--load FILE``, ``--trace FILE``) are
 still accepted at the top level.
@@ -471,6 +480,144 @@ def format_pressure(report: dict) -> str:
     return "\n".join(lines)
 
 
+def run_xray_demo(
+    iterations: int = 40,
+    payload_size: int = 4096,
+    interface: str = "sci",
+    period: int = 1,
+) -> Tuple[list, dict, dict]:
+    """An X-ray-sampled echo run; returns (joined spans, report, snapshot).
+
+    Both nodes sample at ``1/period`` so every exchanged message (at the
+    default period=1) produces a joined sender+receiver journey — the
+    demo is about showing the waterfall, not about sampling overhead.
+    """
+    from repro.core import ConnectionConfig, Node, NodeConfig
+    from repro.obs.xray import XrayConfig, dominance_report, join_spans
+
+    cfg = XrayConfig(period=period, ring_capacity=max(512, 4 * iterations))
+    node_a = Node(NodeConfig(name="xray-a", xray=cfg))
+    node_b = Node(NodeConfig(name="xray-b", xray=cfg))
+    try:
+        conn = node_a.connect(
+            node_b.address,
+            ConnectionConfig(
+                interface=interface,
+                flow_control="credit",
+                error_control="selective_repeat",
+            ),
+            peer_name="xray-b",
+        )
+        peer = node_b.accept(timeout=5.0)
+        payload = bytes(payload_size)
+        for _ in range(iterations):
+            conn.send(payload)
+            received = peer.recv(timeout=5.0)
+            if received is None:
+                raise RuntimeError("xray demo lost a message")
+            peer.send(received)
+            if conn.recv(timeout=5.0) is None:
+                raise RuntimeError("xray demo lost a reply")
+        time.sleep(0.05)  # let trailing send spans finalize
+        spans = node_a.xray.spans() + node_b.xray.spans()
+        snapshot = {
+            "xray-a": node_a.xray.snapshot(),
+            "xray-b": node_b.xray.snapshot(),
+        }
+    finally:
+        node_a.close()
+        node_b.close()
+    # Both nodes share one process clock: no offsets needed.
+    joined = join_spans(spans)
+    return joined, dominance_report(joined), snapshot
+
+
+def format_xray_waterfall(span: dict, width: int = 48) -> str:
+    """One joined span as an indented stage waterfall."""
+    from repro.obs.xray import STAGE_ORDER
+
+    e2e = max(1, span["e2e_ns"])
+    lines = [
+        f"  msg {span['msg']} {span['sender']} -> {span['receiver']}"
+        f" ({span['size']} B, trace {span['trace']:#x}):"
+        f" e2e {e2e / 1e3:.1f} us"
+    ]
+    offset_ns = 0
+    for label in STAGE_ORDER:
+        duration = span["stages"].get(label)
+        if duration is None:
+            continue
+        # start/length clamp to the frame: overlapped stages (e.g. a
+        # batched interface_write that outlives the receiver's first
+        # read) would otherwise push bars past the right edge.
+        start = min(width - 1, int(offset_ns / e2e * width))
+        length = max(1, min(int(duration / e2e * width), width - start))
+        bar = " " * start + "#" * length
+        lines.append(
+            f"    {label:<16} |{bar:<{width}}|"
+            f" {duration / 1e3:9.1f} us ({duration / e2e * 100:5.1f}%)"
+        )
+        offset_ns += duration
+    return "\n".join(lines)
+
+
+def format_xray(
+    joined: list,
+    report: dict,
+    snapshot: Optional[dict] = None,
+    waterfalls: int = 3,
+) -> str:
+    """Waterfalls for the slowest spans + the stage-dominance report."""
+    lines = [f"latency x-ray: {report.get('spans', 0)} joined spans"]
+    if not joined:
+        lines.append("  (no joined spans — is sampling on at both ends?)")
+        return "\n".join(lines)
+    slowest = sorted(joined, key=lambda s: s["e2e_ns"], reverse=True)
+    lines.append("")
+    lines.append(f"slowest {min(waterfalls, len(slowest))} journeys:")
+    for span in slowest[:waterfalls]:
+        lines.append(format_xray_waterfall(span))
+    lines.append("")
+    lines.append(
+        f"stage dominance (tail = {report['tail_spans']} spans at"
+        f" >= {report['tail_threshold_ns'] / 1e3:.1f} us e2e):"
+    )
+    lines.append(f"  {'stage':<16} {'overall':>8} {'tail':>8}")
+    labels = sorted(
+        set(report["overall"]) | set(report["tail"]),
+        key=lambda label: -report["overall"].get(label, 0.0),
+    )
+    for label in labels:
+        mark = ""
+        if label == report.get("tail_dominant"):
+            mark = "  <- tail dominant"
+        lines.append(
+            f"  {label:<16}"
+            f" {report['overall'].get(label, 0.0) * 100:7.1f}%"
+            f" {report['tail'].get(label, 0.0) * 100:7.1f}%{mark}"
+        )
+    if snapshot:
+        lines.append("")
+        lines.append("per-connection quantiles:")
+        for node_name, snap in sorted(snapshot.items()):
+            for conn_id, stats in sorted(snap.get("conns", {}).items()):
+                if "send_p50_s" in stats:
+                    lines.append(
+                        f"  {node_name} conn {conn_id} send:"
+                        f" p50 {stats['send_p50_s'] * 1e6:8.1f} us"
+                        f"  p95 {stats['send_p95_s'] * 1e6:8.1f} us"
+                        f"  p99 {stats['send_p99_s'] * 1e6:8.1f} us"
+                    )
+                if "recv_p50_s" in stats:
+                    lines.append(
+                        f"  {node_name} conn {conn_id} recv:"
+                        f" p50 {stats['recv_p50_s'] * 1e6:8.1f} us"
+                        f"  p95 {stats['recv_p95_s'] * 1e6:8.1f} us"
+                        f"  p99 {stats['recv_p99_s'] * 1e6:8.1f} us"
+                    )
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -591,6 +738,70 @@ def _cmd_pressure(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_xray(args) -> int:
+    from repro.obs.xray import dominance_report, join_spans, load_spans
+
+    snapshot = None
+    if args.load:
+        offsets = {}
+        for raw in args.offset or []:
+            node_name, sep, value = raw.partition("=")
+            if not sep:
+                print(
+                    f"ncs_stat xray: bad --offset {raw!r}"
+                    f" (expected NODE=SECONDS)",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                offsets[node_name] = float(value)
+            except ValueError:
+                print(
+                    f"ncs_stat xray: bad --offset seconds {value!r}",
+                    file=sys.stderr,
+                )
+                return 2
+        spans = []
+        for path in args.load:
+            try:
+                spans.extend(load_spans(path))
+            except (OSError, ValueError, json.JSONDecodeError) as exc:
+                print(f"ncs_stat: error: {exc}", file=sys.stderr)
+                return 1
+        joined = join_spans(spans, offsets=offsets)
+        report = dominance_report(joined)
+    else:
+        try:
+            joined, report, snapshot = run_xray_demo(
+                iterations=args.iterations,
+                payload_size=args.size,
+                interface=args.interface,
+            )
+        except Exception as exc:  # noqa: BLE001 — demo must not traceback
+            print(f"ncs_stat: xray demo failed: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        rendered = json.dumps(
+            {"joined": joined, "report": report, "snapshot": snapshot},
+            indent=2, sort_keys=True,
+        )
+    else:
+        rendered = format_xray(
+            joined, report, snapshot, waterfalls=args.waterfalls
+        )
+    print(rendered)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"ncs_stat: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 1
+    return 0 if joined else 1
+
+
 class FlightRecorderFormatter:
     """Thin indirection so the import stays local to the health path."""
 
@@ -690,6 +901,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--size", type=int, default=2048, help="payload bytes per message"
     )
     pressure.add_argument("--json", action="store_true")
+
+    xray = sub.add_parser(
+        "xray", help="latency critical path: waterfalls + stage dominance"
+    )
+    xray.add_argument(
+        "--load", metavar="FILE", nargs="+", default=None,
+        help="join XrayRecorder.dump files instead of running the demo",
+    )
+    xray.add_argument(
+        "--offset", metavar="NODE=SECONDS", action="append", default=None,
+        help="clock offset for a loaded node (ClockSync convention: "
+             "peer_clock - local), repeatable",
+    )
+    xray.add_argument(
+        "--iterations", type=int, default=40, help="demo echo round trips"
+    )
+    xray.add_argument(
+        "--size", type=int, default=4096, help="demo payload bytes"
+    )
+    xray.add_argument(
+        "--interface", default="sci", choices=("sci", "aci", "hpi"),
+        help="demo data-plane interface",
+    )
+    xray.add_argument(
+        "--waterfalls", type=int, default=3,
+        help="slowest journeys to render as waterfalls",
+    )
+    xray.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the rendering to FILE (CI artifact)",
+    )
+    xray.add_argument("--json", action="store_true")
     return parser
 
 
@@ -709,6 +952,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_recovery(args)
     if args.command == "pressure":
         return _cmd_pressure(args)
+    if args.command == "xray":
+        return _cmd_xray(args)
     if args.command == "demo":
         return _cmd_demo(args)
 

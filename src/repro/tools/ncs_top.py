@@ -97,6 +97,7 @@ def render_dashboard(collector, stale_after: float = 2.0) -> str:
             f" age={entry['age']:.2f}s{stale}"
         )
         view = collector.view(entry["node"])
+        xray_conns = body.get("xray", {}).get("conns", {})
         for conn_id, totals in sorted(body.get("conns", {}).items()):
             tx_rate = rx_rate = 0.0
             if view is not None:
@@ -110,7 +111,7 @@ def render_dashboard(collector, stale_after: float = 2.0) -> str:
                 totals.get("fc_tx_credit_stalls", 0)
                 + totals.get("pressure_credits_withheld", 0)
             )
-            lines.append(
+            line = (
                 f"    conn {conn_id:>4} -> {str(totals.get('peer', '?')):<12}"
                 f" tx {_human_rate(tx_rate)}"
                 f" rx {_human_rate(rx_rate)}"
@@ -119,6 +120,14 @@ def render_dashboard(collector, stale_after: float = 2.0) -> str:
                 f" stalls {stalls}"
                 f" shed {int(totals.get('pressure_deliveries_shed', 0))}"
             )
+            xray = xray_conns.get(conn_id)
+            if xray and "send_p50_s" in xray:
+                # X-ray sampled send latency (entry -> wire departure).
+                line += (
+                    f" lat p50 {xray['send_p50_s'] * 1e6:7.0f}us"
+                    f" p99 {xray['send_p99_s'] * 1e6:7.0f}us"
+                )
+            lines.append(line)
         pressure = body.get("pressure", {})
         if pressure:
             lines.append(
@@ -166,11 +175,15 @@ def _cmd_demo(args) -> int:
     collector = Collector(hub)
     target = f"{hub.address[0]}:{hub.address[1]}"
 
+    # 1-in-8 X-ray sampling so the dashboard's latency columns and the
+    # Prometheus xray series have data within the short demo window.
     alice = Node(
-        NodeConfig(name="alice", telemetry=target, telemetry_interval=0.05)
+        NodeConfig(name="alice", telemetry=target, telemetry_interval=0.05,
+                   xray="8")
     )
     bob = Node(
-        NodeConfig(name="bob", telemetry=target, telemetry_interval=0.05)
+        NodeConfig(name="bob", telemetry=target, telemetry_interval=0.05,
+                   xray="8")
     )
     try:
         config = ConnectionConfig(

@@ -8,6 +8,7 @@ import pytest
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
     NULL_INSTRUMENT,
     format_snapshot,
@@ -202,3 +203,46 @@ class TestCollectorsAndSnapshot:
         assert registry.snapshot() == {
             "counters": [], "gauges": [], "histograms": []
         }
+
+
+class TestConfigurableBuckets:
+    def test_override_beats_call_site_buckets(self):
+        registry = MetricsRegistry()
+        registry.configure_buckets("lat", (0.001, 0.01, 0.1))
+        hist = registry.histogram("lat", buckets=DEFAULT_BUCKETS, conn="1")
+        assert hist.buckets == (0.001, 0.01, 0.1)
+        # Every label set of the metric shares the override.
+        assert registry.histogram("lat", conn="2").buckets == (0.001, 0.01, 0.1)
+        # Other metrics keep the call-site default.
+        assert registry.histogram("other").buckets == DEFAULT_BUCKETS
+
+    def test_override_is_sorted_and_validated(self):
+        registry = MetricsRegistry()
+        registry.configure_buckets("lat", [0.1, 0.001, 0.01])
+        assert registry.histogram("lat").buckets == (0.001, 0.01, 0.1)
+        with pytest.raises(ValueError):
+            registry.configure_buckets("lat", [])
+
+    def test_existing_instruments_keep_their_bounds(self):
+        registry = MetricsRegistry()
+        before = registry.histogram("lat")
+        registry.configure_buckets("lat", (1.0, 2.0))
+        assert registry.histogram("lat") is before
+        assert before.buckets == DEFAULT_BUCKETS
+
+    def test_clear_forgets_overrides(self):
+        registry = MetricsRegistry()
+        registry.configure_buckets("lat", (1.0,))
+        registry.clear()
+        assert registry.histogram("lat").buckets == DEFAULT_BUCKETS
+
+    def test_latency_buckets_are_microsecond_resolution(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        # Sub-millisecond stages land in distinct buckets (DEFAULT_BUCKETS
+        # lumps everything under 1 ms together).
+        sub_ms = [b for b in LATENCY_BUCKETS if b < 1e-3]
+        assert len(sub_ms) >= 8
+        hist = Histogram("h", {}, LATENCY_BUCKETS)
+        hist.observe(3e-6)
+        assert 1e-6 < hist.quantile(0.5) < 1e-5

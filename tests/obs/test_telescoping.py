@@ -1,0 +1,51 @@
+"""The telescoping stage-sum invariant, promoted to tier-1.
+
+The Table 1 breakdown (and the X-ray built on the same stamp idiom) is
+only trustworthy if the per-stage means sum to the measured total —
+adjacent stages share boundary stamps, so the sums telescope by
+construction and any drift means a stamp went missing or a stage pair
+overlaps.  This used to live in ``benchmarks/bench_table1.py`` where it
+only ran in the bench CI job; it now gates every pytest run with an
+explicit tolerance constant.
+"""
+
+import pytest
+
+from repro.obs.profiler import TELESCOPE_TOLERANCE, profile_echo
+
+
+@pytest.fixture(scope="module")
+def threaded_profiler():
+    return profile_echo(iterations=80, mode="threaded", interface="sci")
+
+
+@pytest.fixture(scope="module")
+def bypass_profiler():
+    return profile_echo(iterations=80, mode="bypass", interface="sci")
+
+
+def _assert_telescopes(profiler, direction):
+    stage_sum, total = profiler.consistency(direction)
+    assert total > 0, f"no {direction} samples recorded"
+    assert stage_sum == pytest.approx(total, rel=TELESCOPE_TOLERANCE), (
+        f"{direction} stages sum to {stage_sum:.2f} us but the measured "
+        f"total is {total:.2f} us (> {TELESCOPE_TOLERANCE:.0%} apart) — "
+        f"a stamp is missing or two stages overlap"
+    )
+
+
+def test_threaded_send_stages_sum_to_total(threaded_profiler):
+    _assert_telescopes(threaded_profiler, "send")
+
+
+def test_threaded_recv_stages_sum_to_total(threaded_profiler):
+    _assert_telescopes(threaded_profiler, "recv")
+
+
+def test_bypass_send_stages_sum_to_total(bypass_profiler):
+    _assert_telescopes(bypass_profiler, "send")
+
+
+def test_tolerance_is_explicit():
+    """The tolerance is a named constant, not a magic number per test."""
+    assert 0 < TELESCOPE_TOLERANCE <= 0.25
