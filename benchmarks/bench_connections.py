@@ -1,0 +1,54 @@
+"""Connection-count scaling smoke: both data planes at small fleets.
+
+The full curve (event plane flat to 2,048 SCI / 10,000 loopback
+connections while thread-per-connection collapses in fleet setup) takes
+minutes and lives in the dedicated ``bench_connections`` CI job; this
+module keeps a fast always-on smoke so `pytest benchmarks/` exercises
+both planes end-to-end and the regression gate still sees a curve.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.bench import connections
+
+SCI_COUNTS = (4, 16)
+HPI_COUNTS = (4, 16)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def results():
+    results = connections.run_connections_bench(
+        sci_counts=SCI_COUNTS,
+        hpi_counts=HPI_COUNTS,
+        setup_budget=30.0,
+        transfer_budget=60.0,
+        isolate=False,
+        min_visits=64,
+    )
+    emit(connections.format_results(results))
+    return results
+
+
+def test_no_point_collapses_at_smoke_scale(results):
+    for interface in ("sci", "hpi"):
+        for plane, sweep in results[interface].items():
+            for count, point in sweep.items():
+                assert not point["collapsed"], (interface, plane, count)
+
+
+def test_both_planes_carry_traffic(results):
+    for plane in ("event", "threaded"):
+        for point in results["sci"][plane].values():
+            assert point["msgs_per_sec"] > 0
+
+
+def test_every_connection_was_visited(results):
+    # At smoke fleet sizes the active window covers the whole fleet, so
+    # each point must complete at least one visit per live connection.
+    for interface in ("sci", "hpi"):
+        for sweep in results[interface].values():
+            for point in sweep.values():
+                msgs = connections.SCI_VISIT_MSGS if interface == "sci" \
+                    else connections.HPI_VISIT_MSGS
+                assert point["messages"] >= point["live"] * msgs

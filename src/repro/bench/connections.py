@@ -1,0 +1,510 @@
+"""Connection-count scaling: threaded thread-per-connection vs the
+selector-based event data plane.
+
+The c10k question, asked of both data planes: as the number of *open*
+connections grows, what happens to the throughput of the ones doing
+work?  Each point establishes a fleet of N connections, proves every
+one of them alive (warmup sends one round-tripped message per
+connection), then drives a fixed-size active window — spread across
+the fleet by stride — at constant offered load while the rest of the
+fleet stays open: selector seats registered, credit/error state armed,
+idle timers eligible.  The fleet size is the only variable, so any
+throughput change is the *standing* cost the plane charges for open
+connections — epoll bookkeeping and timer scans for the event plane,
+four parked threads per connection for the threaded plane.  (Rotating
+the window through the whole fleet instead would measure CPython's
+working-set growth — cache-cold object graphs per visit — which taxes
+both planes identically and says nothing about the plane.)
+
+Each measured point gets a setup budget and a transfer budget.  A plane
+that cannot even establish its fleet inside the setup budget is
+recorded as collapsed (throughput 0) rather than hanging the bench —
+that *is* the thread-per-connection failure mode at scale: 2,048 SCI
+connections mean ~8,000 data threads, and the spawn storm alone blows
+the budget.
+
+The sweep runs every point in a fresh subprocess.  Back-to-back points
+in one interpreter contaminate each other — heap/arena growth from a
+10k-connection fleet, lingering TIME_WAIT sockets, and allocator
+fragmentation depress later points by 20%+ — and a wedged point (e.g. a
+threaded fleet that hangs mid-collapse) would otherwise stall the whole
+sweep.  A subprocess that dies or exceeds its wall-clock allowance is
+recorded as collapsed, same as an in-budget failure.
+
+Fabric notes baked into every point (identical across planes, so the
+comparison stays apples-to-apples):
+
+* ``retransmit_timeout=5.0`` — loopback TCP / in-process queues lose
+  nothing, so retransmit timers only add noise if they fire under
+  scheduling delay;
+* ``timer_tick=0.25`` — the node timer scans every connection per tick
+  (an inline idle-skip, but still an O(fleet) loop); the default 5 ms
+  tick would charge that scan 200x/s to both planes and drown the
+  signal being measured.  Nothing here needs finer timers: the only
+  armed deadlines are 5 s retransmits;
+* the collector disables cyclic GC during the timed window (heap size
+  scales with fleet size; gen-2 scans would bill large fleets for an
+  interpreter artifact).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.core import ConnectionConfig, Node, NodeConfig
+
+#: SCI sweep: both planes.  2,048 is the tentpole claim; the threaded
+#: plane is expected to collapse in setup well before that.
+DEFAULT_SCI_COUNTS = (64, 512, 2048)
+#: Loopback (HPI fabric) sweep: event plane only — thread-per-connection
+#: at 10k connections would need ~40,000 threads.
+DEFAULT_HPI_COUNTS = (64, 1024, 10000)
+
+#: Fixed-size active set with a burst in flight: the constant offered
+#: load every fleet size must carry.
+WINDOW = 64
+#: Visits scale with the fleet so large points get proportionally long
+#: samples, with a floor high enough that every point's timed window
+#: runs >= ~10 s — sub-second windows put small-fleet points at the
+#: mercy of scheduler noise and made the flatness ratio swing +-15%
+#: between runs.
+MIN_VISITS = 2048
+
+#: Per-visit burst for the SCI sweep: 64 x 4 KB = 256 KB per visit, big
+#: enough that per-visit fixed costs (cold sockets, cache refill) are
+#: amortized and the number measures the plane, not the burst shape.
+SCI_VISIT_MSGS = 64
+SCI_MESSAGE_BYTES = 4096
+#: The HPI fabric is an in-process queue; same burst length as SCI so
+#: per-visit fixed costs amortize identically, smaller messages so the
+#: 10k point stays inside a CI-friendly wall clock.
+HPI_VISIT_MSGS = 64
+HPI_MESSAGE_BYTES = 1024
+
+DEFAULT_SETUP_BUDGET = 75.0
+DEFAULT_TRANSFER_BUDGET = 240.0
+
+
+def _drain(peers, budget: float = 30.0) -> int:
+    """Best-effort drain of every peer's delivery queue (untimed path)."""
+    got = 0
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        progressed = False
+        for peer in peers:
+            while peer.try_recv() is not None:
+                got += 1
+                progressed = True
+        if not progressed:
+            return got
+    return got
+
+
+def bench_point(
+    plane: str,
+    interface: str,
+    count: int,
+    visit_msgs: int,
+    message_bytes: int,
+    window: int = WINDOW,
+    min_visits: int = MIN_VISITS,
+    setup_budget: float = DEFAULT_SETUP_BUDGET,
+    transfer_budget: float = DEFAULT_TRANSFER_BUDGET,
+) -> Dict[str, float]:
+    """One (plane, interface, fleet-size) measurement."""
+    node_a = Node(NodeConfig(
+        name=f"conn-tx-{plane}-{count}", data_plane=plane,
+        flight_recorder=False, timer_tick=0.25,
+    ))
+    node_b = Node(NodeConfig(
+        name=f"conn-rx-{plane}-{count}", data_plane=plane,
+        flight_recorder=False, timer_tick=0.25,
+    ))
+    cfg = ConnectionConfig(interface=interface, retransmit_timeout=5.0)
+    message = b"\xc5" * message_bytes
+    point: Dict[str, float] = {
+        "connections": count,
+        "established": 0,
+        "live": 0,
+        "setup_seconds": 0.0,
+        "transfer_seconds": 0.0,
+        "messages": 0,
+        "msgs_per_sec": 0.0,
+        "mbytes_per_sec": 0.0,
+        "collapsed": False,
+    }
+    try:
+        # -- setup: establish the fleet inside the budget ----------------
+        conns, peers = [], []
+        setup_deadline = time.monotonic() + setup_budget
+        start = time.perf_counter()
+        while len(conns) < count and time.monotonic() < setup_deadline:
+            try:
+                conns.append(
+                    node_a.connect(node_b.address, cfg, peer_name=node_b.name)
+                )
+            except Exception:
+                break
+            peer = node_b.accept(timeout=10.0)
+            if peer is None:
+                break
+            peers.append(peer)
+        point["setup_seconds"] = round(time.perf_counter() - start, 2)
+        point["established"] = len(peers)
+        if len(peers) < count:
+            point["collapsed"] = True
+            return point
+
+        # -- warmup: one windowed round-trip per connection; a connection
+        # the plane already lost is dropped rather than failing the point.
+        live = []
+        pending = []
+        warmup_deadline = time.monotonic() + setup_budget
+        idx = 0
+        while (idx < count or pending) and time.monotonic() < warmup_deadline:
+            while idx < count and len(pending) < 4 * window:
+                try:
+                    pending.append((conns[idx].send(message), idx))
+                except Exception:
+                    pass
+                idx += 1
+            unfinished = []
+            for handle, i in pending:
+                if handle.done():
+                    live.append(i)
+                else:
+                    unfinished.append((handle, i))
+            if len(unfinished) == len(pending):
+                time.sleep(0.001)
+            pending = unfinished
+        _drain(peers)
+        point["live"] = len(live)
+        if len(live) < max(1, count // 2):
+            point["collapsed"] = True
+            return point
+
+        # -- transfer: fixed active window over the open (idle) fleet ----
+        window = min(window, len(live))
+        stride = max(1, len(live) // window)
+        active = [live[k * stride] for k in range(window)]
+        visits_total = max(len(live), min_visits)
+
+        def run_visits(total: int, budget: float):
+            inflight = []
+            busy = set()
+            next_visit = 0
+            done = 0
+            sent_ok = 0
+            start = time.perf_counter()
+            deadline = time.monotonic() + budget
+            while done < total and time.monotonic() < deadline:
+                while next_visit < total and len(inflight) < window:
+                    i = active[next_visit % len(active)]
+                    if i in busy:
+                        break
+                    try:
+                        conn = conns[i]
+                        for _ in range(visit_msgs - 1):
+                            conn.send(message)
+                        inflight.append((conn.send(message), i))
+                        busy.add(i)
+                    except Exception:
+                        done += 1  # connection died mid-run; visit spent
+                    next_visit += 1
+                unfinished = []
+                for handle, i in inflight:
+                    if handle.done():
+                        done += 1
+                        sent_ok += visit_msgs
+                        busy.discard(i)
+                        peer, need = peers[i], visit_msgs
+                        while need and peer.try_recv() is not None:
+                            need -= 1
+                    else:
+                        unfinished.append((handle, i))
+                if len(unfinished) == len(inflight):
+                    time.sleep(0.001)
+                inflight = unfinished
+            return done, sent_ok, time.perf_counter() - start
+
+        # One untimed rotation first: the initial post-warmup visit to
+        # each active connection pays one-off cold costs that small
+        # fleets would amortize over fewer revisits than large ones.
+        run_visits(len(active), setup_budget)
+        gc.collect()
+        gc.disable()
+        try:
+            done, sent_ok, elapsed = run_visits(
+                visits_total, transfer_budget
+            )
+        finally:
+            gc.enable()
+        point["transfer_seconds"] = round(elapsed, 2)
+        point["messages"] = sent_ok
+        if elapsed > 0 and sent_ok:
+            point["msgs_per_sec"] = round(sent_ok / elapsed, 1)
+            point["mbytes_per_sec"] = round(
+                sent_ok * message_bytes / elapsed / 1e6, 2
+            )
+        if done < visits_total:
+            point["visits_missed"] = visits_total - done
+        _drain(peers)
+        return point
+    finally:
+        node_a.close()
+        node_b.close()
+
+
+def _ratio(numer: float, denom: float, cap: float = 1000.0) -> float:
+    if denom <= 0:
+        return cap
+    return round(min(numer / denom, cap), 3)
+
+
+def _collapsed_point(count: int, error: str) -> Dict[str, float]:
+    return {
+        "connections": count, "established": 0, "live": 0,
+        "setup_seconds": 0.0, "transfer_seconds": 0.0, "messages": 0,
+        "msgs_per_sec": 0.0, "mbytes_per_sec": 0.0,
+        "collapsed": True, "error": error,
+    }
+
+
+def bench_point_isolated(
+    plane: str,
+    interface: str,
+    count: int,
+    visit_msgs: int,
+    message_bytes: int,
+    setup_budget: float = DEFAULT_SETUP_BUDGET,
+    transfer_budget: float = DEFAULT_TRANSFER_BUDGET,
+    min_visits: int = MIN_VISITS,
+) -> Dict[str, float]:
+    """Run one measurement in a fresh interpreter; never raises."""
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    spec = f"{plane}:{interface}:{count}:{visit_msgs}:{message_bytes}"
+    # Setup and warmup each get the setup budget; leave slack on top so a
+    # near-budget point finishes cleanly instead of being killed.
+    allowance = 2 * setup_budget + transfer_budget + 90.0
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.connections",
+             "--point", spec,
+             "--setup-budget", str(setup_budget),
+             "--transfer-budget", str(transfer_budget),
+             "--min-visits", str(min_visits)],
+            env=env, capture_output=True, text=True, timeout=allowance,
+        )
+    except subprocess.TimeoutExpired:
+        return _collapsed_point(count, f"subprocess exceeded {allowance:.0f}s")
+    lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+    if proc.returncode != 0 or not lines:
+        detail = (proc.stderr or "").strip().splitlines()
+        return _collapsed_point(
+            count,
+            f"subprocess exit {proc.returncode}: "
+            + (detail[-1] if detail else "no output"),
+        )
+    try:
+        return json.loads(lines[-1])
+    except ValueError:
+        return _collapsed_point(count, "unparseable subprocess output")
+
+
+def run_connections_bench(
+    sci_counts: Sequence[int] = DEFAULT_SCI_COUNTS,
+    hpi_counts: Sequence[int] = DEFAULT_HPI_COUNTS,
+    setup_budget: float = DEFAULT_SETUP_BUDGET,
+    transfer_budget: float = DEFAULT_TRANSFER_BUDGET,
+    emit=None,
+    isolate: bool = True,
+    min_visits: int = MIN_VISITS,
+) -> dict:
+    """The full sweep: SCI on both planes, loopback on the event plane.
+
+    With ``isolate`` (the default) each point runs in its own
+    subprocess; pass ``isolate=False`` for in-process smoke runs.
+    """
+
+    def run_point(plane, interface, count, visit_msgs, message_bytes):
+        if isolate:
+            return bench_point_isolated(
+                plane, interface, count, visit_msgs, message_bytes,
+                setup_budget=setup_budget, transfer_budget=transfer_budget,
+                min_visits=min_visits,
+            )
+        return bench_point(
+            plane, interface, count, visit_msgs, message_bytes,
+            setup_budget=setup_budget, transfer_budget=transfer_budget,
+            min_visits=min_visits,
+        )
+
+    results: dict = {"sci": {}, "hpi": {}}
+    for plane in ("event", "threaded"):
+        results["sci"][plane] = {}
+        for count in sci_counts:
+            point = run_point(
+                plane, "sci", count, SCI_VISIT_MSGS, SCI_MESSAGE_BYTES
+            )
+            results["sci"][plane][str(count)] = point
+            if emit:
+                emit(_format_point("sci", plane, point))
+    results["hpi"]["event"] = {}
+    for count in hpi_counts:
+        point = run_point(
+            "event", "hpi", count, HPI_VISIT_MSGS, HPI_MESSAGE_BYTES
+        )
+        results["hpi"]["event"][str(count)] = point
+        if emit:
+            emit(_format_point("hpi", "event", point))
+
+    sci_event = results["sci"]["event"]
+    sci_threaded = results["sci"]["threaded"]
+    low, high = str(min(sci_counts)), str(max(sci_counts))
+    hpi_low, hpi_high = str(min(hpi_counts)), str(max(hpi_counts))
+    results["summary"] = {
+        # Higher is better: 1.0 = perfectly flat, >= 0.9 is the tentpole
+        # claim ("within 10% of its 64-connection throughput").
+        "event_sci_throughput_ratio_high_vs_low": _ratio(
+            sci_event[high]["msgs_per_sec"], sci_event[low]["msgs_per_sec"]
+        ),
+        "event_hpi_throughput_ratio_high_vs_low": _ratio(
+            results["hpi"]["event"][hpi_high]["msgs_per_sec"],
+            results["hpi"]["event"][hpi_low]["msgs_per_sec"],
+        ),
+        # Lower is better... for the plane.  Capped at 1000 when the
+        # threaded plane collapsed outright (throughput 0).
+        "threaded_sci_degradation_x": _ratio(
+            sci_threaded[low]["msgs_per_sec"],
+            sci_threaded[high]["msgs_per_sec"],
+        ),
+    }
+    return results
+
+
+def _format_point(interface: str, plane: str, point: dict) -> str:
+    count = int(point["connections"])
+    if point["collapsed"]:
+        return (
+            f"  {interface}/{plane:8s} n={count:<6d} COLLAPSED "
+            f"(established {int(point['established'])}/{count} in "
+            f"{point['setup_seconds']:.1f}s, live {int(point['live'])})"
+        )
+    return (
+        f"  {interface}/{plane:8s} n={count:<6d} "
+        f"{point['msgs_per_sec']:9,.0f} msg/s "
+        f"{point['mbytes_per_sec']:7.1f} MB/s   "
+        f"(setup {point['setup_seconds']:.1f}s, "
+        f"transfer {point['transfer_seconds']:.1f}s)"
+    )
+
+
+def format_results(results: dict) -> str:
+    lines = [
+        "Connection scaling: threaded vs event data plane "
+        f"(window {WINDOW}, SCI burst {SCI_VISIT_MSGS}x{SCI_MESSAGE_BYTES}B)",
+    ]
+    for interface in ("sci", "hpi"):
+        for plane, sweep in results[interface].items():
+            for count in sorted(sweep, key=int):
+                lines.append(_format_point(interface, plane, sweep[count]))
+    summary = results["summary"]
+    lines.append(
+        f"  event SCI flatness {summary['event_sci_throughput_ratio_high_vs_low']:.2f}x, "
+        f"event loopback flatness {summary['event_hpi_throughput_ratio_high_vs_low']:.2f}x, "
+        f"threaded SCI degradation {summary['threaded_sci_degradation_x']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def _parse_counts(text: str) -> Sequence[int]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    from repro.bench.persist import persist_run
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sci-counts", default=",".join(map(str, DEFAULT_SCI_COUNTS)),
+        help="comma-separated SCI fleet sizes (both planes)",
+    )
+    parser.add_argument(
+        "--hpi-counts", default=",".join(map(str, DEFAULT_HPI_COUNTS)),
+        help="comma-separated loopback fleet sizes (event plane only)",
+    )
+    parser.add_argument(
+        "--setup-budget", type=float, default=DEFAULT_SETUP_BUDGET,
+        help="seconds allowed to establish + warm each fleet",
+    )
+    parser.add_argument(
+        "--transfer-budget", type=float, default=DEFAULT_TRANSFER_BUDGET,
+        help="seconds allowed for each timed transfer",
+    )
+    parser.add_argument(
+        "--point", default=None, metavar="PLANE:IFACE:COUNT:MSGS:BYTES",
+        help="internal: run a single point and print its JSON record",
+    )
+    parser.add_argument(
+        "--min-visits", type=int, default=MIN_VISITS,
+        help="floor on timed visits per point (window rotations)",
+    )
+    parser.add_argument(
+        "--no-isolate", action="store_true",
+        help="run points in-process instead of one subprocess each",
+    )
+    args = parser.parse_args(argv)
+    if args.point:
+        plane, interface, count, visit_msgs, message_bytes = (
+            args.point.split(":")
+        )
+        point = bench_point(
+            plane, interface, int(count), int(visit_msgs),
+            int(message_bytes),
+            setup_budget=args.setup_budget,
+            transfer_budget=args.transfer_budget,
+            min_visits=args.min_visits,
+        )
+        print(json.dumps(point))
+        return
+    sci_counts = _parse_counts(args.sci_counts)
+    hpi_counts = _parse_counts(args.hpi_counts)
+    results = run_connections_bench(
+        sci_counts, hpi_counts,
+        setup_budget=args.setup_budget,
+        transfer_budget=args.transfer_budget,
+        emit=print,
+        isolate=not args.no_isolate,
+        min_visits=args.min_visits,
+    )
+    print(format_results(results))
+    persist_run(
+        "connections",
+        results,
+        config={
+            "sci_counts": list(sci_counts),
+            "hpi_counts": list(hpi_counts),
+            "window": WINDOW,
+            "sci_visit_msgs": SCI_VISIT_MSGS,
+            "sci_message_bytes": SCI_MESSAGE_BYTES,
+            "hpi_visit_msgs": HPI_VISIT_MSGS,
+            "hpi_message_bytes": HPI_MESSAGE_BYTES,
+            "setup_budget": args.setup_budget,
+            "transfer_budget": args.transfer_budget,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

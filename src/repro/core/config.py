@@ -32,7 +32,10 @@ class ConnectionConfig:
     error_control: str = "selective_repeat"
     interface: str = "sci"
     sdu_size: int = DEFAULT_SDU_SIZE
-    mode: str = "threaded"  # "threaded" | "bypass"
+    #: Data-plane variant: "threaded" (Send/Receive thread pair, the
+    #: paper's §4 default), "bypass" (§4.2 inline procedures), or
+    #: "event" (selector-loop plane, repro.eventplane).
+    mode: str = "threaded"  # "threaded" | "bypass" | "event"
     #: Most SDUs/frames a single vectored transmit or receive drain may
     #: coalesce.  1 restores the pre-batching per-frame data path (one
     #: syscall and one credit PDU per packet); higher values trade a
@@ -43,6 +46,12 @@ class ConnectionConfig:
     # Flow control knobs.
     initial_credits: int = 4
     max_credits: int = 64
+    #: Seconds a credit sender stays stalled at zero credits before
+    #: raising a two-phase resync request (and, if that goes entirely
+    #: unanswered for the same span again, unilaterally restoring its
+    #: pool).  None keeps the engine default; raise it to effectively
+    #: disable resync (e.g. to observe a wedged connection).
+    fc_resync_timeout: Optional[float] = None
     window_size: int = 8
     rate_pps: float = 1000.0
     rate_burst: float = 8.0
@@ -83,8 +92,10 @@ class ConnectionConfig:
             raise ValueError(
                 f"unknown interface {self.interface!r}; choose from {INTERFACES}"
             )
-        if self.mode not in ("threaded", "bypass"):
-            raise ValueError(f"mode must be 'threaded' or 'bypass', got {self.mode!r}")
+        if self.mode not in ("threaded", "bypass", "event"):
+            raise ValueError(
+                f"mode must be 'threaded', 'bypass' or 'event', got {self.mode!r}"
+            )
         validate_sdu_size(self.sdu_size)
         if self.interface == "aci" and self.sdu_size > ACI_MAX_SDU:
             raise ValueError(
@@ -93,6 +104,8 @@ class ConnectionConfig:
             )
         if self.initial_credits < 1:
             raise ValueError("initial_credits must be >= 1")
+        if self.fc_resync_timeout is not None and self.fc_resync_timeout <= 0:
+            raise ValueError("fc_resync_timeout must be > 0")
         if self.batch_max < 1:
             raise ValueError("batch_max must be >= 1 (1 disables batching)")
         if self.retransmit_timeout <= 0:
@@ -191,6 +204,27 @@ class NodeConfig:
     #: string like "64" / "1/64;seed=7", or False to force it off.  None
     #: defers to the NCS_XRAY environment variable (unset = off).
     xray: Optional[object] = None
+    #: Default data plane for connections this node originates or
+    #: accepts: "threaded" (per-connection Send/Receive threads) or
+    #: "event" (one selector loop multiplexing every data interface).
+    #: None defers to NCS_DATA_PLANE (unset = "threaded").  Individual
+    #: connections may still pin mode="bypass"/"threaded" explicitly.
+    data_plane: Optional[str] = None
+
+    def data_plane_mode(self) -> str:
+        """Resolve the node's data plane: explicit, env, or threaded."""
+        plane = self.data_plane
+        if plane is None:
+            import os
+
+            plane = os.environ.get("NCS_DATA_PLANE", "").strip().lower()
+        if not plane:
+            return "threaded"
+        if plane not in ("threaded", "event"):
+            raise ValueError(
+                f"data_plane must be 'threaded' or 'event', got {plane!r}"
+            )
+        return plane
 
     def pressure_config(self):
         """Resolve the effective PressureConfig (explicit or from env)."""

@@ -48,6 +48,7 @@ from repro.protocol.pdus import (
     ClosePdu,
     ControlPdu,
     CreditPdu,
+    CreditResyncPdu,
     CumAckPdu,
 )
 from repro.util.trace import new_trace_id
@@ -145,6 +146,8 @@ class Connection:
                 "initial_credits": config.initial_credits,
                 "max_credits": config.max_credits,
             }
+            if config.fc_resync_timeout is not None:
+                fc_options["resync_timeout"] = config.fc_resync_timeout
         elif config.flow_control == "window":
             fc_options = {"window_size": config.window_size}
         elif config.flow_control == "rate":
@@ -235,7 +238,9 @@ class Connection:
         self.credits_withheld = 0
         self.credit_pdus_withheld = 0
         self.slow_consumer_trips = 0
+        self.resync_requests_answered = 0
 
+        self._event_endpoint = None
         if config.mode == "threaded":
             self._proto_chan = self._pkg.channel()
             self._send_chan = self._pkg.channel()
@@ -245,13 +250,16 @@ class Connection:
                 self._pkg.spawn(self._recv_loop, name=f"recv-{conn_id}"),
             ]
         else:
-            # Bypass: engines run inline; one lock serializes sender-side
-            # engine access across app thread / control reader / timer.
+            # Bypass/event: engines run inline; one lock serializes
+            # sender-side engine access across app thread / control
+            # reader / timer (and, in event mode, the selector loop).
             self._engine_lock = threading.Lock()
             self._recv_lock = threading.Lock()
             self._proto_chan = None
             self._send_chan = None
             self._threads = []
+            if config.mode == "event":
+                self._event_endpoint = node.event_loop().attach(self)
 
     # ------------------------------------------------------------------
     # Public primitives
@@ -554,6 +562,34 @@ class Connection:
             self.credit_pdus_withheld += 1
             return True
 
+    def _answer_credit_resync(self) -> None:
+        """Answer a peer's CreditResyncPdu (receiver side).
+
+        Open gate: grant the initial allotment — the peer's pool is at
+        zero, so this is the request/reply equivalent of the old
+        unilateral restore.  Closed gate: the grant is withheld like any
+        other (flushed when the application drains), and an explicit
+        zero-credit reply keeps the peer pinned — it would otherwise
+        fall back to restoring the pool itself and defeat backpressure.
+        """
+        self.resync_requests_answered += 1
+        grant = CreditPdu(self.conn_id, self.config.initial_credits)
+        if self._gate_credit(grant):
+            self._recorder.record(
+                "pressure", "resync_pinned", conn=self.conn_id
+            )
+            reply = CreditPdu(self.conn_id, 0)
+        else:
+            self._recorder.record(
+                "flow", "resync_grant",
+                conn=self.conn_id, credits=grant.credits,
+            )
+            reply = grant
+        try:
+            self.node.control_send(self.peer_link, reply)
+        except Exception:
+            pass  # peer gone; recovery handles it
+
     def _sync_reassembly_site(self) -> None:
         if self._budget is None:
             return
@@ -606,7 +642,7 @@ class Connection:
         Best taken once the connection is quiescent or dead (the engines
         run on the protocol thread in threaded mode).
         """
-        if self.config.mode == "bypass":
+        if self.config.mode != "threaded":
             with self._engine_lock:
                 return self.ec_sender.pending()
         return self.ec_sender.pending()
@@ -618,7 +654,7 @@ class Connection:
         retransmit them; a dying connection must surrender them to the
         application instead of discarding them with the engine.
         """
-        if self.config.mode == "bypass":
+        if self.config.mode != "threaded":
             with self._engine_lock:
                 return self.ec_receiver.held_deliveries()
         return self.ec_receiver.held_deliveries()
@@ -684,6 +720,10 @@ class Connection:
         # Give the data threads a moment to drain, then cut the interface.
         for handle in self._threads:
             handle.join(timeout=1.0)
+        if self._event_endpoint is not None:
+            # Remove the selector registration *before* closing the fd so
+            # no key can outlive the connection.
+            self._event_endpoint.detach()
         self.interface.close()
         self._xray_send_spans.clear()
         self._xray_recv_spans.clear()
@@ -782,6 +822,11 @@ class Connection:
                 "state", "peer_close", conn=self.conn_id, peer=self.peer_name
             )
             return
+        if isinstance(pdu, CreditResyncPdu):
+            # Receiver-side: answered directly on the control-link reader
+            # thread — touches only gate state, never the FC/EC engines.
+            self._answer_credit_resync()
+            return
         if self.config.mode == "threaded":
             if not self._closed:
                 self._proto_chan.put(("control", pdu))
@@ -793,10 +838,16 @@ class Connection:
         """Called by the node timer thread at each tick."""
         if self._closed:
             return
+        event_mode = self._event_endpoint is not None
         due = (
             (self._ec_timer_at is not None and now >= self._ec_timer_at)
             or (self._fc_ready_at is not None and now >= self._fc_ready_at)
         )
+        if event_mode and not due:
+            # No application thread pumps the receiver in event mode, so
+            # the ordered-delivery / reassembly GC deadline rides the
+            # node timer as well.
+            due = self._recv_gc_at is not None and now >= self._recv_gc_at
         if not due:
             return
         if self.config.mode == "threaded":
@@ -804,6 +855,9 @@ class Connection:
         else:
             with self._engine_lock:
                 self._run_ec_timer(now, transmit_inline=True)
+            if event_mode:
+                with self._recv_lock:
+                    self._maybe_recv_gc()
 
     # ------------------------------------------------------------------
     # Threaded mode: protocol / send / receive loops
@@ -1234,6 +1288,18 @@ class Connection:
             self._fc_ready_at = None
             return
         released = self.fc_sender.pull(now)
+        take_resync = getattr(self.fc_sender, "take_resync_request", None)
+        if take_resync is not None and take_resync():
+            # Two-phase credit resync: ask the receiver to restore the
+            # pool instead of restoring it unilaterally — its slow-
+            # consumer gate gets to answer "stay pinned" (credits=0).
+            self._recorder.record("flow", "resync_request", conn=self.conn_id)
+            try:
+                self.node.control_send(
+                    self.peer_link, CreditResyncPdu(self.conn_id)
+                )
+            except Exception:
+                pass  # control link down; the unilateral fallback covers it
         if instrument is not None:
             instrument["flow_released"] = time.perf_counter_ns()
         xray_live = bool(self._xray_send_spans)
@@ -1247,6 +1313,32 @@ class Connection:
                     # control must not move the boundary.
                     if span is not None and "released" not in span:
                         span["released"] = released_ns
+        if self._event_endpoint is not None:
+            # Event mode: hand the whole burst to the selector plane's
+            # endpoint (backlog append + loop wakeup) — never a blocking
+            # socket write from the calling thread.
+            if released:
+                try:
+                    self._event_endpoint.submit(released)
+                except InterfaceClosed:
+                    self._note_transport_loss("send")
+                    self._fc_ready_at = None
+                    return
+                submitted_ns = time.perf_counter_ns() if xray_live else 0
+                for sdu in released:
+                    header = sdu.header
+                    if self._tracer.enabled and header.trace_id:
+                        self._tracer.emit(
+                            "data", "transmit",
+                            conn_id=self.conn_id, msg_id=header.msg_id,
+                            sdus=1, trace=header.trace_id,
+                        )
+                    if xray_live and (
+                        header.span_id & XRAY_SPAN_MARK and header.end_bit
+                    ):
+                        self._finish_send_span(header.msg_id, submitted_ns)
+            self._fc_ready_at = self.fc_sender.next_ready_time(now)
+            return
         for sdu in released:
             if transmit_inline:
                 try:
@@ -1359,6 +1451,21 @@ class Connection:
                 self._bypass_pump_once(blocking=True, timeout=remaining)
         finally:
             self._exit_recv_wait(token)
+
+    # ------------------------------------------------------------------
+    # Event mode: selector-loop entry points
+    # ------------------------------------------------------------------
+
+    def event_rx(self, frames: list) -> None:
+        """Process frames handed over by the event loop (its thread)."""
+        if self._closed or not frames:
+            return
+        with self._recv_lock:
+            self._process_frames(frames)
+
+    def event_transport_lost(self, where: str) -> None:
+        """The event loop saw this connection's transport die."""
+        self._note_transport_loss(where)
 
     def _bypass_pump_once(
         self, blocking: bool, timeout: float = 0.05

@@ -1,0 +1,26 @@
+"""Event-driven data plane: one selector loop, thousands of connections.
+
+The paper's data plane is thread-per-connection (a Send/Receive thread
+pair each, §4), which tops out at a few hundred connections per node.
+This package generalizes the §4.2 bypass variant — engines as inline
+procedures — into a selector-based plane: a single loop thread per node
+multiplexes every event-mode connection's data interface through
+``selectors.DefaultSelector``, with non-blocking adapters that track
+explicit partial-write backlogs and short-read buffers.
+
+The split follows the control/data decoupling argument (Wang,
+"Decoupling Control From Data for TCP Congestion Control"): only the
+*data* path moves onto the loop.  Control links, heartbeats, telemetry,
+the recovery Supervisor, and the node timer keep their own threads and
+interact with event-mode connections exactly as they do with bypass
+ones — under the connection's engine lock, transmitting through the
+endpoint's non-blocking submit path.
+
+Select with ``NodeConfig(data_plane="event")`` or ``NCS_DATA_PLANE=event``;
+the threaded plane remains the default.
+"""
+
+from repro.eventplane.endpoint import EventEndpoint
+from repro.eventplane.loop import EventLoop
+
+__all__ = ["EventEndpoint", "EventLoop"]

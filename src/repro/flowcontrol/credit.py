@@ -38,11 +38,17 @@ class CreditSender(SenderFlowControl):
     it admitted, so a packet lost on an unreliable interface destroys a
     credit — the receiver never sees the packet and never returns the
     buffer grant.  Without recovery the working credit pool decays to
-    zero under loss and the connection deadlocks.  Like credit-based ATM
-    flow control proposals, a sender stalled at zero credits with
-    packets queued for ``resync_timeout`` seconds restores its pool to
-    the initial allotment (the receiver's buffers for the lost packets
-    are provably free — nothing arrived to occupy them).
+    zero under loss and the connection deadlocks.  Resynchronization is
+    a two-phase request/reply: a sender stalled at zero credits with
+    packets queued for ``resync_timeout`` seconds raises a resync
+    *request* (surfaced via :meth:`take_resync_request`, carried to the
+    peer as a CreditResyncPdu), and the receiver answers with a fresh
+    grant — or with a zero-credit CreditPdu meaning "stay pinned" when
+    its slow-consumer gate is closed, so backpressure survives resync.
+    A request that goes entirely unanswered for another
+    ``resync_timeout`` falls back to the old unilateral restore, which
+    keeps standalone engines (no control plane wired) and dead-control-
+    link scenarios live.
     """
 
     name = "credit"
@@ -61,8 +67,17 @@ class CreditSender(SenderFlowControl):
         self._credits = initial_credits
         self._queue: deque = deque()
         self._stalled_since: float | None = None
+        #: When the outstanding resync request was raised (None = none).
+        self._resync_requested_at: float | None = None
+        #: Request raised but not yet collected by take_resync_request().
+        self._resync_pending = False
         self.total_granted = initial_credits
         self.resyncs = 0
+        #: Resync requests raised toward the receiver (two-phase path).
+        self.resync_requests = 0
+        #: Zero-credit replies received — the receiver's gate saying
+        #: "stay pinned"; each defers both re-request and fallback.
+        self.pinned_replies = 0
         self.peak_queue = 0
         #: pull() calls that found packets gated behind zero credits.
         self.blocked_pulls = 0
@@ -96,11 +111,23 @@ class CreditSender(SenderFlowControl):
             if self._stalled_since is None:
                 self._stalled_since = now
                 self.credit_stalls += 1
-            elif now - self._stalled_since >= self.resync_timeout - 1e-9:
+            elif self._resync_requested_at is None:
                 # (epsilon guards float rounding: the wake-up timer can
                 # fire at a timestamp that rounds a hair below the deadline)
+                if now - self._stalled_since >= self.resync_timeout - 1e-9:
+                    self._resync_requested_at = now
+                    self._resync_pending = True
+                    self.resync_requests += 1
+            elif now - self._resync_requested_at >= self.resync_timeout - 1e-9:
+                # The request went entirely unanswered — no grant, no
+                # zero-credit pin.  Fall back to the unilateral restore
+                # (standalone engine, or peer that cannot answer): the
+                # receiver's buffers for the lost packets are provably
+                # free, nothing arrived to occupy them.
                 self._credits = self.initial_credits
                 self.resyncs += 1
+                self._resync_requested_at = None
+                self._resync_pending = False
                 self._end_stall(now)
         released: List[Sdu] = []
         while self._queue and self._credits > 0:
@@ -111,10 +138,31 @@ class CreditSender(SenderFlowControl):
             self._end_stall(now)
         return released
 
+    def take_resync_request(self) -> bool:
+        """True once per raised resync request (caller sends the PDU)."""
+        if self._resync_pending:
+            self._resync_pending = False
+            return True
+        return False
+
     def on_control(self, pdu: ControlPdu, now: float) -> None:
         if isinstance(pdu, CreditPdu) and pdu.connection_id == self.connection_id:
+            if pdu.credits == 0:
+                # The receiver's gate answered our resync request with
+                # "stay pinned": restart both clocks so neither another
+                # request nor the unilateral fallback fires while the
+                # receiver keeps answering.  No credit is granted.
+                self.pinned_replies += 1
+                if self._stalled_since is not None:
+                    self.stall_seconds += max(0.0, now - self._stalled_since)
+                    self._stalled_since = now
+                self._resync_requested_at = None
+                self._resync_pending = False
+                return
             self._credits += pdu.credits
             self.total_granted += pdu.credits
+            self._resync_requested_at = None
+            self._resync_pending = False
             self._end_stall(now)
 
     def queued(self) -> int:
@@ -126,8 +174,11 @@ class CreditSender(SenderFlowControl):
         return max(0.0, now - self._stalled_since)
 
     def next_ready_time(self, now: float):
-        """When stalled, ask to be pumped again at the resync deadline."""
+        """When stalled, ask to be pumped again at the next resync
+        deadline (request if none outstanding, fallback otherwise)."""
         if self._queue and self._credits == 0:
+            if self._resync_requested_at is not None:
+                return self._resync_requested_at + self.resync_timeout
             since = self._stalled_since if self._stalled_since is not None else now
             return since + self.resync_timeout
         return None
@@ -138,6 +189,8 @@ class CreditSender(SenderFlowControl):
             "credits": self._credits,
             "credits_granted": self.total_granted,
             "resyncs": self.resyncs,
+            "resync_requests": self.resync_requests,
+            "pinned_replies": self.pinned_replies,
             "peak_queue": self.peak_queue,
             "blocked_pulls": self.blocked_pulls,
             "credit_stalls": self.credit_stalls,

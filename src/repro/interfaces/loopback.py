@@ -25,6 +25,9 @@ class _SharedState:
         self.queue_bytes = [0, 0]
         self.cond = threading.Condition()
         self.open_ends = 2
+        #: Per-side data-ready callbacks (event plane): invoked after
+        #: frames land in that side's receive queue, outside the lock.
+        self.ready_callbacks = [None, None]
 
 
 class QueueInterface(CommInterface):
@@ -99,6 +102,24 @@ class QueueInterface(CommInterface):
             self.sent_bytes += len(frame)
             self.peak_tx_queue_depth = max(self.peak_tx_queue_depth, len(peer_queue))
             self._state.cond.notify_all()
+        self._notify_peer_ready()
+
+    def _notify_peer_ready(self) -> None:
+        """Fire the peer side's data-ready callback (outside the lock)."""
+        callback = self._state.ready_callbacks[1 - self._side]
+        if callback is not None:
+            callback()
+
+    def set_ready_callback(self, callback) -> None:
+        """Register ``callback`` to fire when *this* end has data to read.
+
+        The event plane's hook into a queue pair that has no file
+        descriptor to select on: the callback (typically a selector-loop
+        wakeup) runs on the sender's thread right after frames land in
+        our receive queue.  ``None`` unregisters.
+        """
+        with self._state.cond:
+            self._state.ready_callbacks[self._side] = callback
 
     def send_many(self, frames) -> int:
         """Vectored transmit: one condition round for the whole batch
@@ -130,6 +151,7 @@ class QueueInterface(CommInterface):
                 self.batched_sends += 1
                 self.batched_frames += len(encoded)
             self._state.cond.notify_all()
+        self._notify_peer_ready()
         return len(encoded)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:

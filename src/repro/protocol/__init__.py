@@ -22,6 +22,7 @@ from repro.protocol.pdus import (
     ConnectRequestPdu,
     ControlPdu,
     CreditPdu,
+    CreditResyncPdu,
     CumAckPdu,
     GroupInfoPdu,
     GroupJoinPdu,
@@ -48,6 +49,7 @@ __all__ = [
     "ConnectRequestPdu",
     "ControlPdu",
     "CreditPdu",
+    "CreditResyncPdu",
     "CumAckPdu",
     "DEFAULT_SDU_SIZE",
     "GroupInfoPdu",

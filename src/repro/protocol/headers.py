@@ -53,6 +53,7 @@ class PduType(enum.IntEnum):
     BARRIER = 12
     HEARTBEAT = 13
     TELEMETRY = 14
+    CREDIT_RESYNC = 15
 
 
 class HeaderError(ValueError):

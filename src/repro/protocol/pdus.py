@@ -140,6 +140,31 @@ class CreditPdu(ControlPdu):
 
 @_register
 @dataclass(frozen=True)
+class CreditResyncPdu(ControlPdu):
+    """Sender-to-receiver request to restore a dried-up credit pool.
+
+    A credit rides the data packet it admitted, so losing either the
+    packet or the grant destroys a credit; a sender stalled at zero
+    credits asks the *receiver* to re-issue the initial allotment rather
+    than unilaterally restoring it.  This keeps the receiver in charge:
+    a slow-consumer credit gate answers with a zero-credit CreditPdu
+    ("stay pinned") instead of a grant, so backpressure cannot be
+    defeated by resynchronization.
+    """
+
+    TYPE = PduType.CREDIT_RESYNC
+    connection_id: int
+
+    def _encode_body(self, writer: ByteWriter) -> None:
+        writer.u32(self.connection_id)
+
+    @classmethod
+    def _decode_body(cls, reader: ByteReader) -> "CreditResyncPdu":
+        return cls(reader.u32())
+
+
+@_register
+@dataclass(frozen=True)
 class ConnectRequestPdu(ControlPdu):
     """Connection setup carrying the requested per-connection QOS
     configuration: flow/error algorithms, interface, SDU size, initial

@@ -202,6 +202,10 @@ class Reassembler:
         """
         state = self._inflight.get(msg_id)
         if state is not None:
+            if state.bitmap.size == total_sdus:
+                # O(1): share the immutable int behind the live bitmap
+                # instead of round-tripping O(total_sdus) bytes per ack.
+                return state.bitmap.snapshot()
             return AckBitmap.from_bytes(state.bitmap.to_bytes(), total_sdus)
         if msg_id in self._completed:
             return AckBitmap(total_sdus, all_set=False)

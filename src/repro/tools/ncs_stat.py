@@ -151,9 +151,11 @@ def run_health_demo(
     """A watchdog-supervised exchange; returns (health report, dumps).
 
     With ``starve=True`` the connection uses credit flow control with
-    every data frame dropped: credits never return, the sender wedges,
-    and the watchdog classifies the connection STALLED and triggers the
-    flight recorder's anomaly dump.
+    every data frame dropped and two-phase resync pushed out of reach
+    (the resync request rides the lossless control link and would
+    otherwise rescue the pool): credits never return, the sender
+    wedges, and the watchdog classifies the connection STALLED and
+    triggers the flight recorder's anomaly dump.
     """
     from repro.core import ConnectionConfig, Node, NodeConfig
 
@@ -169,6 +171,7 @@ def run_health_demo(
                 error_control="none",
                 initial_credits=2,
                 loss_rate=1.0,
+                fc_resync_timeout=3600.0,
             )
         else:
             config = ConnectionConfig(interface="sci")

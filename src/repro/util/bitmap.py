@@ -70,6 +70,20 @@ class AckBitmap:
             )
         self._bits |= other._bits
 
+    def snapshot(self) -> "AckBitmap":
+        """An O(1) immutable copy of the current state.
+
+        ``_bits`` is a plain int, so sharing it is safe: later
+        ``mark_*`` calls on the live bitmap rebind ``_bits`` rather
+        than mutating it, leaving the snapshot untouched.  This is the
+        cheap alternative to the ``from_bytes(to_bytes())`` round trip
+        (O(size) encode + decode) on the per-ack hot path.
+        """
+        bm = AckBitmap.__new__(AckBitmap)
+        bm._size = self._size
+        bm._bits = self._bits
+        return bm
+
     # -- wire format ------------------------------------------------------
 
     def to_bytes(self) -> bytes:

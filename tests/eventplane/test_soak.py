@@ -1,0 +1,151 @@
+"""Seeded chaos soak: 1,000 event-plane loopback connections under
+drop/delay faults.
+
+The event data plane's scaling claim is only worth anything if the
+protocol machinery stays correct at connection counts no thread-per-
+connection deployment could reach.  This soak opens 1,000 HPI (loopback
+fabric) connections on one selector loop per node, injects a 10%
+drop/delay fault mix through ``NCS_FAULTS`` (the documented env knob —
+every connection's data interface gets the planned injector), and
+asserts:
+
+* exactly-once delivery on every raw connection (selective-repeat
+  recovers every dropped SDU; the reassembler dedups the delayed
+  stragglers), plus ledger-verified exactly-once on supervised sessions
+  riding the same faulted fabric;
+* zero stuck selector keys and zero endpoints on both loops after
+  ``close()`` — teardown at scale leaks nothing.
+"""
+
+import struct
+import time
+
+from repro.core import ConnectionConfig
+
+from tests.chaos.harness import (
+    assert_exactly_once,
+    collect_echoes,
+    supervised_echo_pair,
+)
+
+SOAK_CONNECTIONS = 1000
+MESSAGES_PER_CONN = 3
+SUPERVISED_SESSIONS = 4
+SUPERVISED_MESSAGES = 25
+#: 5% drops + 5% delayed (2 ms) = the 10% fault mix.  NCS_FAULTS seeds
+#: every connection's injector identically, so the whole fleet runs the
+#: same deterministic schedule; seed 57 is chosen so each connection's
+#: 3-message run (plus the retransmit the drop forces) hits both a drop
+#: and a delay inside its frame budget.
+FAULT_SPEC = "drop:rate=0.05;delay:rate=0.05,delay=0.002;seed:57"
+
+
+def test_event_plane_chaos_soak(node_factory, monkeypatch):
+    monkeypatch.setenv("NCS_FAULTS", FAULT_SPEC)
+    client = node_factory("soak-client", data_plane="event", timer_tick=0.02)
+    server = node_factory("soak-server", data_plane="event", timer_tick=0.02)
+    config = ConnectionConfig(interface="hpi", retransmit_timeout=0.1)
+
+    # Establish the fleet.  Threaded mode would need 2,000 data threads
+    # per side here; the event plane runs one loop thread per node.
+    conns = [
+        client.connect(server.address, config, peer_name="soak-server")
+        for _ in range(SOAK_CONNECTIONS)
+    ]
+    peers = []
+    while len(peers) < SOAK_CONNECTIONS:
+        peer = server.accept(timeout=10.0)
+        assert peer is not None, f"accept stalled at {len(peers)} connections"
+        peers.append(peer)
+    assert all(conn.config.mode == "event" for conn in conns)
+    assert all(peer.config.mode == "event" for peer in peers)
+
+    # Supervised ledger sessions ride the same faulted fabric while the
+    # fleet hammers it: exactly-once through the recovery ledger.
+    supervised = [
+        supervised_echo_pair(
+            node_factory,
+            config=ConnectionConfig(interface="hpi", retransmit_timeout=0.1),
+            session=f"soak-sup{i}",
+            data_plane="event",
+        )
+        for i in range(SUPERVISED_SESSIONS)
+    ]
+
+    try:
+        for sup, _echo in supervised:
+            for m in range(SUPERVISED_MESSAGES):
+                sup.send(b"sup-%02d" % m)
+
+        for index, conn in enumerate(conns):
+            for m in range(MESSAGES_PER_CONN):
+                conn.send(struct.pack("!II", index, m))
+
+        # Collect the fleet's traffic: exactly-once per connection.
+        received = [[] for _ in range(SOAK_CONNECTIONS)]
+        outstanding = SOAK_CONNECTIONS * MESSAGES_PER_CONN
+        deadline = time.monotonic() + 120.0
+        while outstanding > 0 and time.monotonic() < deadline:
+            progressed = False
+            for index, peer in enumerate(peers):
+                while True:
+                    got = peer.try_recv()
+                    if got is None:
+                        break
+                    received[index].append(got)
+                    outstanding -= 1
+                    progressed = True
+            if not progressed:
+                time.sleep(0.02)
+        assert outstanding == 0, (
+            f"{outstanding} messages never arrived under the fault mix"
+        )
+        for index in range(SOAK_CONNECTIONS):
+            expected = [
+                struct.pack("!II", index, m) for m in range(MESSAGES_PER_CONN)
+            ]
+            assert sorted(received[index]) == expected, (
+                f"connection {index}: loss or duplication under faults"
+            )
+
+        # The fault plan actually fired (this is a chaos test, not a
+        # fair-weather run).
+        drops = sum(
+            conn.interface.metrics().get("injected_drops", 0)
+            for conn in conns
+        )
+        delays = sum(
+            conn.interface.metrics().get("injected_delays", 0)
+            for conn in conns
+        )
+        assert drops > 0, "the drop spec never triggered"
+        assert delays > 0, "the delay spec never triggered"
+
+        # Ledger-verified exactly-once on the supervised sessions.
+        for i, (sup, _echo) in enumerate(supervised):
+            expected_sup = [b"sup-%02d" % m for m in range(SUPERVISED_MESSAGES)]
+            got = collect_echoes(sup, SUPERVISED_MESSAGES, deadline=60.0)
+            assert_exactly_once(sup, expected_sup, got)
+            sup.flush(timeout=10.0)
+            assert sup.status()["outstanding"] == 0
+    finally:
+        for sup, echo in supervised:
+            sup.close()
+            echo.close()
+        for conn in conns:
+            conn.close()
+        for peer in peers:
+            peer.close()
+
+    # Nothing leaks: both selector loops end the soak empty.
+    deadline = time.monotonic() + 10.0
+    while (
+        client.event_loop().endpoint_count()
+        + server.event_loop().endpoint_count()
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    assert client.event_loop().selector_key_count() == 0
+    assert client.event_loop().endpoint_count() == 0
+    assert server.event_loop().selector_key_count() == 0
+    assert server.event_loop().endpoint_count() == 0

@@ -56,16 +56,54 @@ class TestSender:
 
 
 class TestResync:
-    def test_stall_recovers_after_timeout(self):
+    def test_stall_raises_request_then_falls_back(self):
         # Paper context: on an unreliable wire, lost packets destroy
-        # credits; resynchronization restores the pool.
+        # credits; resynchronization restores the pool.  Two phases:
+        # first a request toward the receiver, then — if it goes wholly
+        # unanswered for another resync_timeout — a unilateral restore.
         sender = CreditSender(CONN, initial_credits=2, resync_timeout=0.1)
         sender.offer(sdus(4))
         assert len(sender.pull(0.0)) == 2  # pool exhausted, 2 queued
-        assert sender.pull(0.05) == []     # still stalled
-        recovered = sender.pull(0.2)       # past the resync deadline
+        assert sender.pull(0.05) == []     # still stalled, before deadline
+        assert sender.pull(0.2) == []      # deadline passed: request raised
+        assert sender.take_resync_request() is True
+        assert sender.take_resync_request() is False  # consumed once
+        assert sender.resync_requests == 1
+        assert sender.resyncs == 0         # no unilateral restore yet
+        recovered = sender.pull(0.35)      # request unanswered: fallback
         assert len(recovered) == 2
         assert sender.resyncs == 1
+
+    def test_grant_reply_answers_request(self):
+        sender = CreditSender(CONN, initial_credits=2, resync_timeout=0.1)
+        sender.offer(sdus(4))
+        sender.pull(0.0)
+        sender.pull(0.05)  # blocked: stall clock starts
+        sender.pull(0.2)   # deadline passed: request raised
+        assert sender.take_resync_request() is True
+        sender.on_control(CreditPdu(CONN, 2), 0.25)  # receiver's grant
+        assert len(sender.pull(0.25)) == 2
+        assert sender.resyncs == 0  # never needed the fallback
+
+    def test_zero_credit_reply_keeps_sender_pinned(self):
+        # A gated receiver answers "stay pinned": no credit, and both
+        # the re-request and fallback clocks restart — the window stays
+        # closed as long as the receiver keeps answering.
+        sender = CreditSender(CONN, initial_credits=2, resync_timeout=0.1)
+        sender.offer(sdus(4))
+        sender.pull(0.0)
+        sender.pull(0.05)  # blocked: stall clock starts
+        sender.pull(0.2)   # deadline passed: request raised
+        sender.take_resync_request()
+        sender.on_control(CreditPdu(CONN, 0), 0.25)  # pinned reply
+        assert sender.pinned_replies == 1
+        assert sender.credits == 0
+        assert sender.pull(0.3) == []   # still pinned, no fallback
+        assert sender.resyncs == 0
+        # The cycle repeats: next deadline raises another request.
+        assert sender.pull(0.4) == []
+        assert sender.take_resync_request() is True
+        assert sender.resync_requests == 2
 
     def test_credit_arrival_cancels_stall(self):
         sender = CreditSender(CONN, initial_credits=1, resync_timeout=0.1)
@@ -73,8 +111,9 @@ class TestResync:
         sender.pull(0.0)
         sender.on_control(CreditPdu(CONN, 1), 0.05)
         assert len(sender.pull(0.06)) == 1
-        # Stall clock restarted: no resync at the original deadline.
+        # Stall clock restarted: no resync request at the old deadline.
         assert sender.pull(0.11) == []
+        assert sender.take_resync_request() is False
         assert sender.resyncs == 0
 
     def test_next_ready_time_reports_resync_deadline(self):
@@ -82,6 +121,10 @@ class TestResync:
         sender.offer(sdus(2))
         sender.pull(1.0)
         assert sender.next_ready_time(1.0) == pytest.approx(1.1)
+        sender.pull(1.1)   # blocked: stall clock starts here
+        sender.pull(1.2)   # request raised
+        # With a request outstanding, the next deadline is the fallback.
+        assert sender.next_ready_time(1.2) == pytest.approx(1.3)
 
     def test_next_ready_none_when_credits_available(self):
         sender = CreditSender(CONN, initial_credits=5)

@@ -1,11 +1,39 @@
 """SCI: framed TCP interface."""
 
+import select
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
 from repro.interfaces.base import InterfaceClosed
-from repro.interfaces.sci import SciListener, sci_connect, sci_pair
+from repro.interfaces.sci import (
+    _LEN_FMT,
+    _LEN_SIZE,
+    SciInterface,
+    SciListener,
+    sci_connect,
+    sci_pair,
+)
+
+
+def throttled_sci_pair(snd=8192, rcv=8192):
+    """A loopback TCP pair with tiny kernel buffers, so a large frame
+    cannot be absorbed in one write and the sender must track partial
+    progress."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcv)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    client.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, snd)
+    client.connect(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    return SciInterface(client), SciInterface(server)
 
 
 @pytest.fixture
@@ -117,6 +145,109 @@ class TestListener:
         listener.close()
 
 
+class TestPartialWrite:
+    """Regression tests for the partial-``send`` desync bug: a transmit
+    that cannot finish must tear the interface down with a typed error —
+    a later send resuming mid-frame would shift every subsequent length
+    prefix and desynchronize the peer's parser."""
+
+    def test_stalled_transmit_tears_down_typed(self):
+        a, b = throttled_sci_pair()
+        a.send_stall_timeout = 0.3
+        started = time.monotonic()
+        with pytest.raises(InterfaceClosed, match="stalled mid-frame"):
+            a.send(b"\xab" * (4 << 20))  # 4 MB into unread tiny buffers
+        assert time.monotonic() - started < 3.0, "teardown was not bounded"
+        assert a.partial_write_teardowns == 1
+        assert a.closed
+        # Dead, not wedged: the next send fails fast and can never
+        # resume the torn frame.
+        with pytest.raises(InterfaceClosed):
+            a.send(b"again")
+        b.close()
+
+    def test_peer_parser_never_sees_torn_frame(self):
+        a, b = throttled_sci_pair()
+        a.send_stall_timeout = 0.3
+        with pytest.raises(InterfaceClosed):
+            a.send(b"\xab" * (4 << 20))
+        # The peer holds a committed length prefix and a partial body
+        # followed by EOF: it must raise, never deliver a torn frame.
+        with pytest.raises(InterfaceClosed):
+            for _ in range(100):
+                b.recv(0.1)
+        assert b.received_frames == 0
+        b.close()
+
+    def test_slow_reader_inside_window_completes(self):
+        """The stall deadline punishes zero progress, not slowness: a
+        reader draining in throttled chunks resets the clock every time
+        bytes move, and the frame lands intact even though the whole
+        transfer takes far longer than ``send_stall_timeout``."""
+        a, b = throttled_sci_pair()
+        a.send_stall_timeout = 0.4
+        payload = b"\xcd" * (1 << 20)
+        total = _LEN_SIZE + len(payload)
+        received = bytearray()
+
+        def trickle_read():
+            while len(received) < total:
+                select.select([b._sock], [], [], 1.0)
+                try:
+                    chunk = b._sock.recv(65536)
+                except (BlockingIOError, InterruptedError):
+                    continue
+                if not chunk:
+                    break
+                received.extend(chunk)
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=trickle_read, daemon=True)
+        thread.start()
+        started = time.monotonic()
+        a.send(payload)
+        thread.join(30.0)
+        assert len(received) == total
+        assert time.monotonic() - started > a.send_stall_timeout
+        assert a.partial_write_teardowns == 0
+        (length,) = struct.unpack(_LEN_FMT, received[:_LEN_SIZE])
+        assert length == len(payload)
+        assert bytes(received[_LEN_SIZE:]) == payload
+        a.close()
+        b.close()
+
+    def test_queue_frames_backlog_then_flush(self):
+        """The event-plane surface: ``queue_frames`` never blocks — it
+        reports an unflushed backlog, and ``flush_backlog`` completes
+        the same bytes later without tearing or reordering frames."""
+        a, b = throttled_sci_pair()
+        frames = [bytes([i % 256]) * 60000 for i in range(40)]  # ~2.3 MB
+        drained = a.queue_frames(frames)
+        assert not drained
+        assert a.backlog_bytes > 0
+        result = {}
+
+        def drain():
+            got = []
+            while len(got) < len(frames):
+                frame = b.recv(5.0)
+                if frame is None:
+                    break
+                got.append(frame)
+            result["frames"] = got
+
+        thread = threading.Thread(target=drain, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 20.0
+        while not a.flush_backlog() and time.monotonic() < deadline:
+            select.select([], [a._sock], [], 0.25)
+        assert a.backlog_bytes == 0
+        thread.join(20.0)
+        assert result["frames"] == frames
+        a.close()
+        b.close()
+
+
 class TestMidFrameStall:
     def test_half_a_frame_fails_cleanly(self, pair):
         """A peer that sends a length header and then goes quiet must
@@ -161,3 +292,82 @@ class TestMidFrameStall:
         assert b.recv(timeout=10.0) == payload
         thread.join(5.0)
         assert b.mid_frame_stalls == 0
+
+
+class TestNonBlockingPartialFrame:
+    """Regression tests for the zero-timeout receive path.
+
+    The event data plane reads with ``timeout=0`` from its loop thread,
+    so a frame that is split across kernel writes (its tail parked in
+    the sender's tx backlog behind a busy loop) must stay buffered and
+    return None — the old path blocked in bounded selects and then
+    declared a merely *slow* peer dead, tearing down healthy
+    connections under a connection storm.
+    """
+
+    def test_partial_frame_stays_buffered_and_completes(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 4
+        a._sock.sendall(struct.pack(_LEN_FMT, len(payload)) + payload[:100])
+        deadline = time.monotonic() + 2.0
+        while len(b._recv_buffer) < _LEN_SIZE + 100:
+            assert b.try_recv() is None
+            assert time.monotonic() < deadline, "prefix never buffered"
+        # Stable: repeated polls neither consume, block, nor kill.
+        for _ in range(10):
+            assert b.try_recv() is None
+        assert b.mid_frame_stalls == 0
+        a._sock.sendall(payload[100:])
+        frame = None
+        deadline = time.monotonic() + 2.0
+        while frame is None and time.monotonic() < deadline:
+            frame = b.try_recv()
+        assert frame == payload
+
+    def test_partial_frame_poll_never_blocks(self, pair):
+        a, b = pair
+        a._sock.sendall(struct.pack(_LEN_FMT, 5000) + b"\x01" * 10)
+        time.sleep(0.05)  # let the kernel deliver the fragment
+        started = time.monotonic()
+        for _ in range(100):
+            assert b.try_recv() is None
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.0, f"zero-timeout polls blocked ({elapsed:.2f}s)"
+        assert b.mid_frame_stalls == 0
+
+    def test_recv_many_returns_only_complete_frames(self, pair):
+        a, b = pair
+        f1, f2 = b"first-frame", b"second"
+        partial_len = 64
+        a._sock.sendall(
+            struct.pack(_LEN_FMT, len(f1)) + f1
+            + struct.pack(_LEN_FMT, len(f2)) + f2
+            + struct.pack(_LEN_FMT, partial_len) + b"\x02" * 10
+        )
+        got = []
+        deadline = time.monotonic() + 2.0
+        while len(got) < 2 and time.monotonic() < deadline:
+            got.extend(b.recv_many(8, timeout=0.0))
+        assert got == [f1, f2]
+        assert b.recv_many(8, timeout=0.0) == []
+        a._sock.sendall(b"\x02" * (partial_len - 10))
+        got = []
+        deadline = time.monotonic() + 2.0
+        while not got and time.monotonic() < deadline:
+            got = b.recv_many(8, timeout=0.0)
+        assert got == [b"\x02" * partial_len]
+
+    def test_peer_close_mid_frame_still_raises(self, pair):
+        """EOF remains the death signal: a peer that really dies
+        mid-frame produces a typed error, not a silent None."""
+        a, b = pair
+        a._sock.sendall(struct.pack(_LEN_FMT, 500) + b"\x03" * 20)
+        time.sleep(0.05)
+        while b.try_recv() is None and not b._recv_buffer:
+            time.sleep(0.01)
+        a._sock.close()
+        deadline = time.monotonic() + 2.0
+        with pytest.raises(InterfaceClosed, match="mid-frame"):
+            while time.monotonic() < deadline:
+                b.try_recv()
+                time.sleep(0.01)

@@ -389,12 +389,15 @@ class TestLiveCreditStarvation:
                 error_control="none",
                 initial_credits=2,
                 loss_rate=1.0,
+                # Two-phase resync rides the lossless control link and
+                # would rescue the pool; push it out of reach so the
+                # sender genuinely wedges.
+                fc_resync_timeout=3600.0,
             ),
             peer_name="starve-b",
         )
         assert server.accept(timeout=5.0) is not None
-        # Enough messages that emergency credit resyncs cannot drain the
-        # queue during the observation window.
+        # Enough messages queued that the stall is unambiguous.
         for _ in range(40):
             conn.send(bytes(256))
 

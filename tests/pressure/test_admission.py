@@ -160,6 +160,55 @@ class TestSlowConsumer:
         conn.send(b"after", wait=True, timeout=5.0)
         assert peer.recv(5.0) == b"after"
 
+    def test_gated_peer_stays_pinned_under_resync(self, node_factory):
+        # Regression for the credit-trickle leak: a stalled sender's
+        # credit *resynchronization* must not mint fresh credits while
+        # the receiver's slow-consumer gate is closed.  The two-phase
+        # protocol sends a CreditResyncPdu instead; the gated receiver
+        # answers with a zero-credit pin, and the send window stays shut
+        # until the application drains below resume_fraction.
+        pressure = PressureConfig(
+            node_bytes=1 << 20,
+            conn_bytes=1 << 20,
+            delivery_quota_bytes=8 * 1024,
+        )
+        client, server, conn, peer = make_pair(node_factory, pressure)
+        conn.fc_sender.resync_timeout = 0.1  # several cycles per second
+        for _ in range(40):
+            conn.send(b"m" * 2048)
+        deadline = time.monotonic() + 5.0
+        while not peer.credit_gate_closed and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert peer.credit_gate_closed
+        # The sender stalls, raises a resync request, and gets pinned.
+        deadline = time.monotonic() + 5.0
+        while (
+            conn.metrics_totals().get("fc_tx_pinned_replies", 0) == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        totals = conn.metrics_totals()
+        assert totals["fc_tx_resync_requests"] >= 1
+        assert totals["fc_tx_pinned_replies"] >= 1
+        assert peer.resync_requests_answered >= 1
+        released = totals["fc_tx_released_sdus"]
+        # Many resync cycles later: still no unilateral restore, and not
+        # one extra SDU released — the window is pinned, not trickling.
+        time.sleep(0.5)
+        totals = conn.metrics_totals()
+        assert totals["fc_tx_resyncs"] == 0
+        assert totals["fc_tx_released_sdus"] == released
+        assert peer.credit_gate_closed
+        # Draining below resume_fraction reopens the gate and flushes
+        # the withheld grants; everything queued arrives.
+        drained = 0
+        while peer.recv(1.0) is not None:
+            drained += 1
+        assert drained == 40
+        assert not peer.credit_gate_closed
+        conn.send(b"after", wait=True, timeout=5.0)
+        assert peer.recv(5.0) == b"after"
+
     def test_budget_returns_to_zero_after_traffic(self, node_factory):
         client, server, conn, peer = make_pair(node_factory, SMALL)
         for _ in range(5):

@@ -166,6 +166,48 @@ class TestReassembly:
         assert not bitmap.is_pending(1)
         assert bitmap.is_pending(0)
 
+    def test_bitmap_for_large_message_is_allocation_free(self):
+        """Regression for the per-ack bitmap round-trip copy: a 64 MB
+        message is 16384 SDUs, and `bitmap_for` used to serialize and
+        re-parse a 2 KB bitmap on *every* ACK.  The snapshot path must
+        share the live bitmap's immutable backing int (O(1)) and stay
+        flat under repeated per-ack queries."""
+        import tracemalloc
+
+        total_sdus = (64 << 20) // DEFAULT_SDU_SIZE  # 16384
+        reassembler = Reassembler()
+        # One arrived SDU of the giant message puts it in flight without
+        # allocating 64 MB of payload.
+        from dataclasses import replace
+
+        sdu = segment_message(5, 1, b"x" * DEFAULT_SDU_SIZE, DEFAULT_SDU_SIZE)[0]
+        sdu = replace(
+            sdu, header=replace(sdu.header, total_sdus=total_sdus, end_bit=False)
+        )
+        reassembler.add(sdu)
+        live = reassembler.state_of(1).bitmap
+        first = reassembler.bitmap_for(1, total_sdus)
+        assert first._bits is live._bits  # shared, not round-tripped
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(1000):
+            reassembler.bitmap_for(1, total_sdus)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # 1000 per-ack queries on a 16384-bit bitmap: the old code
+        # allocated ~2 KB * 2 per call (~4 MB total); snapshots hold
+        # steady (the only survivors are transient AckBitmap shells).
+        assert after - before < 64 * 1024
+
+    def test_bitmap_for_snapshot_is_isolated_from_later_arrivals(self):
+        _, sdus = self._segments()
+        reassembler = Reassembler()
+        reassembler.add(sdus[0])
+        snap = reassembler.bitmap_for(1, len(sdus))
+        reassembler.add(sdus[1])
+        assert snap.is_pending(1)  # frozen at query time
+        assert not reassembler.bitmap_for(1, len(sdus)).is_pending(1)
+
 
 class TestCompletedMemoryEviction:
     """Never-seen must not alias completed — including after eviction

@@ -104,6 +104,37 @@ class TestMerge:
             AckBitmap(4).merge_errors(AckBitmap(5))
 
 
+class TestSnapshot:
+    def test_snapshot_equals_original(self):
+        bm = AckBitmap(70)
+        for seqno in range(0, 70, 7):
+            bm.mark_received(seqno)
+        snap = bm.snapshot()
+        assert snap == bm
+        assert snap.size == bm.size
+
+    def test_snapshot_shares_bits_without_copying(self):
+        # The whole point: the backing int is immutable, so a snapshot
+        # is O(1) regardless of bitmap width — no byte round-trip.
+        bm = AckBitmap(16384)
+        snap = bm.snapshot()
+        assert snap._bits is bm._bits
+
+    def test_later_marks_do_not_leak_into_snapshot(self):
+        bm = AckBitmap(8)
+        snap = bm.snapshot()
+        bm.mark_received(3)
+        assert snap.is_pending(3)      # frozen at snapshot time
+        assert not bm.is_pending(3)
+
+    def test_snapshot_marks_do_not_leak_into_original(self):
+        bm = AckBitmap(8, all_set=False)
+        snap = bm.snapshot()
+        snap.mark_error(5)
+        assert bm.all_received()
+        assert snap.is_pending(5)
+
+
 class TestEquality:
     def test_equal_bitmaps_hash_equal(self):
         a, b = AckBitmap(6), AckBitmap(6)
